@@ -1,0 +1,336 @@
+//! The annealer device front-end: programs a problem, runs a batch of
+//! anneals, returns the sampled configurations.
+//!
+//! Mirrors the DW2Q job model (§4): the user submits one problem with
+//! one parameter setting and gets back `Na` spin configurations, one
+//! per anneal cycle. Each anneal draws fresh ICE noise, runs the chosen
+//! dynamics backend along the schedule, and reads out. Anneals are
+//! independent, so the batch is sharded across CPU threads; sample `k`
+//! always uses the RNG stream `splitmix(seed, k)`, making results
+//! bit-identical regardless of thread count.
+
+use crate::ice::IceModel;
+use crate::schedule::{curves, Schedule};
+use crate::{sa, sqa};
+use quamax_ising::{IsingProblem, Spin};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Dynamics backend choice (DESIGN.md §2.1 and §4 ablations).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// Metropolis simulated annealing along the schedule's temperature
+    /// ladder (default).
+    Sa,
+    /// Path-integral Monte Carlo with the given number of Trotter
+    /// slices (simulated quantum annealing).
+    Sqa {
+        /// Trotter slices (≥ 2; 8 is a common operating point).
+        slices: usize,
+    },
+}
+
+/// Device configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AnnealerConfig {
+    /// Dynamics backend.
+    pub backend: Backend,
+    /// Monte-Carlo sweeps simulated per microsecond of schedule time.
+    /// This is the calibration constant tying simulated dynamics to the
+    /// paper's µs axes (see crate docs); EXPERIMENTS.md records the
+    /// value used for every figure.
+    pub sweeps_per_us: f64,
+    /// Intrinsic control error model (per-anneal coefficient noise).
+    pub ice: IceModel,
+    /// Worker threads for batching (0 = all available cores).
+    pub threads: usize,
+}
+
+impl Default for AnnealerConfig {
+    fn default() -> Self {
+        AnnealerConfig {
+            backend: Backend::Sa,
+            sweeps_per_us: 20.0,
+            ice: IceModel::calibrated(),
+            threads: 0,
+        }
+    }
+}
+
+/// A simulated quantum annealer.
+///
+/// ```
+/// use quamax_anneal::{Annealer, AnnealerConfig, IceModel, Schedule};
+/// use quamax_ising::IsingProblem;
+///
+/// let mut p = IsingProblem::new(3);
+/// p.set_coupling(0, 1, -1.0);
+/// p.set_coupling(1, 2, -1.0);
+/// let annealer = Annealer::new(AnnealerConfig {
+///     ice: IceModel::none(),
+///     ..Default::default()
+/// });
+/// let samples = annealer.run(&p, &Schedule::standard(5.0), 20, 7);
+/// assert_eq!(samples.len(), 20);
+/// // The ferromagnetic chain's ground states are all-up/all-down.
+/// let hits = samples.iter().filter(|s| p.energy(s) == -2.0).count();
+/// assert!(hits > 10);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Annealer {
+    config: AnnealerConfig,
+}
+
+impl Annealer {
+    /// A device with the given configuration.
+    pub fn new(config: AnnealerConfig) -> Self {
+        assert!(config.sweeps_per_us > 0.0, "sweep density must be positive");
+        if let Backend::Sqa { slices } = config.backend {
+            assert!(slices >= 2, "SQA needs at least 2 Trotter slices");
+        }
+        Annealer { config }
+    }
+
+    /// A DW2Q-like device: SA dynamics, paper ICE moments, default
+    /// calibration.
+    pub fn dw2q(config: AnnealerConfig) -> Self {
+        Annealer::new(config)
+    }
+
+    /// This device's configuration.
+    pub fn config(&self) -> &AnnealerConfig {
+        &self.config
+    }
+
+    /// Runs `num_anneals` anneal cycles of `problem` under `schedule`,
+    /// returning one spin configuration per anneal.
+    ///
+    /// `problem` is the *programmed* (already embedded and normalized)
+    /// Ising problem; ICE is applied inside, freshly per anneal.
+    /// Deterministic in `(problem, schedule, num_anneals, seed)`.
+    pub fn run(
+        &self,
+        problem: &IsingProblem,
+        schedule: &Schedule,
+        num_anneals: usize,
+        seed: u64,
+    ) -> Vec<Vec<Spin>> {
+        self.run_chained(problem, &[], schedule, num_anneals, seed)
+    }
+
+    /// Like [`Annealer::run`], additionally informing the dynamics of
+    /// the embedding's qubit chains so sweeps include chain-collective
+    /// proposals (see `sa::anneal_once_chained` — the classical
+    /// counterpart of hardware's collective chain dynamics).
+    pub fn run_chained(
+        &self,
+        problem: &IsingProblem,
+        chains: &[Vec<usize>],
+        schedule: &Schedule,
+        num_anneals: usize,
+        seed: u64,
+    ) -> Vec<Vec<Spin>> {
+        assert!(
+            !schedule.is_reverse(),
+            "reverse schedules need a candidate state: use run_reverse"
+        );
+        self.run_inner(problem, chains, None, schedule, num_anneals, seed)
+    }
+
+    /// Reverse annealing (§8): every anneal starts from `candidate`
+    /// (a physical configuration, e.g. a classically-decoded solution
+    /// expanded onto the chains), ramps back to the schedule's reversal
+    /// point, and re-anneals — a local quantum refinement.
+    ///
+    /// # Panics
+    /// Panics unless `schedule.is_reverse()` and the candidate length
+    /// matches the problem.
+    pub fn run_reverse(
+        &self,
+        problem: &IsingProblem,
+        chains: &[Vec<usize>],
+        candidate: &[Spin],
+        schedule: &Schedule,
+        num_anneals: usize,
+        seed: u64,
+    ) -> Vec<Vec<Spin>> {
+        assert!(schedule.is_reverse(), "run_reverse needs Schedule::reverse");
+        assert_eq!(candidate.len(), problem.num_spins(), "candidate length mismatch");
+        self.run_inner(problem, chains, Some(candidate), schedule, num_anneals, seed)
+    }
+
+    fn run_inner(
+        &self,
+        problem: &IsingProblem,
+        chains: &[Vec<usize>],
+        init: Option<&[Spin]>,
+        schedule: &Schedule,
+        num_anneals: usize,
+        seed: u64,
+    ) -> Vec<Vec<Spin>> {
+        let fractions = schedule.sweep_fractions(self.config.sweeps_per_us);
+        // Pre-compute the SA temperature ladder once per run.
+        let betas: Vec<f64> = fractions.iter().map(|&s| curves::beta(s).max(1e-3)).collect();
+
+        let threads = if self.config.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.config.threads
+        };
+        let threads = threads.min(num_anneals.max(1));
+
+        let mut samples: Vec<Vec<Spin>> = vec![Vec::new(); num_anneals];
+        if num_anneals == 0 {
+            return samples;
+        }
+
+        let config = self.config;
+        let chunk = num_anneals.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (t, out_chunk) in samples.chunks_mut(chunk).enumerate() {
+                let betas = &betas;
+                let fractions = &fractions;
+                scope.spawn(move || {
+                    let base = t * chunk;
+                    for (off, slot) in out_chunk.iter_mut().enumerate() {
+                        let k = (base + off) as u64;
+                        let mut rng = StdRng::seed_from_u64(splitmix(seed, k));
+                        let effective = config.ice.perturb(problem, &mut rng);
+                        *slot = match config.backend {
+                            Backend::Sa => sa::anneal_once_from(
+                                &effective, betas, chains, init, &mut rng,
+                            ),
+                            Backend::Sqa { slices } => sqa::anneal_once_from(
+                                &effective, fractions, slices, chains, init, &mut rng,
+                            ),
+                        };
+                    }
+                });
+            }
+        });
+        samples
+    }
+}
+
+/// SplitMix64 of `(seed, k)` — the per-anneal RNG stream seed.
+fn splitmix(seed: u64, k: u64) -> u64 {
+    let mut z = seed ^ k.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quamax_ising::exact_ground_state;
+
+    fn toy_problem() -> IsingProblem {
+        let mut p = IsingProblem::new(8);
+        for i in 0..8 {
+            p.set_linear(i, 0.05 * (i as f64 - 4.0));
+            for j in (i + 1)..8 {
+                p.set_coupling(i, j, if (i + j) % 3 == 0 { 0.4 } else { -0.3 });
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn returns_requested_sample_count() {
+        let annealer = Annealer::dw2q(AnnealerConfig::default());
+        let samples = annealer.run(&toy_problem(), &Schedule::standard(1.0), 37, 1);
+        assert_eq!(samples.len(), 37);
+        for s in &samples {
+            assert_eq!(s.len(), 8);
+            assert!(s.iter().all(|&x| x == 1 || x == -1));
+        }
+    }
+
+    #[test]
+    fn deterministic_regardless_of_thread_count() {
+        let p = toy_problem();
+        let sched = Schedule::standard(1.0);
+        let one = Annealer::new(AnnealerConfig { threads: 1, ..Default::default() })
+            .run(&p, &sched, 24, 7);
+        let four = Annealer::new(AnnealerConfig { threads: 4, ..Default::default() })
+            .run(&p, &sched, 24, 7);
+        assert_eq!(one, four);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p = toy_problem();
+        let sched = Schedule::standard(1.0);
+        let annealer = Annealer::dw2q(AnnealerConfig::default());
+        let a = annealer.run(&p, &sched, 16, 1);
+        let b = annealer.run(&p, &sched, 16, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn finds_ground_state_without_ice() {
+        let p = toy_problem();
+        let gs = exact_ground_state(&p);
+        let annealer = Annealer::new(AnnealerConfig {
+            ice: IceModel::none(),
+            sweeps_per_us: 50.0,
+            ..Default::default()
+        });
+        let samples = annealer.run(&p, &Schedule::standard(10.0), 200, 3);
+        let hits = samples
+            .iter()
+            .filter(|s| (p.energy(s) - gs.energy).abs() < 1e-9)
+            .count();
+        assert!(hits > 100, "only {hits}/200 found the ground state");
+    }
+
+    #[test]
+    fn longer_anneals_do_not_hurt() {
+        let p = toy_problem();
+        let gs = exact_ground_state(&p);
+        let annealer = Annealer::dw2q(AnnealerConfig::default());
+        let p0 = |ta: f64, na: usize| {
+            let samples = annealer.run(&p, &Schedule::standard(ta), na, 11);
+            samples
+                .iter()
+                .filter(|s| (p.energy(s) - gs.energy).abs() < 1e-9)
+                .count() as f64
+                / na as f64
+        };
+        let short = p0(1.0, 400);
+        let long = p0(100.0, 400);
+        assert!(
+            long >= short - 0.05,
+            "success should not collapse with time: {short} → {long}"
+        );
+    }
+
+    #[test]
+    fn sqa_backend_runs() {
+        let p = toy_problem();
+        let annealer = Annealer::new(AnnealerConfig {
+            backend: Backend::Sqa { slices: 4 },
+            sweeps_per_us: 10.0,
+            ..Default::default()
+        });
+        let samples = annealer.run(&p, &Schedule::standard(1.0), 8, 5);
+        assert_eq!(samples.len(), 8);
+    }
+
+    #[test]
+    fn zero_anneals_is_empty() {
+        let annealer = Annealer::dw2q(AnnealerConfig::default());
+        let samples = annealer.run(&toy_problem(), &Schedule::standard(1.0), 0, 1);
+        assert!(samples.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "Trotter")]
+    fn bad_sqa_config_panics() {
+        let _ = Annealer::new(AnnealerConfig {
+            backend: Backend::Sqa { slices: 1 },
+            ..Default::default()
+        });
+    }
+}

@@ -1,0 +1,186 @@
+//! Intrinsic control errors (ICE) — the analog noise floor (§4).
+//!
+//! The DW2Q is an analog device: programmed Ising coefficients land on
+//! the chip perturbed. The paper models ICE as Gaussian noise refreshed
+//! on each anneal, with moments measured during the most delicate phase
+//! of the run: `δf ≈ 0.008 ± 0.02` on fields and `δg ≈ −0.015 ± 0.025`
+//! on couplers. ICE is the mechanism that punishes large `|J_F|` (the
+//! renormalization squeezes problem coefficients into the noise) and
+//! ties solution quality to the Ising energy gap (Figs. 5 and 12).
+
+use quamax_ising::IsingProblem;
+use quamax_linalg::rng::normal;
+use rand::Rng;
+
+/// Gaussian perturbation model for programmed coefficients.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IceModel {
+    /// Mean of the field perturbation `⟨δf⟩`.
+    pub field_mean: f64,
+    /// Standard deviation of the field perturbation.
+    pub field_std: f64,
+    /// Mean of the coupler perturbation `⟨δg⟩`.
+    pub coupler_mean: f64,
+    /// Standard deviation of the coupler perturbation.
+    pub coupler_std: f64,
+}
+
+impl IceModel {
+    /// The paper's measured DW2Q moments (§4).
+    pub fn dw2q() -> Self {
+        IceModel {
+            field_mean: 0.008,
+            field_std: 0.02,
+            coupler_mean: -0.015,
+            coupler_std: 0.025,
+        }
+    }
+
+    /// The workspace's calibrated default: the paper's moments scaled
+    /// to 0.2×.
+    ///
+    /// Rationale (see DESIGN.md §2.1 and EXPERIMENTS.md): under this
+    /// simulator's classical dynamics, the paper's absolute ICE moments
+    /// extinguish the ground-state probability for N ≥ 28 problems
+    /// entirely — quantum hardware evidently tolerates more control
+    /// noise than schedule-matched Metropolis dynamics do. Scaling the
+    /// noise floor to 0.2× lands the headline operating points on the
+    /// paper's numbers (48×48 BPSK reaches BER 1e-6 in ~15 µs vs the
+    /// paper's 10–20 µs) while keeping every ICE-driven mechanism
+    /// (J_F squeeze, gap sensitivity) active. The `ablation_ice` bench
+    /// sweeps this scale.
+    pub fn calibrated() -> Self {
+        IceModel::dw2q().scaled(0.2)
+    }
+
+    /// A model with every moment scaled by `k` (used by the ICE
+    /// ablation to sweep the noise floor).
+    pub fn scaled(&self, k: f64) -> Self {
+        IceModel {
+            field_mean: self.field_mean * k,
+            field_std: self.field_std * k,
+            coupler_mean: self.coupler_mean * k,
+            coupler_std: self.coupler_std * k,
+        }
+    }
+
+    /// An exactly-zero noise model (ideal device).
+    pub fn none() -> Self {
+        IceModel { field_mean: 0.0, field_std: 0.0, coupler_mean: 0.0, coupler_std: 0.0 }
+    }
+
+    /// `true` when this model adds no noise at all.
+    pub fn is_zero(&self) -> bool {
+        self.field_mean == 0.0
+            && self.field_std == 0.0
+            && self.coupler_mean == 0.0
+            && self.coupler_std == 0.0
+    }
+
+    /// Returns a copy of `problem` with fresh ICE applied to every
+    /// coefficient — one anneal's effective Hamiltonian.
+    pub fn perturb<R: Rng + ?Sized>(&self, problem: &IsingProblem, rng: &mut R) -> IsingProblem {
+        if self.is_zero() {
+            return problem.clone();
+        }
+        let n = problem.num_spins();
+        let mut out = IsingProblem::new(n);
+        for i in 0..n {
+            let f = problem.linear(i);
+            // Unused (zero-field) spins still sit on real hardware
+            // qubits: they receive noise too.
+            out.set_linear(i, f + normal(rng, self.field_mean, self.field_std));
+        }
+        for (i, j, g) in problem.couplings() {
+            out.set_coupling(i, j, g + normal(rng, self.coupler_mean, self.coupler_std));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_problem() -> IsingProblem {
+        let mut p = IsingProblem::new(5);
+        for i in 0..5 {
+            p.set_linear(i, 0.1 * i as f64);
+            for j in (i + 1)..5 {
+                p.set_coupling(i, j, -0.2 + 0.1 * (i + j) as f64);
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn paper_moments() {
+        let m = IceModel::dw2q();
+        assert_eq!(m.field_mean, 0.008);
+        assert_eq!(m.field_std, 0.02);
+        assert_eq!(m.coupler_mean, -0.015);
+        assert_eq!(m.coupler_std, 0.025);
+    }
+
+    #[test]
+    fn zero_model_is_identity() {
+        let p = sample_problem();
+        let mut rng = StdRng::seed_from_u64(1);
+        let q = IceModel::none().perturb(&p, &mut rng);
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn perturbation_preserves_structure() {
+        let p = sample_problem();
+        let mut rng = StdRng::seed_from_u64(2);
+        let q = IceModel::dw2q().perturb(&p, &mut rng);
+        assert_eq!(q.num_spins(), p.num_spins());
+        assert_eq!(q.num_couplings(), p.num_couplings());
+        // Coefficients moved, but not far (5σ bound).
+        for (i, j, g) in p.couplings() {
+            let d = q.coupling(i, j) - g;
+            assert!(d.abs() < 0.015 + 5.0 * 0.025, "δg={d}");
+            assert!(d != 0.0, "coupling ({i},{j}) untouched");
+        }
+    }
+
+    #[test]
+    fn empirical_moments_match_model() {
+        let p = sample_problem();
+        let m = IceModel::dw2q();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut deltas = Vec::new();
+        for _ in 0..2000 {
+            let q = m.perturb(&p, &mut rng);
+            for (i, j, g) in p.couplings() {
+                deltas.push(q.coupling(i, j) - g);
+            }
+        }
+        let n = deltas.len() as f64;
+        let mean = deltas.iter().sum::<f64>() / n;
+        let var = deltas.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / n;
+        assert!((mean - m.coupler_mean).abs() < 0.002, "mean={mean}");
+        assert!((var.sqrt() - m.coupler_std).abs() < 0.002, "std={}", var.sqrt());
+    }
+
+    #[test]
+    fn fresh_noise_each_call() {
+        let p = sample_problem();
+        let m = IceModel::dw2q();
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = m.perturb(&p, &mut rng);
+        let b = m.perturb(&p, &mut rng);
+        assert_ne!(a, b, "successive anneals must see fresh ICE");
+    }
+
+    #[test]
+    fn scaled_model() {
+        let m = IceModel::dw2q().scaled(2.0);
+        assert_eq!(m.coupler_std, 0.05);
+        let z = IceModel::dw2q().scaled(0.0);
+        assert!(z.is_zero());
+    }
+}

@@ -1,0 +1,42 @@
+//! A device-level simulator of the D-Wave 2000Q quantum annealer.
+//!
+//! No quantum hardware is available to this reproduction, so the
+//! annealer itself is a substrate we build (DESIGN.md §2.1). The
+//! simulator preserves every interface and noise process the paper's
+//! evaluation manipulates:
+//!
+//! * the **annealing schedule** `s(t)`: a linear ramp over the anneal
+//!   time `Ta ∈ [1, 300] µs`, with an optional mid-anneal *pause* of
+//!   duration `Tp` at normalized position `s_p` (§4);
+//! * **intrinsic control errors (ICE)**: per-anneal Gaussian
+//!   perturbation of every programmed coefficient, with the moments the
+//!   paper measured on hardware (⟨δf⟩ ≈ 0.008 ± 0.02,
+//!   ⟨δg⟩ ≈ −0.015 ± 0.025);
+//! * **batched anneals**: a run programs the problem once and collects
+//!   `Na` independent samples, exactly like a DW2Q job submission;
+//! * two interchangeable dynamics **backends**:
+//!   [`Backend::Sa`] — Metropolis simulated annealing along the
+//!   schedule's temperature profile (the canonical classical stand-in
+//!   for QA, per §2.2), and [`Backend::Sqa`] — path-integral Monte
+//!   Carlo (Trotterized transverse-field Ising) driven by the
+//!   `A(s)/B(s)` curves, the standard classical emulation of quantum
+//!   annealing dynamics.
+//!
+//! Wall-clock accounting translates `Ta` into Monte-Carlo sweeps via
+//! [`AnnealerConfig::sweeps_per_us`] so every time axis in the
+//! reproduced figures stays in the paper's microsecond units. Absolute
+//! success probabilities are calibration artifacts of that constant;
+//! the *shapes* (J_F optima, pause benefit, SNR/gap interactions) are
+//! produced by the same mechanisms as on hardware.
+
+pub mod device;
+pub mod ice;
+pub mod sa;
+pub mod schedule;
+pub mod sqa;
+pub mod stats;
+
+pub use device::{Annealer, AnnealerConfig, Backend};
+pub use ice::IceModel;
+pub use schedule::Schedule;
+pub use stats::{SolutionDistribution, SolutionEntry};

@@ -1,0 +1,286 @@
+//! Metropolis simulated-annealing backend.
+//!
+//! One anneal = one trajectory: spins start uniformly random (the
+//! classical image of the initial superposition), then sweep through
+//! the schedule's temperature ladder; each sweep proposes one flip per
+//! spin and accepts with the Metropolis rule `min(1, e^{−β·ΔE})`. The
+//! paper's §2.2 frames SA as the canonical classical reference dynamics
+//! for quantum annealers; per DESIGN.md §2.1 it is this simulator's
+//! default backend.
+
+use quamax_ising::{IsingProblem, Spin};
+use rand::Rng;
+
+/// Runs one simulated-annealing trajectory over `betas` (one sweep per
+/// entry), returning the final configuration.
+///
+/// # Panics
+/// Panics when `betas` is empty (a schedule always has ≥ 2 sweeps).
+pub fn anneal_once<R: Rng + ?Sized>(
+    problem: &IsingProblem,
+    betas: &[f64],
+    rng: &mut R,
+) -> Vec<Spin> {
+    anneal_once_chained(problem, betas, &[], rng)
+}
+
+/// Like [`anneal_once`], with *chain-collective moves*: each sweep
+/// additionally proposes flipping every given qubit chain as a unit.
+///
+/// On embedded problems, single-spin Metropolis cannot cross the
+/// barrier of a ferromagnetically-locked chain within a realistic
+/// sweep budget — on hardware that transition happens collectively
+/// through quantum dynamics. Cluster proposals over the known chains
+/// are the standard classical counterpart (and remain a valid
+/// Metropolis kernel: the proposal set is fixed and symmetric). Chain
+/// *breaking* still happens through the single-spin pass, so weak
+/// `|J_F|` misbehaves exactly as on the device.
+pub fn anneal_once_chained<R: Rng + ?Sized>(
+    problem: &IsingProblem,
+    betas: &[f64],
+    chains: &[Vec<usize>],
+    rng: &mut R,
+) -> Vec<Spin> {
+    anneal_once_from(problem, betas, chains, None, rng)
+}
+
+/// Like [`anneal_once_chained`], optionally starting from a candidate
+/// configuration instead of a uniform-random one — the classical image
+/// of *reverse annealing* (the device ramps back from `s = 1`, so the
+/// trajectory begins at the programmed candidate).
+pub fn anneal_once_from<R: Rng + ?Sized>(
+    problem: &IsingProblem,
+    betas: &[f64],
+    chains: &[Vec<usize>],
+    init: Option<&[Spin]>,
+    rng: &mut R,
+) -> Vec<Spin> {
+    assert!(!betas.is_empty(), "empty sweep plan");
+    let n = problem.num_spins();
+    let mut spins: Vec<Spin> = match init {
+        Some(s) => {
+            assert_eq!(s.len(), n, "initial state length mismatch");
+            s.to_vec()
+        }
+        None => (0..n).map(|_| if rng.random_bool(0.5) { 1 } else { -1 }).collect(),
+    };
+    for &beta in betas {
+        sweep(problem, &mut spins, beta, rng);
+        for chain in chains {
+            let delta = chain_flip_delta(problem, &spins, chain);
+            if delta <= 0.0 || rng.random::<f64>() < (-beta * delta).exp() {
+                for &i in chain {
+                    spins[i] = -spins[i];
+                }
+            }
+        }
+    }
+    spins
+}
+
+/// Energy change from flipping every spin of `chain` simultaneously:
+/// `Δ = Σ_i flip_delta(i) + 4·Σ_{internal edges (a,b)} g_ab·s_a·s_b`
+/// — the correction restores the internal-edge terms the per-spin
+/// deltas double-count with the wrong sign. Valid for an arbitrary
+/// spin set (internal edges are found from the problem graph, not
+/// assumed to be the consecutive pairs of an embedding path).
+pub fn chain_flip_delta(problem: &IsingProblem, spins: &[Spin], chain: &[usize]) -> f64 {
+    let mut delta: f64 = chain.iter().map(|&i| problem.flip_delta(spins, i)).sum();
+    // Embedding chains are short (≤ ~17); a linear membership scan
+    // beats hashing at this size.
+    for &i in chain {
+        for &(j, g) in problem.neighbors(i) {
+            if j > i && chain.contains(&j) {
+                delta += 4.0 * g * (spins[i] as f64) * (spins[j] as f64);
+            }
+        }
+    }
+    delta
+}
+
+/// One Metropolis sweep at inverse temperature `beta`: proposes a flip
+/// of every spin once, in index order.
+///
+/// Index order (not random order) keeps the inner loop branch-friendly
+/// and is statistically equivalent for these dense/short-ranged
+/// problems; the proposal distribution stays symmetric.
+pub fn sweep<R: Rng + ?Sized>(
+    problem: &IsingProblem,
+    spins: &mut [Spin],
+    beta: f64,
+    rng: &mut R,
+) {
+    for i in 0..spins.len() {
+        let delta = problem.flip_delta(spins, i);
+        if delta <= 0.0 || rng.random::<f64>() < (-beta * delta).exp() {
+            spins[i] = -spins[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quamax_ising::exact_ground_state;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ferro_chain(n: usize) -> IsingProblem {
+        let mut p = IsingProblem::new(n);
+        for i in 0..n - 1 {
+            p.set_coupling(i, i + 1, -1.0);
+        }
+        p
+    }
+
+    #[test]
+    fn cold_sweeps_reach_local_minimum() {
+        // At β → ∞ Metropolis is greedy descent; a ferromagnetic chain
+        // must end with no frustrated bond after enough sweeps.
+        let p = ferro_chain(16);
+        let mut rng = StdRng::seed_from_u64(1);
+        let betas = vec![1e9; 64];
+        let s = anneal_once(&p, &betas, &mut rng);
+        // Greedy descent on a chain can leave a domain wall, but the
+        // energy must be at most one bond above the ground state.
+        let gs = exact_ground_state(&ferro_chain(16));
+        assert!(p.energy(&s) <= gs.energy + 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn annealed_chain_finds_ground_state_often() {
+        let p = ferro_chain(12);
+        let gs = exact_ground_state(&p);
+        let mut rng = StdRng::seed_from_u64(2);
+        // Geometric ladder from hot to cold.
+        let betas: Vec<f64> = (0..60).map(|k| 0.05 * 1.15f64.powi(k)).collect();
+        let mut hits = 0;
+        for _ in 0..100 {
+            let s = anneal_once(&p, &betas, &mut rng);
+            if (p.energy(&s) - gs.energy).abs() < 1e-9 {
+                hits += 1;
+            }
+        }
+        assert!(hits > 60, "only {hits}/100 anneals reached the ground state");
+    }
+
+    #[test]
+    fn hot_sweeps_decorrelate() {
+        // At β = 0 every proposal is accepted: two consecutive sweeps
+        // flip every spin twice... actually acceptance is certain, so
+        // one sweep flips all spins deterministically. Check instead
+        // that at tiny β the final state is near-uniform: average
+        // magnetization over many anneals ≈ 0.
+        let p = ferro_chain(10);
+        let mut rng = StdRng::seed_from_u64(3);
+        let betas = vec![1e-6; 3];
+        let mut mag = 0i64;
+        for _ in 0..2000 {
+            let s = anneal_once(&p, &betas, &mut rng);
+            mag += s.iter().map(|&x| x as i64).sum::<i64>();
+        }
+        let avg = mag as f64 / (2000.0 * 10.0);
+        assert!(avg.abs() < 0.05, "avg magnetization {avg}");
+    }
+
+    #[test]
+    fn sweep_respects_detailed_balance_on_two_spins() {
+        // Empirical check: long single-temperature simulation of a
+        // 2-spin ferromagnet samples the Boltzmann distribution.
+        let mut p = IsingProblem::new(2);
+        p.set_coupling(0, 1, -1.0);
+        let beta = 0.8;
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut spins = vec![1i8, 1];
+        let mut aligned = 0usize;
+        let iters = 200_000;
+        for _ in 0..iters {
+            sweep(&p, &mut spins, beta, &mut rng);
+            if spins[0] == spins[1] {
+                aligned += 1;
+            }
+        }
+        // P(aligned) = 2e^{β}/ (2e^{β} + 2e^{−β}) = 1/(1+e^{−2β}).
+        let expect = 1.0 / (1.0 + (-2.0 * beta).exp());
+        let got = aligned as f64 / iters as f64;
+        assert!((got - expect).abs() < 0.01, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let p = ferro_chain(8);
+        let betas: Vec<f64> = (0..20).map(|k| 0.1 * k as f64).collect();
+        let a = anneal_once(&p, &betas, &mut StdRng::seed_from_u64(9));
+        let b = anneal_once(&p, &betas, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn chain_flip_delta_matches_direct_difference() {
+        let mut p = IsingProblem::new(6);
+        p.set_linear(0, 0.7);
+        p.set_linear(4, -0.9);
+        // A path 0-1-2 plus outside couplings.
+        p.set_coupling(0, 1, -2.0);
+        p.set_coupling(1, 2, -2.0);
+        p.set_coupling(2, 3, 0.8);
+        p.set_coupling(0, 5, -0.4);
+        p.set_coupling(3, 4, 1.1);
+        let chain = vec![0usize, 1, 2];
+        for k in 0..64u32 {
+            let spins: Vec<Spin> =
+                (0..6).map(|i| if (k >> i) & 1 == 1 { 1 } else { -1 }).collect();
+            let before = p.energy(&spins);
+            let mut flipped = spins.clone();
+            for &i in &chain {
+                flipped[i] = -flipped[i];
+            }
+            let direct = p.energy(&flipped) - before;
+            let fast = chain_flip_delta(&p, &spins, &chain);
+            assert!((direct - fast).abs() < 1e-12, "k={k}: {direct} vs {fast}");
+        }
+    }
+
+    #[test]
+    fn chain_moves_cross_locked_barriers() {
+        // Two strongly-bound 3-spin chains with a weak antiferromagnetic
+        // inter-chain coupling and a small field: single-spin SA at cold
+        // temperature gets stuck; chain moves fix it.
+        let mut p = IsingProblem::new(6);
+        for c in [0usize, 3] {
+            p.set_coupling(c, c + 1, -5.0);
+            p.set_coupling(c + 1, c + 2, -5.0);
+        }
+        p.set_coupling(2, 3, 0.5);
+        p.set_linear(0, 0.3);
+        let chains = vec![vec![0, 1, 2], vec![3, 4, 5]];
+        let gs = quamax_ising::exact_ground_state(&p);
+        let betas: Vec<f64> = (0..30).map(|k| 0.5 * 1.2f64.powi(k)).collect();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut plain_hits = 0;
+        let mut chained_hits = 0;
+        for _ in 0..50 {
+            let a = anneal_once(&p, &betas, &mut rng);
+            if (p.energy(&a) - gs.energy).abs() < 1e-9 {
+                plain_hits += 1;
+            }
+            let b = anneal_once_chained(&p, &betas, &chains, &mut rng);
+            if (p.energy(&b) - gs.energy).abs() < 1e-9 {
+                chained_hits += 1;
+            }
+        }
+        assert!(
+            chained_hits > plain_hits,
+            "chain moves should help: plain {plain_hits} vs chained {chained_hits}"
+        );
+        assert!(chained_hits >= 40, "chained SA should nearly always solve this: {chained_hits}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sweep plan")]
+    fn empty_plan_panics() {
+        let p = ferro_chain(2);
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = anneal_once(&p, &[], &mut rng);
+    }
+}

@@ -1,0 +1,257 @@
+//! Path-integral (simulated quantum annealing) backend.
+//!
+//! The Suzuki–Trotter decomposition maps a transverse-field Ising model
+//! at inverse temperature `β` onto a classical system of `P` coupled
+//! replicas ("slices"): each slice carries the problem couplings at
+//! weight `β·B(s)/(2P)` and every spin is bound to its images in the
+//! neighbouring slices (periodically) with a ferromagnetic coupling of
+//! weight `γ(s) = −½·ln tanh(β·Γ(s)/P)`, where `Γ(s) = A(s)/2` is the
+//! transverse field. Early in the schedule `γ` is weak — replicas
+//! explore independently, the image of quantum fluctuations — and as
+//! `A(s) → 0`, `γ → ∞` locks them into a single classical state.
+//!
+//! This is the standard classical emulation of quantum-annealing
+//! dynamics (Martoňák–Santoro–Tosatti); the ablation benches use it to
+//! check which reproduced effects depend on the choice of dynamics.
+//! Each sweep proposes local (spin, slice) flips plus one *global* move
+//! per spin (flipping all its replicas at once), which is essential for
+//! efficient sampling near the end of the schedule.
+
+use crate::schedule::curves;
+use quamax_ising::{IsingProblem, Spin};
+use rand::Rng;
+
+/// Runs one SQA trajectory over the per-sweep annealing fractions,
+/// returning the best slice (lowest programmed energy) at the end.
+///
+/// # Panics
+/// Panics for an empty plan or fewer than 2 slices.
+pub fn anneal_once<R: Rng + ?Sized>(
+    problem: &IsingProblem,
+    fractions: &[f64],
+    slices: usize,
+    rng: &mut R,
+) -> Vec<Spin> {
+    anneal_once_chained(problem, fractions, slices, &[], rng)
+}
+
+/// Like [`anneal_once`], with chain-collective proposals per slice
+/// (the embedded-problem counterpart of `sa::anneal_once_chained`).
+pub fn anneal_once_chained<R: Rng + ?Sized>(
+    problem: &IsingProblem,
+    fractions: &[f64],
+    slices: usize,
+    chains: &[Vec<usize>],
+    rng: &mut R,
+) -> Vec<Spin> {
+    anneal_once_from(problem, fractions, slices, chains, None, rng)
+}
+
+/// Like [`anneal_once_chained`], optionally starting every Trotter
+/// slice from a candidate configuration (reverse annealing: the device
+/// begins fully annealed at the programmed state).
+pub fn anneal_once_from<R: Rng + ?Sized>(
+    problem: &IsingProblem,
+    fractions: &[f64],
+    slices: usize,
+    chains: &[Vec<usize>],
+    init: Option<&[Spin]>,
+    rng: &mut R,
+) -> Vec<Spin> {
+    assert!(!fractions.is_empty(), "empty sweep plan");
+    assert!(slices >= 2, "need at least 2 Trotter slices");
+    let n = problem.num_spins();
+    let p = slices;
+    // replicas[k][i] = spin i in slice k.
+    let mut replicas: Vec<Vec<Spin>> = match init {
+        Some(s) => {
+            assert_eq!(s.len(), n, "initial state length mismatch");
+            (0..p).map(|_| s.to_vec()).collect()
+        }
+        None => (0..p)
+            .map(|_| (0..n).map(|_| if rng.random_bool(0.5) { 1 } else { -1 }).collect())
+            .collect(),
+    };
+
+    let beta = 1.0 / curves::KT_GHZ; // physical β in h·GHz⁻¹ units
+
+    for &s in fractions {
+        // Per-slice problem weight and inter-slice binding at this point
+        // of the schedule.
+        let w_problem = beta * curves::b(s) / (2.0 * p as f64);
+        let gamma_field = (curves::a(s) / 2.0).max(1e-12);
+        let x = (beta * gamma_field / p as f64).tanh();
+        // γ → ∞ as A → 0; cap to keep arithmetic finite (beyond ~30 the
+        // acceptance of a slice-breaking move is 0 anyway).
+        let gamma = (-0.5 * x.ln()).min(30.0);
+
+        // Local moves: every (slice, spin).
+        for k in 0..p {
+            let (up, down) = (if k + 1 == p { 0 } else { k + 1 }, if k == 0 { p - 1 } else { k - 1 });
+            for i in 0..n {
+                let d_problem = problem.flip_delta(&replicas[k], i);
+                let si = replicas[k][i] as f64;
+                let neighbors = (replicas[up][i] + replicas[down][i]) as f64;
+                // ΔF = −w·ΔE_problem − 2γ·s_i·(s_up + s_down); accept on
+                // exp(ΔF).
+                let d_f = -w_problem * d_problem - 2.0 * gamma * si * neighbors;
+                if d_f >= 0.0 || rng.random::<f64>() < d_f.exp() {
+                    replicas[k][i] = -replicas[k][i];
+                }
+            }
+        }
+        // Global moves: flip spin i in all slices (slice couplings
+        // unchanged, so only the problem term matters).
+        for i in 0..n {
+            let mut d_total = 0.0;
+            for replica in replicas.iter() {
+                d_total += problem.flip_delta(replica, i);
+            }
+            let d_f = -w_problem * d_total;
+            if d_f >= 0.0 || rng.random::<f64>() < d_f.exp() {
+                for replica in replicas.iter_mut() {
+                    replica[i] = -replica[i];
+                }
+            }
+        }
+        // Chain-collective moves, per slice: flip a whole embedding
+        // chain within slice k (slice couplings of every member change).
+        for chain in chains {
+            for k in 0..p {
+                let (up, down) =
+                    (if k + 1 == p { 0 } else { k + 1 }, if k == 0 { p - 1 } else { k - 1 });
+                let d_problem = crate::sa::chain_flip_delta(problem, &replicas[k], chain);
+                let mut slice_term = 0.0;
+                for &i in chain {
+                    slice_term += replicas[k][i] as f64
+                        * (replicas[up][i] + replicas[down][i]) as f64;
+                }
+                let d_f = -w_problem * d_problem - 2.0 * gamma * slice_term;
+                if d_f >= 0.0 || rng.random::<f64>() < d_f.exp() {
+                    for &i in chain {
+                        replicas[k][i] = -replicas[k][i];
+                    }
+                }
+            }
+        }
+        // Global chain moves: flip a chain in *all* slices at once.
+        // Inter-slice couplings cancel, so this stays available even
+        // after γ locks the replicas — it is the collective transition
+        // that orders embedded problems late in the schedule (the SQA
+        // analogue of `sa::anneal_once_chained`'s cluster move).
+        for chain in chains {
+            let mut d_total = 0.0;
+            for replica in replicas.iter() {
+                d_total += crate::sa::chain_flip_delta(problem, replica, chain);
+            }
+            let d_f = -w_problem * d_total;
+            if d_f >= 0.0 || rng.random::<f64>() < d_f.exp() {
+                for replica in replicas.iter_mut() {
+                    for &i in chain {
+                        replica[i] = -replica[i];
+                    }
+                }
+            }
+        }
+    }
+
+    // Read out the best slice by programmed energy.
+    replicas
+        .into_iter()
+        .min_by(|a, b| {
+            problem
+                .energy(a)
+                .partial_cmp(&problem.energy(b))
+                .expect("finite energies")
+        })
+        .expect("at least one slice")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quamax_ising::exact_ground_state;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn frustrated_problem() -> IsingProblem {
+        // A small frustrated system with a unique ground state.
+        let mut p = IsingProblem::new(6);
+        p.set_linear(0, 0.4);
+        p.set_linear(3, -0.3);
+        p.set_coupling(0, 1, 1.0);
+        p.set_coupling(1, 2, 1.0);
+        p.set_coupling(0, 2, 1.0);
+        p.set_coupling(2, 3, -0.8);
+        p.set_coupling(3, 4, 0.6);
+        p.set_coupling(4, 5, -1.0);
+        p.set_coupling(0, 5, 0.5);
+        p
+    }
+
+    fn ramp(n_sweeps: usize) -> Vec<f64> {
+        (0..n_sweeps).map(|k| (k as f64 + 0.5) / n_sweeps as f64).collect()
+    }
+
+    #[test]
+    fn finds_ground_state_of_frustrated_problem() {
+        let p = frustrated_problem();
+        let gs = exact_ground_state(&p);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut hits = 0;
+        for _ in 0..50 {
+            let s = anneal_once(&p, &ramp(300), 8, &mut rng);
+            if (p.energy(&s) - gs.energy).abs() < 1e-9 {
+                hits += 1;
+            }
+        }
+        // Random guessing over 2^6 configurations would land ~1/64 ≈ 1.6%
+        // of the time (≈ 1 hit in 50); require a ≥ 12× improvement.
+        assert!(hits >= 10, "only {hits}/50 SQA anneals found the ground state");
+    }
+
+    #[test]
+    fn more_sweeps_help() {
+        let p = frustrated_problem();
+        let gs = exact_ground_state(&p);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut success = [0usize; 2];
+        for (idx, sweeps) in [6usize, 120].iter().enumerate() {
+            for _ in 0..60 {
+                let s = anneal_once(&p, &ramp(*sweeps), 6, &mut rng);
+                if (p.energy(&s) - gs.energy).abs() < 1e-9 {
+                    success[idx] += 1;
+                }
+            }
+        }
+        assert!(
+            success[1] > success[0],
+            "longer schedule should win: {success:?}"
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let p = frustrated_problem();
+        let a = anneal_once(&p, &ramp(30), 4, &mut StdRng::seed_from_u64(3));
+        let b = anneal_once(&p, &ramp(30), 4, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn output_is_a_valid_configuration() {
+        let p = frustrated_problem();
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = anneal_once(&p, &ramp(10), 4, &mut rng);
+        assert_eq!(s.len(), 6);
+        assert!(s.iter().all(|&x| x == 1 || x == -1));
+    }
+
+    #[test]
+    #[should_panic(expected = "Trotter")]
+    fn one_slice_panics() {
+        let p = frustrated_problem();
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = anneal_once(&p, &ramp(10), 1, &mut rng);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the annealer device.
+
+use proptest::prelude::*;
+use quamax_anneal::sa::chain_flip_delta;
+use quamax_anneal::{Annealer, AnnealerConfig, IceModel, Schedule};
+use quamax_ising::IsingProblem;
+
+const N: usize = 8;
+
+fn problem() -> impl Strategy<Value = IsingProblem> {
+    let count = N + N * (N - 1) / 2;
+    proptest::collection::vec(-2.0f64..2.0, count).prop_map(|c| {
+        let mut p = IsingProblem::new(N);
+        let mut it = c.into_iter();
+        for i in 0..N {
+            p.set_linear(i, it.next().unwrap());
+        }
+        for i in 0..N {
+            for j in (i + 1)..N {
+                p.set_coupling(i, j, it.next().unwrap());
+            }
+        }
+        p
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Samples are always valid ±1 configurations of the right size,
+    /// and runs are deterministic in the seed.
+    #[test]
+    fn samples_are_valid_and_deterministic(p in problem(), seed in 0u64..1000) {
+        let annealer = Annealer::new(AnnealerConfig {
+            sweeps_per_us: 5.0,
+            ..Default::default()
+        });
+        let sched = Schedule::standard(1.0);
+        let a = annealer.run(&p, &sched, 8, seed);
+        let b = annealer.run(&p, &sched, 8, seed);
+        prop_assert_eq!(&a, &b);
+        for s in &a {
+            prop_assert_eq!(s.len(), N);
+            prop_assert!(s.iter().all(|&x| x == 1 || x == -1));
+        }
+    }
+
+    /// Chain-flip delta equals the direct energy difference for an
+    /// arbitrary path through the problem graph.
+    #[test]
+    fn chain_delta_identity(
+        p in problem(),
+        k in 0u32..256,
+        start in 0usize..N,
+        len in 1usize..4,
+    ) {
+        let spins: Vec<i8> = (0..N).map(|i| if (k >> i) & 1 == 1 { 1 } else { -1 }).collect();
+        // A "chain" of consecutive indices (all pairs coupled: the
+        // problem is fully connected, so windows(2) couplings exist).
+        let chain: Vec<usize> = (0..len).map(|o| (start + o) % N).collect();
+        let before = p.energy(&spins);
+        let mut flipped = spins.clone();
+        for &i in &chain {
+            flipped[i] = -flipped[i];
+        }
+        let direct = p.energy(&flipped) - before;
+        let fast = chain_flip_delta(&p, &spins, &chain);
+        prop_assert!((direct - fast).abs() < 1e-9, "{direct} vs {fast}");
+    }
+
+    /// ICE perturbation preserves problem structure and moves every
+    /// coefficient (when the model is non-zero).
+    #[test]
+    fn ice_preserves_structure(p in problem(), seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let q = IceModel::dw2q().perturb(&p, &mut rng);
+        prop_assert_eq!(q.num_spins(), p.num_spins());
+        prop_assert_eq!(q.num_couplings(), p.num_couplings());
+        for (i, j, g) in p.couplings() {
+            prop_assert!((q.coupling(i, j) - g).abs() < 0.015 + 6.0 * 0.025);
+        }
+    }
+
+    /// Schedules: fractions stay in [0,1]; forward plans are monotone;
+    /// reverse plans start and end annealed.
+    #[test]
+    fn schedule_fraction_invariants(
+        ta in 1.0f64..100.0,
+        sp in 0.05f64..0.95,
+        tp in 0.5f64..50.0,
+        sweeps in 2.0f64..40.0,
+    ) {
+        for sched in [
+            Schedule::standard(ta),
+            Schedule::with_pause(ta, sp, tp),
+            Schedule::reverse(ta, sp, tp),
+        ] {
+            let plan = sched.sweep_fractions(sweeps);
+            prop_assert!(plan.iter().all(|&f| (0.0..=1.0).contains(&f)));
+            if !sched.is_reverse() {
+                for w in plan.windows(2) {
+                    prop_assert!(w[1] >= w[0] - 1e-12);
+                }
+            } else {
+                prop_assert!(plan[0] >= sp);
+                prop_assert!(*plan.last().unwrap() >= sp);
+                let min = plan.iter().copied().fold(f64::INFINITY, f64::min);
+                prop_assert!((min - sp).abs() < 0.15, "reversal point missed: {min} vs {sp}");
+            }
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Classical MIMO detection baselines.
+//!
+//! Everything QuAMax is compared against in the paper:
+//!
+//! * [`sphere`] — the Sphere Decoder (§2.1): depth-first
+//!   Schnorr–Euchner tree search with radius pruning, instrumented
+//!   with the *visited node count* that Table 1 reports;
+//! * [`zf`] — zero-forcing (pseudo-inverse) detection, the linear
+//!   filter of Argos/BigStation that Fig. 14 benchmarks against;
+//! * [`mmse`] — the regularized linear filter (§1's other baseline);
+//! * [`ml`] — exhaustive maximum-likelihood search, the ground truth
+//!   for small problems;
+//! * [`timing`] — paper-era processing-time models (BigStation-style
+//!   single-core ZF, Skylake-style per-node sphere decoding) used to
+//!   place classical baselines on Fig. 14's time axis.
+
+pub mod ml;
+pub mod mmse;
+pub mod sphere;
+pub mod timing;
+pub mod zf;
+
+pub use ml::{exhaustive_ml, MlResult};
+pub use mmse::MmseDetector;
+pub use sphere::{SphereDecoder, SphereResult};
+pub use zf::ZeroForcingDetector;

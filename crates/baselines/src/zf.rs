@@ -1,0 +1,133 @@
+//! Zero-forcing detection — the linear baseline of Fig. 14.
+//!
+//! `v̂ = slice(H⁺y)`: invert the channel, then hard-slice per user.
+//! `O(Nt³)` once per channel use, independent of constellation size —
+//! which is why Argos/BigStation-class systems use it — but the
+//! pseudo-inverse amplifies noise in the directions of small singular
+//! values, so BER collapses exactly where the paper says it does:
+//! poorly-conditioned channels with `Nt ≈ Nr` (§5.4).
+
+use quamax_linalg::{pseudo_inverse, CMatrix, CVector, LinalgError};
+use quamax_wireless::Modulation;
+
+/// A zero-forcing detector.
+#[derive(Clone, Debug)]
+pub struct ZeroForcingDetector {
+    modulation: Modulation,
+}
+
+impl ZeroForcingDetector {
+    /// A detector for the given modulation.
+    pub fn new(modulation: Modulation) -> Self {
+        ZeroForcingDetector { modulation }
+    }
+
+    /// Decodes one channel use. Fails (rather than guessing) when the
+    /// channel is rank-deficient.
+    pub fn decode(&self, h: &CMatrix, y: &CVector) -> Result<Vec<u8>, LinalgError> {
+        let pinv = pseudo_inverse(h)?;
+        let x = pinv.mul_vec(y);
+        let mut bits = Vec::with_capacity(h.cols() * self.modulation.bits_per_symbol());
+        for u in 0..h.cols() {
+            bits.extend(self.modulation.demap_gray(x[u]));
+        }
+        Ok(bits)
+    }
+
+    /// The equalized (pre-slicing) symbol estimates — useful for soft
+    /// metrics and diagnostics.
+    pub fn equalize(&self, h: &CMatrix, y: &CVector) -> Result<CVector, LinalgError> {
+        Ok(pseudo_inverse(h)?.mul_vec(y))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ml::exhaustive_ml;
+    use quamax_wireless::{apply_awgn, count_bit_errors, rayleigh_channel, Snr};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn instance(
+        rng: &mut StdRng,
+        nr: usize,
+        nt: usize,
+        m: Modulation,
+        snr_db: Option<f64>,
+    ) -> (CMatrix, CVector, Vec<u8>) {
+        let h = rayleigh_channel(nr, nt, rng);
+        let bits: Vec<u8> = (0..nt * m.bits_per_symbol())
+            .map(|_| rng.random_range(0..=1) as u8)
+            .collect();
+        let clean = h.mul_vec(&m.map_gray_vector(&bits));
+        let y = match snr_db {
+            None => clean,
+            Some(db) => apply_awgn(&clean, Snr::from_db(db).noise_variance(m), rng),
+        };
+        (h, y, bits)
+    }
+
+    #[test]
+    fn noiseless_square_channel_is_exact() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for m in [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16] {
+            let (h, y, bits) = instance(&mut rng, 6, 6, m, None);
+            let out = ZeroForcingDetector::new(m).decode(&h, &y).unwrap();
+            assert_eq!(out, bits, "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn overdetermined_channel_is_exact_too() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (h, y, bits) = instance(&mut rng, 12, 4, Modulation::Qam16, None);
+        let out = ZeroForcingDetector::new(Modulation::Qam16).decode(&h, &y).unwrap();
+        assert_eq!(out, bits);
+    }
+
+    #[test]
+    fn rank_deficient_channel_is_rejected() {
+        // Two identical users: H*H singular.
+        let mut rng = StdRng::seed_from_u64(3);
+        let h1 = rayleigh_channel(4, 1, &mut rng);
+        let h = CMatrix::from_fn(4, 2, |r, _| h1[(r, 0)]);
+        let y = CVector::zeros(4);
+        let out = ZeroForcingDetector::new(Modulation::Bpsk).decode(&h, &y);
+        assert_eq!(out.unwrap_err(), LinalgError::Singular);
+    }
+
+    #[test]
+    fn ml_beats_zf_on_square_noisy_channels() {
+        // The paper's core motivation (Fig. 14): at Nt = Nr and
+        // moderate SNR, ML has (weakly) fewer bit errors than ZF on
+        // average, with a strict win over enough trials.
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = Modulation::Bpsk;
+        let mut zf_errors = 0usize;
+        let mut ml_errors = 0usize;
+        for _ in 0..200 {
+            let (h, y, bits) = instance(&mut rng, 6, 6, m, Some(8.0));
+            if let Ok(zf_bits) = ZeroForcingDetector::new(m).decode(&h, &y) {
+                zf_errors += count_bit_errors(&zf_bits, &bits);
+            }
+            let ml = exhaustive_ml(&h, &y, m);
+            ml_errors += count_bit_errors(&ml.bits, &bits);
+        }
+        assert!(
+            ml_errors < zf_errors,
+            "ML ({ml_errors}) should beat ZF ({zf_errors}) at Nt=Nr"
+        );
+    }
+
+    #[test]
+    fn equalize_exposes_soft_symbols() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (h, y, bits) = instance(&mut rng, 5, 5, Modulation::Qpsk, None);
+        let x = ZeroForcingDetector::new(Modulation::Qpsk).equalize(&h, &y).unwrap();
+        let v = Modulation::Qpsk.map_gray_vector(&bits);
+        for u in 0..5 {
+            assert!((x[u] - v[u]).abs() < 1e-7);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Criterion microbenchmarks for the hot paths of the pipeline.
+//!
+//! These measure *this repository's Rust implementations* (the
+//! experiment harness separately uses paper-era cost models for the
+//! classical baselines — see `baselines::timing`):
+//!
+//! * the ML→Ising reduction (the per-subcarrier front-end work);
+//! * clique embedding + compile (per channel-coherence interval);
+//! * one SA sweep over an embedded problem (the simulator's inner loop);
+//! * a sphere-decoder decode (the classical ML baseline);
+//! * ZF detection (the linear baseline).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use quamax_anneal::sa;
+use quamax_baselines::{SphereDecoder, ZeroForcingDetector};
+use quamax_chimera::{ChimeraGraph, CliqueEmbedding, EmbedParams, EmbeddedProblem};
+use quamax_core::reduce::ising_from_ml;
+use quamax_core::Scenario;
+use quamax_wireless::{Modulation, Snr};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduce");
+    for (nt, m) in [(48usize, Modulation::Bpsk), (18, Modulation::Qpsk), (9, Modulation::Qam16)]
+    {
+        let mut rng = StdRng::seed_from_u64(1);
+        let inst = Scenario::new(nt, nt, m).sample(&mut rng);
+        group.bench_function(format!("{}x{} {}", nt, nt, m.name()), |b| {
+            b.iter(|| black_box(ising_from_ml(inst.h(), inst.y(), m)))
+        });
+        // The per-channel-use cost once the Gram matrix is amortized
+        // over the coherence interval (the §3.2.2 deployment shape).
+        let gram = inst.h().gram();
+        group.bench_function(format!("{}x{} {} amortized", nt, nt, m.name()), |b| {
+            b.iter(|| {
+                let h_y = inst.h().hermitian().mul_vec(inst.y());
+                black_box(quamax_core::reduce::ising_from_ml_amortized(
+                    inst.h(),
+                    &gram,
+                    &h_y,
+                    inst.y(),
+                    m,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_embedding(c: &mut Criterion) {
+    let graph = ChimeraGraph::dw2q_ideal();
+    let mut rng = StdRng::seed_from_u64(2);
+    let inst = Scenario::new(18, 18, Modulation::Qpsk).sample(&mut rng);
+    let (logical, _) = ising_from_ml(inst.h(), inst.y(), Modulation::Qpsk);
+    c.bench_function("embed+compile 36 logical", |b| {
+        b.iter(|| {
+            let e = CliqueEmbedding::new(&graph, 36).unwrap();
+            black_box(EmbeddedProblem::compile(&graph, &e, &logical, EmbedParams::default()))
+        })
+    });
+}
+
+fn bench_sa_sweep(c: &mut Criterion) {
+    let graph = ChimeraGraph::dw2q_ideal();
+    let mut rng = StdRng::seed_from_u64(3);
+    let inst = Scenario::new(18, 18, Modulation::Qpsk).sample(&mut rng);
+    let (logical, _) = ising_from_ml(inst.h(), inst.y(), Modulation::Qpsk);
+    let e = CliqueEmbedding::new(&graph, 36).unwrap();
+    let embedded = EmbeddedProblem::compile(&graph, &e, &logical, EmbedParams::default());
+    let n = embedded.num_physical();
+    c.bench_function("sa sweep 360 phys spins", |b| {
+        b.iter_batched(
+            || {
+                let mut srng = StdRng::seed_from_u64(4);
+                (0..n)
+                    .map(|_| if rand::Rng::random_bool(&mut srng, 0.5) { 1i8 } else { -1 })
+                    .collect::<Vec<i8>>()
+            },
+            |mut spins| {
+                let mut srng = StdRng::seed_from_u64(5);
+                sa::sweep(embedded.problem(), &mut spins, 5.0, &mut srng);
+                black_box(spins)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_sphere(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sphere");
+    for (nt, m) in [(12usize, Modulation::Bpsk), (7, Modulation::Qpsk)] {
+        let mut rng = StdRng::seed_from_u64(6);
+        let sc = Scenario::new(nt, nt, m).with_rayleigh().with_snr(Snr::from_db(13.0));
+        let inst = sc.sample(&mut rng);
+        let decoder = SphereDecoder::new(m);
+        group.bench_function(format!("{}x{} {}", nt, nt, m.name()), |b| {
+            b.iter(|| black_box(decoder.decode(inst.h(), inst.y()).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_zf(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let sc = Scenario::new(48, 48, Modulation::Bpsk)
+        .with_rayleigh()
+        .with_snr(Snr::from_db(12.0));
+    let inst = sc.sample(&mut rng);
+    let zf = ZeroForcingDetector::new(Modulation::Bpsk);
+    c.bench_function("zf 48x48 BPSK", |b| {
+        b.iter(|| black_box(zf.decode(inst.h(), inst.y()).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_reduction, bench_embedding, bench_sa_sweep, bench_sphere, bench_zf
+}
+criterion_main!(benches);

@@ -1,0 +1,170 @@
+//! **Figure 13** — TTB under AWGN: (left) versus user count at 20 dB
+//! SNR; (right) versus SNR at a fixed user count.
+//!
+//! Paper shapes: graceful TTB degradation as users grow at fixed SNR,
+//! across all modulations; at fixed users, TTB improves with SNR and
+//! the Opt oracle is nearly SNR-insensitive (BER 1e-6 within 100 µs).
+//!
+//! Run: `cargo run --release -p quamax-bench --bin fig13`
+
+use quamax_bench::{
+    default_params, optimize_instance, run_instance, small_pause_grid, spec_for, Args,
+    ProblemClass, Report,
+};
+use quamax_core::metrics::percentile;
+use quamax_core::Scenario;
+use quamax_wireless::{Modulation, Snr};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = Args::parse();
+    let anneals = args.get_usize("anneals", 1_000);
+    let instances = args.get_usize("instances", 8);
+    let seed = args.get_u64("seed", 1);
+    let with_opt = !args.has_flag("no-opt");
+
+    let mut report = Report::new(
+        "fig13",
+        serde_json::json!({"anneals": anneals, "instances": instances, "seed": seed}),
+    );
+
+    println!("== left: TTB(1e-6) vs users at 20 dB ==");
+    let classes = [
+        ProblemClass { users: 12, modulation: Modulation::Bpsk },
+        ProblemClass { users: 24, modulation: Modulation::Bpsk },
+        ProblemClass { users: 36, modulation: Modulation::Bpsk },
+        ProblemClass { users: 48, modulation: Modulation::Bpsk },
+        ProblemClass { users: 6, modulation: Modulation::Qpsk },
+        ProblemClass { users: 10, modulation: Modulation::Qpsk },
+        ProblemClass { users: 14, modulation: Modulation::Qpsk },
+        ProblemClass { users: 18, modulation: Modulation::Qpsk },
+        ProblemClass { users: 4, modulation: Modulation::Qam16 },
+        ProblemClass { users: 6, modulation: Modulation::Qam16 },
+    ];
+    for class in classes {
+        let (fix_med, fix_mean, opt_med) =
+            evaluate(class, Snr::from_db(20.0), anneals, instances, seed, with_opt);
+        println!(
+            "  {:<14}: Fix mean {:>10} median {:>10} | Opt median {:>10}",
+            class.label(),
+            fmt(fix_mean),
+            fmt(fix_med),
+            fmt(opt_med)
+        );
+        report.push(serde_json::json!({
+            "panel": "left", "class": class.label(), "snr_db": 20.0,
+            "fix_ttb_mean_us": nullable(fix_mean),
+            "fix_ttb_median_us": nullable(fix_med),
+            "opt_ttb_median_us": nullable(opt_med),
+        }));
+    }
+
+    println!("== right: TTB(1e-6) vs SNR ==");
+    for (class, snrs) in [
+        (
+            ProblemClass { users: 48, modulation: Modulation::Bpsk },
+            [10.0, 15.0, 20.0, 25.0, 30.0, 40.0],
+        ),
+        (
+            ProblemClass { users: 14, modulation: Modulation::Qpsk },
+            [10.0, 15.0, 20.0, 25.0, 30.0, 40.0],
+        ),
+    ] {
+        for snr_db in snrs {
+            let (fix_med, fix_mean, opt_med) = evaluate(
+                class,
+                Snr::from_db(snr_db),
+                anneals,
+                instances,
+                seed + snr_db as u64,
+                with_opt,
+            );
+            println!(
+                "  {:<14} @ {snr_db:>4} dB: Fix mean {:>10} median {:>10} | Opt median {:>10}",
+                class.label(),
+                fmt(fix_mean),
+                fmt(fix_med),
+                fmt(opt_med)
+            );
+            report.push(serde_json::json!({
+                "panel": "right", "class": class.label(), "snr_db": snr_db,
+                "fix_ttb_mean_us": nullable(fix_mean),
+                "fix_ttb_median_us": nullable(fix_med),
+                "opt_ttb_median_us": nullable(opt_med),
+            }));
+        }
+    }
+    let path = report.write().expect("write results");
+    println!("\nwrote {}", path.display());
+}
+
+/// Returns (Fix median, Fix mean-of-finite, Opt median) TTB(1e-6) µs.
+fn evaluate(
+    class: ProblemClass,
+    snr: Snr,
+    anneals: usize,
+    instances: usize,
+    seed: u64,
+    with_opt: bool,
+) -> (f64, f64, f64) {
+    let mut rng = StdRng::seed_from_u64(seed + 3 * class.logical_vars() as u64);
+    let sc = Scenario::new(class.users, class.users, class.modulation).with_snr(snr);
+    let insts: Vec<_> = (0..instances).map(|_| sc.sample(&mut rng)).collect();
+    let fix: Vec<f64> = insts
+        .iter()
+        .enumerate()
+        .map(|(i, inst)| {
+            let spec = spec_for(default_params(), Default::default(), anneals, seed + i as u64);
+            run_instance(inst, &spec).0.ttb_us(1e-6).unwrap_or(f64::INFINITY)
+        })
+        .collect();
+    let finite: Vec<f64> = fix.iter().copied().filter(|t| t.is_finite()).collect();
+    let fix_mean = if finite.is_empty() {
+        f64::INFINITY
+    } else {
+        finite.iter().sum::<f64>() / finite.len() as f64
+    };
+    let opt_med = if with_opt {
+        let opt: Vec<f64> = insts
+            .iter()
+            .enumerate()
+            .map(|(i, inst)| {
+                optimize_instance(
+                    inst,
+                    &small_pause_grid(),
+                    Default::default(),
+                    anneals,
+                    seed + 29 * i as u64,
+                )
+                .1
+                .ttb_us(1e-6)
+                .unwrap_or(f64::INFINITY)
+            })
+            .collect();
+        percentile(&opt, 50.0)
+    } else {
+        f64::INFINITY
+    };
+    (percentile(&fix, 50.0), fix_mean, opt_med)
+}
+
+fn fmt(x: f64) -> String {
+    if x.is_finite() {
+        if x >= 1_000.0 {
+            format!("{:.2}ms", x / 1_000.0)
+        } else {
+            format!("{x:.1}µs")
+        }
+    } else {
+        "∞".into()
+    }
+}
+
+fn nullable(x: f64) -> serde_json::Value {
+    if x.is_finite() {
+        serde_json::json!(x)
+    } else {
+        serde_json::Value::Null
+    }
+}

@@ -1,0 +1,64 @@
+//! **Table 2** — logical (physical) qubit footprint of the elementary
+//! adiabatic ML decoder, and DW2Q feasibility; plus the §8 Pegasus
+//! forward model.
+//!
+//! Pure embedding arithmetic: `N = Nt·log₂|O|` logical variables,
+//! `N·(⌈N/4⌉+1)` physical qubits, feasible iff the triangle fits C16
+//! (`N ≤ 64`).
+//!
+//! Run: `cargo run --release -p quamax-bench --bin table2`
+
+use quamax_bench::Report;
+use quamax_chimera::{clique_qubit_cost, ChimeraGraph, CliqueEmbedding, PegasusModel};
+use quamax_wireless::Modulation;
+
+fn main() {
+    let graph = ChimeraGraph::dw2q_ideal();
+    let mut report = Report::new("table2", serde_json::json!({}));
+
+    println!("Table 2: logical (physical) qubits; '*' = infeasible on DW2Q Chimera");
+    print!("{:<8}", "Config");
+    for m in Modulation::ALL {
+        print!(" {:>14}", m.name());
+    }
+    println!();
+    for users in [10usize, 20, 40, 60] {
+        print!("{users:>2} x {users:<3}");
+        for m in Modulation::ALL {
+            let n = users * m.bits_per_symbol();
+            let phys = clique_qubit_cost(n);
+            let feasible = CliqueEmbedding::new(&graph, n).is_ok();
+            let cell = format!("{n} ({phys}){}", if feasible { "" } else { "*" });
+            print!(" {cell:>14}");
+            report.push(serde_json::json!({
+                "users": users,
+                "modulation": m.name(),
+                "logical": n,
+                "physical": phys,
+                "feasible_dw2q": feasible,
+            }));
+        }
+        println!();
+    }
+
+    println!("\nPegasus (P16) forward model (§8): max users per modulation");
+    let p16 = PegasusModel::p16();
+    for m in Modulation::ALL {
+        let users = p16.max_users(m.bits_per_symbol());
+        let n = users * m.bits_per_symbol();
+        println!(
+            "  {:<7}: up to {users} users (N={n}, chains of {}, {} qubits of {})",
+            m.name(),
+            p16.chain_len(n),
+            p16.clique_qubit_cost(n),
+            p16.total_qubits(),
+        );
+        report.push(serde_json::json!({
+            "topology": "pegasus_p16",
+            "modulation": m.name(),
+            "max_users": users,
+        }));
+    }
+    let path = report.write().expect("write results");
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,108 @@
+//! Minimal `--key value` command-line parsing.
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line arguments: `--key value` pairs and bare
+/// `--flag`s (a key followed by another `--key` or end of input).
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses the process arguments.
+    pub fn parse() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (tests).
+    #[allow(clippy::should_implement_trait)] // not a collection conversion
+    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        let mut args = Args::default();
+        let mut it = iter.into_iter().peekable();
+        while let Some(tok) = it.next() {
+            let Some(key) = tok.strip_prefix("--") else {
+                panic!("unexpected positional argument: {tok} (flags are --key value)");
+            };
+            match it.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    let v = it.next().expect("peeked");
+                    args.values.insert(key.to_string(), v);
+                }
+                _ => args.flags.push(key.to_string()),
+            }
+        }
+        args
+    }
+
+    /// A string value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// A `usize` value with default.
+    pub fn get_usize(&self, key: &str, default: usize) -> usize {
+        self.get(key).map_or(default, |v| {
+            v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer, got {v}"))
+        })
+    }
+
+    /// An `f64` value with default.
+    pub fn get_f64(&self, key: &str, default: f64) -> f64 {
+        self.get(key).map_or(default, |v| {
+            v.parse().unwrap_or_else(|_| panic!("--{key} expects a number, got {v}"))
+        })
+    }
+
+    /// A `u64` value with default.
+    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.get(key).map_or(default, |v| {
+            v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer, got {v}"))
+        })
+    }
+
+    /// Whether a bare flag was passed.
+    pub fn has_flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Args {
+        Args::from_iter(s.iter().map(|x| x.to_string()))
+    }
+
+    #[test]
+    fn parses_pairs_and_flags() {
+        let a = args(&["--anneals", "500", "--full", "--seed", "7"]);
+        assert_eq!(a.get_usize("anneals", 0), 500);
+        assert_eq!(a.get_u64("seed", 0), 7);
+        assert!(a.has_flag("full"));
+        assert!(!a.has_flag("anneals"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = args(&[]);
+        assert_eq!(a.get_usize("anneals", 123), 123);
+        assert_eq!(a.get_f64("snr", 20.0), 20.0);
+        assert_eq!(a.get("name"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects an integer")]
+    fn bad_integer_panics() {
+        let a = args(&["--anneals", "many"]);
+        let _ = a.get_usize("anneals", 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positional")]
+    fn positional_rejected() {
+        let _ = args(&["fig5"]);
+    }
+}

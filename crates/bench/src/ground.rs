@@ -1,0 +1,89 @@
+//! Classical ground truth for annealer scoring.
+//!
+//! TTS needs the per-anneal probability of hitting the *ground state*.
+//! For QuAMax problems the Ising ground state is the ML solution, so
+//! the sphere decoder (exact ML, tractable far beyond exhaustive
+//! search) provides it: decode classically, map the Gray bits back to
+//! QuAMax-transform spins, evaluate the logical Ising energy.
+
+use quamax_baselines::SphereDecoder;
+use quamax_core::reduce::ising_from_ml;
+use quamax_core::Instance;
+use quamax_ising::bits_to_spins;
+use quamax_wireless::gray::gray_bits_to_quamax;
+
+/// Ground truth for one instance.
+#[derive(Clone, Debug)]
+pub struct GroundTruth {
+    /// The ML solution's logical Ising energy (the ground energy).
+    pub energy: f64,
+    /// The ML solution as Gray bits (what an ideal decoder returns).
+    pub ml_bits: Vec<u8>,
+    /// Sphere-decoder visited nodes (doubles as a hardness probe).
+    pub visited_nodes: u64,
+}
+
+/// Computes the ground truth of `instance` with the sphere decoder.
+///
+/// # Panics
+/// Panics if the sphere decoder fails (degenerate channel), which the
+/// experiment workloads do not produce.
+pub fn ground_truth(instance: &Instance) -> GroundTruth {
+    let m = instance.modulation();
+    let result = SphereDecoder::new(m)
+        .decode(instance.h(), instance.y())
+        .expect("experiment channels are non-degenerate");
+    let (logical, _) = ising_from_ml(instance.h(), instance.y(), m);
+    let q = m.bits_per_symbol();
+    let quamax_bits: Vec<u8> = result
+        .bits
+        .chunks(q)
+        .flat_map(gray_bits_to_quamax)
+        .collect();
+    let spins = bits_to_spins(&quamax_bits);
+    GroundTruth {
+        energy: logical.energy(&spins),
+        ml_bits: result.bits,
+        visited_nodes: result.visited_nodes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quamax_core::Scenario;
+    use quamax_ising::exact_ground_state;
+    use quamax_wireless::Modulation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sphere_ground_energy_matches_exhaustive() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for m in [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16] {
+            let nt = if m == Modulation::Bpsk { 8 } else { 4 };
+            let sc = Scenario::new(nt, nt, m);
+            let inst = sc.sample(&mut rng);
+            let gt = ground_truth(&inst);
+            let (logical, _) = ising_from_ml(inst.h(), inst.y(), m);
+            let exact = exact_ground_state(&logical);
+            assert!(
+                (gt.energy - exact.energy).abs() < 1e-6 * exact.energy.abs().max(1.0),
+                "{}: {} vs {}",
+                m.name(),
+                gt.energy,
+                exact.energy
+            );
+        }
+    }
+
+    #[test]
+    fn noiseless_ml_bits_are_the_transmission() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let sc = Scenario::new(12, 12, Modulation::Bpsk);
+        let inst = sc.sample(&mut rng);
+        let gt = ground_truth(&inst);
+        assert_eq!(gt.ml_bits, inst.tx_bits());
+        assert!(gt.visited_nodes >= 12);
+    }
+}

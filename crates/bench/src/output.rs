@@ -1,0 +1,74 @@
+//! Uniform experiment output: a text table on stdout plus a JSON file
+//! under `results/` for downstream plotting.
+
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+
+/// One experiment's report.
+#[derive(Debug, Serialize)]
+pub struct Report {
+    /// Experiment id (e.g. "fig5").
+    pub name: String,
+    /// The parameters the run used (anneals, instances, seed, …).
+    pub params: serde_json::Value,
+    /// Result rows (shape is experiment-specific but self-describing).
+    pub rows: Vec<serde_json::Value>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(name: &str, params: serde_json::Value) -> Self {
+        Report { name: name.to_string(), params, rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, row: serde_json::Value) {
+        self.rows.push(row);
+    }
+
+    /// Writes `results/<name>.json` (creating the directory) and
+    /// returns the path. The caller prints its own text table.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let dir = PathBuf::from("results");
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.json", self.name));
+        fs::write(&path, serde_json::to_string_pretty(self).expect("serializable"))?;
+        Ok(path)
+    }
+}
+
+/// Formats a microsecond quantity the way the paper's axes do:
+/// `12.3 µs`, `4.5 ms`, or `∞` for unreachable targets.
+pub fn fmt_us(value: Option<f64>) -> String {
+    match value {
+        None => "∞".to_string(),
+        Some(us) if us.is_infinite() => "∞".to_string(),
+        Some(us) if us >= 1_000.0 => format!("{:.2} ms", us / 1_000.0),
+        Some(us) => format!("{us:.2} µs"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_units() {
+        assert_eq!(fmt_us(Some(7.257)), "7.26 µs");
+        assert_eq!(fmt_us(Some(2_500.0)), "2.50 ms");
+        assert_eq!(fmt_us(None), "∞");
+        assert_eq!(fmt_us(Some(f64::INFINITY)), "∞");
+    }
+
+    #[test]
+    fn report_round_trip() {
+        let mut r = Report::new("unit_test_report", serde_json::json!({"anneals": 10}));
+        r.push(serde_json::json!({"x": 1, "y": 2.5}));
+        let path = r.write().unwrap();
+        let data = std::fs::read_to_string(&path).unwrap();
+        assert!(data.contains("unit_test_report"));
+        assert!(data.contains("2.5"));
+        std::fs::remove_file(path).unwrap();
+    }
+}

@@ -1,0 +1,63 @@
+//! D-Wave hardware topologies and minor embedding (paper §3.3).
+//!
+//! The DW2Q exposes its 2,048 qubits as a *Chimera* graph: a 16×16 grid
+//! of unit cells, each a complete bipartite K₄,₄ between four "left"
+//! (column-facing) and four "right" (row-facing) qubits; left qubits
+//! couple vertically to the neighbouring cells in their column, right
+//! qubits horizontally along their row. The ML Ising problems QuAMax
+//! generates are nearly fully connected, so each logical variable must
+//! be *embedded* as a ferromagnetically-bound chain of physical qubits.
+//!
+//! This crate implements:
+//! * [`graph`] — the Chimera topology with manufacturing-defect support
+//!   (the paper's chip had 2,031 of 2,048 qubits working);
+//! * [`embed`] — the triangle clique embedding of K_N with chains of
+//!   ⌈N/4⌉+1 qubits (Fig. 3(b)), verified structurally in tests;
+//! * [`embedded`] — compiling a logical Ising problem onto an embedding
+//!   (Eqs. 10–12): chain couplers at the hardware ceiling, problem
+//!   coefficients renormalized by |J_F|, with the improved
+//!   (extended) coupler dynamic range modelled;
+//! * [`unembed`] — majority-vote chain readout with tie randomization
+//!   and chain-break accounting;
+//! * [`tile`] — geometric parallelization: how many independent problem
+//!   copies fit on one chip (the `P_f` of §4);
+//! * [`pegasus`] — an analytic model of the next-generation topology
+//!   the paper's §8 forecasts (chains of N/12+1, larger cliques).
+
+pub mod embed;
+pub mod embedded;
+pub mod graph;
+pub mod pegasus;
+pub mod tile;
+pub mod unembed;
+
+pub use embed::{CliqueEmbedding, EmbeddingError};
+pub use embedded::{EmbedParams, EmbeddedProblem};
+pub use graph::{ChimeraGraph, QubitId};
+pub use pegasus::PegasusModel;
+pub use tile::parallelization;
+pub use unembed::{unembed_majority_vote, UnembedOutcome};
+
+/// Number of qubits per unit-cell side (the "4" of K₄,₄).
+pub const CELL_SIDE: usize = 4;
+
+/// Grid dimension of the DW2Q's Chimera graph (16×16 cells).
+pub const DW2Q_GRID: usize = 16;
+
+/// Physical qubits on an ideal C16 Chimera chip.
+pub const DW2Q_TOTAL_QUBITS: usize = 2 * CELL_SIDE * DW2Q_GRID * DW2Q_GRID;
+
+/// Working qubits on the paper's specific chip ("Whistler", 2,031 of
+/// 2,048 — 17 manufacturing defects).
+pub const DW2Q_WORKING_QUBITS: usize = 2031;
+
+/// Physical qubits required to embed an `n`-variable fully-connected
+/// Ising problem with the triangle embedding: `n·(⌈n/4⌉+1)`.
+pub fn clique_qubit_cost(n: usize) -> usize {
+    n * (n.div_ceil(4) + 1)
+}
+
+/// Chain length of the triangle embedding for `n` logical variables.
+pub fn clique_chain_len(n: usize) -> usize {
+    n.div_ceil(4) + 1
+}

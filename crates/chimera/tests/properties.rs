@@ -1,0 +1,105 @@
+//! Property-based tests for embedding and unembedding.
+
+use proptest::prelude::*;
+use quamax_chimera::{
+    clique_qubit_cost, unembed_majority_vote, ChimeraGraph, CliqueEmbedding, EmbedParams,
+    EmbeddedProblem,
+};
+use quamax_ising::IsingProblem;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a random fully-connected logical Ising problem.
+fn logical(n: usize) -> impl Strategy<Value = IsingProblem> {
+    let count = n + n * (n - 1) / 2;
+    proptest::collection::vec(-3.0f64..3.0, count).prop_map(move |c| {
+        let mut p = IsingProblem::new(n);
+        let mut it = c.into_iter();
+        for i in 0..n {
+            p.set_linear(i, it.next().unwrap());
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                p.set_coupling(i, j, it.next().unwrap());
+            }
+        }
+        p
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The embedded energy of an intact-chain expansion equals
+    /// scale·E_logical + chain constant, for random problems and
+    /// configurations, at random parameters.
+    #[test]
+    fn intact_energy_identity(
+        p in logical(10),
+        bits in proptest::collection::vec(0u8..=1, 10),
+        jf in 1.0f64..8.0,
+        improved in proptest::bool::ANY,
+    ) {
+        let g = ChimeraGraph::dw2q_ideal();
+        let e = CliqueEmbedding::new(&g, 10).unwrap();
+        let emb = EmbeddedProblem::compile(&g, &e, &p, EmbedParams { j_ferro: jf, improved_range: improved });
+        prop_assert_eq!(emb.num_physical(), clique_qubit_cost(10));
+        let spins: Vec<i8> = bits.iter().map(|&b| 2 * b as i8 - 1).collect();
+        let mut phys = vec![0i8; emb.num_physical()];
+        for (i, chain) in emb.chains().iter().enumerate() {
+            for &d in chain {
+                phys[d] = spins[i];
+            }
+        }
+        let chain_edges: usize = emb.chains().iter().map(|c| c.len() - 1).sum();
+        let expect = emb.scale() * p.energy(&spins) + emb.chain_coupler() * chain_edges as f64;
+        let got = emb.problem().energy(&phys);
+        prop_assert!((got - expect).abs() < 1e-9, "{got} vs {expect}");
+    }
+
+    /// Unembedding an intact-chain expansion recovers the logical
+    /// configuration exactly, with zero breaks.
+    #[test]
+    fn unembed_round_trip(
+        p in logical(12),
+        bits in proptest::collection::vec(0u8..=1, 12),
+        seed in 0u64..1000,
+    ) {
+        let g = ChimeraGraph::dw2q_ideal();
+        let e = CliqueEmbedding::new(&g, 12).unwrap();
+        let emb = EmbeddedProblem::compile(&g, &e, &p, EmbedParams::default());
+        let spins: Vec<i8> = bits.iter().map(|&b| 2 * b as i8 - 1).collect();
+        let mut phys = vec![0i8; emb.num_physical()];
+        for (i, chain) in emb.chains().iter().enumerate() {
+            for &d in chain {
+                phys[d] = spins[i];
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = unembed_majority_vote(&emb, &phys, &mut rng);
+        prop_assert_eq!(out.logical, spins);
+        prop_assert_eq!(out.broken_chains, 0);
+        prop_assert_eq!(out.tie_breaks, 0);
+    }
+
+    /// Corrupting fewer than half of any one chain's qubits never
+    /// changes the majority readout.
+    #[test]
+    fn minority_corruption_is_voted_out(
+        p in logical(12),
+        chain_idx in 0usize..12,
+        seed in 0u64..1000,
+    ) {
+        let g = ChimeraGraph::dw2q_ideal();
+        let e = CliqueEmbedding::new(&g, 12).unwrap();
+        let emb = EmbeddedProblem::compile(&g, &e, &p, EmbedParams::default());
+        let mut phys = vec![1i8; emb.num_physical()];
+        // Chain length for n=12 is 4: flip exactly one qubit (minority).
+        let victim = emb.chains()[chain_idx][0];
+        phys[victim] = -1;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = unembed_majority_vote(&emb, &phys, &mut rng);
+        prop_assert!(out.logical.iter().all(|&s| s == 1));
+        prop_assert_eq!(out.broken_chains, 1);
+    }
+}

@@ -1,0 +1,431 @@
+//! The end-to-end QuAMax decode pipeline (§3.2.1's worked example,
+//! §4's machine model).
+//!
+//! One decode = one QA run:
+//!
+//! 1. form the ML Ising problem from `(H, y)` (closed-form reduction);
+//! 2. embed it on the Chimera chip (triangle clique embedding) and
+//!    compile with the chain strength / dynamic-range parameters;
+//! 3. submit a batch of `Na` anneals to the (simulated) annealer;
+//! 4. majority-vote unembed each sample, rank distinct logical
+//!    solutions by *logical* Ising energy;
+//! 5. the minimum-energy solution is the decode; translate its
+//!    QuAMax-transform bits to Gray bits (Fig. 2).
+//!
+//! The returned [`DecodeRun`] keeps the whole ranked distribution —
+//! the paper's per-instance metrics (Eq. 9, TTB) are order statistics
+//! over it, not just the best answer.
+
+use crate::reduce::ising_from_ml;
+use crate::scenario::DetectionInput;
+use quamax_anneal::{Annealer, Schedule, SolutionDistribution};
+use quamax_chimera::{
+    parallelization, unembed_majority_vote, ChimeraGraph, CliqueEmbedding, EmbedParams,
+    EmbeddedProblem, EmbeddingError,
+};
+use quamax_ising::{spins_to_bits, IsingProblem};
+use quamax_wireless::gray::quamax_bits_to_gray;
+use rand::Rng;
+
+/// Decoder-level configuration: embedding parameters and schedule.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DecoderConfig {
+    /// Chain strength and dynamic range (§4).
+    pub embed: EmbedParams,
+    /// Anneal schedule (Ta, optional pause).
+    pub schedule: Schedule,
+}
+
+impl Default for DecoderConfig {
+    /// The paper's selected operating point (§5.3.2): improved dynamic
+    /// range, `Ta = 1 µs` with a 1 µs pause.
+    fn default() -> Self {
+        DecoderConfig {
+            embed: EmbedParams::default(),
+            schedule: Schedule::with_pause(1.0, 0.35, 1.0),
+        }
+    }
+}
+
+/// Why a decode could not run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The problem does not fit the chip (Table 2's bold region).
+    Embedding(EmbeddingError),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Embedding(e) => write!(f, "embedding failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl From<EmbeddingError> for DecodeError {
+    fn from(e: EmbeddingError) -> Self {
+        DecodeError::Embedding(e)
+    }
+}
+
+/// The QuAMax decoder: an annealer plus chip model plus configuration.
+pub struct QuamaxDecoder {
+    annealer: Annealer,
+    graph: ChimeraGraph,
+    config: DecoderConfig,
+}
+
+impl QuamaxDecoder {
+    /// A decoder on an ideal DW2Q chip.
+    pub fn new(annealer: Annealer, config: DecoderConfig) -> Self {
+        QuamaxDecoder { annealer, graph: ChimeraGraph::dw2q_ideal(), config }
+    }
+
+    /// A decoder on a specific chip (e.g. with a defect map).
+    pub fn with_graph(annealer: Annealer, graph: ChimeraGraph, config: DecoderConfig) -> Self {
+        QuamaxDecoder { annealer, graph, config }
+    }
+
+    /// Current configuration.
+    pub fn config(&self) -> &DecoderConfig {
+        &self.config
+    }
+
+    /// Replaces the configuration (used by Fix/Opt parameter search).
+    pub fn set_config(&mut self, config: DecoderConfig) {
+        self.config = config;
+    }
+
+    /// Runs one QA decode of `input` with `num_anneals` anneal cycles.
+    ///
+    /// `rng` drives unembedding tie-breaks and the annealer seed, so a
+    /// seeded caller gets reproducible runs.
+    pub fn decode<R: Rng + ?Sized>(
+        &self,
+        input: &DetectionInput,
+        num_anneals: usize,
+        rng: &mut R,
+    ) -> Result<DecodeRun, DecodeError> {
+        self.decode_inner(input, num_anneals, None, rng)
+    }
+
+    /// Reverse-anneal decode (§8 future work): refine a classical
+    /// `candidate` solution (Gray bits, e.g. a ZF or MMSE decode) by
+    /// annealing backwards from it. The decoder's schedule must be a
+    /// [`Schedule::reverse`].
+    ///
+    /// # Panics
+    /// Panics when the candidate bit count differs from the payload, or
+    /// the configured schedule is not reverse.
+    pub fn decode_reverse<R: Rng + ?Sized>(
+        &self,
+        input: &DetectionInput,
+        num_anneals: usize,
+        candidate_gray_bits: &[u8],
+        rng: &mut R,
+    ) -> Result<DecodeRun, DecodeError> {
+        assert!(
+            self.config.schedule.is_reverse(),
+            "decode_reverse needs a Schedule::reverse configuration"
+        );
+        assert_eq!(
+            candidate_gray_bits.len(),
+            input.num_bits(),
+            "candidate bit count mismatch"
+        );
+        self.decode_inner(input, num_anneals, Some(candidate_gray_bits), rng)
+    }
+
+    fn decode_inner<R: Rng + ?Sized>(
+        &self,
+        input: &DetectionInput,
+        num_anneals: usize,
+        candidate_gray_bits: Option<&[u8]>,
+        rng: &mut R,
+    ) -> Result<DecodeRun, DecodeError> {
+        let (logical, offset) = ising_from_ml(&input.h, &input.y, input.modulation);
+        let embedding = CliqueEmbedding::new(&self.graph, logical.num_spins())?;
+        let embedded = EmbeddedProblem::compile(&self.graph, &embedding, &logical, self.config.embed);
+
+        let seed: u64 = rng.random();
+        let samples = match candidate_gray_bits {
+            None => self.annealer.run_chained(
+                embedded.problem(),
+                embedded.chains(),
+                &self.config.schedule,
+                num_anneals,
+                seed,
+            ),
+            Some(gray) => {
+                // Gray bits → QuAMax-transform bits → logical spins →
+                // expansion onto the physical chains.
+                let q = input.modulation.bits_per_symbol();
+                let logical_spins = quamax_ising::bits_to_spins(
+                    &gray
+                        .chunks(q)
+                        .flat_map(quamax_wireless::gray::gray_bits_to_quamax)
+                        .collect::<Vec<u8>>(),
+                );
+                let mut physical = vec![0i8; embedded.num_physical()];
+                for (i, chain) in embedded.chains().iter().enumerate() {
+                    for &d in chain {
+                        physical[d] = logical_spins[i];
+                    }
+                }
+                self.annealer.run_reverse(
+                    embedded.problem(),
+                    embedded.chains(),
+                    &physical,
+                    &self.config.schedule,
+                    num_anneals,
+                    seed,
+                )
+            }
+        };
+
+        // Unembed each physical sample; track chain-break statistics.
+        let mut logical_samples = Vec::with_capacity(samples.len());
+        let mut broken = 0usize;
+        for s in &samples {
+            let out = unembed_majority_vote(&embedded, s, rng);
+            broken += out.broken_chains;
+            logical_samples.push(out.logical);
+        }
+        let distribution = SolutionDistribution::from_samples(&logical, &logical_samples);
+        let total_chains = logical.num_spins().max(1) * samples.len().max(1);
+
+        Ok(DecodeRun {
+            distribution,
+            logical,
+            ml_offset: offset,
+            modulation: input.modulation,
+            schedule: self.config.schedule,
+            parallel_factor: parallelization(embedding.num_logical()).max(1),
+            chain_break_fraction: broken as f64 / total_chains as f64,
+        })
+    }
+}
+
+/// The result of one QA decode run.
+#[derive(Clone, Debug)]
+pub struct DecodeRun {
+    distribution: SolutionDistribution,
+    logical: IsingProblem,
+    ml_offset: f64,
+    modulation: quamax_wireless::Modulation,
+    schedule: Schedule,
+    parallel_factor: usize,
+    chain_break_fraction: f64,
+}
+
+impl DecodeRun {
+    /// The ranked logical solution distribution (Fig. 4's x-axis).
+    pub fn distribution(&self) -> &SolutionDistribution {
+        &self.distribution
+    }
+
+    /// The logical Ising problem that was solved.
+    pub fn logical_problem(&self) -> &IsingProblem {
+        &self.logical
+    }
+
+    /// The additive constant linking Ising energies to ML metrics:
+    /// `‖y − He‖² = E_ising + ml_offset`.
+    pub fn ml_offset(&self) -> f64 {
+        self.ml_offset
+    }
+
+    /// Gray-translated decoded bits of the rank-`r` solution.
+    pub fn bits_for_rank(&self, rank: usize) -> Vec<u8> {
+        let entry = &self.distribution.entries()[rank];
+        let qubo_bits = spins_to_bits(&entry.spins);
+        let q = self.modulation.bits_per_symbol();
+        qubo_bits.chunks(q).flat_map(quamax_bits_to_gray).collect()
+    }
+
+    /// The decode: Gray bits of the minimum-energy solution found.
+    ///
+    /// # Panics
+    /// Panics when the run had zero anneals.
+    pub fn best_bits(&self) -> Vec<u8> {
+        assert!(self.distribution.num_distinct() > 0, "empty run has no decode");
+        self.bits_for_rank(0)
+    }
+
+    /// Wall-clock time of one anneal cycle, `Ta + Tp`, in µs.
+    pub fn anneal_cycle_us(&self) -> f64 {
+        self.schedule.total_time_us()
+    }
+
+    /// Geometric parallelization factor of this problem size on the
+    /// chip (≥ 1).
+    pub fn parallel_factor(&self) -> usize {
+        self.parallel_factor
+    }
+
+    /// Fraction of broken chains across all anneals (embedding health).
+    pub fn chain_break_fraction(&self) -> f64 {
+        self.chain_break_fraction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+    use quamax_anneal::{AnnealerConfig, IceModel};
+    use quamax_wireless::Modulation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn quiet_annealer() -> Annealer {
+        Annealer::new(AnnealerConfig {
+            ice: IceModel::none(),
+            sweeps_per_us: 50.0,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn decodes_noiseless_bpsk_exactly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let sc = Scenario::new(4, 4, Modulation::Bpsk);
+        let inst = sc.sample(&mut rng);
+        let decoder = QuamaxDecoder::new(
+            quiet_annealer(),
+            DecoderConfig { schedule: Schedule::standard(10.0), ..Default::default() },
+        );
+        let run = decoder.decode(&inst.detection_input(), 100, &mut rng).unwrap();
+        assert_eq!(run.best_bits(), inst.tx_bits());
+        // Ising best energy + offset = ‖y − Hv̂‖² = 0 for the noiseless
+        // ground truth.
+        let best_e = run.distribution().best_energy().unwrap();
+        assert!((best_e + run.ml_offset()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn decodes_noiseless_qpsk_and_qam16() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for (m, nt, na) in [(Modulation::Qpsk, 3usize, 200usize), (Modulation::Qam16, 2, 400)] {
+            let sc = Scenario::new(nt, nt, m);
+            let inst = sc.sample(&mut rng);
+            let decoder = QuamaxDecoder::new(
+                quiet_annealer(),
+                DecoderConfig { schedule: Schedule::standard(20.0), ..Default::default() },
+            );
+            let run = decoder.decode(&inst.detection_input(), na, &mut rng).unwrap();
+            assert_eq!(run.best_bits(), inst.tx_bits(), "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn run_exposes_statistics() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let sc = Scenario::new(4, 4, Modulation::Bpsk);
+        let inst = sc.sample(&mut rng);
+        let decoder = QuamaxDecoder::new(quiet_annealer(), DecoderConfig::default());
+        let run = decoder.decode(&inst.detection_input(), 50, &mut rng).unwrap();
+        assert_eq!(run.distribution().total_samples(), 50);
+        assert!(run.parallel_factor() >= 20, "4-user BPSK should tile heavily");
+        assert!(run.chain_break_fraction() >= 0.0 && run.chain_break_fraction() <= 1.0);
+        // Default schedule: 1 µs anneal + 1 µs pause.
+        assert!((run.anneal_cycle_us() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oversized_problem_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        // 40 users × 16-QAM = 160 logical: beyond the C16 clique bound.
+        let sc = Scenario::new(40, 40, Modulation::Qam16);
+        let inst = sc.sample(&mut rng);
+        let decoder = QuamaxDecoder::new(quiet_annealer(), DecoderConfig::default());
+        match decoder.decode(&inst.detection_input(), 1, &mut rng) {
+            Err(DecodeError::Embedding(EmbeddingError::DoesNotFit { n: 160, .. })) => {}
+            other => panic!("expected DoesNotFit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn seeded_decode_is_reproducible() {
+        let sc = Scenario::new(3, 3, Modulation::Qpsk);
+        let run_once = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let inst = sc.sample(&mut rng);
+            let decoder = QuamaxDecoder::new(quiet_annealer(), DecoderConfig::default());
+            let run = decoder.decode(&inst.detection_input(), 30, &mut rng).unwrap();
+            run.best_bits()
+        };
+        assert_eq!(run_once(7), run_once(7));
+    }
+
+    #[test]
+    fn reverse_decode_refines_a_candidate() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let sc = Scenario::new(6, 6, Modulation::Qpsk);
+        let inst = sc.sample(&mut rng);
+        // A candidate with two wrong bits.
+        let mut candidate = inst.tx_bits().to_vec();
+        candidate[0] ^= 1;
+        candidate[5] ^= 1;
+        let decoder = QuamaxDecoder::new(
+            quiet_annealer(),
+            DecoderConfig {
+                schedule: Schedule::reverse(2.0, 0.6, 2.0),
+                ..Default::default()
+            },
+        );
+        let run = decoder
+            .decode_reverse(&inst.detection_input(), 100, &candidate, &mut rng)
+            .unwrap();
+        assert_eq!(run.best_bits(), inst.tx_bits(), "refinement should fix 2 bits");
+    }
+
+    #[test]
+    #[should_panic(expected = "Schedule::reverse")]
+    fn reverse_decode_requires_reverse_schedule() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let inst = Scenario::new(4, 4, Modulation::Bpsk).sample(&mut rng);
+        let decoder = QuamaxDecoder::new(quiet_annealer(), DecoderConfig::default());
+        let candidate = vec![0u8; 4];
+        let _ = decoder.decode_reverse(&inst.detection_input(), 10, &candidate, &mut rng);
+    }
+
+    #[test]
+    fn qam64_decodes_through_the_generic_reduction() {
+        // 64-QAM has no closed-form Ising in the paper; the generic
+        // norm-expansion path must carry it end-to-end (2 users = 12
+        // logical variables).
+        let mut rng = StdRng::seed_from_u64(8);
+        let sc = Scenario::new(2, 2, Modulation::Qam64);
+        let inst = sc.sample(&mut rng);
+        let decoder = QuamaxDecoder::new(
+            quiet_annealer(),
+            DecoderConfig { schedule: Schedule::standard(30.0), ..Default::default() },
+        );
+        let run = decoder.decode(&inst.detection_input(), 600, &mut rng).unwrap();
+        assert_eq!(run.best_bits(), inst.tx_bits());
+    }
+
+    #[test]
+    fn ranked_bits_differ_across_ranks() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let sc = Scenario::new(4, 4, Modulation::Bpsk);
+        let inst = sc.sample(&mut rng);
+        // Noisy short anneals: guarantee several distinct solutions.
+        let annealer = Annealer::new(AnnealerConfig {
+            sweeps_per_us: 2.0,
+            ..Default::default()
+        });
+        let decoder = QuamaxDecoder::new(
+            annealer,
+            DecoderConfig { schedule: Schedule::standard(1.0), ..Default::default() },
+        );
+        let run = decoder.decode(&inst.detection_input(), 200, &mut rng).unwrap();
+        assert!(run.distribution().num_distinct() > 1);
+        let a = run.bits_for_rank(0);
+        let b = run.bits_for_rank(1);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the ML reductions and Eq. 9 metrics.
+
+use proptest::prelude::*;
+use quamax_core::metrics::BitErrorProfile;
+use quamax_core::reduce::{ising_from_ml, qubo_from_ml};
+use quamax_ising::qubo_to_ising;
+use quamax_linalg::{CMatrix, CVector, Complex};
+use quamax_wireless::Modulation;
+
+fn complex() -> impl Strategy<Value = Complex> {
+    (-2.0f64..2.0, -2.0f64..2.0).prop_map(|(re, im)| Complex::new(re, im))
+}
+
+fn channel(nr: usize, nt: usize) -> impl Strategy<Value = CMatrix> {
+    proptest::collection::vec(complex(), nr * nt)
+        .prop_map(move |d| CMatrix::from_vec(nr, nt, d))
+}
+
+fn received(nr: usize) -> impl Strategy<Value = CVector> {
+    proptest::collection::vec(complex(), nr).prop_map(CVector::from_vec)
+}
+
+fn modulation() -> impl Strategy<Value = Modulation> {
+    prop_oneof![
+        Just(Modulation::Bpsk),
+        Just(Modulation::Qpsk),
+        Just(Modulation::Qam16),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The generic QUBO reduction satisfies the exact energy identity
+    /// `E(q) + offset = ‖y − He‖²` at random bit assignments.
+    #[test]
+    fn qubo_energy_identity(
+        h in channel(3, 2),
+        y in received(3),
+        m in modulation(),
+        k in 0u32..256,
+    ) {
+        let (qubo, offset) = qubo_from_ml(&h, &y, m);
+        let n = 2 * m.bits_per_symbol();
+        let bits: Vec<u8> = (0..n).map(|b| ((k >> b) & 1) as u8).collect();
+        let v = m.map_quamax_vector(&bits);
+        let ml = (&y - &h.mul_vec(&v)).norm_sqr();
+        let e = qubo.energy(&bits) + offset;
+        prop_assert!((e - ml).abs() < 1e-8 * ml.max(1.0), "{e} vs {ml}");
+    }
+
+    /// Closed-form Ising coefficients equal the generic path's, for
+    /// every modulation the paper gives closed forms for.
+    #[test]
+    fn closed_form_matches_generic(
+        h in channel(4, 3),
+        y in received(4),
+        m in modulation(),
+    ) {
+        let (closed, _) = ising_from_ml(&h, &y, m);
+        let (qubo, _) = qubo_from_ml(&h, &y, m);
+        let (generic, _) = qubo_to_ising(&qubo);
+        let n = 3 * m.bits_per_symbol();
+        for i in 0..n {
+            prop_assert!((closed.linear(i) - generic.linear(i)).abs() < 1e-8);
+            for j in (i + 1)..n {
+                prop_assert!(
+                    (closed.coupling(i, j) - generic.coupling(i, j)).abs() < 1e-8,
+                    "({i},{j})"
+                );
+            }
+        }
+    }
+
+    /// Eq. 9 is non-increasing in Na when bit errors are non-decreasing
+    /// with rank (the typical regime where the lowest-energy solution
+    /// has the fewest errors; with *non-monotone* error profiles — the
+    /// paper's own Fig. 4 green curves — Eq. 9 can legitimately grow
+    /// with Na, so no bound is asserted there).
+    #[test]
+    fn eq9_bounds(
+        mut raw in proptest::collection::vec((1u32..100, 0usize..5), 1..6),
+        n_bits in 8usize..64,
+    ) {
+        raw.sort_by_key(|&(_, e)| e);
+        let total: u32 = raw.iter().map(|&(w, _)| w).sum();
+        let probs: Vec<f64> = raw.iter().map(|&(w, _)| w as f64 / total as f64).collect();
+        let errors: Vec<usize> = raw.iter().map(|&(_, e)| e.min(n_bits)).collect();
+        let profile = BitErrorProfile::from_parts(probs, errors.clone(), n_bits);
+        let one = profile.expected_ber(1);
+        let mut prev = one;
+        for na in [2usize, 5, 17, 133] {
+            let b = profile.expected_ber(na);
+            prop_assert!(b <= prev + 1e-12);
+            prop_assert!(b >= profile.floor_ber() - 1e-12);
+            prev = b;
+        }
+        // anneals_to_ber is consistent with expected_ber whenever it
+        // returns.
+        if let Some(na) = profile.anneals_to_ber(one * 0.5) {
+            prop_assert!(profile.expected_ber(na) <= one * 0.5 + 1e-12);
+        }
+    }
+}

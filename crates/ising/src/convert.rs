@@ -1,0 +1,164 @@
+//! QUBO ↔ Ising conversion (Eq. 4).
+//!
+//! Substituting `q_i = (s_i + 1)/2` into the QUBO objective gives
+//!
+//! ```text
+//! Σ_{i≤j} Q_ij·q_i·q_j
+//!   = Σ_{i<j} (Q_ij/4)·s_i·s_j
+//!   + Σ_i (Q_ii/2 + ¼·Σ_{k<i} Q_ki + ¼·Σ_{k>i} Q_ik)·s_i
+//!   + const ,
+//! ```
+//!
+//! i.e. `g_ij = Q_ij/4`, `f_i = Q_ii/2 + ¼·(row+column sums of Q at i)`
+//! — exactly the relations quoted under the paper's Eq. 4 — plus a
+//! configuration-independent offset. Both conversion directions return
+//! that offset explicitly so callers can reason about absolute energies
+//! (the Fig. 4 analyses compare Ising energies against ML Euclidean
+//! distances, which requires tracking constants).
+
+use crate::{IsingProblem, QuboProblem};
+
+/// Converts a QUBO to the equivalent Ising problem.
+///
+/// Returns `(ising, offset)` such that for all configurations,
+/// `qubo.energy(q) == ising.energy(s) + offset` with `s = 2q − 1`.
+pub fn qubo_to_ising(qubo: &QuboProblem) -> (IsingProblem, f64) {
+    let n = qubo.num_bits();
+    let mut ising = IsingProblem::new(n);
+    let mut offset = 0.0;
+
+    for i in 0..n {
+        let d = qubo.diagonal(i);
+        ising.add_linear(i, d / 2.0);
+        offset += d / 2.0;
+    }
+    for (i, j, v) in qubo.off_diagonals() {
+        ising.set_coupling(i, j, v / 4.0);
+        ising.add_linear(i, v / 4.0);
+        ising.add_linear(j, v / 4.0);
+        offset += v / 4.0;
+    }
+    (ising, offset)
+}
+
+/// Converts an Ising problem to the equivalent QUBO.
+///
+/// Returns `(qubo, offset)` such that for all configurations,
+/// `ising.energy(s) == qubo.energy(q) + offset` with `q = (s + 1)/2`.
+pub fn ising_to_qubo(ising: &IsingProblem) -> (QuboProblem, f64) {
+    let n = ising.num_spins();
+    let mut qubo = QuboProblem::new(n);
+    let mut offset = 0.0;
+
+    // s_i = 2q_i − 1:
+    //   f_i·s_i          = 2f_i·q_i − f_i
+    //   g_ij·s_i·s_j     = 4g_ij·q_i·q_j − 2g_ij·q_i − 2g_ij·q_j + g_ij
+    for i in 0..n {
+        let f = ising.linear(i);
+        qubo.add_diagonal(i, 2.0 * f);
+        offset -= f;
+    }
+    for (i, j, g) in ising.couplings() {
+        qubo.set_off_diagonal(i, j, 4.0 * g);
+        qubo.add_diagonal(i, -2.0 * g);
+        qubo.add_diagonal(j, -2.0 * g);
+        offset += g;
+    }
+    (qubo, offset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spins::bits_to_spins;
+
+    fn all_bit_configs(n: usize) -> impl Iterator<Item = Vec<u8>> {
+        (0..(1u32 << n)).map(move |k| {
+            (0..n).map(|i| ((k >> i) & 1) as u8).collect()
+        })
+    }
+
+    fn sample_qubo() -> QuboProblem {
+        let mut q = QuboProblem::new(4);
+        q.set_diagonal(0, 1.5);
+        q.set_diagonal(1, -2.0);
+        q.set_diagonal(3, 0.75);
+        q.set_off_diagonal(0, 1, 3.0);
+        q.set_off_diagonal(1, 2, -1.0);
+        q.set_off_diagonal(2, 3, 0.5);
+        q.set_off_diagonal(0, 3, -4.0);
+        q
+    }
+
+    #[test]
+    fn qubo_to_ising_preserves_energy_up_to_offset() {
+        let q = sample_qubo();
+        let (ising, offset) = qubo_to_ising(&q);
+        for bits in all_bit_configs(4) {
+            let spins = bits_to_spins(&bits);
+            let eq = q.energy(&bits);
+            let ei = ising.energy(&spins) + offset;
+            assert!((eq - ei).abs() < 1e-12, "bits {bits:?}: {eq} vs {ei}");
+        }
+    }
+
+    #[test]
+    fn ising_to_qubo_preserves_energy_up_to_offset() {
+        let q = sample_qubo();
+        let (ising, _) = qubo_to_ising(&q);
+        let (q2, offset) = ising_to_qubo(&ising);
+        for bits in all_bit_configs(4) {
+            let spins = bits_to_spins(&bits);
+            let ei = ising.energy(&spins);
+            let eq = q2.energy(&bits) + offset;
+            assert!((ei - eq).abs() < 1e-12, "bits {bits:?}: {ei} vs {eq}");
+        }
+    }
+
+    #[test]
+    fn round_trip_recovers_original_qubo_energies() {
+        let q = sample_qubo();
+        let (ising, off1) = qubo_to_ising(&q);
+        let (q2, off2) = ising_to_qubo(&ising);
+        // q.energy(b) = ising.energy(s) + off1 = q2.energy(b) + off2 + off1.
+        for bits in all_bit_configs(4) {
+            let e1 = q.energy(&bits);
+            let e2 = q2.energy(&bits) + off2 + off1;
+            assert!((e1 - e2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn coefficient_relations_match_paper() {
+        // g_ij = Q_ij/4 and f_i = Q_ii/2 + ¼(Σ_{k<i} Q_ki + Σ_{k>i} Q_ik).
+        let q = sample_qubo();
+        let (ising, _) = qubo_to_ising(&q);
+        assert!((ising.coupling(0, 1) - 3.0 / 4.0).abs() < 1e-12);
+        assert!((ising.coupling(1, 2) + 1.0 / 4.0).abs() < 1e-12);
+        // f_0 = Q_00/2 + ¼(Q_01 + Q_03) = 0.75 + ¼(3 − 4) = 0.5.
+        assert!((ising.linear(0) - 0.5).abs() < 1e-12);
+        // f_2 = 0 + ¼(Q_12 + Q_23) = ¼(−1 + 0.5) = −0.125.
+        assert!((ising.linear(2) + 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn argmin_is_preserved() {
+        let q = sample_qubo();
+        let (ising, _) = qubo_to_ising(&q);
+        let best_bits = all_bit_configs(4)
+            .min_by(|a, b| q.energy(a).partial_cmp(&q.energy(b)).unwrap())
+            .unwrap();
+        let best_spins = all_bit_configs(4)
+            .map(|b| bits_to_spins(&b))
+            .min_by(|a, b| ising.energy(a).partial_cmp(&ising.energy(b)).unwrap())
+            .unwrap();
+        assert_eq!(bits_to_spins(&best_bits), best_spins);
+    }
+
+    #[test]
+    fn empty_problem_converts() {
+        let (ising, offset) = qubo_to_ising(&QuboProblem::new(0));
+        assert_eq!(ising.num_spins(), 0);
+        assert_eq!(offset, 0.0);
+    }
+}

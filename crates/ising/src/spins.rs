@@ -1,0 +1,148 @@
+//! Spin and bit configurations, and the Eq. 4 mapping between them.
+
+/// A single Ising spin value. Stored as `i8` (±1) so configurations pack
+/// densely and arithmetic (`s_i·s_j`) stays integral.
+pub type Spin = i8;
+
+/// Converts QUBO bits (0/1) to Ising spins (−1/+1): `s = 2q − 1`.
+///
+/// # Panics
+/// Panics (debug) on non-binary input.
+pub fn bits_to_spins(bits: &[u8]) -> Vec<Spin> {
+    bits.iter()
+        .map(|&q| {
+            debug_assert!(q <= 1, "bit out of range: {q}");
+            (2 * q as i8) - 1
+        })
+        .collect()
+}
+
+/// Converts Ising spins (−1/+1) to QUBO bits (0/1): `q = (s + 1)/2`.
+///
+/// # Panics
+/// Panics (debug) on values other than ±1.
+pub fn spins_to_bits(spins: &[Spin]) -> Vec<u8> {
+    spins
+        .iter()
+        .map(|&s| {
+            debug_assert!(s == 1 || s == -1, "spin out of range: {s}");
+            ((s + 1) / 2) as u8
+        })
+        .collect()
+}
+
+/// Enumerates spin configurations of `n` spins in Gray-code order,
+/// yielding `(flipped_index, configuration)` after each single-spin
+/// flip. The first yield is the all `−1` configuration with no flip
+/// (`flipped_index == usize::MAX`).
+///
+/// Gray-code enumeration lets exhaustive solvers update energies
+/// incrementally in `O(degree)` per configuration instead of `O(n²)`.
+pub struct GrayCodeSpins {
+    config: Vec<Spin>,
+    counter: u64,
+    total: u64,
+    started: bool,
+}
+
+impl GrayCodeSpins {
+    /// Creates the enumerator.
+    ///
+    /// # Panics
+    /// Panics for `n > 63` (the enumeration would not terminate in any
+    /// reasonable time anyway; exhaustive search is for small problems).
+    pub fn new(n: usize) -> Self {
+        assert!(n <= 63, "exhaustive enumeration capped at 63 spins");
+        GrayCodeSpins {
+            config: vec![-1; n],
+            counter: 0,
+            total: 1u64 << n,
+            started: false,
+        }
+    }
+
+    /// Advances to the next configuration, returning the flipped spin
+    /// index, or `None` when exhausted. The internal configuration is
+    /// readable via [`GrayCodeSpins::config`].
+    pub fn advance(&mut self) -> Option<usize> {
+        if !self.started {
+            self.started = true;
+            return Some(usize::MAX);
+        }
+        self.counter += 1;
+        if self.counter >= self.total {
+            return None;
+        }
+        // Standard Gray-code step: flip the bit at the index of the
+        // lowest set bit of the counter.
+        let flip = self.counter.trailing_zeros() as usize;
+        self.config[flip] = -self.config[flip];
+        Some(flip)
+    }
+
+    /// The current spin configuration.
+    pub fn config(&self) -> &[Spin] {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn bit_spin_round_trip() {
+        let bits = vec![0u8, 1, 1, 0, 1];
+        let spins = bits_to_spins(&bits);
+        assert_eq!(spins, vec![-1, 1, 1, -1, 1]);
+        assert_eq!(spins_to_bits(&spins), bits);
+    }
+
+    #[test]
+    fn empty_conversions() {
+        assert!(bits_to_spins(&[]).is_empty());
+        assert!(spins_to_bits(&[]).is_empty());
+    }
+
+    #[test]
+    fn gray_enumeration_visits_every_configuration_once() {
+        let mut e = GrayCodeSpins::new(4);
+        let mut seen = HashSet::new();
+        while e.advance().is_some() {
+            assert!(seen.insert(e.config().to_vec()), "duplicate {:?}", e.config());
+        }
+        assert_eq!(seen.len(), 16);
+    }
+
+    #[test]
+    fn gray_enumeration_flips_one_spin_at_a_time() {
+        let mut e = GrayCodeSpins::new(5);
+        assert_eq!(e.advance(), Some(usize::MAX));
+        let mut prev = e.config().to_vec();
+        while let Some(flip) = e.advance() {
+            let cur = e.config().to_vec();
+            let diffs: Vec<usize> =
+                (0..5).filter(|&i| cur[i] != prev[i]).collect();
+            assert_eq!(diffs, vec![flip]);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn single_spin_enumeration() {
+        let mut e = GrayCodeSpins::new(1);
+        assert_eq!(e.advance(), Some(usize::MAX));
+        assert_eq!(e.config(), &[-1]);
+        assert_eq!(e.advance(), Some(0));
+        assert_eq!(e.config(), &[1]);
+        assert_eq!(e.advance(), None);
+    }
+
+    #[test]
+    fn zero_spins_yields_single_empty_configuration() {
+        let mut e = GrayCodeSpins::new(0);
+        assert_eq!(e.advance(), Some(usize::MAX));
+        assert_eq!(e.advance(), None);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for the Ising/QUBO forms and conversions.
+
+use proptest::prelude::*;
+use quamax_ising::spins::bits_to_spins;
+use quamax_ising::{
+    exact_ground_state, ising_to_qubo, qubo_to_ising, rank_all_solutions, IsingProblem,
+    QuboProblem,
+};
+
+const N: usize = 6;
+
+/// Strategy: a dense-ish random Ising problem over `N` spins.
+fn ising_problem() -> impl Strategy<Value = IsingProblem> {
+    let coeffs = proptest::collection::vec(-5.0f64..5.0, N + N * (N - 1) / 2);
+    coeffs.prop_map(|c| {
+        let mut p = IsingProblem::new(N);
+        let mut it = c.into_iter();
+        for i in 0..N {
+            p.set_linear(i, it.next().unwrap());
+        }
+        for i in 0..N {
+            for j in (i + 1)..N {
+                p.set_coupling(i, j, it.next().unwrap());
+            }
+        }
+        p
+    })
+}
+
+/// Strategy: a random QUBO over `N` bits.
+fn qubo_problem() -> impl Strategy<Value = QuboProblem> {
+    let coeffs = proptest::collection::vec(-5.0f64..5.0, N + N * (N - 1) / 2);
+    coeffs.prop_map(|c| {
+        let mut p = QuboProblem::new(N);
+        let mut it = c.into_iter();
+        for i in 0..N {
+            p.set_diagonal(i, it.next().unwrap());
+        }
+        for i in 0..N {
+            for j in (i + 1)..N {
+                p.set_off_diagonal(i, j, it.next().unwrap());
+            }
+        }
+        p
+    })
+}
+
+fn all_bits(n: usize) -> impl Iterator<Item = Vec<u8>> {
+    (0..(1u32 << n)).map(move |k| (0..n).map(|i| ((k >> i) & 1) as u8).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Eq. 4 both ways: energies agree up to the returned offsets on
+    /// every configuration.
+    #[test]
+    fn conversion_energy_identity(q in qubo_problem()) {
+        let (ising, off) = qubo_to_ising(&q);
+        for bits in all_bits(N) {
+            let s = bits_to_spins(&bits);
+            prop_assert!((q.energy(&bits) - (ising.energy(&s) + off)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn reverse_conversion_energy_identity(p in ising_problem()) {
+        let (qubo, off) = ising_to_qubo(&p);
+        for bits in all_bits(N) {
+            let s = bits_to_spins(&bits);
+            prop_assert!((p.energy(&s) - (qubo.energy(&bits) + off)).abs() < 1e-9);
+        }
+    }
+
+    /// Conversions preserve the argmin set.
+    #[test]
+    fn conversion_preserves_ground_state(q in qubo_problem()) {
+        let (ising, _) = qubo_to_ising(&q);
+        let gs = exact_ground_state(&ising);
+        // The Ising ground state maps to a QUBO configuration attaining
+        // the QUBO minimum.
+        let qubo_min = all_bits(N)
+            .map(|b| q.energy(&b))
+            .fold(f64::INFINITY, f64::min);
+        for spins in &gs.ground_states {
+            let bits: Vec<u8> = spins.iter().map(|&s| ((s + 1) / 2) as u8).collect();
+            prop_assert!((q.energy(&bits) - qubo_min).abs() < 1e-6);
+        }
+    }
+
+    /// flip_delta equals the direct energy difference at random points.
+    #[test]
+    fn flip_delta_consistency(p in ising_problem(), k in 0u32..64, i in 0usize..N) {
+        let bits: Vec<u8> = (0..N).map(|b| ((k >> b) & 1) as u8).collect();
+        let mut spins = bits_to_spins(&bits);
+        let before = p.energy(&spins);
+        let delta = p.flip_delta(&spins, i);
+        spins[i] = -spins[i];
+        let after = p.energy(&spins);
+        prop_assert!(((after - before) - delta).abs() < 1e-9);
+    }
+
+    /// The exact solver's minimum lower-bounds every enumerated energy,
+    /// and the ranking is consistent with it.
+    #[test]
+    fn exact_is_a_lower_bound(p in ising_problem()) {
+        let sol = exact_ground_state(&p);
+        for bits in all_bits(N) {
+            let s = bits_to_spins(&bits);
+            prop_assert!(p.energy(&s) >= sol.energy - 1e-9);
+        }
+        let ranked = rank_all_solutions(&p, 1e-9);
+        prop_assert!((ranked[0].energy - sol.energy).abs() < 1e-9);
+        let total: usize = ranked.iter().map(|r| r.degeneracy).sum();
+        prop_assert_eq!(total, 1 << N);
+    }
+
+    /// Scaling by a positive constant preserves the ground-state set.
+    #[test]
+    fn scaling_preserves_argmin(p in ising_problem(), k in 0.1f64..10.0) {
+        let scaled = p.scaled(k);
+        let a = exact_ground_state(&p);
+        let b = exact_ground_state(&scaled);
+        prop_assert_eq!(a.ground_states, b.ground_states);
+        prop_assert!((b.energy - k * a.energy).abs() < 1e-6 * (1.0 + b.energy.abs()));
+    }
+}

@@ -1,0 +1,258 @@
+//! Householder QR decomposition for complex rectangular matrices.
+//!
+//! The Sphere Decoder (paper §2.1) rewrites the ML search
+//! `argmin ‖y − Hv‖²` as `argmin ‖ȳ − Rv‖²` with `H = QR`, `ȳ = Q*y`,
+//! `R` upper-triangular — turning detection into a depth-first tree walk.
+//! This module provides the *thin* QR used for that transformation.
+//!
+//! Householder reflections are used (rather than Gram–Schmidt) for
+//! numerical stability on the poorly-conditioned channels the paper
+//! stresses (Nt ≈ Nr, §5.4): each column is annihilated by a unitary
+//! reflection, so `Q` is orthonormal to machine precision regardless of
+//! the conditioning of `H`.
+
+use crate::{CMatrix, CVector, Complex};
+
+/// The result of a thin QR decomposition `A = Q·R` with
+/// `Q ∈ C^{m×n}` having orthonormal columns and `R ∈ C^{n×n}`
+/// upper-triangular with real non-negative diagonal.
+#[derive(Clone, Debug)]
+pub struct QrDecomposition {
+    /// Orthonormal factor (thin: `m × n`).
+    pub q: CMatrix,
+    /// Upper-triangular factor (`n × n`, real non-negative diagonal).
+    pub r: CMatrix,
+}
+
+impl QrDecomposition {
+    /// Computes the thin QR decomposition of `a` (`m × n`, `m ≥ n`).
+    ///
+    /// The diagonal of `R` is made real and non-negative by absorbing
+    /// phases into `Q`; sphere decoders rely on `r_kk > 0` to orient the
+    /// search interval at each tree level.
+    ///
+    /// # Panics
+    /// Panics if `a.rows() < a.cols()`.
+    pub fn compute(a: &CMatrix) -> QrDecomposition {
+        let m = a.rows();
+        let n = a.cols();
+        assert!(m >= n, "QR requires rows >= cols (got {m}x{n})");
+
+        // Work on a copy that becomes R (upper part), accumulating the
+        // product of Householder reflections into Q (started at identity
+        // of size m, thinned at the end).
+        let mut r = a.clone();
+        let mut q = CMatrix::identity(m);
+
+        for k in 0..n {
+            // Build the Householder vector for column k below the diagonal.
+            let mut x = Vec::with_capacity(m - k);
+            for i in k..m {
+                x.push(r[(i, k)]);
+            }
+            let norm_x = x.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+            if norm_x == 0.0 {
+                continue; // column already zero below (and at) the diagonal
+            }
+            // alpha = -exp(j·arg(x0)) · ‖x‖ ensures v = x − alpha·e1 is
+            // well-conditioned (no cancellation).
+            let x0 = x[0];
+            let phase = if x0 == Complex::ZERO {
+                Complex::ONE
+            } else {
+                x0 / x0.abs()
+            };
+            let alpha = -(phase * norm_x);
+            let mut v = x;
+            v[0] -= alpha;
+            let v_norm_sqr: f64 = v.iter().map(|z| z.norm_sqr()).sum();
+            if v_norm_sqr == 0.0 {
+                continue;
+            }
+
+            // Apply the reflection P = I − 2 v v* / ‖v‖² to R (rows k..m)
+            // and accumulate into Q (columns k..m of Q ← Q·P).
+            for c in k..n {
+                // w = v* · R[k.., c]
+                let mut w = Complex::ZERO;
+                for (i, vi) in v.iter().enumerate() {
+                    w += vi.conj() * r[(k + i, c)];
+                }
+                let w = w * (2.0 / v_norm_sqr);
+                for (i, vi) in v.iter().enumerate() {
+                    let delta = *vi * w;
+                    r[(k + i, c)] -= delta;
+                }
+            }
+            for row in 0..m {
+                // w = Q[row, k..] · v
+                let mut w = Complex::ZERO;
+                for (i, vi) in v.iter().enumerate() {
+                    w += q[(row, k + i)] * *vi;
+                }
+                let w = w * (2.0 / v_norm_sqr);
+                for (i, vi) in v.iter().enumerate() {
+                    let delta = w * vi.conj();
+                    q[(row, k + i)] -= delta;
+                }
+            }
+        }
+
+        // Make the diagonal of R real non-negative: R ← D*·R, Q ← Q·D with
+        // D = diag(phase(r_kk)).
+        for k in 0..n {
+            let d = r[(k, k)];
+            if d.im != 0.0 || d.re < 0.0 {
+                let mag = d.abs();
+                let phase = if mag == 0.0 { Complex::ONE } else { d / mag };
+                let pc = phase.conj();
+                for c in k..n {
+                    r[(k, c)] = pc * r[(k, c)];
+                }
+                for row in 0..m {
+                    q[(row, k)] *= phase;
+                }
+            }
+        }
+
+        // Thin: keep first n columns of Q, first n rows of R; zero out
+        // sub-diagonal rounding residue so R is exactly triangular.
+        let q_thin = CMatrix::from_fn(m, n, |i, j| q[(i, j)]);
+        let r_thin = CMatrix::from_fn(n, n, |i, j| if i <= j { r[(i, j)] } else { Complex::ZERO });
+        QrDecomposition { q: q_thin, r: r_thin }
+    }
+
+    /// Computes `ȳ = Q*·y`, the rotated receive vector of the sphere
+    /// decoder's tree-search metric.
+    pub fn rotate(&self, y: &CVector) -> CVector {
+        self.q.hermitian().mul_vec(y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::ComplexGaussian;
+    use crate::approx_eq;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_matrix(rng: &mut StdRng, m: usize, n: usize) -> CMatrix {
+        let g = ComplexGaussian::unit();
+        CMatrix::from_fn(m, n, |_, _| g.sample(rng))
+    }
+
+    fn assert_reconstructs(a: &CMatrix, tol: f64) {
+        let qr = QrDecomposition::compute(a);
+        let back = qr.q.mul_mat(&qr.r);
+        for r in 0..a.rows() {
+            for c in 0..a.cols() {
+                assert!(
+                    approx_eq(back[(r, c)].re, a[(r, c)].re, tol)
+                        && approx_eq(back[(r, c)].im, a[(r, c)].im, tol),
+                    "QR reconstruction mismatch at ({r},{c}): {} vs {}",
+                    back[(r, c)],
+                    a[(r, c)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reconstructs_square() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [1usize, 2, 3, 5, 8, 12] {
+            let a = random_matrix(&mut rng, n, n);
+            assert_reconstructs(&a, 1e-9);
+        }
+    }
+
+    #[test]
+    fn reconstructs_tall() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for (m, n) in [(3usize, 2usize), (8, 4), (16, 12), (96, 8)] {
+            let a = random_matrix(&mut rng, m, n);
+            assert_reconstructs(&a, 1e-9);
+        }
+    }
+
+    #[test]
+    fn q_columns_are_orthonormal() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = random_matrix(&mut rng, 10, 6);
+        let qr = QrDecomposition::compute(&a);
+        let g = qr.q.gram(); // should be I_6
+        for r in 0..6 {
+            for c in 0..6 {
+                let want = if r == c { 1.0 } else { 0.0 };
+                assert!(approx_eq(g[(r, c)].re, want, 1e-9), "gram({r},{c})={}", g[(r, c)]);
+                assert!(approx_eq(g[(r, c)].im, 0.0, 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn r_is_upper_triangular_with_nonneg_real_diagonal() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = random_matrix(&mut rng, 9, 9);
+        let qr = QrDecomposition::compute(&a);
+        for r in 0..9 {
+            assert!(qr.r[(r, r)].im.abs() < 1e-10, "diag not real");
+            assert!(qr.r[(r, r)].re >= 0.0, "diag negative");
+            for c in 0..r {
+                assert_eq!(qr.r[(r, c)], Complex::ZERO, "below-diagonal not zero");
+            }
+        }
+    }
+
+    #[test]
+    fn rotate_preserves_norm() {
+        // ‖Q*y‖ = ‖y‖ when y ∈ range(Q); for square A this holds for all y.
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = random_matrix(&mut rng, 7, 7);
+        let qr = QrDecomposition::compute(&a);
+        let g = ComplexGaussian::unit();
+        let y = CVector::from_fn(7, |_| g.sample(&mut rng));
+        let yr = qr.rotate(&y);
+        assert!(approx_eq(yr.norm_sqr(), y.norm_sqr(), 1e-9));
+    }
+
+    #[test]
+    fn sphere_metric_equivalence() {
+        // ‖y − Av‖² = ‖ȳ − Rv‖² for square A (the identity the sphere
+        // decoder's tree metric rests on).
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = random_matrix(&mut rng, 6, 6);
+        let qr = QrDecomposition::compute(&a);
+        let g = ComplexGaussian::unit();
+        let y = CVector::from_fn(6, |_| g.sample(&mut rng));
+        let v = CVector::from_fn(6, |_| g.sample(&mut rng));
+        let lhs = (&y - &a.mul_vec(&v)).norm_sqr();
+        let rhs = (&qr.rotate(&y) - &qr.r.mul_vec(&v)).norm_sqr();
+        assert!(approx_eq(lhs, rhs, 1e-8), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn handles_rank_deficient_column() {
+        // Second column is a multiple of the first; QR must still return
+        // a valid factorization (R with a ~zero diagonal entry).
+        let c0 = [Complex::real(1.0), Complex::real(2.0), Complex::real(-1.0)];
+        let c1: Vec<Complex> = c0.iter().map(|&z| z * 3.0).collect();
+        let a = CMatrix::from_fn(3, 2, |r, c| if c == 0 { c0[r] } else { c1[r] });
+        let qr = QrDecomposition::compute(&a);
+        let back = qr.q.mul_mat(&qr.r);
+        for r in 0..3 {
+            for c in 0..2 {
+                assert!(approx_eq(back[(r, c)].re, a[(r, c)].re, 1e-9));
+            }
+        }
+        assert!(qr.r[(1, 1)].abs() < 1e-9, "rank deficiency must surface in R");
+    }
+
+    #[test]
+    #[should_panic(expected = "rows >= cols")]
+    fn wide_matrix_panics() {
+        let a = CMatrix::zeros(2, 3);
+        let _ = QrDecomposition::compute(&a);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the linear-algebra substrate.
+//!
+//! These pin down the algebraic identities the detection pipeline relies
+//! on, over randomized shapes and values rather than hand-picked cases.
+
+use proptest::prelude::*;
+use quamax_linalg::{approx_eq, lu_solve, CMatrix, CVector, Complex, QrDecomposition};
+
+/// Strategy: a finite complex number with moderate magnitude.
+fn complex() -> impl Strategy<Value = Complex> {
+    (-10.0f64..10.0, -10.0f64..10.0).prop_map(|(re, im)| Complex::new(re, im))
+}
+
+/// Strategy: a vector of length `n`.
+fn cvector(n: usize) -> impl Strategy<Value = CVector> {
+    proptest::collection::vec(complex(), n).prop_map(CVector::from_vec)
+}
+
+/// Strategy: an `m × n` matrix.
+fn cmatrix(m: usize, n: usize) -> impl Strategy<Value = CMatrix> {
+    proptest::collection::vec(complex(), m * n).prop_map(move |d| CMatrix::from_vec(m, n, d))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Complex multiplication is commutative and associative (up to fp error).
+    #[test]
+    fn complex_ring_laws(a in complex(), b in complex(), c in complex()) {
+        let ab = a * b;
+        let ba = b * a;
+        prop_assert!(approx_eq(ab.re, ba.re, 1e-9) && approx_eq(ab.im, ba.im, 1e-9));
+        let l = (a * b) * c;
+        let r = a * (b * c);
+        prop_assert!(approx_eq(l.re, r.re, 1e-7) && approx_eq(l.im, r.im, 1e-7));
+    }
+
+    /// |z·w| = |z|·|w| and conj distributes over products.
+    #[test]
+    fn modulus_multiplicative(a in complex(), b in complex()) {
+        prop_assert!(approx_eq((a * b).abs(), a.abs() * b.abs(), 1e-9));
+        let lhs = (a * b).conj();
+        let rhs = a.conj() * b.conj();
+        prop_assert!(approx_eq(lhs.re, rhs.re, 1e-9) && approx_eq(lhs.im, rhs.im, 1e-9));
+    }
+
+    /// Cauchy–Schwarz: |⟨a,b⟩|² ≤ ‖a‖²·‖b‖².
+    #[test]
+    fn cauchy_schwarz(a in cvector(6), b in cvector(6)) {
+        let inner = a.dot(&b).norm_sqr();
+        let bound = a.norm_sqr() * b.norm_sqr();
+        prop_assert!(inner <= bound * (1.0 + 1e-9) + 1e-9);
+    }
+
+    /// Triangle inequality for the Euclidean norm.
+    #[test]
+    fn triangle_inequality(a in cvector(5), b in cvector(5)) {
+        let sum = &a + &b;
+        prop_assert!(sum.norm() <= a.norm() + b.norm() + 1e-9);
+    }
+
+    /// (AB)* = B*A* — the identity used when forming Gram matrices.
+    #[test]
+    fn hermitian_antidistributes(a in cmatrix(3, 4), b in cmatrix(4, 2)) {
+        let lhs = a.mul_mat(&b).hermitian();
+        let rhs = b.hermitian().mul_mat(&a.hermitian());
+        for r in 0..2 {
+            for c in 0..3 {
+                prop_assert!(approx_eq(lhs[(r, c)].re, rhs[(r, c)].re, 1e-7));
+                prop_assert!(approx_eq(lhs[(r, c)].im, rhs[(r, c)].im, 1e-7));
+            }
+        }
+    }
+
+    /// Matrix–vector product is linear: A(x + k·y) = Ax + k·Ay.
+    #[test]
+    fn matvec_linearity(a in cmatrix(4, 3), x in cvector(3), y in cvector(3), k in complex()) {
+        let lhs = a.mul_vec(&(&x + &y.scale(k)));
+        let rhs = &a.mul_vec(&x) + &a.mul_vec(&y).scale(k);
+        for i in 0..4 {
+            prop_assert!(approx_eq(lhs[i].re, rhs[i].re, 1e-6));
+            prop_assert!(approx_eq(lhs[i].im, rhs[i].im, 1e-6));
+        }
+    }
+
+    /// QR reconstructs A and Q has orthonormal columns, for random tall shapes.
+    #[test]
+    fn qr_reconstruction(a in cmatrix(7, 4)) {
+        let qr = QrDecomposition::compute(&a);
+        let back = qr.q.mul_mat(&qr.r);
+        for r in 0..7 {
+            for c in 0..4 {
+                prop_assert!(approx_eq(back[(r, c)].re, a[(r, c)].re, 1e-6));
+                prop_assert!(approx_eq(back[(r, c)].im, a[(r, c)].im, 1e-6));
+            }
+        }
+        let g = qr.q.gram();
+        for r in 0..4 {
+            for c in 0..4 {
+                let want = if r == c { 1.0 } else { 0.0 };
+                prop_assert!(approx_eq(g[(r, c)].re, want, 1e-7));
+                prop_assert!(approx_eq(g[(r, c)].im, 0.0, 1e-7));
+            }
+        }
+    }
+
+    /// The sphere-decoder metric identity ‖y − Av‖² = ‖Q*y − Rv‖² (square A).
+    #[test]
+    fn qr_metric_identity(a in cmatrix(5, 5), y in cvector(5), v in cvector(5)) {
+        let qr = QrDecomposition::compute(&a);
+        let lhs = (&y - &a.mul_vec(&v)).norm_sqr();
+        let rhs = (&qr.rotate(&y) - &qr.r.mul_vec(&v)).norm_sqr();
+        // Tolerance scales with the magnitude of the metric itself.
+        prop_assert!(approx_eq(lhs, rhs, 1e-6), "{lhs} vs {rhs}");
+    }
+
+    /// LU solve returns a genuine solution whenever it returns at all.
+    #[test]
+    fn lu_residual_is_small(a in cmatrix(5, 5), b in cvector(5)) {
+        if let Ok(x) = lu_solve(&a, &b) {
+            let residual = (&a.mul_vec(&x) - &b).norm();
+            let scale = a.norm_one().max(1.0) * x.norm().max(1.0);
+            prop_assert!(residual <= 1e-6 * scale, "residual={residual} scale={scale}");
+        }
+    }
+}

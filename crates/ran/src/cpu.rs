@@ -1,0 +1,108 @@
+//! The data-center CPU pool running classical detectors.
+//!
+//! Models a BigStation-style software pipeline: a pool of identical
+//! cores, each decoding one subcarrier at a time, with service times
+//! from the paper-era cost models in `baselines::timing`. Perfectly
+//! parallel across subcarriers (BigStation's design point), so a
+//! frame's service time is the per-subcarrier time × ⌈problems/cores⌉.
+
+use quamax_baselines::timing::{sphere_time_us, zf_time_us};
+
+/// Which detector the pool runs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CpuPolicy {
+    /// Zero-forcing with the filter amortized over
+    /// `vectors_per_channel` uses.
+    ZeroForcing {
+        /// Received vectors sharing one filter computation.
+        vectors_per_channel: usize,
+    },
+    /// Sphere decoding with an expected visited-node count (workload-
+    /// dependent; Table 1 supplies representative values).
+    Sphere {
+        /// Mean visited nodes per subcarrier problem.
+        expected_nodes: u64,
+    },
+}
+
+/// A pool of identical cores serving decode jobs FIFO.
+#[derive(Clone, Debug)]
+pub struct CpuPool {
+    cores: usize,
+    policy: CpuPolicy,
+    busy_until_us: f64,
+}
+
+impl CpuPool {
+    /// A pool of `cores` cores under the given policy.
+    pub fn new(cores: usize, policy: CpuPolicy) -> Self {
+        assert!(cores > 0, "need at least one core");
+        CpuPool { cores, policy, busy_until_us: 0.0 }
+    }
+
+    /// Per-subcarrier decode time, µs.
+    pub fn per_problem_us(&self, users: usize) -> f64 {
+        match self.policy {
+            CpuPolicy::ZeroForcing { vectors_per_channel } => {
+                zf_time_us(users, users, vectors_per_channel)
+            }
+            CpuPolicy::Sphere { expected_nodes } => sphere_time_us(expected_nodes),
+        }
+    }
+
+    /// Service time for one frame of `problems` subcarriers.
+    pub fn service_time_us(&self, problems: usize, users: usize) -> f64 {
+        let waves = problems.div_ceil(self.cores) as f64;
+        waves * self.per_problem_us(users)
+    }
+
+    /// Enqueues a frame arriving at `now_us`; returns completion time.
+    pub fn enqueue(&mut self, now_us: f64, problems: usize, users: usize) -> f64 {
+        let start = now_us.max(self.busy_until_us);
+        let done = start + self.service_time_us(problems, users);
+        self.busy_until_us = done;
+        done
+    }
+
+    /// Resets the pool clock.
+    pub fn reset(&mut self) {
+        self.busy_until_us = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_cores_cut_frame_time() {
+        let policy = CpuPolicy::ZeroForcing { vectors_per_channel: 1 };
+        let one = CpuPool::new(1, policy).service_time_us(50, 48);
+        let ten = CpuPool::new(10, policy).service_time_us(50, 48);
+        assert!((one / ten - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sphere_policy_uses_node_model() {
+        let pool = CpuPool::new(1, CpuPolicy::Sphere { expected_nodes: 1_900 });
+        // Table 1's hard row: ≈ 190 µs per subcarrier.
+        assert!((pool.per_problem_us(30) - 190.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fifo_backlog_accumulates() {
+        let mut pool = CpuPool::new(4, CpuPolicy::ZeroForcing { vectors_per_channel: 1 });
+        let t1 = pool.enqueue(0.0, 8, 12);
+        let t2 = pool.enqueue(0.0, 8, 12);
+        assert!(t2 > t1);
+        pool.reset();
+        let t3 = pool.enqueue(0.0, 8, 12);
+        assert!((t3 - t1).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_panics() {
+        let _ = CpuPool::new(0, CpuPolicy::Sphere { expected_nodes: 1 });
+    }
+}

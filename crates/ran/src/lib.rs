@@ -1,0 +1,31 @@
+//! Centralized RAN substrate (§1, §7).
+//!
+//! QuAMax's deployment story is a C-RAN: access points forward uplink
+//! samples over low-latency fronthaul to a data center where physical-
+//! layer processing is aggregated — and where a QPU sits next to the
+//! CPU pool. This crate models that system far enough to ask the
+//! paper's §7 question quantitatively: *with which overheads does QA
+//! decoding meet wireless deadlines?*
+//!
+//! * [`topology`] — APs, their load (users, modulation, subcarriers),
+//!   fronthaul latency, and the radio-technology deadlines the paper
+//!   quotes (tens of µs for Wi-Fi ACKs, 3 ms LTE HARQ, 10 ms WCDMA);
+//! * [`qpu`] — a QPU server with the paper's measured overhead stack
+//!   (≈40 ms preprocessing, ≈7 ms programming, 0.125 ms readout per
+//!   anneal) that can be toggled off to model the paper's envisioned
+//!   integrated system;
+//! * [`cpu`] — a multi-core CPU pool running the classical baselines
+//!   (ZF or Sphere-Decoder service times from `baselines::timing`);
+//! * [`sim`] — a deterministic discrete-event simulation dispatching
+//!   per-subcarrier decode jobs to either server and scoring deadline
+//!   compliance.
+
+pub mod cpu;
+pub mod qpu;
+pub mod sim;
+pub mod topology;
+
+pub use cpu::{CpuPolicy, CpuPool};
+pub use qpu::{QpuOverheads, QpuServer};
+pub use sim::{FrameRecord, Server, SimReport, Simulation};
+pub use topology::{AccessPoint, Deadline, FronthaulConfig};

@@ -1,0 +1,245 @@
+//! Deterministic discrete-event simulation of the C-RAN uplink.
+//!
+//! Frames arrive periodically at each AP, cross the fronthaul, queue at
+//! the chosen data-center server (QPU or CPU pool), and are scored
+//! against their radio deadline on completion (including the return
+//! fronthaul hop for the ACK/feedback). The simulation answers §7's
+//! deployment question: with today's QPU overheads nothing meets a
+//! deadline; with an integrated device, QA decoding fits even Wi-Fi
+//! budgets for problems that parallelize on-chip.
+
+use crate::cpu::CpuPool;
+use crate::qpu::QpuServer;
+use crate::topology::{AccessPoint, FronthaulConfig};
+
+/// Which server a simulation dispatches to.
+pub enum Server {
+    /// The quantum annealer.
+    Qpu(QpuServer),
+    /// The classical pool.
+    Cpu(CpuPool),
+}
+
+/// One decoded frame's fate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FrameRecord {
+    /// Originating AP.
+    pub ap_id: usize,
+    /// Arrival time at the AP antenna, µs.
+    pub arrival_us: f64,
+    /// Total latency from arrival to feedback availability at the AP.
+    pub latency_us: f64,
+    /// Whether the radio deadline was met.
+    pub met_deadline: bool,
+}
+
+/// Aggregate results of one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct SimReport {
+    /// Per-frame records in completion order.
+    pub frames: Vec<FrameRecord>,
+}
+
+impl SimReport {
+    /// Fraction of frames meeting their deadline.
+    pub fn deadline_rate(&self) -> f64 {
+        if self.frames.is_empty() {
+            return 0.0;
+        }
+        self.frames.iter().filter(|f| f.met_deadline).count() as f64 / self.frames.len() as f64
+    }
+
+    /// Worst-case frame latency, µs.
+    pub fn max_latency_us(&self) -> f64 {
+        self.frames.iter().map(|f| f.latency_us).fold(0.0, f64::max)
+    }
+
+    /// Mean frame latency, µs.
+    pub fn mean_latency_us(&self) -> f64 {
+        if self.frames.is_empty() {
+            return 0.0;
+        }
+        self.frames.iter().map(|f| f.latency_us).sum::<f64>() / self.frames.len() as f64
+    }
+}
+
+/// The uplink simulation.
+pub struct Simulation {
+    aps: Vec<AccessPoint>,
+    fronthaul: FronthaulConfig,
+    server: Server,
+}
+
+impl Simulation {
+    /// Builds a simulation over `aps` dispatching every frame to
+    /// `server`.
+    pub fn new(aps: Vec<AccessPoint>, fronthaul: FronthaulConfig, server: Server) -> Self {
+        assert!(!aps.is_empty(), "need at least one access point");
+        Simulation { aps, fronthaul, server }
+    }
+
+    /// Runs for `horizon_us` of simulated time, generating each AP's
+    /// periodic frames and serving them FIFO in global arrival order.
+    pub fn run(&mut self, horizon_us: f64) -> SimReport {
+        assert!(horizon_us > 0.0, "empty horizon");
+        // Generate all arrivals up front (periodic, deterministic),
+        // then process in time order — with FIFO servers this is
+        // exactly the event-driven schedule.
+        let mut arrivals: Vec<(f64, usize)> = Vec::new();
+        for (idx, ap) in self.aps.iter().enumerate() {
+            let mut t = ap.frame_interval_us; // first frame after one interval
+            while t <= horizon_us {
+                arrivals.push((t, idx));
+                t += ap.frame_interval_us;
+            }
+        }
+        arrivals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+
+        match &mut self.server {
+            Server::Qpu(q) => q.reset(),
+            Server::Cpu(c) => c.reset(),
+        }
+
+        let mut report = SimReport::default();
+        let hop = self.fronthaul.one_way_latency_us;
+        for (arrival, idx) in arrivals {
+            let ap = &self.aps[idx];
+            let at_dc = arrival + hop;
+            let done_dc = match &mut self.server {
+                Server::Qpu(q) => {
+                    q.enqueue(at_dc, ap.problems_per_frame(), ap.logical_vars())
+                }
+                Server::Cpu(c) => c.enqueue(at_dc, ap.problems_per_frame(), ap.users),
+            };
+            let done_at_ap = done_dc + hop;
+            let latency = done_at_ap - arrival;
+            report.frames.push(FrameRecord {
+                ap_id: ap.id,
+                arrival_us: arrival,
+                latency_us: latency,
+                met_deadline: latency <= ap.deadline.budget_us(),
+            });
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::CpuPolicy;
+    use crate::qpu::QpuOverheads;
+    use crate::topology::Deadline;
+    use quamax_wireless::Modulation;
+
+    fn wifi_ap(id: usize, interval_us: f64) -> AccessPoint {
+        AccessPoint {
+            id,
+            users: 16,
+            modulation: Modulation::Bpsk,
+            subcarriers: 50,
+            frame_interval_us: interval_us,
+            deadline: Deadline::WifiAck,
+        }
+    }
+
+    #[test]
+    fn integrated_qpu_meets_wifi_deadlines() {
+        // 16-var BPSK problems tile ~24×: 50 subcarriers ≈ 3 batches of
+        // 5 anneals × 2 µs = 30 µs? With 5 anneals per problem:
+        // 3 × 5 × 2 = 30 µs < 30 µs budget − 10 µs fronthaul? Use 4
+        // anneals to leave headroom.
+        let server = Server::Qpu(QpuServer::new(QpuOverheads::integrated(), 2.0, 3));
+        let mut sim = Simulation::new(
+            vec![wifi_ap(0, 1_000.0)],
+            FronthaulConfig { one_way_latency_us: 2.0 },
+            server,
+        );
+        let report = sim.run(20_000.0);
+        assert_eq!(report.frames.len(), 20);
+        assert_eq!(report.deadline_rate(), 1.0, "max latency {}", report.max_latency_us());
+    }
+
+    #[test]
+    fn current_overheads_miss_every_wireless_deadline() {
+        // §7: "QuAMax cannot be deployed today".
+        let server = Server::Qpu(QpuServer::new(QpuOverheads::current_dw2q(), 2.0, 3));
+        let mut sim = Simulation::new(
+            vec![AccessPoint { deadline: Deadline::Wcdma, ..wifi_ap(0, 100_000.0) }],
+            FronthaulConfig::default(),
+            server,
+        );
+        let report = sim.run(500_000.0);
+        assert!(!report.frames.is_empty());
+        assert_eq!(report.deadline_rate(), 0.0);
+    }
+
+    #[test]
+    fn overloaded_server_builds_backlog() {
+        // Frames every 10 µs against ~30 µs service: latency must grow.
+        let server = Server::Qpu(QpuServer::new(QpuOverheads::integrated(), 2.0, 3));
+        let mut sim = Simulation::new(
+            vec![wifi_ap(0, 10.0)],
+            FronthaulConfig::default(),
+            server,
+        );
+        let report = sim.run(2_000.0);
+        let first = report.frames.first().unwrap().latency_us;
+        let last = report.frames.last().unwrap().latency_us;
+        assert!(last > 3.0 * first, "backlog did not grow: {first} → {last}");
+    }
+
+    #[test]
+    fn cpu_pool_meets_lte_but_not_wifi_for_large_mimo() {
+        // 48-user ZF on 8 cores: ~0.1–1 ms per frame — fine for LTE's
+        // 3 ms, hopeless for a Wi-Fi ACK.
+        let ap = AccessPoint {
+            id: 0,
+            users: 48,
+            modulation: Modulation::Bpsk,
+            subcarriers: 50,
+            frame_interval_us: 2_000.0,
+            deadline: Deadline::Lte,
+        };
+        let mut wifi_variant = ap.clone();
+        wifi_variant.deadline = Deadline::WifiAck;
+
+        let mut sim_lte = Simulation::new(
+            vec![ap],
+            FronthaulConfig::default(),
+            Server::Cpu(CpuPool::new(8, CpuPolicy::ZeroForcing { vectors_per_channel: 1 })),
+        );
+        assert_eq!(sim_lte.run(20_000.0).deadline_rate(), 1.0);
+
+        let mut sim_wifi = Simulation::new(
+            vec![wifi_variant],
+            FronthaulConfig::default(),
+            Server::Cpu(CpuPool::new(8, CpuPolicy::ZeroForcing { vectors_per_channel: 1 })),
+        );
+        assert_eq!(sim_wifi.run(20_000.0).deadline_rate(), 0.0);
+    }
+
+    #[test]
+    fn multiple_aps_share_the_server() {
+        let server = Server::Qpu(QpuServer::new(QpuOverheads::integrated(), 2.0, 3));
+        let mut sim = Simulation::new(
+            vec![wifi_ap(0, 500.0), wifi_ap(1, 700.0)],
+            FronthaulConfig::default(),
+            server,
+        );
+        let report = sim.run(10_000.0);
+        let ap0 = report.frames.iter().filter(|f| f.ap_id == 0).count();
+        let ap1 = report.frames.iter().filter(|f| f.ap_id == 1).count();
+        assert_eq!(ap0, 20);
+        assert_eq!(ap1, 14);
+        assert!(report.mean_latency_us() > 0.0);
+    }
+
+    #[test]
+    fn report_statistics_on_empty_run() {
+        let report = SimReport::default();
+        assert_eq!(report.deadline_rate(), 0.0);
+        assert_eq!(report.max_latency_us(), 0.0);
+        assert_eq!(report.mean_latency_us(), 0.0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Uplink MIMO channel models.
+//!
+//! Two synthetic models cover the paper's §5.3/§5.4 evaluations:
+//!
+//! * [`rayleigh_channel`] — i.i.d. `CN(0,1)` taps, the classic
+//!   rich-scattering model behind Table 1's complexity measurements;
+//! * [`unit_gain_random_phase_channel`] — entries `e^{jθ}` with uniform
+//!   random phase: the paper's "unit fixed channel gain and average
+//!   transmitted power … random-phase channel" instances used to
+//!   characterize the annealer itself without amplitude fading.
+//!
+//! Measured-trace channels (§5.5) live in [`crate::trace`].
+
+use quamax_linalg::rng::ComplexGaussian;
+use quamax_linalg::{CMatrix, Complex};
+use rand::Rng;
+
+/// Draws an `nr × nt` i.i.d. Rayleigh channel: each tap `CN(0, 1)`.
+pub fn rayleigh_channel<R: Rng + ?Sized>(nr: usize, nt: usize, rng: &mut R) -> CMatrix {
+    let g = ComplexGaussian::unit();
+    CMatrix::from_fn(nr, nt, |_, _| g.sample(rng))
+}
+
+/// Draws an `nr × nt` unit-gain random-phase channel: each tap `e^{jθ}`,
+/// `θ ~ U[0, 2π)`. Every tap has exactly unit magnitude, isolating the
+/// annealer's behaviour from amplitude fading (paper §5.3).
+pub fn unit_gain_random_phase_channel<R: Rng + ?Sized>(
+    nr: usize,
+    nt: usize,
+    rng: &mut R,
+) -> CMatrix {
+    CMatrix::from_fn(nr, nt, |_, _| {
+        Complex::from_phase(rng.random_range(0.0..std::f64::consts::TAU))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rayleigh_has_unit_tap_power() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let h = rayleigh_channel(64, 64, &mut rng);
+        let avg = h.frobenius_sqr() / (64.0 * 64.0);
+        assert!((avg - 1.0).abs() < 0.05, "E|h|²={avg}");
+    }
+
+    #[test]
+    fn rayleigh_taps_are_uncorrelated_across_antennas() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let h = rayleigh_channel(2000, 2, &mut rng);
+        // Sample correlation between the two columns should be ~0.
+        let c0 = h.col(0);
+        let c1 = h.col(1);
+        let corr = c0.dot(&c1).abs() / (c0.norm() * c1.norm());
+        assert!(corr < 0.1, "cross-correlation {corr}");
+    }
+
+    #[test]
+    fn random_phase_taps_have_exactly_unit_gain() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let h = unit_gain_random_phase_channel(12, 12, &mut rng);
+        for r in 0..12 {
+            for c in 0..12 {
+                assert!((h[(r, c)].abs() - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn random_phase_is_phase_uniform() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let h = unit_gain_random_phase_channel(100, 100, &mut rng);
+        // Mean of e^{jθ} over uniform θ is 0: the empirical mean must be
+        // small for 10k samples.
+        let mean = h.as_slice().iter().copied().sum::<Complex>() / (100.0 * 100.0);
+        assert!(mean.abs() < 0.05, "mean tap {mean}");
+    }
+
+    #[test]
+    fn seeded_channels_are_reproducible() {
+        let h1 = rayleigh_channel(4, 4, &mut StdRng::seed_from_u64(9));
+        let h2 = rayleigh_channel(4, 4, &mut StdRng::seed_from_u64(9));
+        assert_eq!(h1, h2);
+    }
+}

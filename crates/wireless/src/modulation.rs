@@ -1,0 +1,369 @@
+//! Constellations: the transmitter's Gray mapping and the receiver's
+//! QuAMax transform.
+//!
+//! The paper's variable-to-symbol transform `T` (§3.2.1) is *linear* in
+//! the QUBO bits — `T = 2q−1` for BPSK, `(2q₁−1) + j(2q₂−1)` for QPSK,
+//! `(4q₁+2q₂−3) + j(4q₃+2q₄−3)` for 16-QAM — because linearity is what
+//! keeps the expanded ML norm quadratic. The generalization to
+//! `4^n`-QAM is the binary-weighted PAM map `level = 2k − (L−1)` with
+//! `k` the binary value of the dimension's bits and `L` levels per
+//! dimension. Gray mapping applies `k → gray⁻¹` indexing instead.
+
+use crate::gray::{binary_to_gray, bits_to_index, gray_to_binary, index_to_bits};
+use quamax_linalg::{CVector, Complex};
+
+/// A modulation scheme from the paper's evaluation set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Modulation {
+    /// Binary phase shift keying, symbols {±1} (1 bit/symbol).
+    Bpsk,
+    /// Quadrature phase shift keying, symbols {±1±j} (2 bits/symbol).
+    Qpsk,
+    /// 16-QAM, levels {−3,−1,+1,+3} per dimension (4 bits/symbol).
+    Qam16,
+    /// 64-QAM, levels {−7..+7} per dimension (6 bits/symbol). The paper
+    /// sizes it for Table 2 but cannot fit it on the 2000Q; included for
+    /// the qubit-footprint analysis and for forward-looking experiments.
+    Qam64,
+}
+
+impl Modulation {
+    /// All schemes, in increasing spectral efficiency.
+    pub const ALL: [Modulation; 4] =
+        [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64];
+
+    /// Bits per symbol (`Q = log₂|O|`).
+    pub fn bits_per_symbol(self) -> usize {
+        match self {
+            Modulation::Bpsk => 1,
+            Modulation::Qpsk => 2,
+            Modulation::Qam16 => 4,
+            Modulation::Qam64 => 6,
+        }
+    }
+
+    /// Constellation size `|O| = 2^Q`.
+    pub fn order(self) -> usize {
+        1 << self.bits_per_symbol()
+    }
+
+    /// Number of I/Q dimensions actually used (BPSK is real-valued).
+    pub fn dimensions(self) -> usize {
+        if self == Modulation::Bpsk {
+            1
+        } else {
+            2
+        }
+    }
+
+    /// PAM levels per used dimension (`L`).
+    pub fn levels_per_dimension(self) -> usize {
+        match self {
+            Modulation::Bpsk | Modulation::Qpsk => 2,
+            Modulation::Qam16 => 4,
+            Modulation::Qam64 => 8,
+        }
+    }
+
+    /// Bits per used dimension.
+    pub fn bits_per_dimension(self) -> usize {
+        self.bits_per_symbol() / self.dimensions()
+    }
+
+    /// Mean symbol energy `E[|v|²]` over the (unnormalized) constellation:
+    /// 1, 2, 10, 42 for BPSK..64-QAM. Per-dimension PAM mean-square is
+    /// `(L²−1)/3`.
+    pub fn mean_symbol_energy(self) -> f64 {
+        let l = self.levels_per_dimension() as f64;
+        let per_dim = (l * l - 1.0) / 3.0;
+        per_dim * self.dimensions() as f64
+    }
+
+    /// Human-readable name as printed in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Modulation::Bpsk => "BPSK",
+            Modulation::Qpsk => "QPSK",
+            Modulation::Qam16 => "16-QAM",
+            Modulation::Qam64 => "64-QAM",
+        }
+    }
+
+    /// Maps one symbol's bits to a constellation point using the
+    /// transmitter's **Gray** mapping (Fig. 2(d) for 16-QAM).
+    ///
+    /// # Panics
+    /// Panics unless `bits.len() == self.bits_per_symbol()`.
+    pub fn map_gray(self, bits: &[u8]) -> Complex {
+        self.map_with(bits, |k, _| gray_to_binary(k))
+    }
+
+    /// Maps one symbol's bits using the receiver-side **QuAMax transform**
+    /// `T` (Fig. 2(a)): binary-weighted levels, linear in the bits.
+    pub fn map_quamax(self, bits: &[u8]) -> Complex {
+        self.map_with(bits, |k, _| k)
+    }
+
+    fn map_with(self, bits: &[u8], to_binary_index: impl Fn(u32, usize) -> u32) -> Complex {
+        assert_eq!(
+            bits.len(),
+            self.bits_per_symbol(),
+            "{}: expected {} bits",
+            self.name(),
+            self.bits_per_symbol()
+        );
+        let l = self.levels_per_dimension() as i32;
+        let per_dim = self.bits_per_dimension();
+        let level = |dim_bits: &[u8]| -> f64 {
+            let k = to_binary_index(bits_to_index(dim_bits), per_dim);
+            (2 * k as i32 - (l - 1)) as f64
+        };
+        match self.dimensions() {
+            1 => Complex::real(level(bits)),
+            _ => Complex::new(level(&bits[..per_dim]), level(&bits[per_dim..])),
+        }
+    }
+
+    /// Hard-decision slicer: nearest constellation point to `z`, returned
+    /// as **Gray** bits. This is the demapper behind the ZF/MMSE
+    /// baselines.
+    pub fn demap_gray(self, z: Complex) -> Vec<u8> {
+        let per_dim = self.bits_per_dimension();
+        let slice_dim = |x: f64| -> Vec<u8> {
+            let l = self.levels_per_dimension() as i32;
+            // level = 2k − (L−1) → k = (x + L − 1)/2, clamped to range.
+            let k = ((x + (l - 1) as f64) / 2.0).round() as i64;
+            let k = k.clamp(0, (l - 1) as i64) as u32;
+            index_to_bits(binary_to_gray(k), per_dim)
+        };
+        let mut bits = slice_dim(z.re);
+        if self.dimensions() == 2 {
+            bits.extend(slice_dim(z.im));
+        }
+        bits
+    }
+
+    /// Enumerates the whole constellation as `(gray_bits, symbol)` pairs,
+    /// in bit-index order. Used by exhaustive ML search and tests.
+    pub fn constellation(self) -> Vec<(Vec<u8>, Complex)> {
+        let q = self.bits_per_symbol();
+        (0..(1u32 << q))
+            .map(|k| {
+                let bits = index_to_bits(k, q);
+                let sym = self.map_gray(&bits);
+                (bits, sym)
+            })
+            .collect()
+    }
+
+    /// Maps a whole user bit-vector (length `Nt·Q`) to the transmitted
+    /// symbol vector `v̄ ∈ O^{Nt}` with Gray mapping.
+    pub fn map_gray_vector(self, bits: &[u8]) -> CVector {
+        let q = self.bits_per_symbol();
+        assert_eq!(bits.len() % q, 0, "bit vector length must be a multiple of {q}");
+        bits.chunks(q).map(|chunk| self.map_gray(chunk)).collect()
+    }
+
+    /// Maps a whole QUBO-variable vector to symbols with the QuAMax
+    /// transform (the `e = [T(q₁),…,T(q_Nt)]ᵀ` of Eq. 5).
+    pub fn map_quamax_vector(self, bits: &[u8]) -> CVector {
+        let q = self.bits_per_symbol();
+        assert_eq!(bits.len() % q, 0, "bit vector length must be a multiple of {q}");
+        bits.chunks(q).map(|chunk| self.map_quamax(chunk)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gray::quamax_bits_to_gray;
+
+    #[test]
+    fn bits_per_symbol_and_order() {
+        assert_eq!(Modulation::Bpsk.bits_per_symbol(), 1);
+        assert_eq!(Modulation::Qpsk.bits_per_symbol(), 2);
+        assert_eq!(Modulation::Qam16.bits_per_symbol(), 4);
+        assert_eq!(Modulation::Qam64.bits_per_symbol(), 6);
+        assert_eq!(Modulation::Qam16.order(), 16);
+    }
+
+    #[test]
+    fn mean_symbol_energy_matches_closed_form() {
+        assert_eq!(Modulation::Bpsk.mean_symbol_energy(), 1.0);
+        assert_eq!(Modulation::Qpsk.mean_symbol_energy(), 2.0);
+        assert_eq!(Modulation::Qam16.mean_symbol_energy(), 10.0);
+        assert_eq!(Modulation::Qam64.mean_symbol_energy(), 42.0);
+        // Cross-check against the constellation average.
+        for m in Modulation::ALL {
+            let pts = m.constellation();
+            let avg: f64 =
+                pts.iter().map(|(_, s)| s.norm_sqr()).sum::<f64>() / pts.len() as f64;
+            assert!((avg - m.mean_symbol_energy()).abs() < 1e-12, "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn bpsk_maps() {
+        assert_eq!(Modulation::Bpsk.map_gray(&[0]), Complex::real(-1.0));
+        assert_eq!(Modulation::Bpsk.map_gray(&[1]), Complex::real(1.0));
+        // T(q) = 2q − 1: same as Gray for one bit.
+        assert_eq!(Modulation::Bpsk.map_quamax(&[0]), Complex::real(-1.0));
+        assert_eq!(Modulation::Bpsk.map_quamax(&[1]), Complex::real(1.0));
+    }
+
+    #[test]
+    fn qpsk_maps() {
+        // T(q) = (2q₁−1) + j(2q₂−1).
+        assert_eq!(Modulation::Qpsk.map_quamax(&[0, 0]), Complex::new(-1.0, -1.0));
+        assert_eq!(Modulation::Qpsk.map_quamax(&[1, 0]), Complex::new(1.0, -1.0));
+        assert_eq!(Modulation::Qpsk.map_quamax(&[0, 1]), Complex::new(-1.0, 1.0));
+        assert_eq!(Modulation::Qpsk.map_quamax(&[1, 1]), Complex::new(1.0, 1.0));
+        // One bit per dimension: Gray = QuAMax for QPSK.
+        for k in 0..4u32 {
+            let bits = crate::gray::index_to_bits(k, 2);
+            assert_eq!(Modulation::Qpsk.map_gray(&bits), Modulation::Qpsk.map_quamax(&bits));
+        }
+    }
+
+    #[test]
+    fn qam16_quamax_transform_is_fig2a() {
+        // T = (4q₁+2q₂−3) + j(4q₃+2q₄−3).
+        let m = Modulation::Qam16;
+        assert_eq!(m.map_quamax(&[0, 0, 0, 0]), Complex::new(-3.0, -3.0));
+        assert_eq!(m.map_quamax(&[0, 1, 0, 0]), Complex::new(-1.0, -3.0));
+        assert_eq!(m.map_quamax(&[1, 0, 0, 0]), Complex::new(1.0, -3.0));
+        assert_eq!(m.map_quamax(&[1, 1, 0, 0]), Complex::new(3.0, -3.0));
+        assert_eq!(m.map_quamax(&[1, 1, 1, 1]), Complex::new(3.0, 3.0));
+        assert_eq!(m.map_quamax(&[0, 0, 1, 1]), Complex::new(-3.0, 3.0));
+    }
+
+    #[test]
+    fn qam16_gray_mapping_is_fig2d() {
+        // Gray 1-D: 00→−3, 01→−1, 11→+1, 10→+3.
+        let m = Modulation::Qam16;
+        assert_eq!(m.map_gray(&[0, 0, 0, 0]), Complex::new(-3.0, -3.0));
+        assert_eq!(m.map_gray(&[0, 1, 0, 0]), Complex::new(-1.0, -3.0));
+        assert_eq!(m.map_gray(&[1, 1, 0, 0]), Complex::new(1.0, -3.0));
+        assert_eq!(m.map_gray(&[1, 0, 0, 0]), Complex::new(3.0, -3.0));
+        assert_eq!(m.map_gray(&[1, 0, 1, 0]), Complex::new(3.0, 3.0));
+    }
+
+    #[test]
+    fn quamax_transform_is_linear_in_bits() {
+        // T(q) − T(0) must be a sum of per-bit contributions: check
+        // superposition on every modulation.
+        for m in Modulation::ALL {
+            let q = m.bits_per_symbol();
+            let zero = vec![0u8; q];
+            let base = m.map_quamax(&zero);
+            for k in 0..(1u32 << q) {
+                let bits = crate::gray::index_to_bits(k, q);
+                let direct = m.map_quamax(&bits) - base;
+                let mut sum = Complex::ZERO;
+                for (i, &b) in bits.iter().enumerate() {
+                    if b == 1 {
+                        let mut one = zero.clone();
+                        one[i] = 1;
+                        sum += m.map_quamax(&one) - base;
+                    }
+                }
+                assert!(
+                    (direct - sum).abs() < 1e-12,
+                    "{}: k={k:b} not linear",
+                    m.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gray_mapping_is_not_linear_for_qam16() {
+        // The reason QuAMax exists: the Gray map violates superposition.
+        let m = Modulation::Qam16;
+        let base = m.map_gray(&[0, 0, 0, 0]);
+        let b1000 = m.map_gray(&[1, 0, 0, 0]) - base;
+        let b0100 = m.map_gray(&[0, 1, 0, 0]) - base;
+        let direct = m.map_gray(&[1, 1, 0, 0]) - base;
+        assert!((direct - (b1000 + b0100)).abs() > 0.5);
+    }
+
+    #[test]
+    fn translation_bridges_the_two_maps() {
+        // map_gray(quamax_bits_to_gray(q)) == map_quamax(q): the Fig. 2
+        // translation makes the receiver's bits agree with the
+        // transmitter's for every constellation point, every modulation.
+        for m in Modulation::ALL {
+            let q = m.bits_per_symbol();
+            for k in 0..(1u32 << q) {
+                let qubo_bits = crate::gray::index_to_bits(k, q);
+                let gray_bits = quamax_bits_to_gray(&qubo_bits);
+                assert_eq!(
+                    m.map_gray(&gray_bits),
+                    m.map_quamax(&qubo_bits),
+                    "{} k={k:b}",
+                    m.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gray_adjacent_symbols_differ_in_one_bit() {
+        // Horizontally adjacent 16-QAM points under Gray labels.
+        let m = Modulation::Qam16;
+        let pts = m.constellation();
+        for (bits_a, sym_a) in &pts {
+            for (bits_b, sym_b) in &pts {
+                let d = *sym_a - *sym_b;
+                if (d.abs() - 2.0).abs() < 1e-9 {
+                    let diff: u32 = bits_a
+                        .iter()
+                        .zip(bits_b)
+                        .map(|(x, y)| u32::from(x != y))
+                        .sum();
+                    assert_eq!(diff, 1, "{bits_a:?} vs {bits_b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn demap_inverts_map_exactly_on_constellation() {
+        for m in Modulation::ALL {
+            for (bits, sym) in m.constellation() {
+                assert_eq!(m.demap_gray(sym), bits, "{} {:?}", m.name(), bits);
+            }
+        }
+    }
+
+    #[test]
+    fn demap_clamps_out_of_range() {
+        let m = Modulation::Qam16;
+        // Far outside the constellation: clamp to the corner.
+        assert_eq!(m.demap_gray(Complex::new(99.0, -99.0)), m.demap_gray(Complex::new(3.0, -3.0)));
+    }
+
+    #[test]
+    fn demap_nearest_neighbour_midpoints() {
+        let m = Modulation::Qam16;
+        // 0.99 is nearest to +1 (Gray 11 in I).
+        let bits = m.demap_gray(Complex::new(0.99, -3.0));
+        assert_eq!(m.map_gray(&bits), Complex::new(1.0, -3.0));
+    }
+
+    #[test]
+    fn vector_maps_chunk_correctly() {
+        let m = Modulation::Qpsk;
+        let bits = [0u8, 0, 1, 1];
+        let v = m.map_gray_vector(&bits);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0], Complex::new(-1.0, -1.0));
+        assert_eq!(v[1], Complex::new(1.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 4 bits")]
+    fn wrong_bit_count_panics() {
+        let _ = Modulation::Qam16.map_gray(&[0, 1]);
+    }
+}

@@ -1,0 +1,164 @@
+//! OFDM subcarrier layer.
+//!
+//! QuAMax assumes OFDM (§3.2): the wideband channel is split into
+//! orthogonal flat-fading subcarriers, and the ML→QA reduction happens
+//! *per subcarrier*. This module models an uplink OFDM channel use: a
+//! set of subcarriers, each with its own narrowband MIMO channel, over
+//! which users transmit independent symbol vectors. Adjacent-subcarrier
+//! correlation is modelled with a first-order filter so the per-
+//! subcarrier channels are realistically similar but not identical
+//! (Table 1's "50 subcarriers over 20 MHz" workload).
+
+use crate::{rayleigh_channel, Modulation};
+use quamax_linalg::{CMatrix, Complex};
+use rand::Rng;
+
+/// One flat-fading subcarrier: a narrowband MIMO channel.
+#[derive(Clone, Debug)]
+pub struct Subcarrier {
+    /// Subcarrier index within the OFDM symbol.
+    pub index: usize,
+    /// Narrowband channel `H ∈ C^{nr×nt}` on this subcarrier.
+    pub h: CMatrix,
+}
+
+/// An uplink OFDM channel use: `nt` users transmitting to `nr` AP
+/// antennas across `n_subcarriers` subcarriers.
+#[derive(Clone, Debug)]
+pub struct OfdmFrame {
+    subcarriers: Vec<Subcarrier>,
+    nt: usize,
+    nr: usize,
+}
+
+impl OfdmFrame {
+    /// Draws an OFDM channel use with frequency-correlated Rayleigh
+    /// subcarrier channels.
+    ///
+    /// `coherence` ∈ [0, 1] controls adjacent-subcarrier similarity
+    /// (0 = independent, →1 = flat across the band). A first-order
+    /// Gauss–Markov recursion `H_{k+1} = ρ·H_k + √(1−ρ²)·W` keeps each
+    /// subcarrier marginally `CN(0,1)` while correlating neighbours —
+    /// the standard discrete approximation of a wideband channel whose
+    /// delay spread is shorter than the symbol.
+    pub fn rayleigh<R: Rng + ?Sized>(
+        nr: usize,
+        nt: usize,
+        n_subcarriers: usize,
+        coherence: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&coherence),
+            "coherence must lie in [0,1], got {coherence}"
+        );
+        assert!(n_subcarriers > 0, "need at least one subcarrier");
+        let mut subcarriers = Vec::with_capacity(n_subcarriers);
+        let mut h = rayleigh_channel(nr, nt, rng);
+        subcarriers.push(Subcarrier { index: 0, h: h.clone() });
+        let innov = (1.0 - coherence * coherence).sqrt();
+        for k in 1..n_subcarriers {
+            let w = rayleigh_channel(nr, nt, rng);
+            h = &h.scale(Complex::real(coherence)) + &w.scale(Complex::real(innov));
+            subcarriers.push(Subcarrier { index: k, h: h.clone() });
+        }
+        OfdmFrame { subcarriers, nt, nr }
+    }
+
+    /// Number of users (transmit antennas).
+    pub fn nt(&self) -> usize {
+        self.nt
+    }
+
+    /// Number of AP antennas.
+    pub fn nr(&self) -> usize {
+        self.nr
+    }
+
+    /// The subcarriers, in index order.
+    pub fn subcarriers(&self) -> &[Subcarrier] {
+        &self.subcarriers
+    }
+
+    /// Total payload bits carried per OFDM symbol at the given
+    /// modulation: `n_subcarriers · nt · Q`.
+    pub fn bits_per_symbol(&self, modulation: Modulation) -> usize {
+        self.subcarriers.len() * self.nt * modulation.bits_per_symbol()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn builds_requested_geometry() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let f = OfdmFrame::rayleigh(8, 4, 50, 0.9, &mut rng);
+        assert_eq!(f.subcarriers().len(), 50);
+        assert_eq!(f.nt(), 4);
+        assert_eq!(f.nr(), 8);
+        for (i, sc) in f.subcarriers().iter().enumerate() {
+            assert_eq!(sc.index, i);
+            assert_eq!(sc.h.rows(), 8);
+            assert_eq!(sc.h.cols(), 4);
+        }
+    }
+
+    #[test]
+    fn marginal_power_stays_unit() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let f = OfdmFrame::rayleigh(16, 16, 64, 0.95, &mut rng);
+        // Average tap power across all subcarriers must stay ~1 despite
+        // the recursion.
+        let total: f64 = f.subcarriers().iter().map(|s| s.h.frobenius_sqr()).sum();
+        let avg = total / (64.0 * 256.0);
+        assert!((avg - 1.0).abs() < 0.1, "E|h|²={avg}");
+    }
+
+    #[test]
+    fn adjacent_subcarriers_are_correlated_when_coherent() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let f = OfdmFrame::rayleigh(32, 32, 2, 0.95, &mut rng);
+        let a = &f.subcarriers()[0].h;
+        let b = &f.subcarriers()[1].h;
+        // Normalized inner product of vectorized channels ≈ coherence.
+        let mut inner = Complex::ZERO;
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            inner += x.conj() * *y;
+        }
+        let corr = inner.abs() / (a.frobenius_sqr().sqrt() * b.frobenius_sqr().sqrt());
+        assert!(corr > 0.85, "corr={corr}");
+    }
+
+    #[test]
+    fn zero_coherence_gives_independent_subcarriers() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let f = OfdmFrame::rayleigh(32, 32, 2, 0.0, &mut rng);
+        let a = &f.subcarriers()[0].h;
+        let b = &f.subcarriers()[1].h;
+        let mut inner = Complex::ZERO;
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            inner += x.conj() * *y;
+        }
+        let corr = inner.abs() / (a.frobenius_sqr().sqrt() * b.frobenius_sqr().sqrt());
+        assert!(corr < 0.15, "corr={corr}");
+    }
+
+    #[test]
+    fn bits_per_symbol_accounting() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let f = OfdmFrame::rayleigh(4, 4, 50, 0.9, &mut rng);
+        assert_eq!(f.bits_per_symbol(Modulation::Bpsk), 200);
+        assert_eq!(f.bits_per_symbol(Modulation::Qam16), 800);
+    }
+
+    #[test]
+    #[should_panic(expected = "coherence")]
+    fn invalid_coherence_panics() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = OfdmFrame::rayleigh(2, 2, 4, 1.5, &mut rng);
+    }
+}

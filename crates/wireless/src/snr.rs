@@ -1,0 +1,72 @@
+//! Signal-to-noise ratio bookkeeping.
+
+use crate::Modulation;
+
+/// A signal-to-noise ratio, stored in decibels.
+///
+/// Convention (see crate docs): SNR is the per-user received symbol
+/// energy over the total complex noise variance per receive antenna,
+/// `SNR = E[|v|²]/σ²`, with unit-mean channel gains. This makes the
+/// AWGN level depend on the modulation (16-QAM symbols carry more energy
+/// than BPSK's ±1), matching how the paper sweeps "SNR" across
+/// modulations at fixed values (10–40 dB, §5.4).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Snr {
+    db: f64,
+}
+
+impl Snr {
+    /// Constructs from a decibel value.
+    pub fn from_db(db: f64) -> Self {
+        Snr { db }
+    }
+
+    /// The SNR in dB.
+    pub fn db(self) -> f64 {
+        self.db
+    }
+
+    /// The SNR as a linear power ratio.
+    pub fn linear(self) -> f64 {
+        10f64.powf(self.db / 10.0)
+    }
+
+    /// Total complex noise variance `σ²` that realizes this SNR for the
+    /// given modulation: `σ² = E[|v|²] / SNR`.
+    pub fn noise_variance(self, modulation: Modulation) -> f64 {
+        modulation.mean_symbol_energy() / self.linear()
+    }
+}
+
+impl std::fmt::Display for Snr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} dB", self.db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn db_linear_conversions() {
+        assert!((Snr::from_db(0.0).linear() - 1.0).abs() < 1e-12);
+        assert!((Snr::from_db(10.0).linear() - 10.0).abs() < 1e-12);
+        assert!((Snr::from_db(20.0).linear() - 100.0).abs() < 1e-9);
+        assert!((Snr::from_db(-3.0).linear() - 0.501187).abs() < 1e-5);
+    }
+
+    #[test]
+    fn noise_variance_scales_with_symbol_energy() {
+        let snr = Snr::from_db(20.0);
+        let bpsk = snr.noise_variance(Modulation::Bpsk);
+        let qam16 = snr.noise_variance(Modulation::Qam16);
+        assert!((bpsk - 0.01).abs() < 1e-12);
+        assert!((qam16 / bpsk - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_includes_units() {
+        assert_eq!(Snr::from_db(25.0).to_string(), "25 dB");
+    }
+}

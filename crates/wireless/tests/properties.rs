@@ -1,0 +1,107 @@
+//! Property-based tests for modulation, Gray translation, and framing.
+
+use proptest::prelude::*;
+use quamax_wireless::gray::{
+    bits_to_index, gray_bits_to_quamax, index_to_bits, quamax_bits_to_gray,
+};
+use quamax_wireless::{count_bit_errors, fer_from_ber, Modulation};
+
+fn any_modulation() -> impl Strategy<Value = Modulation> {
+    prop_oneof![
+        Just(Modulation::Bpsk),
+        Just(Modulation::Qpsk),
+        Just(Modulation::Qam16),
+        Just(Modulation::Qam64),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The Fig. 2 translation commutes with the symbol maps on every
+    /// constellation point of every modulation: decoding through the
+    /// QuAMax transform then translating equals Gray mapping directly.
+    #[test]
+    fn translation_bridges_maps(m in any_modulation(), k in 0u32..64) {
+        let q = m.bits_per_symbol();
+        let k = k % (1u32 << q);
+        let qubo_bits = index_to_bits(k, q);
+        let gray_bits = quamax_bits_to_gray(&qubo_bits);
+        prop_assert_eq!(m.map_gray(&gray_bits), m.map_quamax(&qubo_bits));
+    }
+
+    /// Translation round-trips: gray→quamax→gray is the identity.
+    #[test]
+    fn translation_round_trip(m in any_modulation(), k in 0u32..64) {
+        let q = m.bits_per_symbol();
+        let k = k % (1u32 << q);
+        let bits = index_to_bits(k, q);
+        prop_assert_eq!(quamax_bits_to_gray(&gray_bits_to_quamax(&bits)), bits);
+    }
+
+    /// Hard slicing inverts the Gray map exactly on constellation points,
+    /// and under small perturbation (inside half the minimum distance).
+    #[test]
+    fn slicer_robust_within_half_min_distance(
+        m in any_modulation(),
+        k in 0u32..64,
+        dx in -0.49f64..0.49,
+        dy in -0.49f64..0.49,
+    ) {
+        let q = m.bits_per_symbol();
+        let k = k % (1u32 << q);
+        let bits = index_to_bits(k, q);
+        let sym = m.map_gray(&bits);
+        // Min distance between PAM levels is 2 → perturbations < 1 in
+        // each dimension cannot change the decision. BPSK ignores dy.
+        let perturbed = quamax_linalg::Complex::new(sym.re + 2.0 * dx * 0.49, sym.im + 2.0 * dy * 0.49);
+        prop_assert_eq!(m.demap_gray(perturbed), bits);
+    }
+
+    /// bits↔index round trip for arbitrary widths.
+    #[test]
+    fn bits_index_round_trip(k in 0u32..4096, width in 1usize..12) {
+        let k = k % (1u32 << width);
+        prop_assert_eq!(bits_to_index(&index_to_bits(k, width)), k);
+    }
+
+    /// Bit-error counting is a metric: symmetric, zero iff equal,
+    /// triangle inequality.
+    #[test]
+    fn bit_errors_is_a_metric(
+        a in proptest::collection::vec(0u8..=1, 16),
+        b in proptest::collection::vec(0u8..=1, 16),
+        c in proptest::collection::vec(0u8..=1, 16),
+    ) {
+        prop_assert_eq!(count_bit_errors(&a, &b), count_bit_errors(&b, &a));
+        prop_assert_eq!(count_bit_errors(&a, &a), 0);
+        prop_assert!(
+            count_bit_errors(&a, &c) <= count_bit_errors(&a, &b) + count_bit_errors(&b, &c)
+        );
+    }
+
+    /// FER is monotone in BER and bounded in [0, 1].
+    #[test]
+    fn fer_monotone_and_bounded(ber1 in 0.0f64..1.0, ber2 in 0.0f64..1.0) {
+        let (lo, hi) = if ber1 <= ber2 { (ber1, ber2) } else { (ber2, ber1) };
+        let f_lo = fer_from_ber(lo, 1500);
+        let f_hi = fer_from_ber(hi, 1500);
+        prop_assert!((0.0..=1.0).contains(&f_lo));
+        prop_assert!(f_lo <= f_hi + 1e-12);
+    }
+
+    /// Gray vector mapping splits into per-symbol maps.
+    #[test]
+    fn vector_map_consistency(m in any_modulation(), ks in proptest::collection::vec(0u32..64, 1..5)) {
+        let q = m.bits_per_symbol();
+        let mut bits = Vec::new();
+        for &k in &ks {
+            bits.extend(index_to_bits(k % (1u32 << q), q));
+        }
+        let v = m.map_gray_vector(&bits);
+        prop_assert_eq!(v.len(), ks.len());
+        for (i, chunk) in bits.chunks(q).enumerate() {
+            prop_assert_eq!(v[i], m.map_gray(chunk));
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Coded uplink: forward error correction above QuAMax detection.
+//!
+//! The paper's §5.3.3 design point: set a decode deadline, accept a
+//! residual BER from the annealer, and let FEC drive it down. This
+//! example transmits a convolutionally-coded, block-interleaved frame
+//! (rate-1/2 K=7 — the 802.11 code) across many channel uses, decodes
+//! each use with a *deliberately small* anneal budget, and shows the
+//! Viterbi decoder mopping up the annealer's residual errors. The
+//! interleaver matters: detection failures are bursty (one bad channel
+//! use corrupts a whole symbol vector), and convolutional codes only
+//! correct scattered errors.
+//!
+//! Run: `cargo run --release --example coded_uplink`
+
+use quamax::prelude::*;
+use quamax_core::scenario::Instance;
+use quamax_wireless::coding::BlockInterleaver;
+use quamax_wireless::{count_bit_errors, rayleigh_channel, ConvolutionalCode};
+use rand::Rng as _;
+
+fn main() {
+    let mut rng = Rng::seed_from_u64(80211);
+    let users = 16usize;
+    let modulation = Modulation::Qpsk;
+    let snr = Snr::from_db(11.0); // noisy enough for residual errors
+    let code = ConvolutionalCode;
+    let per_use = users * modulation.bits_per_symbol(); // 32 bits/use
+
+    // A 461-bit payload → 934 coded bits → pad to 960 = 32 uses × 30
+    // rows… choose geometry so the interleaver block is a whole number
+    // of channel uses: 30 uses × 32 bits = 960.
+    let payload: Vec<u8> = (0..466).map(|_| rng.random_range(0..=1) as u8).collect();
+    let mut coded = code.encode(&payload); // 944 bits
+    coded.resize(960, 0);
+    let interleaver = BlockInterleaver::new(per_use, coded.len() / per_use);
+    let tx_stream = interleaver.interleave(&coded);
+
+    // Small anneal budget = deliberately imperfect detection.
+    let machine = Annealer::dw2q(AnnealerConfig::default());
+    let decoder = QuamaxDecoder::new(machine, DecoderConfig::default());
+    let anneals = 5;
+
+    let mut rx_stream = Vec::with_capacity(tx_stream.len());
+    let mut raw_errors = 0usize;
+    for chunk in tx_stream.chunks(per_use) {
+        let h = rayleigh_channel(users, users, &mut rng);
+        let inst =
+            Instance::transmit(h, chunk.to_vec(), modulation, Some(snr), &mut rng);
+        let run = decoder.decode(&inst.detection_input(), anneals, &mut rng).unwrap();
+        let bits = run.best_bits();
+        raw_errors += count_bit_errors(&bits, chunk);
+        rx_stream.extend(bits);
+    }
+
+    let deinterleaved = interleaver.deinterleave(&rx_stream);
+    let decoded = code.decode(&deinterleaved[..code.coded_len(payload.len())]);
+    let residual = count_bit_errors(&decoded, &payload);
+
+    println!(
+        "{} channel uses of {users}x{users} {} at {snr}, {anneals} anneals each:",
+        tx_stream.len() / per_use,
+        modulation.name()
+    );
+    println!(
+        "  detector (uncoded) bit errors   : {raw_errors}/{} (BER {:.2e})",
+        tx_stream.len(),
+        raw_errors as f64 / tx_stream.len() as f64
+    );
+    println!(
+        "  after deinterleave + Viterbi    : {residual}/{} (BER {:.2e})",
+        payload.len(),
+        residual as f64 / payload.len() as f64
+    );
+    println!(
+        "\nFEC + interleaving turn the annealer's bursty residual errors into\n\
+         clean frames — the layering the paper's deadline-then-discard design\n\
+         assumes (§5.3.3)."
+    );
+    assert_eq!(residual, 0, "the coded frame should decode cleanly");
+}

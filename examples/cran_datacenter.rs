@@ -1,0 +1,89 @@
+//! C-RAN deployment study: can QA decoding meet wireless deadlines?
+//!
+//! Models the paper's §7 discussion quantitatively: several access
+//! points forward uplink frames over fronthaul to a data center that
+//! decodes them either on a QPU (with today's overhead stack, or the
+//! integrated future device) or on a classical CPU pool running
+//! zero-forcing.
+//!
+//! Run: `cargo run --release --example cran_datacenter`
+
+use quamax::ran::{
+    AccessPoint, CpuPolicy, CpuPool, Deadline, FronthaulConfig, QpuOverheads, QpuServer,
+    Server, Simulation,
+};
+use quamax::wireless::Modulation;
+
+fn main() {
+    // Three APs: a Wi-Fi hotspot with 16-user BPSK, an LTE macro cell
+    // with 14-user QPSK, and a WCDMA carrier with 48-user BPSK.
+    let aps = vec![
+        AccessPoint {
+            id: 0,
+            users: 16,
+            modulation: Modulation::Bpsk,
+            subcarriers: 50,
+            frame_interval_us: 1_000.0,
+            deadline: Deadline::WifiAck,
+        },
+        AccessPoint {
+            id: 1,
+            users: 14,
+            modulation: Modulation::Qpsk,
+            subcarriers: 50,
+            frame_interval_us: 1_000.0,
+            deadline: Deadline::Lte,
+        },
+        AccessPoint {
+            id: 2,
+            users: 48,
+            modulation: Modulation::Bpsk,
+            subcarriers: 50,
+            frame_interval_us: 2_000.0,
+            deadline: Deadline::Wcdma,
+        },
+    ];
+    let fronthaul = FronthaulConfig { one_way_latency_us: 5.0 };
+    let horizon_us = 100_000.0;
+
+    // Anneal budget per subcarrier problem: 3 anneals of 2 µs cycles
+    // (enough for BER 1e-6 at these sizes per the fig10 results).
+    let scenarios: Vec<(&str, Server)> = vec![
+        (
+            "QPU, today's overheads (§7)",
+            Server::Qpu(QpuServer::new(QpuOverheads::current_dw2q(), 2.0, 3)),
+        ),
+        (
+            "QPU, integrated (paper's vision)",
+            Server::Qpu(QpuServer::new(QpuOverheads::integrated(), 2.0, 3)),
+        ),
+        (
+            "CPU pool, 16 cores, zero-forcing",
+            Server::Cpu(CpuPool::new(16, CpuPolicy::ZeroForcing { vectors_per_channel: 1 })),
+        ),
+        (
+            "CPU pool, 16 cores, sphere (1,900 nodes)",
+            Server::Cpu(CpuPool::new(16, CpuPolicy::Sphere { expected_nodes: 1_900 })),
+        ),
+    ];
+
+    println!(
+        "{:<42} {:>9} {:>12} {:>12}",
+        "data-center server", "deadline%", "mean lat.", "max lat."
+    );
+    for (label, server) in scenarios {
+        let mut sim = Simulation::new(aps.clone(), fronthaul, server);
+        let report = sim.run(horizon_us);
+        println!(
+            "{label:<42} {:>8.1}% {:>10.1}µs {:>10.1}µs",
+            100.0 * report.deadline_rate(),
+            report.mean_latency_us(),
+            report.max_latency_us(),
+        );
+    }
+    println!(
+        "\nToday's QPU overhead stack (≈47 ms/job) busts every radio deadline —\n\
+         the paper's own §7 conclusion. Engineering the overheads away makes\n\
+         the QPU the only server that also holds the Wi-Fi ACK budget."
+    );
+}

@@ -1,0 +1,77 @@
+//! Detector shoot-out: ZF vs MMSE vs Sphere (exact ML) vs QuAMax on
+//! poorly-conditioned channels — the paper's Fig. 14 argument in
+//! miniature.
+//!
+//! At `Nt = Nr` and moderate SNR, linear filters amplify noise on
+//! near-singular channels; ML detection (sphere, or QuAMax's annealed
+//! approximation of it) keeps working.
+//!
+//! Run: `cargo run --release --example detector_comparison`
+
+use quamax::prelude::*;
+use quamax_baselines::timing::{sphere_time_us, zf_time_us};
+use quamax_wireless::count_bit_errors;
+
+fn main() {
+    let mut rng = Rng::seed_from_u64(14);
+    let users = 12usize;
+    let modulation = Modulation::Qpsk;
+    let trials = 40usize;
+    let anneals = 150usize;
+
+    let machine = Annealer::dw2q(AnnealerConfig::default());
+    let quamax = QuamaxDecoder::new(machine, DecoderConfig::default());
+    let sphere = SphereDecoder::new(modulation);
+    let zf = ZeroForcingDetector::new(modulation);
+
+    println!("{users}x{users} {} over Rayleigh fading, {trials} channel uses:\n", modulation.name());
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>12}",
+        "SNR", "ZF", "MMSE", "Sphere(ML)", "QuAMax"
+    );
+    for snr_db in [8.0, 12.0, 16.0, 20.0] {
+        let snr = Snr::from_db(snr_db);
+        let sigma2 = snr.noise_variance(modulation);
+        let mmse = MmseDetector::new(modulation, sigma2);
+        let mut errs = [0usize; 4];
+        let mut bits = 0usize;
+        let mut sphere_nodes = 0u64;
+        for _ in 0..trials {
+            let sc = Scenario::new(users, users, modulation).with_rayleigh().with_snr(snr);
+            let inst = sc.sample(&mut rng);
+            let tx = inst.tx_bits();
+            bits += tx.len();
+            if let Ok(b) = zf.decode(inst.h(), inst.y()) {
+                errs[0] += count_bit_errors(&b, tx);
+            } else {
+                errs[0] += tx.len() / 2;
+            }
+            if let Ok(b) = mmse.decode(inst.h(), inst.y()) {
+                errs[1] += count_bit_errors(&b, tx);
+            } else {
+                errs[1] += tx.len() / 2;
+            }
+            let s = sphere.decode(inst.h(), inst.y()).expect("non-degenerate");
+            sphere_nodes += s.visited_nodes;
+            errs[2] += count_bit_errors(&s.bits, tx);
+            let run = quamax.decode(&inst.detection_input(), anneals, &mut rng).unwrap();
+            errs[3] += count_bit_errors(&run.best_bits(), tx);
+        }
+        let ber = |e: usize| e as f64 / bits as f64;
+        println!(
+            "{snr_db:>4}dB {:>12.2e} {:>12.2e} {:>12.2e} {:>12.2e}",
+            ber(errs[0]),
+            ber(errs[1]),
+            ber(errs[2]),
+            ber(errs[3]),
+        );
+        if snr_db == 12.0 {
+            println!(
+                "       (paper-era single-core times: ZF ≈ {:.0} µs, sphere ≈ {:.0} µs/subcarrier)",
+                zf_time_us(users, users, 1),
+                sphere_time_us(sphere_nodes / trials as u64)
+            );
+        }
+    }
+    println!("\nML-class detectors hold their BER as conditioning worsens; linear filters pay.");
+}

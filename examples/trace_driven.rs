@@ -1,0 +1,58 @@
+//! Trace-driven decoding: the §5.5 protocol on the synthetic
+//! Argos-like channel trace.
+//!
+//! Draws channel uses from a 96-antenna / 8-user geometric-scattering
+//! trace, subsamples 8 base-station antennas per use (as the paper
+//! does), and decodes BPSK and QPSK uplinks, reporting per-use BER
+//! and the TTB distribution.
+//!
+//! Run: `cargo run --release --example trace_driven`
+
+use quamax::core::metrics::percentile;
+use quamax::core::scenario::Instance;
+use quamax::prelude::*;
+use quamax::wireless::{TraceConfig, TraceGenerator};
+use quamax_wireless::count_bit_errors;
+use rand::Rng as _;
+
+fn main() {
+    let mut rng = Rng::seed_from_u64(96);
+    let mut tracegen = TraceGenerator::new(TraceConfig::default(), &mut rng);
+    let machine = Annealer::dw2q(AnnealerConfig::default());
+    let decoder = QuamaxDecoder::new(machine, DecoderConfig::default());
+    let uses = 12usize;
+    let anneals = 400usize;
+
+    for modulation in [Modulation::Bpsk, Modulation::Qpsk] {
+        let mut errors = 0usize;
+        let mut bits = 0usize;
+        let mut ttbs = Vec::new();
+        for _ in 0..uses {
+            let use_ = tracegen.next_use(&mut rng);
+            let h = use_.subsample(8, &mut rng);
+            let payload: Vec<u8> = (0..8 * modulation.bits_per_symbol())
+                .map(|_| rng.random_range(0..=1) as u8)
+                .collect();
+            let inst = Instance::transmit(
+                h,
+                payload,
+                modulation,
+                Some(Snr::from_db(use_.snr_db)),
+                &mut rng,
+            );
+            let run = decoder.decode(&inst.detection_input(), anneals, &mut rng).unwrap();
+            errors += count_bit_errors(&run.best_bits(), inst.tx_bits());
+            bits += inst.tx_bits().len();
+            let stats = RunStatistics::from_run(&run, inst.tx_bits(), None);
+            ttbs.push(stats.ttb_us(1e-6).unwrap_or(f64::INFINITY));
+        }
+        let med = percentile(&ttbs, 50.0);
+        println!(
+            "{:<5} 8x8 trace ({uses} uses): BER {:.2e} | median TTB(1e-6) {}",
+            modulation.name(),
+            errors as f64 / bits as f64,
+            if med.is_finite() { format!("{med:.1} µs") } else { "∞".into() },
+        );
+    }
+    println!("\n(the paper reports ≈2 µs BPSK amortized / 2–10 µs QPSK on the measured trace)");
+}

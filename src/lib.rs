@@ -1,0 +1,43 @@
+//! # QuAMax — quantum-annealing ML MIMO detection, reproduced in Rust
+//!
+//! This is the facade crate of a from-scratch reproduction of
+//! *Leveraging Quantum Annealing for Large MIMO Processing in Centralized
+//! Radio Access Networks* (Kim, Venturelli, Jamieson — SIGCOMM 2019).
+//!
+//! It re-exports the workspace crates under stable module names and provides
+//! a [`prelude`] for the common decode workflow:
+//!
+//! ```
+//! use quamax::prelude::*;
+//!
+//! let mut rng = Rng::seed_from_u64(7);
+//! // 4 users, 4 AP antennas, BPSK, over a random-phase unit-gain channel.
+//! let scenario = Scenario::new(4, 4, Modulation::Bpsk);
+//! let instance = scenario.sample_noiseless(&mut rng);
+//! let machine = Annealer::dw2q(AnnealerConfig::default());
+//! let decoder = QuamaxDecoder::new(machine, DecoderConfig::default());
+//! let run = decoder.decode(&instance.detection_input(), 50, &mut rng).unwrap();
+//! assert_eq!(run.best_bits().len(), 4); // one bit per BPSK user
+//! ```
+pub use quamax_anneal as anneal;
+pub use quamax_baselines as baselines;
+pub use quamax_chimera as chimera;
+pub use quamax_core as core;
+pub use quamax_ising as ising;
+pub use quamax_linalg as linalg;
+pub use quamax_ran as ran;
+pub use quamax_wireless as wireless;
+
+/// The common decode workflow in one `use`.
+pub mod prelude {
+    pub use quamax_anneal::{Annealer, AnnealerConfig, Backend, Schedule};
+    pub use quamax_baselines::{MmseDetector, SphereDecoder, ZeroForcingDetector};
+    pub use quamax_core::{
+        DecoderConfig, DetectionInput, QuamaxDecoder, Scenario,
+    };
+    pub use quamax_core::metrics::{percentile, BitErrorProfile, RunStatistics};
+    pub use quamax_linalg::{CMatrix, CVector, Complex};
+    pub use quamax_wireless::{Modulation, Snr};
+    pub use rand::rngs::StdRng as Rng;
+    pub use rand::SeedableRng;
+}

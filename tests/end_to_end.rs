@@ -1,0 +1,146 @@
+//! End-to-end integration tests: the full decode pipeline across
+//! crates, per modulation, against classical ground truth.
+
+use quamax::prelude::*;
+use quamax_anneal::IceModel;
+use quamax_baselines::{exhaustive_ml, SphereDecoder};
+use quamax_wireless::count_bit_errors;
+
+fn quiet_decoder(ta_us: f64) -> QuamaxDecoder {
+    let annealer = Annealer::new(AnnealerConfig {
+        ice: IceModel::none(),
+        sweeps_per_us: 40.0,
+        ..Default::default()
+    });
+    QuamaxDecoder::new(
+        annealer,
+        DecoderConfig {
+            schedule: quamax_anneal::Schedule::standard(ta_us),
+            ..Default::default()
+        },
+    )
+}
+
+#[test]
+fn noiseless_decodes_are_exact_for_all_modulations() {
+    let mut rng = Rng::seed_from_u64(1);
+    for (m, nt, na) in [
+        (Modulation::Bpsk, 12usize, 100usize),
+        (Modulation::Qpsk, 8, 200),
+        (Modulation::Qam16, 3, 500),
+    ] {
+        let sc = Scenario::new(nt, nt, m);
+        let inst = sc.sample(&mut rng);
+        let run = quiet_decoder(10.0)
+            .decode(&inst.detection_input(), na, &mut rng)
+            .unwrap();
+        assert_eq!(run.best_bits(), inst.tx_bits(), "{} {}x{}", m.name(), nt, nt);
+    }
+}
+
+#[test]
+fn quamax_agrees_with_sphere_decoder_under_noise() {
+    // At moderate SNR the annealer's best solution should reach the ML
+    // solution (the sphere decoder's answer) — not necessarily the
+    // transmitted bits.
+    let mut rng = Rng::seed_from_u64(2);
+    let m = Modulation::Qpsk;
+    let sc = Scenario::new(10, 10, m).with_rayleigh().with_snr(Snr::from_db(14.0));
+    let sphere = SphereDecoder::new(m);
+    let decoder = quiet_decoder(10.0);
+    let mut agreements = 0;
+    let trials = 10;
+    for _ in 0..trials {
+        let inst = sc.sample(&mut rng);
+        let ml = sphere.decode(inst.h(), inst.y()).unwrap();
+        let run = decoder.decode(&inst.detection_input(), 400, &mut rng).unwrap();
+        if run.best_bits() == ml.bits {
+            agreements += 1;
+        }
+    }
+    assert!(agreements >= 8, "only {agreements}/{trials} runs matched exact ML");
+}
+
+#[test]
+fn decoded_energy_never_beats_ml() {
+    // The ML solution is the Ising ground state: no anneal can land
+    // strictly below it (it can only tie).
+    let mut rng = Rng::seed_from_u64(3);
+    let m = Modulation::Bpsk;
+    let sc = Scenario::new(16, 16, m).with_snr(Snr::from_db(10.0));
+    let decoder = QuamaxDecoder::new(
+        Annealer::dw2q(AnnealerConfig::default()),
+        DecoderConfig::default(),
+    );
+    for _ in 0..5 {
+        let inst = sc.sample(&mut rng);
+        let ml = exhaustive_ml(inst.h(), inst.y(), m);
+        let run = decoder.decode(&inst.detection_input(), 200, &mut rng).unwrap();
+        // Compare through the ML-metric identity: E_ising + offset = ‖y−He‖².
+        let best = run.distribution().best_energy().unwrap() + run.ml_offset();
+        assert!(
+            best >= ml.metric - 1e-6 * ml.metric.max(1.0),
+            "annealer found {best}, below ML {}",
+            ml.metric
+        );
+    }
+}
+
+#[test]
+fn higher_snr_means_fewer_bit_errors() {
+    let mut rng = Rng::seed_from_u64(4);
+    let m = Modulation::Qpsk;
+    let decoder = QuamaxDecoder::new(
+        Annealer::dw2q(AnnealerConfig::default()),
+        DecoderConfig::default(),
+    );
+    let mut errors_at = Vec::new();
+    for snr_db in [0.0, 25.0] {
+        let sc = Scenario::new(8, 8, m).with_rayleigh().with_snr(Snr::from_db(snr_db));
+        let mut errors = 0;
+        for _ in 0..15 {
+            let inst = sc.sample(&mut rng);
+            let run = decoder.decode(&inst.detection_input(), 150, &mut rng).unwrap();
+            errors += count_bit_errors(&run.best_bits(), inst.tx_bits());
+        }
+        errors_at.push(errors);
+    }
+    assert!(errors_at[0] > 0, "0 dB should produce some channel errors");
+    assert!(
+        errors_at[1] < errors_at[0],
+        "25 dB should beat 0 dB: {errors_at:?}"
+    );
+}
+
+#[test]
+fn full_chip_sizes_decode() {
+    // The paper's headline class: 60-user BPSK (N=60, 960 qubits).
+    let mut rng = Rng::seed_from_u64(5);
+    let sc = Scenario::new(60, 60, Modulation::Bpsk).with_snr(Snr::from_db(20.0));
+    let inst = sc.sample(&mut rng);
+    let decoder = QuamaxDecoder::new(
+        Annealer::dw2q(AnnealerConfig::default()),
+        DecoderConfig::default(),
+    );
+    let run = decoder.decode(&inst.detection_input(), 150, &mut rng).unwrap();
+    let errors = count_bit_errors(&run.best_bits(), inst.tx_bits());
+    // Headline regime: near-error-free at 20 dB.
+    assert!(errors <= 2, "60x60 BPSK at 20 dB had {errors} errors");
+}
+
+#[test]
+fn defective_chip_refuses_cleanly() {
+    // A chip with a defect in the embedding region: the decode must
+    // error, not corrupt.
+    let mut graph = quamax::chimera::ChimeraGraph::dw2q_ideal();
+    graph.add_defect(0); // corner cell, used by every triangle embedding
+    let decoder = QuamaxDecoder::with_graph(
+        Annealer::dw2q(AnnealerConfig::default()),
+        graph,
+        DecoderConfig::default(),
+    );
+    let mut rng = Rng::seed_from_u64(6);
+    let inst = Scenario::new(8, 8, Modulation::Bpsk).sample(&mut rng);
+    let result = decoder.decode(&inst.detection_input(), 10, &mut rng);
+    assert!(result.is_err(), "defect must surface as an error");
+}

@@ -1,0 +1,97 @@
+//! Integration tests of the metrics pipeline: Eq. 9 statistics
+//! computed from real decode runs, TTS/TTB/TTF consistency, and the
+//! parallelization accounting.
+
+use quamax::prelude::*;
+use quamax_anneal::IceModel;
+use quamax_wireless::fer_from_ber;
+
+fn run_stats(seed: u64, na: usize) -> RunStatistics {
+    let mut rng = Rng::seed_from_u64(seed);
+    let sc = Scenario::new(8, 8, Modulation::Bpsk).with_snr(Snr::from_db(18.0));
+    let inst = sc.sample(&mut rng);
+    let decoder = QuamaxDecoder::new(
+        Annealer::dw2q(AnnealerConfig::default()),
+        DecoderConfig::default(),
+    );
+    let run = decoder.decode(&inst.detection_input(), na, &mut rng).unwrap();
+    RunStatistics::from_run(&run, inst.tx_bits(), None)
+}
+
+#[test]
+fn profile_probabilities_sum_to_one() {
+    let stats = run_stats(1, 300);
+    // BitErrorProfile::from_parts asserts this internally; reconstruct
+    // the check through Eq. 9's Na = 1 case: E[BER(1)] must equal the
+    // probability-weighted error mean, which is finite and in [0, 1].
+    let ber1 = stats.expected_ber(1);
+    assert!((0.0..=1.0).contains(&ber1));
+}
+
+#[test]
+fn ttb_and_tts_are_consistent() {
+    let stats = run_stats(2, 300);
+    // With P0 > 0 both TTS and (for reachable targets) TTB exist, and
+    // looser BER targets can only shorten TTB.
+    assert!(stats.p0 > 0.0);
+    let tts = stats.tts99_us().unwrap();
+    assert!(tts >= stats.cycle_us / stats.parallel_factor as f64);
+    let strict = stats.ttb_us(1e-8);
+    let loose = stats.ttb_us(1e-2);
+    if let (Some(s), Some(l)) = (strict, loose) {
+        assert!(l <= s, "looser target must not take longer: {l} vs {s}");
+    }
+}
+
+#[test]
+fn ttf_matches_manual_fer_inversion() {
+    let stats = run_stats(3, 300);
+    let frame = 1500;
+    if let Some(ttf) = stats.ttf_us(1e-4, frame) {
+        // The BER at the implied anneal count must satisfy the FER target.
+        let per = stats.cycle_us / stats.parallel_factor as f64;
+        let na = (ttf / per).round().max(1.0) as usize;
+        let fer = fer_from_ber(stats.expected_ber(na), frame);
+        assert!(fer <= 1e-4 * 1.05, "fer={fer}");
+    }
+}
+
+#[test]
+fn more_anneals_never_hurt_the_expected_ber_noiseless() {
+    // Noise-free channel: rank 0 carries no errors, so Eq. 9 is
+    // monotone (see metrics docs).
+    let mut rng = Rng::seed_from_u64(4);
+    let sc = Scenario::new(8, 8, Modulation::Bpsk);
+    let inst = sc.sample(&mut rng);
+    let annealer = Annealer::new(AnnealerConfig {
+        ice: IceModel::none(),
+        ..Default::default()
+    });
+    let decoder = QuamaxDecoder::new(annealer, DecoderConfig::default());
+    let run = decoder.decode(&inst.detection_input(), 400, &mut rng).unwrap();
+    let stats = RunStatistics::from_run(&run, inst.tx_bits(), None);
+    let mut prev = f64::INFINITY;
+    for na in [1usize, 2, 4, 16, 64, 256] {
+        let b = stats.expected_ber(na);
+        assert!(b <= prev + 1e-15);
+        prev = b;
+    }
+}
+
+#[test]
+fn parallel_factor_amortizes_small_problems() {
+    // 8-user BPSK occupies 24 qubits: dozens of copies tile the chip,
+    // so amortized TTB can undercut a single cycle.
+    let stats = run_stats(5, 300);
+    assert!(stats.parallel_factor > 20, "Pf = {}", stats.parallel_factor);
+    let per = stats.cycle_us / stats.parallel_factor as f64;
+    assert!(per < stats.cycle_us / 20.0);
+}
+
+#[test]
+fn percentile_handles_mixed_infinities() {
+    let xs = [1.0, 2.0, f64::INFINITY, 3.0, f64::INFINITY];
+    assert_eq!(percentile(&xs, 50.0), 3.0);
+    assert!(percentile(&xs, 90.0).is_infinite());
+    assert_eq!(percentile(&xs, 0.0), 1.0);
+}
