@@ -10,9 +10,10 @@
 //! bit-identical regardless of thread count.
 
 use crate::ice::IceModel;
+use crate::kernel::{CompiledChains, SqaState, SweepState};
 use crate::schedule::{curves, Schedule};
 use crate::{sa, sqa};
-use quamax_ising::{IsingProblem, Spin};
+use quamax_ising::{CompiledProblem, IsingProblem, Spin};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -130,6 +131,23 @@ impl Annealer {
         num_anneals: usize,
         seed: u64,
     ) -> Vec<Vec<Spin>> {
+        let compiled = CompiledProblem::new(problem);
+        let compiled_chains = CompiledChains::compile(&compiled, chains);
+        self.run_compiled(&compiled, &compiled_chains, schedule, num_anneals, seed)
+    }
+
+    /// Like [`Annealer::run_chained`], over a problem view the caller
+    /// has already compiled — the zero-recompile path for callers that
+    /// program one embedded problem and run it many times (the decoder,
+    /// parameter searches, the bench harness).
+    pub fn run_compiled(
+        &self,
+        problem: &CompiledProblem,
+        chains: &CompiledChains,
+        schedule: &Schedule,
+        num_anneals: usize,
+        seed: u64,
+    ) -> Vec<Vec<Spin>> {
         assert!(
             !schedule.is_reverse(),
             "reverse schedules need a candidate state: use run_reverse"
@@ -154,15 +172,53 @@ impl Annealer {
         num_anneals: usize,
         seed: u64,
     ) -> Vec<Vec<Spin>> {
+        let compiled = CompiledProblem::new(problem);
+        let compiled_chains = CompiledChains::compile(&compiled, chains);
+        self.run_reverse_compiled(
+            &compiled,
+            &compiled_chains,
+            candidate,
+            schedule,
+            num_anneals,
+            seed,
+        )
+    }
+
+    /// Reverse annealing over a caller-compiled problem view (see
+    /// [`Annealer::run_compiled`]).
+    ///
+    /// # Panics
+    /// Panics unless `schedule.is_reverse()` and the candidate length
+    /// matches the problem.
+    pub fn run_reverse_compiled(
+        &self,
+        problem: &CompiledProblem,
+        chains: &CompiledChains,
+        candidate: &[Spin],
+        schedule: &Schedule,
+        num_anneals: usize,
+        seed: u64,
+    ) -> Vec<Vec<Spin>> {
         assert!(schedule.is_reverse(), "run_reverse needs Schedule::reverse");
-        assert_eq!(candidate.len(), problem.num_spins(), "candidate length mismatch");
-        self.run_inner(problem, chains, Some(candidate), schedule, num_anneals, seed)
+        assert_eq!(
+            candidate.len(),
+            problem.num_spins(),
+            "candidate length mismatch"
+        );
+        self.run_inner(
+            problem,
+            chains,
+            Some(candidate),
+            schedule,
+            num_anneals,
+            seed,
+        )
     }
 
     fn run_inner(
         &self,
-        problem: &IsingProblem,
-        chains: &[Vec<usize>],
+        problem: &CompiledProblem,
+        chains: &CompiledChains,
         init: Option<&[Spin]>,
         schedule: &Schedule,
         num_anneals: usize,
@@ -170,7 +226,10 @@ impl Annealer {
     ) -> Vec<Vec<Spin>> {
         let fractions = schedule.sweep_fractions(self.config.sweeps_per_us);
         // Pre-compute the SA temperature ladder once per run.
-        let betas: Vec<f64> = fractions.iter().map(|&s| curves::beta(s).max(1e-3)).collect();
+        let betas: Vec<f64> = fractions
+            .iter()
+            .map(|&s| curves::beta(s).max(1e-3))
+            .collect();
 
         let threads = if self.config.threads == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -191,24 +250,83 @@ impl Annealer {
                 let betas = &betas;
                 let fractions = &fractions;
                 scope.spawn(move || {
+                    // Per-thread scratch, allocated once and reused by
+                    // every anneal in the chunk: the ICE-refrozen
+                    // coefficient copy and the sweep state buffers.
+                    let mut worker = Worker::new();
                     let base = t * chunk;
                     for (off, slot) in out_chunk.iter_mut().enumerate() {
                         let k = (base + off) as u64;
                         let mut rng = StdRng::seed_from_u64(splitmix(seed, k));
-                        let effective = config.ice.perturb(problem, &mut rng);
-                        *slot = match config.backend {
-                            Backend::Sa => sa::anneal_once_from(
-                                &effective, betas, chains, init, &mut rng,
-                            ),
-                            Backend::Sqa { slices } => sqa::anneal_once_from(
-                                &effective, fractions, slices, chains, init, &mut rng,
-                            ),
-                        };
+                        *slot = worker
+                            .anneal(problem, chains, init, betas, fractions, &config, &mut rng);
                     }
                 });
             }
         });
         samples
+    }
+}
+
+/// One worker thread's reusable buffers: scratch coefficients for the
+/// per-anneal ICE refreeze plus the backend sweep states.
+struct Worker {
+    /// Built lazily on the first refreeze — a zero-ICE run never pays
+    /// for the coefficient copy.
+    scratch: Option<CompiledProblem>,
+    sa_state: SweepState,
+    sqa_state: SqaState,
+}
+
+impl Worker {
+    fn new() -> Self {
+        Worker {
+            scratch: None,
+            sa_state: SweepState::new(),
+            sqa_state: SqaState::new(),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn anneal(
+        &mut self,
+        problem: &CompiledProblem,
+        chains: &CompiledChains,
+        init: Option<&[Spin]>,
+        betas: &[f64],
+        fractions: &[f64],
+        config: &AnnealerConfig,
+        rng: &mut StdRng,
+    ) -> Vec<Spin> {
+        // Cheap per-anneal refreeze: coefficients copy into the scratch
+        // view in two memcpy-like passes; the CSR structure is shared.
+        let effective: &CompiledProblem = if config.ice.is_zero() {
+            problem
+        } else {
+            let scratch = self.scratch.get_or_insert_with(|| problem.clone());
+            config.ice.refreeze(problem, scratch, rng);
+            scratch
+        };
+        match config.backend {
+            Backend::Sa => {
+                sa::anneal_once_compiled(effective, chains, betas, init, &mut self.sa_state, rng);
+                // Copy out instead of take: the state keeps its buffers
+                // warm for the next anneal in the chunk.
+                self.sa_state.spins().to_vec()
+            }
+            Backend::Sqa { slices } => {
+                sqa::anneal_once_compiled(
+                    effective,
+                    chains,
+                    fractions,
+                    slices,
+                    init,
+                    &mut self.sqa_state,
+                    rng,
+                );
+                sqa::best_slice(effective, &self.sqa_state)
+            }
+        }
     }
 }
 
@@ -251,10 +369,16 @@ mod tests {
     fn deterministic_regardless_of_thread_count() {
         let p = toy_problem();
         let sched = Schedule::standard(1.0);
-        let one = Annealer::new(AnnealerConfig { threads: 1, ..Default::default() })
-            .run(&p, &sched, 24, 7);
-        let four = Annealer::new(AnnealerConfig { threads: 4, ..Default::default() })
-            .run(&p, &sched, 24, 7);
+        let one = Annealer::new(AnnealerConfig {
+            threads: 1,
+            ..Default::default()
+        })
+        .run(&p, &sched, 24, 7);
+        let four = Annealer::new(AnnealerConfig {
+            threads: 4,
+            ..Default::default()
+        })
+        .run(&p, &sched, 24, 7);
         assert_eq!(one, four);
     }
 

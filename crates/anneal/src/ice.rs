@@ -8,7 +8,7 @@
 //! renormalization squeezes problem coefficients into the noise) and
 //! ties solution quality to the Ising energy gap (Figs. 5 and 12).
 
-use quamax_ising::IsingProblem;
+use quamax_ising::{CompiledProblem, IsingProblem};
 use quamax_linalg::rng::normal;
 use rand::Rng;
 
@@ -66,7 +66,12 @@ impl IceModel {
 
     /// An exactly-zero noise model (ideal device).
     pub fn none() -> Self {
-        IceModel { field_mean: 0.0, field_std: 0.0, coupler_mean: 0.0, coupler_std: 0.0 }
+        IceModel {
+            field_mean: 0.0,
+            field_std: 0.0,
+            coupler_mean: 0.0,
+            coupler_std: 0.0,
+        }
     }
 
     /// `true` when this model adds no noise at all.
@@ -95,6 +100,30 @@ impl IceModel {
             out.set_coupling(i, j, g + normal(rng, self.coupler_mean, self.coupler_std));
         }
         out
+    }
+
+    /// Refreezes one anneal's effective Hamiltonian into `scratch`:
+    /// copies `base`'s coefficients (reusing the scratch allocation —
+    /// the batching hot path's no-allocation contract) and applies
+    /// fresh ICE to every field and coupling.
+    ///
+    /// Noise draw order is fixed by the compiled layout — fields in
+    /// spin order, then couplings in CSR `(i, j)` order — so a given
+    /// per-anneal RNG stream always produces the same effective
+    /// Hamiltonian regardless of how the problem was built or which
+    /// thread runs the anneal.
+    pub fn refreeze<R: Rng + ?Sized>(
+        &self,
+        base: &CompiledProblem,
+        scratch: &mut CompiledProblem,
+        rng: &mut R,
+    ) {
+        scratch.refreeze_from(base);
+        if self.is_zero() {
+            return;
+        }
+        scratch.perturb_linear(|f| f + normal(rng, self.field_mean, self.field_std));
+        scratch.perturb_couplings(|g| g + normal(rng, self.coupler_mean, self.coupler_std));
     }
 }
 
@@ -163,7 +192,11 @@ mod tests {
         let mean = deltas.iter().sum::<f64>() / n;
         let var = deltas.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / n;
         assert!((mean - m.coupler_mean).abs() < 0.002, "mean={mean}");
-        assert!((var.sqrt() - m.coupler_std).abs() < 0.002, "std={}", var.sqrt());
+        assert!(
+            (var.sqrt() - m.coupler_std).abs() < 0.002,
+            "std={}",
+            var.sqrt()
+        );
     }
 
     #[test]
@@ -174,6 +207,56 @@ mod tests {
         let a = m.perturb(&p, &mut rng);
         let b = m.perturb(&p, &mut rng);
         assert_ne!(a, b, "successive anneals must see fresh ICE");
+    }
+
+    #[test]
+    fn refreeze_perturbs_every_coefficient_symmetrically() {
+        use quamax_ising::CompiledProblem;
+        let p = sample_problem();
+        let base = CompiledProblem::new(&p);
+        let mut scratch = base.clone();
+        let mut rng = StdRng::seed_from_u64(7);
+        IceModel::dw2q().refreeze(&base, &mut scratch, &mut rng);
+        assert_eq!(scratch.num_spins(), base.num_spins());
+        assert_eq!(scratch.num_couplings(), base.num_couplings());
+        for i in 0..base.num_spins() {
+            assert_ne!(scratch.linear(i), base.linear(i), "field {i} untouched");
+            let (idx, w) = scratch.row(i);
+            let (_, w0) = base.row(i);
+            for (k, (&j, &g)) in idx.iter().zip(w).enumerate() {
+                assert_ne!(g, w0[k], "coupling ({i},{j}) untouched");
+                // Symmetric: the reverse entry carries the same value.
+                let (jidx, jw) = scratch.row(j as usize);
+                let back = jidx.iter().position(|&b| b as usize == i).unwrap();
+                assert_eq!(g, jw[back], "asymmetric ICE at ({i},{j})");
+            }
+        }
+        // A zero model refreezes back to the base coefficients exactly.
+        IceModel::none().refreeze(&base, &mut scratch, &mut rng);
+        assert_eq!(scratch, base);
+    }
+
+    #[test]
+    fn refreeze_draws_depend_only_on_stream() {
+        use quamax_ising::CompiledProblem;
+        // Two builds of the same problem in different insertion orders
+        // refreeze identically under the same RNG stream: draw order is
+        // a function of the compiled layout, not construction history.
+        let mut a = IsingProblem::new(4);
+        a.set_coupling(0, 3, 1.0);
+        a.set_coupling(0, 1, -1.0);
+        a.set_linear(2, 0.5);
+        let mut b = IsingProblem::new(4);
+        b.set_linear(2, 0.5);
+        b.set_coupling(0, 1, -1.0);
+        b.set_coupling(3, 0, 1.0);
+        let (ca, cb) = (CompiledProblem::new(&a), CompiledProblem::new(&b));
+        let mut out_a = ca.clone();
+        let mut out_b = cb.clone();
+        let m = IceModel::dw2q();
+        m.refreeze(&ca, &mut out_a, &mut StdRng::seed_from_u64(9));
+        m.refreeze(&cb, &mut out_b, &mut StdRng::seed_from_u64(9));
+        assert_eq!(out_a, out_b);
     }
 
     #[test]

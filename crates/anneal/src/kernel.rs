@@ -1,0 +1,501 @@
+//! The incremental-local-field sweep engine (see the DESIGN section of
+//! the crate docs).
+//!
+//! Every Monte-Carlo backend in this crate reduces to the same three
+//! primitives over a [`CompiledProblem`]:
+//!
+//! * **propose** a spin flip: `ΔE = −2·s_i·h_i`, O(1) from the cached
+//!   local field `h_i = f_i + Σ_j g_ij·s_j`;
+//! * **accept** a flip: negate `s_i` and push `±2·g_ij` into each
+//!   neighbor's cached field, O(degree) — paid only for accepted moves,
+//!   which is the winning trade late in a schedule where acceptance
+//!   collapses;
+//! * **propose/accept a chain flip**: the per-spin deltas summed from
+//!   cached fields plus a `+4·g_ab·s_a·s_b` correction per *internal*
+//!   edge, with the internal edge list precompiled per chain by
+//!   [`CompiledChains`] instead of rediscovered by `chain.contains(j)`
+//!   scans on every sweep.
+//!
+//! [`SweepState`] holds one classical configuration and its fields;
+//! [`SqaState`] holds the `n×P` Trotter-replica generalization with one
+//! field cache per slice, in a single flat buffer. Both are designed to
+//! be allocated once per worker thread and reset per anneal, so the hot
+//! loop performs no allocation at all.
+
+use quamax_ising::{CompiledProblem, Spin};
+use rand::Rng;
+
+/// Precompiled chain-collective move tables for one problem: member
+/// lists and internal-edge lists in flat CSR-style storage.
+#[derive(Clone, Debug)]
+pub struct CompiledChains {
+    /// Flat member indices.
+    members: Vec<u32>,
+    /// `member_offsets[c]..member_offsets[c+1]` delimits chain `c`.
+    member_offsets: Vec<u32>,
+    /// Flat internal edges `(a, b, g_ab)` with both endpoints in the
+    /// owning chain.
+    internal: Vec<(u32, u32, f64)>,
+    /// `internal_offsets[c]..internal_offsets[c+1]` delimits chain `c`.
+    internal_offsets: Vec<u32>,
+}
+
+impl Default for CompiledChains {
+    /// No chains (plain single-spin dynamics).
+    fn default() -> Self {
+        CompiledChains {
+            members: Vec::new(),
+            member_offsets: vec![0],
+            internal: Vec::new(),
+            internal_offsets: vec![0],
+        }
+    }
+}
+
+impl CompiledChains {
+    /// Compiles `chains` against `problem`. Internal edges are found
+    /// through a membership mask in O(Σ degree), not by per-sweep
+    /// membership scans.
+    ///
+    /// # Panics
+    /// Panics when a chain member is out of range for the problem, or
+    /// when a spin appears in more than one chain (the membership mask
+    /// identifies internal edges by owner, so overlapping chains would
+    /// silently drop edges; the naive `sa::chain_flip_delta` tolerates
+    /// overlap, but no embedding produces it).
+    pub fn compile(problem: &CompiledProblem, chains: &[Vec<usize>]) -> Self {
+        let n = problem.num_spins();
+        let mut compiled = CompiledChains {
+            members: Vec::new(),
+            member_offsets: vec![0],
+            internal: Vec::new(),
+            internal_offsets: vec![0],
+        };
+        // chain id + 1 per spin; 0 = unassigned.
+        let mut owner = vec![0u32; n];
+        for (c, chain) in chains.iter().enumerate() {
+            for &i in chain {
+                assert!(i < n, "chain member {i} out of range");
+                assert_eq!(
+                    owner[i], 0,
+                    "spin {i} appears in more than one chain (chains must be disjoint)"
+                );
+                owner[i] = c as u32 + 1;
+            }
+        }
+        for (c, chain) in chains.iter().enumerate() {
+            for &i in chain {
+                compiled.members.push(i as u32);
+                let (idx, w) = problem.row(i);
+                for (&j, &g) in idx.iter().zip(w) {
+                    // Each internal edge recorded once (a < b).
+                    if (j as usize) > i && owner[j as usize] == c as u32 + 1 {
+                        compiled.internal.push((i as u32, j, g));
+                    }
+                }
+            }
+            compiled.member_offsets.push(compiled.members.len() as u32);
+            compiled
+                .internal_offsets
+                .push(compiled.internal.len() as u32);
+        }
+        compiled
+    }
+
+    /// Number of chains.
+    pub fn len(&self) -> usize {
+        self.member_offsets.len() - 1
+    }
+
+    /// `true` when no chains were compiled.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Chain `c`'s member spins.
+    #[inline]
+    pub fn members(&self, c: usize) -> &[u32] {
+        let lo = self.member_offsets[c] as usize;
+        let hi = self.member_offsets[c + 1] as usize;
+        &self.members[lo..hi]
+    }
+
+    /// Chain `c`'s internal edges as `(a, b, g_ab)`.
+    #[inline]
+    pub fn internal_edges(&self, c: usize) -> &[(u32, u32, f64)] {
+        let lo = self.internal_offsets[c] as usize;
+        let hi = self.internal_offsets[c + 1] as usize;
+        &self.internal[lo..hi]
+    }
+}
+
+/// One configuration plus its cached local fields — the persistent
+/// state of a classical (SA) sweep.
+#[derive(Clone, Debug, Default)]
+pub struct SweepState {
+    spins: Vec<Spin>,
+    fields: Vec<f64>,
+}
+
+impl SweepState {
+    /// An empty state; call [`SweepState::reset`] before sweeping.
+    pub fn new() -> Self {
+        SweepState::default()
+    }
+
+    /// (Re)initializes the state to `spins` under `problem`, reusing
+    /// buffers.
+    pub fn reset(&mut self, problem: &CompiledProblem, spins: &[Spin]) {
+        assert_eq!(
+            spins.len(),
+            problem.num_spins(),
+            "configuration length mismatch"
+        );
+        self.spins.clear();
+        self.spins.extend_from_slice(spins);
+        problem.local_fields_into(&self.spins, &mut self.fields);
+    }
+
+    /// (Re)initializes to a uniform-random configuration drawn from
+    /// `rng` (one `random_bool(0.5)` per spin, in index order),
+    /// directly into the reused buffer — the allocation-free form of
+    /// `reset` for batch anneal starts.
+    pub fn reset_random<R: Rng + ?Sized>(&mut self, problem: &CompiledProblem, rng: &mut R) {
+        self.spins.clear();
+        self.spins
+            .extend((0..problem.num_spins()).map(|_| if rng.random_bool(0.5) { 1 } else { -1 }));
+        problem.local_fields_into(&self.spins, &mut self.fields);
+    }
+
+    /// The current configuration.
+    pub fn spins(&self) -> &[Spin] {
+        &self.spins
+    }
+
+    /// The cached local field of spin `i`.
+    #[inline]
+    pub fn field(&self, i: usize) -> f64 {
+        self.fields[i]
+    }
+
+    /// O(1) proposal: the energy change from flipping spin `i`.
+    #[inline]
+    pub fn flip_delta(&self, i: usize) -> f64 {
+        -2.0 * self.spins[i] as f64 * self.fields[i]
+    }
+
+    /// Accepts a flip of spin `i`: O(degree) neighbor-field update.
+    #[inline]
+    pub fn flip(&mut self, problem: &CompiledProblem, i: usize) {
+        let s_new = -self.spins[i];
+        self.spins[i] = s_new;
+        let step = 2.0 * s_new as f64;
+        let (idx, w) = problem.row(i);
+        for (&j, &g) in idx.iter().zip(w) {
+            self.fields[j as usize] += step * g;
+        }
+    }
+
+    /// O(chain + internal) proposal: the energy change from flipping
+    /// every member of chain `c` simultaneously. The `+4g·s_a·s_b` term
+    /// restores each internal edge the per-spin deltas double-count
+    /// with the wrong sign (see `sa::chain_flip_delta`).
+    #[inline]
+    pub fn chain_flip_delta(&self, chains: &CompiledChains, c: usize) -> f64 {
+        let mut delta = 0.0;
+        for &i in chains.members(c) {
+            delta += self.flip_delta(i as usize);
+        }
+        for &(a, b, g) in chains.internal_edges(c) {
+            delta += 4.0 * g * self.spins[a as usize] as f64 * self.spins[b as usize] as f64;
+        }
+        delta
+    }
+
+    /// Accepts a chain flip: members flip one by one, each paying its
+    /// O(degree) field update (fields stay exact throughout).
+    pub fn chain_flip(&mut self, problem: &CompiledProblem, chains: &CompiledChains, c: usize) {
+        for &i in chains.members(c) {
+            self.flip(problem, i as usize);
+        }
+    }
+
+    /// The configuration energy, reconstructed in O(n) from the cached
+    /// fields: `E = Σ_i s_i·(h_i + f_i)/2` (each coupling appears in
+    /// two fields, each linear term in one).
+    pub fn energy(&self, problem: &CompiledProblem) -> f64 {
+        self.spins
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| s as f64 * (self.fields[i] + problem.linear(i)) / 2.0)
+            .sum()
+    }
+
+    /// Moves the configuration out, leaving the state reusable.
+    pub fn take_spins(&mut self) -> Vec<Spin> {
+        std::mem::take(&mut self.spins)
+    }
+}
+
+/// The flat `n×P` Trotter-replica state of an SQA sweep: slice-major
+/// spins and per-slice local-field caches in single contiguous buffers.
+#[derive(Clone, Debug, Default)]
+pub struct SqaState {
+    n: usize,
+    slices: usize,
+    /// `spins[k*n + i]` = spin `i` in slice `k`.
+    spins: Vec<Spin>,
+    /// Parallel per-slice local fields of the *problem* term.
+    fields: Vec<f64>,
+}
+
+impl SqaState {
+    /// An empty state; call [`SqaState::reset`] before sweeping.
+    pub fn new() -> Self {
+        SqaState::default()
+    }
+
+    /// (Re)initializes all `slices` replicas, reusing buffers.
+    /// `init(k, i)` provides spin `i` of slice `k`.
+    pub fn reset(
+        &mut self,
+        problem: &CompiledProblem,
+        slices: usize,
+        mut init: impl FnMut(usize, usize) -> Spin,
+    ) {
+        let n = problem.num_spins();
+        self.n = n;
+        self.slices = slices;
+        self.spins.clear();
+        for k in 0..slices {
+            for i in 0..n {
+                self.spins.push(init(k, i));
+            }
+        }
+        self.fields.clear();
+        self.fields.resize(slices * n, 0.0);
+        for k in 0..slices {
+            let slice = &self.spins[k * n..(k + 1) * n];
+            for i in 0..n {
+                self.fields[k * n + i] = problem.local_field(slice, i);
+            }
+        }
+    }
+
+    /// (Re)initializes all `slices` replicas uniformly at random from
+    /// `rng` (slice-major draw order, one `random_bool(0.5)` per
+    /// (slice, spin)), directly into the reused buffer — the
+    /// allocation-free form of `reset` for batch anneal starts.
+    pub fn reset_random<R: Rng + ?Sized>(
+        &mut self,
+        problem: &CompiledProblem,
+        slices: usize,
+        rng: &mut R,
+    ) {
+        let n = problem.num_spins();
+        self.n = n;
+        self.slices = slices;
+        self.spins.clear();
+        self.spins
+            .extend((0..slices * n).map(|_| if rng.random_bool(0.5) { 1 } else { -1 }));
+        self.fields.clear();
+        self.fields.resize(slices * n, 0.0);
+        for k in 0..slices {
+            let slice = &self.spins[k * n..(k + 1) * n];
+            for i in 0..n {
+                self.fields[k * n + i] = problem.local_field(slice, i);
+            }
+        }
+    }
+
+    /// Number of Trotter slices.
+    pub fn num_slices(&self) -> usize {
+        self.slices
+    }
+
+    /// Slice `k` as a spin configuration.
+    #[inline]
+    pub fn slice(&self, k: usize) -> &[Spin] {
+        &self.spins[k * self.n..(k + 1) * self.n]
+    }
+
+    /// The spin at `(slice k, index i)`.
+    #[inline]
+    pub fn spin(&self, k: usize, i: usize) -> Spin {
+        self.spins[k * self.n + i]
+    }
+
+    /// O(1) proposal: the *problem-term* energy change from flipping
+    /// `(k, i)` (the inter-slice term is the caller's, since it depends
+    /// on the schedule-dependent coupling γ).
+    #[inline]
+    pub fn flip_delta(&self, k: usize, i: usize) -> f64 {
+        let at = k * self.n + i;
+        -2.0 * self.spins[at] as f64 * self.fields[at]
+    }
+
+    /// Accepts a flip of `(k, i)`, updating slice `k`'s field cache.
+    #[inline]
+    pub fn flip(&mut self, problem: &CompiledProblem, k: usize, i: usize) {
+        let base = k * self.n;
+        let s_new = -self.spins[base + i];
+        self.spins[base + i] = s_new;
+        let step = 2.0 * s_new as f64;
+        let (idx, w) = problem.row(i);
+        for (&j, &g) in idx.iter().zip(w) {
+            self.fields[base + j as usize] += step * g;
+        }
+    }
+
+    /// Chain-flip proposal within slice `k` (problem term only).
+    #[inline]
+    pub fn chain_flip_delta(&self, chains: &CompiledChains, k: usize, c: usize) -> f64 {
+        let base = k * self.n;
+        let mut delta = 0.0;
+        for &i in chains.members(c) {
+            let at = base + i as usize;
+            delta += -2.0 * self.spins[at] as f64 * self.fields[at];
+        }
+        for &(a, b, g) in chains.internal_edges(c) {
+            delta += 4.0
+                * g
+                * self.spins[base + a as usize] as f64
+                * self.spins[base + b as usize] as f64;
+        }
+        delta
+    }
+
+    /// Accepts a chain flip within slice `k`.
+    pub fn chain_flip(
+        &mut self,
+        problem: &CompiledProblem,
+        chains: &CompiledChains,
+        k: usize,
+        c: usize,
+    ) {
+        for &i in chains.members(c) {
+            self.flip(problem, k, i as usize);
+        }
+    }
+
+    /// The programmed energy of slice `k`, in O(n) from cached fields.
+    pub fn slice_energy(&self, problem: &CompiledProblem, k: usize) -> f64 {
+        let base = k * self.n;
+        (0..self.n)
+            .map(|i| {
+                self.spins[base + i] as f64 * (self.fields[base + i] + problem.linear(i)) / 2.0
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quamax_ising::IsingProblem;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_problem(n: usize, seed: u64) -> IsingProblem {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut p = IsingProblem::new(n);
+        for i in 0..n {
+            p.set_linear(i, rng.random_range(-1.0..1.0));
+            for j in (i + 1)..n {
+                if rng.random_bool(0.6) {
+                    p.set_coupling(i, j, rng.random_range(-1.0..1.0));
+                }
+            }
+        }
+        p
+    }
+
+    fn random_spins(n: usize, rng: &mut StdRng) -> Vec<Spin> {
+        (0..n)
+            .map(|_| if rng.random_bool(0.5) { 1 } else { -1 })
+            .collect()
+    }
+
+    #[test]
+    fn incremental_fields_track_flips_exactly() {
+        let p = random_problem(12, 1);
+        let c = CompiledProblem::new(&p);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut state = SweepState::new();
+        state.reset(&c, &random_spins(12, &mut rng));
+        for _ in 0..500 {
+            let i = rng.random_range(0..12);
+            let expect = p.flip_delta(state.spins(), i);
+            assert!((state.flip_delta(i) - expect).abs() < 1e-9);
+            state.flip(&c, i);
+        }
+        // Fields still exact after 500 updates.
+        for i in 0..12 {
+            assert!((state.field(i) - c.local_field(state.spins(), i)).abs() < 1e-9);
+        }
+        assert!((state.energy(&c) - p.energy(state.spins())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chain_moves_match_naive_chain_delta() {
+        let p = random_problem(10, 3);
+        let c = CompiledProblem::new(&p);
+        let chains = vec![vec![0usize, 1, 2], vec![5, 6], vec![9]];
+        let cc = CompiledChains::compile(&c, &chains);
+        assert_eq!(cc.len(), 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut state = SweepState::new();
+        state.reset(&c, &random_spins(10, &mut rng));
+        for step in 0..200 {
+            let ci = step % chains.len();
+            let expect = crate::sa::chain_flip_delta(&p, state.spins(), &chains[ci]);
+            assert!((state.chain_flip_delta(&cc, ci) - expect).abs() < 1e-9);
+            state.chain_flip(&c, &cc, ci);
+        }
+    }
+
+    #[test]
+    fn sqa_state_mirrors_per_slice_sweep_state() {
+        let p = random_problem(8, 5);
+        let c = CompiledProblem::new(&p);
+        let mut rng = StdRng::seed_from_u64(6);
+        let starts: Vec<Vec<Spin>> = (0..4).map(|_| random_spins(8, &mut rng)).collect();
+        let mut sqa = SqaState::new();
+        sqa.reset(&c, 4, |k, i| starts[k][i]);
+        for (k, start) in starts.iter().enumerate() {
+            assert_eq!(sqa.slice(k), &start[..]);
+            for i in 0..8 {
+                assert!((sqa.flip_delta(k, i) - c.flip_delta(start, i)).abs() < 1e-12);
+            }
+        }
+        // Flips in one slice leave the others' deltas untouched.
+        sqa.flip(&c, 2, 3);
+        assert_eq!(sqa.spin(2, 3), -starts[2][3]);
+        for i in 0..8 {
+            assert!((sqa.flip_delta(0, i) - c.flip_delta(&starts[0], i)).abs() < 1e-12);
+        }
+        assert!((sqa.slice_energy(&c, 2) - p.energy(sqa.slice(2))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compiled_chains_find_internal_edges_only() {
+        let mut p = IsingProblem::new(6);
+        p.set_coupling(0, 1, -5.0);
+        p.set_coupling(1, 2, -5.0);
+        p.set_coupling(2, 3, 0.5); // crosses the chain boundary
+        p.set_coupling(3, 4, -5.0);
+        let c = CompiledProblem::new(&p);
+        let cc = CompiledChains::compile(&c, &[vec![0, 1, 2], vec![3, 4, 5]]);
+        assert_eq!(cc.internal_edges(0).len(), 2);
+        assert_eq!(cc.internal_edges(1).len(), 1);
+        assert_eq!(cc.members(1), &[3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_chain_member_panics() {
+        let p = IsingProblem::new(3);
+        let c = CompiledProblem::new(&p);
+        let _ = CompiledChains::compile(&c, &[vec![0, 7]]);
+    }
+}

@@ -28,9 +28,70 @@
 //! success probabilities are calibration artifacts of that constant;
 //! the *shapes* (J_F optima, pause benefit, SNR/gap interactions) are
 //! produced by the same mechanisms as on hardware.
+//!
+//! # DESIGN — the sweep kernel
+//!
+//! Every figure is built from millions of Metropolis proposals
+//! (`Na` anneals × sweeps × spins), so the Monte-Carlo inner loop is
+//! the throughput bottleneck of the whole reproduction. The kernel is
+//! organized around a *compiled problem view* and *persistent sweep
+//! state*:
+//!
+//! * **[`quamax_ising::CompiledProblem`]** — a CSR (flat
+//!   `offsets`/`neighbors`/`weights` arrays + cached linear terms)
+//!   snapshot of the programmed problem, built once per
+//!   [`Annealer::run_compiled`] batch and shared read-only across
+//!   worker threads. Rows are sorted, so the layout is a pure function
+//!   of the problem, not of construction order.
+//! * **[`kernel::SweepState`]** — a configuration plus its cached local
+//!   fields `h_i = f_i + Σ_j g_ij·s_j`. A Metropolis proposal is O(1)
+//!   (`ΔE = −2·s_i·h_i`); only an *accepted* flip pays the O(degree)
+//!   neighbor-field update. Late in the schedule, where acceptance
+//!   collapses, a sweep costs ~one multiply per spin instead of one
+//!   adjacency-list walk per spin. The running energy is recoverable
+//!   from the fields in O(n) (`E = Σ_i s_i·(h_i + f_i)/2`), so nothing
+//!   recomputes couplings at readout either.
+//! * **[`kernel::CompiledChains`]** — per-chain member lists and
+//!   internal-edge lists, precompiled once via a membership mask, so
+//!   chain-collective proposals stop re-scanning `chain.contains(j)`
+//!   inside the sweep loop.
+//! * **[`kernel::SqaState`]** — the Trotter replicas flattened into one
+//!   `n×P` spin buffer with a per-slice local-field cache, giving SQA
+//!   the same O(1)-proposal structure per (spin, slice) and per-slice
+//!   contiguity.
+//! * **Per-thread reuse** — each worker owns one scratch coefficient
+//!   copy (for the per-anneal ICE refreeze, two `memcpy`-like passes
+//!   over `linear`/`weights`; the CSR structure is shared) and one
+//!   sweep state; the anneal hot loop performs no allocation.
+//!
+//! ## Determinism contract
+//!
+//! `Annealer::run*` output is bit-identical for a given `(problem,
+//! schedule, num_anneals, seed)` **regardless of thread count**, kept
+//! by three rules:
+//!
+//! 1. **SplitMix-per-anneal RNG streams** — anneal `k` always seeds its
+//!    own `StdRng` with `splitmix(seed, k)`; which thread runs `k` is
+//!    irrelevant.
+//! 2. **Draw-order stability** — within an anneal, every random draw
+//!    happens in a layout-determined order: ICE fields in spin order
+//!    then couplings in CSR `(i, j)` order; sweep proposals in spin
+//!    (and slice) index order; chain proposals in chain index order.
+//!    Acceptance tests short-circuit (`delta <= 0` skips the uniform
+//!    draw), which is deterministic because ΔE itself is.
+//! 3. **No cross-anneal state** — scratch buffers are reset per anneal
+//!    (fields recomputed from the refrozen coefficients), so reuse
+//!    never leaks one anneal's state into the next.
+//!
+//! The naive adjacency-list kernels (`sa::sweep`,
+//! `IsingProblem::flip_delta`, `sa::chain_flip_delta`) remain as the
+//! reference implementations; property tests cross-check the compiled
+//! kernel against them, and `quamax-bench`'s microbenches measure the
+//! gap (recorded in `BENCH_kernel.json` at the repo root).
 
 pub mod device;
 pub mod ice;
+pub mod kernel;
 pub mod sa;
 pub mod schedule;
 pub mod sqa;
@@ -38,5 +99,6 @@ pub mod stats;
 
 pub use device::{Annealer, AnnealerConfig, Backend};
 pub use ice::IceModel;
+pub use kernel::{CompiledChains, SqaState, SweepState};
 pub use schedule::Schedule;
 pub use stats::{SolutionDistribution, SolutionEntry};

@@ -75,7 +75,11 @@ impl Schedule {
             (1.0..=300.0).contains(&ta_us),
             "anneal time must lie in the hardware range 1–300 µs, got {ta_us}"
         );
-        Schedule { anneal_time_us: ta_us, pause: None, reverse: false }
+        Schedule {
+            anneal_time_us: ta_us,
+            pause: None,
+            reverse: false,
+        }
     }
 
     /// A ramp with a pause of `tp_us` at fraction `sp` (paper sweeps
@@ -85,7 +89,10 @@ impl Schedule {
     /// Panics for `sp` outside `(0, 1)` or non-positive `tp_us`.
     pub fn with_pause(ta_us: f64, sp: f64, tp_us: f64) -> Self {
         let mut s = Schedule::standard(ta_us);
-        assert!(sp > 0.0 && sp < 1.0, "pause position must lie in (0,1), got {sp}");
+        assert!(
+            sp > 0.0 && sp < 1.0,
+            "pause position must lie in (0,1), got {sp}"
+        );
         assert!(tp_us > 0.0, "pause duration must be positive, got {tp_us}");
         s.pause = Some((sp, tp_us));
         s

@@ -17,8 +17,9 @@
 //! per spin (flipping all its replicas at once), which is essential for
 //! efficient sampling near the end of the schedule.
 
+use crate::kernel::{CompiledChains, SqaState};
 use crate::schedule::curves;
-use quamax_ising::{IsingProblem, Spin};
+use quamax_ising::{CompiledProblem, IsingProblem, Spin};
 use rand::Rng;
 
 /// Runs one SQA trajectory over the per-sweep annealing fractions,
@@ -58,113 +59,174 @@ pub fn anneal_once_from<R: Rng + ?Sized>(
     init: Option<&[Spin]>,
     rng: &mut R,
 ) -> Vec<Spin> {
+    let compiled = CompiledProblem::new(problem);
+    let compiled_chains = CompiledChains::compile(&compiled, chains);
+    let mut state = SqaState::new();
+    anneal_once_compiled(
+        &compiled,
+        &compiled_chains,
+        fractions,
+        slices,
+        init,
+        &mut state,
+        rng,
+    );
+    best_slice(&compiled, &state)
+}
+
+/// The compiled-kernel SQA trajectory over a prebuilt problem view and
+/// a reusable flat `n×P` replica state (the batching entry point — see
+/// `sa::anneal_once_compiled`). The final replicas are left in `state`;
+/// [`best_slice`] reads out the answer.
+///
+/// # Panics
+/// Panics for an empty plan, fewer than 2 slices, or a wrong-length
+/// initial state.
+#[allow(clippy::too_many_arguments)]
+pub fn anneal_once_compiled<R: Rng + ?Sized>(
+    problem: &CompiledProblem,
+    chains: &CompiledChains,
+    fractions: &[f64],
+    slices: usize,
+    init: Option<&[Spin]>,
+    state: &mut SqaState,
+    rng: &mut R,
+) {
     assert!(!fractions.is_empty(), "empty sweep plan");
     assert!(slices >= 2, "need at least 2 Trotter slices");
     let n = problem.num_spins();
     let p = slices;
-    // replicas[k][i] = spin i in slice k.
-    let mut replicas: Vec<Vec<Spin>> = match init {
+    match init {
         Some(s) => {
             assert_eq!(s.len(), n, "initial state length mismatch");
-            (0..p).map(|_| s.to_vec()).collect()
+            state.reset(problem, p, |_, i| s[i]);
         }
-        None => (0..p)
-            .map(|_| (0..n).map(|_| if rng.random_bool(0.5) { 1 } else { -1 }).collect())
-            .collect(),
-    };
-
-    let beta = 1.0 / curves::KT_GHZ; // physical β in h·GHz⁻¹ units
+        // Random init keeps the historical Vec<Vec<_>> draw order:
+        // slice-major, spin-minor.
+        None => state.reset_random(problem, p, rng),
+    }
 
     for &s in fractions {
-        // Per-slice problem weight and inter-slice binding at this point
-        // of the schedule.
-        let w_problem = beta * curves::b(s) / (2.0 * p as f64);
-        let gamma_field = (curves::a(s) / 2.0).max(1e-12);
-        let x = (beta * gamma_field / p as f64).tanh();
-        // γ → ∞ as A → 0; cap to keep arithmetic finite (beyond ~30 the
-        // acceptance of a slice-breaking move is 0 anyway).
-        let gamma = (-0.5 * x.ln()).min(30.0);
+        let (w_problem, gamma) = couplings_at(s, p);
+        sweep_compiled(problem, chains, state, w_problem, gamma, rng);
+    }
+}
 
-        // Local moves: every (slice, spin).
-        for k in 0..p {
-            let (up, down) = (if k + 1 == p { 0 } else { k + 1 }, if k == 0 { p - 1 } else { k - 1 });
-            for i in 0..n {
-                let d_problem = problem.flip_delta(&replicas[k], i);
-                let si = replicas[k][i] as f64;
-                let neighbors = (replicas[up][i] + replicas[down][i]) as f64;
-                // ΔF = −w·ΔE_problem − 2γ·s_i·(s_up + s_down); accept on
-                // exp(ΔF).
-                let d_f = -w_problem * d_problem - 2.0 * gamma * si * neighbors;
-                if d_f >= 0.0 || rng.random::<f64>() < d_f.exp() {
-                    replicas[k][i] = -replicas[k][i];
-                }
-            }
-        }
-        // Global moves: flip spin i in all slices (slice couplings
-        // unchanged, so only the problem term matters).
+/// The per-slice problem weight and inter-slice binding `(w, γ)` at
+/// schedule fraction `s` with `slices` Trotter slices.
+pub fn couplings_at(s: f64, slices: usize) -> (f64, f64) {
+    let beta = 1.0 / curves::KT_GHZ; // physical β in h·GHz⁻¹ units
+    let w_problem = beta * curves::b(s) / (2.0 * slices as f64);
+    let gamma_field = (curves::a(s) / 2.0).max(1e-12);
+    let x = (beta * gamma_field / slices as f64).tanh();
+    // γ → ∞ as A → 0; cap to keep arithmetic finite (beyond ~30 the
+    // acceptance of a slice-breaking move is 0 anyway).
+    let gamma = (-0.5 * x.ln()).min(30.0);
+    (w_problem, gamma)
+}
+
+/// Metropolis acceptance on `exp(ΔF)`, skipping the `exp`/RNG cost for
+/// certainly-rejected moves (see `sa::CERTAIN_REJECT_EXPONENT`).
+#[inline]
+fn accept<R: Rng + ?Sized>(d_f: f64, rng: &mut R) -> bool {
+    d_f >= 0.0 || (d_f > -crate::sa::CERTAIN_REJECT_EXPONENT && rng.random::<f64>() < d_f.exp())
+}
+
+/// One full SQA sweep at fixed couplings `(w_problem, γ)`: local moves
+/// over every (slice, spin), global per-spin moves, then per-slice and
+/// global chain-collective moves. This is the hot loop the
+/// `bench_kernel` harness measures.
+pub fn sweep_compiled<R: Rng + ?Sized>(
+    problem: &CompiledProblem,
+    chains: &CompiledChains,
+    state: &mut SqaState,
+    w_problem: f64,
+    gamma: f64,
+    rng: &mut R,
+) {
+    let p = state.num_slices();
+    let n = problem.num_spins();
+    // Local moves: every (slice, spin).
+    for k in 0..p {
+        let (up, down) = (
+            if k + 1 == p { 0 } else { k + 1 },
+            if k == 0 { p - 1 } else { k - 1 },
+        );
         for i in 0..n {
-            let mut d_total = 0.0;
-            for replica in replicas.iter() {
-                d_total += problem.flip_delta(replica, i);
-            }
-            let d_f = -w_problem * d_total;
-            if d_f >= 0.0 || rng.random::<f64>() < d_f.exp() {
-                for replica in replicas.iter_mut() {
-                    replica[i] = -replica[i];
-                }
-            }
-        }
-        // Chain-collective moves, per slice: flip a whole embedding
-        // chain within slice k (slice couplings of every member change).
-        for chain in chains {
-            for k in 0..p {
-                let (up, down) =
-                    (if k + 1 == p { 0 } else { k + 1 }, if k == 0 { p - 1 } else { k - 1 });
-                let d_problem = crate::sa::chain_flip_delta(problem, &replicas[k], chain);
-                let mut slice_term = 0.0;
-                for &i in chain {
-                    slice_term += replicas[k][i] as f64
-                        * (replicas[up][i] + replicas[down][i]) as f64;
-                }
-                let d_f = -w_problem * d_problem - 2.0 * gamma * slice_term;
-                if d_f >= 0.0 || rng.random::<f64>() < d_f.exp() {
-                    for &i in chain {
-                        replicas[k][i] = -replicas[k][i];
-                    }
-                }
-            }
-        }
-        // Global chain moves: flip a chain in *all* slices at once.
-        // Inter-slice couplings cancel, so this stays available even
-        // after γ locks the replicas — it is the collective transition
-        // that orders embedded problems late in the schedule (the SQA
-        // analogue of `sa::anneal_once_chained`'s cluster move).
-        for chain in chains {
-            let mut d_total = 0.0;
-            for replica in replicas.iter() {
-                d_total += crate::sa::chain_flip_delta(problem, replica, chain);
-            }
-            let d_f = -w_problem * d_total;
-            if d_f >= 0.0 || rng.random::<f64>() < d_f.exp() {
-                for replica in replicas.iter_mut() {
-                    for &i in chain {
-                        replica[i] = -replica[i];
-                    }
-                }
+            let d_problem = state.flip_delta(k, i);
+            let si = state.spin(k, i) as f64;
+            let neighbors = (state.spin(up, i) + state.spin(down, i)) as f64;
+            // ΔF = −w·ΔE_problem − 2γ·s_i·(s_up + s_down); accept on
+            // exp(ΔF).
+            let d_f = -w_problem * d_problem - 2.0 * gamma * si * neighbors;
+            if accept(d_f, rng) {
+                state.flip(problem, k, i);
             }
         }
     }
+    // Global moves: flip spin i in all slices (slice couplings
+    // unchanged, so only the problem term matters).
+    for i in 0..n {
+        let mut d_total = 0.0;
+        for k in 0..p {
+            d_total += state.flip_delta(k, i);
+        }
+        if accept(-w_problem * d_total, rng) {
+            for k in 0..p {
+                state.flip(problem, k, i);
+            }
+        }
+    }
+    // Chain-collective moves, per slice: flip a whole embedding
+    // chain within slice k (slice couplings of every member change).
+    for c in 0..chains.len() {
+        for k in 0..p {
+            let (up, down) = (
+                if k + 1 == p { 0 } else { k + 1 },
+                if k == 0 { p - 1 } else { k - 1 },
+            );
+            let d_problem = state.chain_flip_delta(chains, k, c);
+            let mut slice_term = 0.0;
+            for &i in chains.members(c) {
+                slice_term += state.spin(k, i as usize) as f64
+                    * (state.spin(up, i as usize) + state.spin(down, i as usize)) as f64;
+            }
+            let d_f = -w_problem * d_problem - 2.0 * gamma * slice_term;
+            if accept(d_f, rng) {
+                state.chain_flip(problem, chains, k, c);
+            }
+        }
+    }
+    // Global chain moves: flip a chain in *all* slices at once.
+    // Inter-slice couplings cancel, so this stays available even
+    // after γ locks the replicas — it is the collective transition
+    // that orders embedded problems late in the schedule (the SQA
+    // analogue of `sa::anneal_once_chained`'s cluster move).
+    for c in 0..chains.len() {
+        let mut d_total = 0.0;
+        for k in 0..p {
+            d_total += state.chain_flip_delta(chains, k, c);
+        }
+        if accept(-w_problem * d_total, rng) {
+            for k in 0..p {
+                state.chain_flip(problem, chains, k, c);
+            }
+        }
+    }
+}
 
-    // Read out the best slice by programmed energy.
-    replicas
-        .into_iter()
-        .min_by(|a, b| {
-            problem
-                .energy(a)
-                .partial_cmp(&problem.energy(b))
+/// Reads out the lowest-programmed-energy Trotter slice (each slice's
+/// energy comes from its cached local fields in O(n)).
+pub fn best_slice(problem: &CompiledProblem, state: &SqaState) -> Vec<Spin> {
+    let best = (0..state.num_slices())
+        .min_by(|&a, &b| {
+            state
+                .slice_energy(problem, a)
+                .partial_cmp(&state.slice_energy(problem, b))
                 .expect("finite energies")
         })
-        .expect("at least one slice")
+        .expect("at least one slice");
+    state.slice(best).to_vec()
 }
 
 #[cfg(test)]
@@ -190,7 +252,9 @@ mod tests {
     }
 
     fn ramp(n_sweeps: usize) -> Vec<f64> {
-        (0..n_sweeps).map(|k| (k as f64 + 0.5) / n_sweeps as f64).collect()
+        (0..n_sweeps)
+            .map(|k| (k as f64 + 0.5) / n_sweeps as f64)
+            .collect()
     }
 
     #[test]
@@ -207,26 +271,33 @@ mod tests {
         }
         // Random guessing over 2^6 configurations would land ~1/64 ≈ 1.6%
         // of the time (≈ 1 hit in 50); require a ≥ 12× improvement.
-        assert!(hits >= 10, "only {hits}/50 SQA anneals found the ground state");
+        assert!(
+            hits >= 10,
+            "only {hits}/50 SQA anneals found the ground state"
+        );
     }
 
     #[test]
     fn more_sweeps_help() {
+        // Mean final energy, not ground-state hit rate: on a 6-spin
+        // problem the best-of-P readout makes the hit rate nearly flat
+        // in schedule length (short schedules read out P almost-
+        // independent guesses), while the sampled energy distribution
+        // robustly sharpens toward the ground state as the schedule
+        // lengthens.
         let p = frustrated_problem();
-        let gs = exact_ground_state(&p);
         let mut rng = StdRng::seed_from_u64(2);
-        let mut success = [0usize; 2];
-        for (idx, sweeps) in [6usize, 120].iter().enumerate() {
-            for _ in 0..60 {
+        let mut mean_energy = [0.0f64; 2];
+        let trials = 200;
+        for (idx, sweeps) in [3usize, 300].iter().enumerate() {
+            for _ in 0..trials {
                 let s = anneal_once(&p, &ramp(*sweeps), 6, &mut rng);
-                if (p.energy(&s) - gs.energy).abs() < 1e-9 {
-                    success[idx] += 1;
-                }
+                mean_energy[idx] += p.energy(&s) / trials as f64;
             }
         }
         assert!(
-            success[1] > success[0],
-            "longer schedule should win: {success:?}"
+            mean_energy[1] < mean_energy[0] - 0.02,
+            "longer schedule should anneal deeper: {mean_energy:?}"
         );
     }
 

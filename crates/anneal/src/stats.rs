@@ -53,7 +53,10 @@ impl SolutionDistribution {
                 .then_with(|| b.count.cmp(&a.count))
                 .then_with(|| a.spins.cmp(&b.spins))
         });
-        SolutionDistribution { entries, total: samples.len() }
+        SolutionDistribution {
+            entries,
+            total: samples.len(),
+        }
     }
 
     /// Ranked entries, ascending energy (rank 1 first).
@@ -110,7 +113,10 @@ impl SolutionDistribution {
             None => Vec::new(),
             Some(e0) => {
                 let denom = e0.abs().max(f64::MIN_POSITIVE);
-                self.entries.iter().map(|e| (e.energy - e0) / denom).collect()
+                self.entries
+                    .iter()
+                    .map(|e| (e.energy - e0) / denom)
+                    .collect()
             }
         }
     }

@@ -2,8 +2,10 @@
 
 use proptest::prelude::*;
 use quamax_anneal::sa::chain_flip_delta;
-use quamax_anneal::{Annealer, AnnealerConfig, IceModel, Schedule};
-use quamax_ising::IsingProblem;
+use quamax_anneal::{
+    Annealer, AnnealerConfig, Backend, CompiledChains, IceModel, Schedule, SweepState,
+};
+use quamax_ising::{CompiledProblem, IsingProblem};
 
 const N: usize = 8;
 
@@ -66,6 +68,49 @@ proptest! {
         let direct = p.energy(&flipped) - before;
         let fast = chain_flip_delta(&p, &spins, &chain);
         prop_assert!((direct - fast).abs() < 1e-9, "{direct} vs {fast}");
+    }
+
+    /// Batches are bit-identical across thread counts, for both
+    /// backends, with ICE noise active (the kernel's determinism
+    /// contract: splitmix-per-anneal streams + layout-stable draw
+    /// order — see the crate's DESIGN docs).
+    #[test]
+    fn thread_count_never_changes_samples(p in problem(), seed in 0u64..1000) {
+        for backend in [Backend::Sa, Backend::Sqa { slices: 4 }] {
+            let run_with = |threads: usize| {
+                Annealer::new(AnnealerConfig {
+                    backend,
+                    sweeps_per_us: 4.0,
+                    threads,
+                    ..Default::default()
+                })
+                .run(&p, &Schedule::standard(1.0), 10, seed)
+            };
+            prop_assert_eq!(run_with(1), run_with(4), "backend {:?}", backend);
+        }
+    }
+
+    /// The incremental sweep kernel stays exact over a long random
+    /// walk: cached ΔE equals the naive adjacency-list ΔE before every
+    /// accepted flip, including chain-collective flips.
+    #[test]
+    fn sweep_state_tracks_naive_deltas(p in problem(), k in 0u32..256, walk in 0usize..64) {
+        let compiled = CompiledProblem::new(&p);
+        let chains = vec![vec![0usize, 1, 2], vec![4, 5]];
+        let cc = CompiledChains::compile(&compiled, &chains);
+        let spins: Vec<i8> = (0..N).map(|i| if (k >> i) & 1 == 1 { 1 } else { -1 }).collect();
+        let mut state = SweepState::new();
+        state.reset(&compiled, &spins);
+        for step in 0..walk {
+            let naive = p.flip_delta(state.spins(), step % N);
+            prop_assert!((state.flip_delta(step % N) - naive).abs() < 1e-9);
+            state.flip(&compiled, step % N);
+            let c = step % chains.len();
+            let naive_chain = chain_flip_delta(&p, state.spins(), &chains[c]);
+            prop_assert!((state.chain_flip_delta(&cc, c) - naive_chain).abs() < 1e-9);
+            state.chain_flip(&compiled, &cc, c);
+        }
+        prop_assert!((state.energy(&compiled) - p.energy(state.spins())).abs() < 1e-9);
     }
 
     /// ICE perturbation preserves problem structure and moves every

@@ -54,7 +54,11 @@ pub fn exhaustive_ml(h: &CMatrix, y: &CVector, modulation: Modulation) -> MlResu
         bits.extend_from_slice(&constellation[sym_idx].0);
         symbols[u] = constellation[sym_idx].1;
     }
-    MlResult { bits, symbols, metric: best_metric }
+    MlResult {
+        bits,
+        symbols,
+        metric: best_metric,
+    }
 }
 
 #[cfg(test)]
@@ -86,15 +90,13 @@ mod tests {
         let m = Modulation::Qpsk;
         let nt = 3;
         let h = rayleigh_channel(nt, nt, &mut rng);
-        let bits: Vec<u8> =
-            (0..nt * 2).map(|_| rng.random_range(0..=1) as u8).collect();
+        let bits: Vec<u8> = (0..nt * 2).map(|_| rng.random_range(0..=1) as u8).collect();
         let clean = h.mul_vec(&m.map_gray_vector(&bits));
         let y = apply_awgn(&clean, Snr::from_db(6.0).noise_variance(m), &mut rng);
         let out = exhaustive_ml(&h, &y, m);
         // Spot-check against 100 random candidates.
         for _ in 0..100 {
-            let cand: Vec<u8> =
-                (0..nt * 2).map(|_| rng.random_range(0..=1) as u8).collect();
+            let cand: Vec<u8> = (0..nt * 2).map(|_| rng.random_range(0..=1) as u8).collect();
             let metric = (&y - &h.mul_vec(&m.map_gray_vector(&cand))).norm_sqr();
             assert!(metric >= out.metric - 1e-12);
         }

@@ -24,7 +24,10 @@ impl MmseDetector {
     /// Panics on negative variance.
     pub fn new(modulation: Modulation, noise_variance: f64) -> Self {
         assert!(noise_variance >= 0.0, "noise variance must be non-negative");
-        MmseDetector { modulation, noise_variance }
+        MmseDetector {
+            modulation,
+            noise_variance,
+        }
     }
 
     /// Decodes one channel use.

@@ -87,7 +87,11 @@ impl std::error::Error for SphereError {}
 impl SphereDecoder {
     /// An unconstrained (exact-ML) sphere decoder.
     pub fn new(modulation: Modulation) -> Self {
-        SphereDecoder { modulation, initial_radius: f64::INFINITY, node_budget: None }
+        SphereDecoder {
+            modulation,
+            initial_radius: f64::INFINITY,
+            node_budget: None,
+        }
     }
 
     /// Constrains the search to `‖y − Hv‖² ≤ radius_sqr`.
@@ -280,8 +284,7 @@ mod tests {
             let nt = 4;
             let h = rayleigh_channel(nt, nt, &mut rng);
             let q = m.bits_per_symbol();
-            let bits: Vec<u8> =
-                (0..nt * q).map(|_| rng.random_range(0..=1) as u8).collect();
+            let bits: Vec<u8> = (0..nt * q).map(|_| rng.random_range(0..=1) as u8).collect();
             let v = m.map_gray_vector(&bits);
             let y = h.mul_vec(&v);
             let out = SphereDecoder::new(m).decode(&h, &y).unwrap();
@@ -299,7 +302,10 @@ mod tests {
             let mut acc = 0u64;
             for _ in 0..trials {
                 let (h, y, _) = random_instance(rng, nt, Modulation::Bpsk, 13.0);
-                acc += SphereDecoder::new(Modulation::Bpsk).decode(&h, &y).unwrap().visited_nodes;
+                acc += SphereDecoder::new(Modulation::Bpsk)
+                    .decode(&h, &y)
+                    .unwrap()
+                    .visited_nodes;
             }
             acc as f64 / trials as f64
         };
@@ -374,13 +380,19 @@ mod tests {
             let mut acc = 0u64;
             for _ in 0..30 {
                 let (h, y, _) = random_instance(rng, 8, Modulation::Qpsk, snr);
-                acc += SphereDecoder::new(Modulation::Qpsk).decode(&h, &y).unwrap().visited_nodes;
+                acc += SphereDecoder::new(Modulation::Qpsk)
+                    .decode(&h, &y)
+                    .unwrap()
+                    .visited_nodes;
             }
             acc as f64 / 30.0
         };
         let noisy = avg(0.0, &mut rng);
         let clean = avg(25.0, &mut rng);
-        assert!(clean < noisy, "SNR should shrink the search: {clean} vs {noisy}");
+        assert!(
+            clean < noisy,
+            "SNR should shrink the search: {clean} vs {noisy}"
+        );
     }
 
     #[test]

@@ -47,7 +47,10 @@ pub fn zf_apply_flops(nr: usize, nt: usize) -> f64 {
 /// (the channel stays valid for a coherence block), plus per-vector
 /// filtering.
 pub fn zf_time_us(nr: usize, nt: usize, vectors_per_channel: usize) -> f64 {
-    assert!(vectors_per_channel > 0, "need at least one vector per channel use");
+    assert!(
+        vectors_per_channel > 0,
+        "need at least one vector per channel use"
+    );
     let per_vector = zf_filter_flops(nr, nt) / vectors_per_channel as f64 + zf_apply_flops(nr, nt);
     per_vector / SUSTAINED_FLOPS * 1e6
 }

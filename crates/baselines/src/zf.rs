@@ -82,7 +82,9 @@ mod tests {
     fn overdetermined_channel_is_exact_too() {
         let mut rng = StdRng::seed_from_u64(2);
         let (h, y, bits) = instance(&mut rng, 12, 4, Modulation::Qam16, None);
-        let out = ZeroForcingDetector::new(Modulation::Qam16).decode(&h, &y).unwrap();
+        let out = ZeroForcingDetector::new(Modulation::Qam16)
+            .decode(&h, &y)
+            .unwrap();
         assert_eq!(out, bits);
     }
 
@@ -124,7 +126,9 @@ mod tests {
     fn equalize_exposes_soft_symbols() {
         let mut rng = StdRng::seed_from_u64(5);
         let (h, y, bits) = instance(&mut rng, 5, 5, Modulation::Qpsk, None);
-        let x = ZeroForcingDetector::new(Modulation::Qpsk).equalize(&h, &y).unwrap();
+        let x = ZeroForcingDetector::new(Modulation::Qpsk)
+            .equalize(&h, &y)
+            .unwrap();
         let v = Modulation::Qpsk.map_gray_vector(&bits);
         for u in 0..5 {
             assert!((x[u] - v[u]).abs() < 1e-7);

@@ -6,16 +6,26 @@
 //!
 //! * the ML→Ising reduction (the per-subcarrier front-end work);
 //! * clique embedding + compile (per channel-coherence interval);
-//! * one SA sweep over an embedded problem (the simulator's inner loop);
+//! * one SA sweep over an embedded problem (the simulator's inner loop),
+//!   naive adjacency-list kernel vs the compiled CSR/local-field kernel,
+//!   at the paper's headline 960-qubit and full-chip 2031-working-qubit
+//!   scales (see `quamax_bench::kernelbench`; `bench_kernel` records the
+//!   same comparison to `BENCH_kernel.json`);
+//! * an SQA 8-slice sweep, naive vs compiled;
+//! * chain-collective proposals, naive `chain.contains` scan vs
+//!   precompiled internal-edge lists;
 //! * a sphere-decoder decode (the classical ML baseline);
 //! * ZF detection (the linear baseline).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use quamax_anneal::kernel::{CompiledChains, SqaState, SweepState};
 use quamax_anneal::sa;
 use quamax_baselines::{SphereDecoder, ZeroForcingDetector};
+use quamax_bench::kernelbench;
 use quamax_chimera::{ChimeraGraph, CliqueEmbedding, EmbedParams, EmbeddedProblem};
 use quamax_core::reduce::ising_from_ml;
 use quamax_core::Scenario;
+use quamax_ising::CompiledProblem;
 use quamax_wireless::{Modulation, Snr};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -23,8 +33,11 @@ use std::hint::black_box;
 
 fn bench_reduction(c: &mut Criterion) {
     let mut group = c.benchmark_group("reduce");
-    for (nt, m) in [(48usize, Modulation::Bpsk), (18, Modulation::Qpsk), (9, Modulation::Qam16)]
-    {
+    for (nt, m) in [
+        (48usize, Modulation::Bpsk),
+        (18, Modulation::Qpsk),
+        (9, Modulation::Qam16),
+    ] {
         let mut rng = StdRng::seed_from_u64(1);
         let inst = Scenario::new(nt, nt, m).sample(&mut rng);
         group.bench_function(format!("{}x{} {}", nt, nt, m.name()), |b| {
@@ -57,7 +70,12 @@ fn bench_embedding(c: &mut Criterion) {
     c.bench_function("embed+compile 36 logical", |b| {
         b.iter(|| {
             let e = CliqueEmbedding::new(&graph, 36).unwrap();
-            black_box(EmbeddedProblem::compile(&graph, &e, &logical, EmbedParams::default()))
+            black_box(EmbeddedProblem::compile(
+                &graph,
+                &e,
+                &logical,
+                EmbedParams::default(),
+            ))
         })
     });
 }
@@ -75,7 +93,13 @@ fn bench_sa_sweep(c: &mut Criterion) {
             || {
                 let mut srng = StdRng::seed_from_u64(4);
                 (0..n)
-                    .map(|_| if rand::Rng::random_bool(&mut srng, 0.5) { 1i8 } else { -1 })
+                    .map(|_| {
+                        if rand::Rng::random_bool(&mut srng, 0.5) {
+                            1i8
+                        } else {
+                            -1
+                        }
+                    })
                     .collect::<Vec<i8>>()
             },
             |mut spins| {
@@ -88,11 +112,103 @@ fn bench_sa_sweep(c: &mut Criterion) {
     });
 }
 
+fn bench_kernel_sa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sa_ladder");
+    let betas = kernelbench::schedule_betas();
+    let (embedded, _) = kernelbench::embedded_bpsk60(1);
+    let glass = kernelbench::chimera_glass(2);
+    for (label, problem) in [("embedded_960q", &embedded), ("chimera_2031q", &glass)] {
+        let compiled = CompiledProblem::new(problem);
+        let n = problem.num_spins();
+        group.bench_function(format!("{label} naive"), |b| {
+            let mut spins = kernelbench::random_spins(n, &mut StdRng::seed_from_u64(3));
+            let mut rng = StdRng::seed_from_u64(4);
+            b.iter(|| {
+                kernelbench::naive_sa_ladder(problem, &mut spins, &betas, &mut rng);
+                black_box(spins[0])
+            })
+        });
+        group.bench_function(format!("{label} compiled"), |b| {
+            let spins = kernelbench::random_spins(n, &mut StdRng::seed_from_u64(3));
+            let mut state = SweepState::new();
+            state.reset(&compiled, &spins);
+            let mut rng = StdRng::seed_from_u64(4);
+            b.iter(|| {
+                kernelbench::compiled_sa_ladder(&compiled, &mut state, &betas, &mut rng);
+                black_box(state.spins()[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_kernel_sqa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sqa_ladder_8slice");
+    let (embedded, _) = kernelbench::embedded_bpsk60(1);
+    let compiled = CompiledProblem::new(&embedded);
+    let n = embedded.num_spins();
+    let slices = 8;
+    group.bench_function("embedded_960q naive", |b| {
+        let mut replicas: Vec<Vec<i8>> = (0..slices)
+            .map(|k| kernelbench::random_spins(n, &mut StdRng::seed_from_u64(5 + k as u64)))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(6);
+        b.iter(|| {
+            kernelbench::naive_sqa_ladder(&embedded, &mut replicas, slices, &mut rng);
+            black_box(replicas[0][0])
+        })
+    });
+    group.bench_function("embedded_960q compiled", |b| {
+        let starts: Vec<Vec<i8>> = (0..slices)
+            .map(|k| kernelbench::random_spins(n, &mut StdRng::seed_from_u64(5 + k as u64)))
+            .collect();
+        let mut state = SqaState::new();
+        state.reset(&compiled, slices, |k, i| starts[k][i]);
+        let mut rng = StdRng::seed_from_u64(6);
+        b.iter(|| {
+            kernelbench::compiled_sqa_ladder(&compiled, &mut state, slices, &mut rng);
+            black_box(state.spin(0, 0))
+        })
+    });
+    group.finish();
+}
+
+fn bench_chain_moves(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chain_delta_60x16");
+    let (embedded, chains) = kernelbench::embedded_bpsk60(1);
+    let compiled = CompiledProblem::new(&embedded);
+    let cc = CompiledChains::compile(&compiled, &chains);
+    let spins = kernelbench::random_spins(embedded.num_spins(), &mut StdRng::seed_from_u64(7));
+    group.bench_function("naive contains-scan", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for chain in &chains {
+                acc += sa::chain_flip_delta(&embedded, &spins, chain);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("precompiled internal edges", |b| {
+        let mut state = SweepState::new();
+        state.reset(&compiled, &spins);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for ci in 0..cc.len() {
+                acc += state.chain_flip_delta(&cc, ci);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
 fn bench_sphere(c: &mut Criterion) {
     let mut group = c.benchmark_group("sphere");
     for (nt, m) in [(12usize, Modulation::Bpsk), (7, Modulation::Qpsk)] {
         let mut rng = StdRng::seed_from_u64(6);
-        let sc = Scenario::new(nt, nt, m).with_rayleigh().with_snr(Snr::from_db(13.0));
+        let sc = Scenario::new(nt, nt, m)
+            .with_rayleigh()
+            .with_snr(Snr::from_db(13.0));
         let inst = sc.sample(&mut rng);
         let decoder = SphereDecoder::new(m);
         group.bench_function(format!("{}x{} {}", nt, nt, m.name()), |b| {
@@ -117,6 +233,7 @@ fn bench_zf(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_reduction, bench_embedding, bench_sa_sweep, bench_sphere, bench_zf
+    targets = bench_reduction, bench_embedding, bench_sa_sweep, bench_kernel_sa,
+        bench_kernel_sqa, bench_chain_moves, bench_sphere, bench_zf
 }
 criterion_main!(benches);

@@ -35,12 +35,11 @@ fn main() {
     let m = Modulation::Qpsk;
     let nt = 12;
     let mut rng = StdRng::seed_from_u64(seed);
-    let insts: Vec<_> =
-        (0..instances).map(|_| Scenario::new(nt, nt, m).sample(&mut rng)).collect();
+    let insts: Vec<_> = (0..instances)
+        .map(|_| Scenario::new(nt, nt, m).sample(&mut rng))
+        .collect();
 
-    for (backend_label, backend) in
-        [("SA", Backend::Sa), ("SQA", Backend::Sqa { slices })]
-    {
+    for (backend_label, backend) in [("SA", Backend::Sa), ("SQA", Backend::Sqa { slices })] {
         println!("\n== {backend_label} backend | 12x12 QPSK | median P0 / TTS(0.99) ==");
         for (setting, schedule) in [
             ("no pause Ta=1", Schedule::standard(1.0)),
@@ -48,11 +47,17 @@ fn main() {
         ] {
             for jf in [2.0, 4.0, 8.0] {
                 let params = CandidateParams {
-                    embed: EmbedParams { j_ferro: jf, improved_range: true },
+                    embed: EmbedParams {
+                        j_ferro: jf,
+                        improved_range: true,
+                    },
                     schedule,
                 };
-                let annealer =
-                    AnnealerConfig { backend, sweeps_per_us: sweeps, ..Default::default() };
+                let annealer = AnnealerConfig {
+                    backend,
+                    sweeps_per_us: sweeps,
+                    ..Default::default()
+                };
                 let results: Vec<(f64, f64)> = insts
                     .iter()
                     .enumerate()
@@ -69,7 +74,11 @@ fn main() {
                 println!(
                     "  {setting} J_F={jf:>3}: P0 {:.4} | TTS {}",
                     p0_med,
-                    if tts_med.is_finite() { format!("{tts_med:.1} µs") } else { "∞".into() }
+                    if tts_med.is_finite() {
+                        format!("{tts_med:.1} µs")
+                    } else {
+                        "∞".into()
+                    }
                 );
                 report.push(serde_json::json!({
                     "backend": backend_label,

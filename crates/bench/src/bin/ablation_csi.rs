@@ -37,12 +37,13 @@ fn main() {
     let pilot_sigma2 = pilot_snr.noise_variance(m);
     let decoder = QuamaxDecoder::new(
         Annealer::new(Default::default()),
-        DecoderConfig { embed: default_params().embed, schedule: default_params().schedule },
+        DecoderConfig {
+            embed: default_params().embed,
+            schedule: default_params().schedule,
+        },
     );
 
-    println!(
-        "12x12 QPSK @ {snr} (pilots at {pilot_snr}): BER vs pilot length (LS estimation)"
-    );
+    println!("12x12 QPSK @ {snr} (pilots at {pilot_snr}): BER vs pilot length (LS estimation)");
     // Np = 0 encodes "perfect CSI".
     for np in [0usize, 12, 24, 48, 96] {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -59,15 +60,22 @@ fn main() {
                 let pilots = dft_pilots(nt, np);
                 estimate_channel(inst.h(), &pilots, pilot_sigma2, &mut rng)
             };
-            let input =
-                DetectionInput { h: h_used, y: inst.y().clone(), modulation: m };
+            let input = DetectionInput {
+                h: h_used,
+                y: inst.y().clone(),
+                modulation: m,
+            };
             let mut drng = StdRng::seed_from_u64(seed + 13 * i as u64);
             let run = decoder.decode(&input, anneals, &mut drng).unwrap();
             errors += count_bit_errors(&run.best_bits(), inst.tx_bits());
             bits += inst.tx_bits().len();
         }
         let ber = errors as f64 / bits as f64;
-        let label = if np == 0 { "perfect".into() } else { format!("Np={np}") };
+        let label = if np == 0 {
+            "perfect".into()
+        } else {
+            format!("Np={np}")
+        };
         println!("  {label:>8}: BER {ber:.3e}");
         report.push(serde_json::json!({
             "pilot_len": np,

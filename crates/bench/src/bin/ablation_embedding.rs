@@ -30,19 +30,27 @@ fn main() {
         serde_json::json!({"anneals": anneals, "instances": instances, "seed": seed}),
     );
 
-    for (nt, m) in [(36usize, Modulation::Bpsk), (14, Modulation::Qpsk), (18, Modulation::Qpsk)]
-    {
+    for (nt, m) in [
+        (36usize, Modulation::Bpsk),
+        (14, Modulation::Qpsk),
+        (18, Modulation::Qpsk),
+    ] {
         let mut rng = StdRng::seed_from_u64(seed + nt as u64);
-        let insts: Vec<_> =
-            (0..instances).map(|_| Scenario::new(nt, nt, m).sample(&mut rng)).collect();
+        let insts: Vec<_> = (0..instances)
+            .map(|_| Scenario::new(nt, nt, m).sample(&mut rng))
+            .collect();
 
         // (a) full pipeline.
         let embedded_p0: Vec<f64> = insts
             .iter()
             .enumerate()
             .map(|(i, inst)| {
-                let spec =
-                    spec_for(default_params(), Default::default(), anneals, seed + i as u64);
+                let spec = spec_for(
+                    default_params(),
+                    Default::default(),
+                    anneals,
+                    seed + i as u64,
+                );
                 run_instance(inst, &spec).0.p0
             })
             .collect();
@@ -62,8 +70,7 @@ fn main() {
                 // hits comparable coefficient scales.
                 let max = logical.max_abs_coefficient();
                 let programmed = logical.scaled(1.0 / max);
-                let samples =
-                    annealer.run(&programmed, &schedule, anneals, seed + 77 * i as u64);
+                let samples = annealer.run(&programmed, &schedule, anneals, seed + 77 * i as u64);
                 let dist = SolutionDistribution::from_samples(&programmed, &samples);
                 dist.probability_of_energy(gt.energy / max, 1e-6 * (gt.energy / max).abs().max(1.0))
             })

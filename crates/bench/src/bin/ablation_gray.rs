@@ -43,10 +43,17 @@ fn main() {
     let mut total_bits = 0usize;
     for i in 0..instances {
         let inst = sc.sample(&mut rng);
-        let spec = spec_for(default_params(), Default::default(), anneals, seed + i as u64);
+        let spec = spec_for(
+            default_params(),
+            Default::default(),
+            anneals,
+            seed + i as u64,
+        );
         let decoder = QuamaxDecoder::new(Annealer::new(spec.annealer), spec.decoder);
         let mut drng = StdRng::seed_from_u64(spec.seed);
-        let run = decoder.decode(&inst.detection_input(), anneals, &mut drng).unwrap();
+        let run = decoder
+            .decode(&inst.detection_input(), anneals, &mut drng)
+            .unwrap();
         // With translation: the pipeline's own decode.
         let translated = run.best_bits();
         // Without: raw QUBO bits of the best solution, taken as Gray.
@@ -62,7 +69,11 @@ fn main() {
     println!("  BER without (raw QUBO as Gray): {ber_without:.4}");
     println!(
         "  penalty factor                : {}",
-        if ber_with > 0.0 { format!("{:.1}x", ber_without / ber_with) } else { "∞".into() }
+        if ber_with > 0.0 {
+            format!("{:.1}x", ber_without / ber_with)
+        } else {
+            "∞".into()
+        }
     );
     report.push(serde_json::json!({
         "ber_with_translation": ber_with,

@@ -29,9 +29,13 @@ fn main() {
 
     for (nt, m) in [(48usize, Modulation::Bpsk), (18, Modulation::Qpsk)] {
         let mut rng = StdRng::seed_from_u64(seed + nt as u64);
-        let insts: Vec<_> =
-            (0..instances).map(|_| Scenario::new(nt, nt, m).sample(&mut rng)).collect();
-        println!("\n{nt}x{nt} {} | median P0 and TTB(1e-6) vs ICE scale", m.name());
+        let insts: Vec<_> = (0..instances)
+            .map(|_| Scenario::new(nt, nt, m).sample(&mut rng))
+            .collect();
+        println!(
+            "\n{nt}x{nt} {} | median P0 and TTB(1e-6) vs ICE scale",
+            m.name()
+        );
         for scale in [0.0, 0.1, 0.2, 0.3, 0.5, 1.0, 2.0] {
             let annealer = AnnealerConfig {
                 ice: IceModel::dw2q().scaled(scale),
@@ -53,7 +57,11 @@ fn main() {
             println!(
                 "  ICE {scale:>3}x: P0 {:.4} | TTB {}",
                 p0_med,
-                if ttb_med.is_finite() { format!("{ttb_med:.1} µs") } else { "∞".into() }
+                if ttb_med.is_finite() {
+                    format!("{ttb_med:.1} µs")
+                } else {
+                    "∞".into()
+                }
             );
             report.push(serde_json::json!({
                 "class": format!("{nt}x{nt} {}", m.name()),

@@ -43,7 +43,10 @@ fn main() {
     // Forward baseline: the calibrated default (pause schedule).
     let forward = QuamaxDecoder::new(
         Annealer::new(Default::default()),
-        DecoderConfig { embed: default_params().embed, schedule: default_params().schedule },
+        DecoderConfig {
+            embed: default_params().embed,
+            schedule: default_params().schedule,
+        },
     );
     let p0_of = |decoder: &QuamaxDecoder, reverse_from: Option<&dyn Fn(usize) -> Vec<u8>>| {
         let mut p0s = Vec::new();
@@ -51,7 +54,9 @@ fn main() {
             let gt = ground_truth(inst);
             let mut drng = StdRng::seed_from_u64(seed + 7 * i as u64);
             let run = match reverse_from {
-                None => decoder.decode(&inst.detection_input(), anneals, &mut drng).unwrap(),
+                None => decoder
+                    .decode(&inst.detection_input(), anneals, &mut drng)
+                    .unwrap(),
                 Some(cand) => decoder
                     .decode_reverse(&inst.detection_input(), anneals, &cand(i), &mut drng)
                     .unwrap(),

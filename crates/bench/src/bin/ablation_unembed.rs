@@ -52,7 +52,10 @@ fn main() {
             &graph,
             &embedding,
             &logical,
-            EmbedParams { j_ferro: jf, improved_range: true },
+            EmbedParams {
+                j_ferro: jf,
+                improved_range: true,
+            },
         );
         let samples = annealer.run_chained(
             embedded.problem(),

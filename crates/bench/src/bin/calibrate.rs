@@ -44,10 +44,17 @@ fn main() {
             let inst = Scenario::new(nt, nt, m).sample(&mut rng);
             let spec = RunSpec {
                 decoder: DecoderConfig {
-                    embed: EmbedParams { j_ferro: 4.0, improved_range: true },
+                    embed: EmbedParams {
+                        j_ferro: 4.0,
+                        improved_range: true,
+                    },
                     schedule: Schedule::with_pause(1.0, 0.35, 1.0),
                 },
-                annealer: AnnealerConfig { sweeps_per_us: sweeps, ice, ..Default::default() },
+                annealer: AnnealerConfig {
+                    sweeps_per_us: sweeps,
+                    ice,
+                    ..Default::default()
+                },
                 anneals,
                 seed: seed * 1000 + k as u64,
             };
@@ -55,7 +62,14 @@ fn main() {
             p0s.push(stats.p0);
         }
         let avg = p0s.iter().sum::<f64>() / p0s.len() as f64;
-        println!("  {:>2} x {:<6} (N={:>3}): P0 = {:?} avg {:.4}", nt, m.name(), nt * m.bits_per_symbol(), p0s, avg);
+        println!(
+            "  {:>2} x {:<6} (N={:>3}): P0 = {:?} avg {:.4}",
+            nt,
+            m.name(),
+            nt * m.bits_per_symbol(),
+            p0s,
+            avg
+        );
     }
 
     println!("== P0 vs J_F (18x18 QPSK, Ta=1µs, no pause) ==");
@@ -66,10 +80,17 @@ fn main() {
             let inst = Scenario::new(18, 18, Modulation::Qpsk).sample(&mut rng);
             let spec = RunSpec {
                 decoder: DecoderConfig {
-                    embed: EmbedParams { j_ferro: jf, improved_range: improved },
+                    embed: EmbedParams {
+                        j_ferro: jf,
+                        improved_range: improved,
+                    },
                     schedule: Schedule::standard(1.0),
                 },
-                annealer: AnnealerConfig { sweeps_per_us: sweeps, ice, ..Default::default() },
+                annealer: AnnealerConfig {
+                    sweeps_per_us: sweeps,
+                    ice,
+                    ..Default::default()
+                },
                 anneals,
                 seed: seed * 7 + jf as u64,
             };
@@ -92,10 +113,17 @@ fn main() {
         let inst = Scenario::new(18, 18, Modulation::Qpsk).sample(&mut rng);
         let spec = RunSpec {
             decoder: DecoderConfig {
-                embed: EmbedParams { j_ferro: 4.0, improved_range: true },
+                embed: EmbedParams {
+                    j_ferro: 4.0,
+                    improved_range: true,
+                },
                 schedule: sched,
             },
-            annealer: AnnealerConfig { sweeps_per_us: sweeps, ice, ..Default::default() },
+            annealer: AnnealerConfig {
+                sweeps_per_us: sweeps,
+                ice,
+                ..Default::default()
+            },
             anneals,
             seed: seed + 5,
         };
@@ -115,10 +143,17 @@ fn main() {
         let inst = Scenario::new(48, 48, Modulation::Bpsk).sample(&mut rng);
         let spec = RunSpec {
             decoder: DecoderConfig {
-                embed: EmbedParams { j_ferro: 4.0, improved_range: true },
+                embed: EmbedParams {
+                    j_ferro: 4.0,
+                    improved_range: true,
+                },
                 schedule: Schedule::standard(ta),
             },
-            annealer: AnnealerConfig { sweeps_per_us: sweeps, ice, ..Default::default() },
+            annealer: AnnealerConfig {
+                sweeps_per_us: sweeps,
+                ice,
+                ..Default::default()
+            },
             anneals: anneals / 2,
             seed: seed + 11,
         };

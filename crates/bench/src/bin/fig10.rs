@@ -28,17 +28,50 @@ fn main() {
     );
 
     let classes = [
-        ProblemClass { users: 12, modulation: Modulation::Bpsk },
-        ProblemClass { users: 24, modulation: Modulation::Bpsk },
-        ProblemClass { users: 36, modulation: Modulation::Bpsk },
-        ProblemClass { users: 48, modulation: Modulation::Bpsk },
-        ProblemClass { users: 60, modulation: Modulation::Bpsk },
-        ProblemClass { users: 6, modulation: Modulation::Qpsk },
-        ProblemClass { users: 10, modulation: Modulation::Qpsk },
-        ProblemClass { users: 14, modulation: Modulation::Qpsk },
-        ProblemClass { users: 18, modulation: Modulation::Qpsk },
-        ProblemClass { users: 4, modulation: Modulation::Qam16 },
-        ProblemClass { users: 6, modulation: Modulation::Qam16 },
+        ProblemClass {
+            users: 12,
+            modulation: Modulation::Bpsk,
+        },
+        ProblemClass {
+            users: 24,
+            modulation: Modulation::Bpsk,
+        },
+        ProblemClass {
+            users: 36,
+            modulation: Modulation::Bpsk,
+        },
+        ProblemClass {
+            users: 48,
+            modulation: Modulation::Bpsk,
+        },
+        ProblemClass {
+            users: 60,
+            modulation: Modulation::Bpsk,
+        },
+        ProblemClass {
+            users: 6,
+            modulation: Modulation::Qpsk,
+        },
+        ProblemClass {
+            users: 10,
+            modulation: Modulation::Qpsk,
+        },
+        ProblemClass {
+            users: 14,
+            modulation: Modulation::Qpsk,
+        },
+        ProblemClass {
+            users: 18,
+            modulation: Modulation::Qpsk,
+        },
+        ProblemClass {
+            users: 4,
+            modulation: Modulation::Qam16,
+        },
+        ProblemClass {
+            users: 6,
+            modulation: Modulation::Qam16,
+        },
     ];
 
     println!(
@@ -51,14 +84,17 @@ fn main() {
             .map(|i| {
                 let inst =
                     Scenario::new(class.users, class.users, class.modulation).sample(&mut rng);
-                let spec =
-                    spec_for(default_params(), Default::default(), anneals, seed + i as u64);
+                let spec = spec_for(
+                    default_params(),
+                    Default::default(),
+                    anneals,
+                    seed + i as u64,
+                );
                 let (stats, _) = run_instance(&inst, &spec);
                 stats.ttb_us(1e-6).unwrap_or(f64::INFINITY)
             })
             .collect();
-        let within: Vec<f64> =
-            ttbs.iter().copied().filter(|t| *t <= deadline_us).collect();
+        let within: Vec<f64> = ttbs.iter().copied().filter(|t| *t <= deadline_us).collect();
         let q = |p: f64| -> f64 {
             if within.is_empty() {
                 f64::INFINITY

@@ -32,12 +32,30 @@ fn main() {
     );
 
     let classes = [
-        ProblemClass { users: 36, modulation: Modulation::Bpsk },
-        ProblemClass { users: 48, modulation: Modulation::Bpsk },
-        ProblemClass { users: 60, modulation: Modulation::Bpsk },
-        ProblemClass { users: 14, modulation: Modulation::Qpsk },
-        ProblemClass { users: 18, modulation: Modulation::Qpsk },
-        ProblemClass { users: 4, modulation: Modulation::Qam16 },
+        ProblemClass {
+            users: 36,
+            modulation: Modulation::Bpsk,
+        },
+        ProblemClass {
+            users: 48,
+            modulation: Modulation::Bpsk,
+        },
+        ProblemClass {
+            users: 60,
+            modulation: Modulation::Bpsk,
+        },
+        ProblemClass {
+            users: 14,
+            modulation: Modulation::Qpsk,
+        },
+        ProblemClass {
+            users: 18,
+            modulation: Modulation::Qpsk,
+        },
+        ProblemClass {
+            users: 4,
+            modulation: Modulation::Qam16,
+        },
     ];
 
     println!(
@@ -48,14 +66,16 @@ fn main() {
         let mut rng = StdRng::seed_from_u64(seed + 13 * class.logical_vars() as u64);
         let mut per_frame: Vec<Vec<f64>> = vec![Vec::new(); 2];
         for i in 0..instances {
-            let inst =
-                Scenario::new(class.users, class.users, class.modulation).sample(&mut rng);
-            let spec =
-                spec_for(default_params(), Default::default(), anneals, seed + i as u64);
+            let inst = Scenario::new(class.users, class.users, class.modulation).sample(&mut rng);
+            let spec = spec_for(
+                default_params(),
+                Default::default(),
+                anneals,
+                seed + i as u64,
+            );
             let (stats, _) = run_instance(&inst, &spec);
             for (fi, bytes) in [FRAME_BYTES_MTU, FRAME_BYTES_ACK].iter().enumerate() {
-                per_frame[fi]
-                    .push(stats.ttf_us(target_fer, *bytes).unwrap_or(f64::INFINITY));
+                per_frame[fi].push(stats.ttf_us(target_fer, *bytes).unwrap_or(f64::INFINITY));
             }
         }
         let stats_of = |v: &[f64]| -> (f64, f64) {

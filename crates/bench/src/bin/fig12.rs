@@ -47,7 +47,9 @@ fn main() {
             );
             let decoder = QuamaxDecoder::new(Annealer::new(spec.annealer), spec.decoder);
             let mut drng = StdRng::seed_from_u64(spec.seed);
-            let run = decoder.decode(&inst.detection_input(), anneals, &mut drng).unwrap();
+            let run = decoder
+                .decode(&inst.detection_input(), anneals, &mut drng)
+                .unwrap();
             let dist = run.distribution();
             let tol = 1e-6 * gt.energy.abs().max(1.0);
             p0s.push(dist.probability_of_energy(gt.energy, tol));
@@ -62,8 +64,7 @@ fn main() {
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
         let p0_avg = mean(&p0s);
         let gap_avg = mean(&gaps2);
-        let err_avg =
-            gs_errors.iter().sum::<usize>() as f64 / gs_errors.len().max(1) as f64;
+        let err_avg = gs_errors.iter().sum::<usize>() as f64 / gs_errors.len().max(1) as f64;
         println!(
             "SNR {snr_db:>4} dB: P0 avg {:.4} | rank-2 relative gap avg {:.4} | ML-solution bit errors avg {:.2}/36",
             p0_avg, gap_avg, err_avg

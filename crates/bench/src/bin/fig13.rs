@@ -31,20 +31,56 @@ fn main() {
 
     println!("== left: TTB(1e-6) vs users at 20 dB ==");
     let classes = [
-        ProblemClass { users: 12, modulation: Modulation::Bpsk },
-        ProblemClass { users: 24, modulation: Modulation::Bpsk },
-        ProblemClass { users: 36, modulation: Modulation::Bpsk },
-        ProblemClass { users: 48, modulation: Modulation::Bpsk },
-        ProblemClass { users: 6, modulation: Modulation::Qpsk },
-        ProblemClass { users: 10, modulation: Modulation::Qpsk },
-        ProblemClass { users: 14, modulation: Modulation::Qpsk },
-        ProblemClass { users: 18, modulation: Modulation::Qpsk },
-        ProblemClass { users: 4, modulation: Modulation::Qam16 },
-        ProblemClass { users: 6, modulation: Modulation::Qam16 },
+        ProblemClass {
+            users: 12,
+            modulation: Modulation::Bpsk,
+        },
+        ProblemClass {
+            users: 24,
+            modulation: Modulation::Bpsk,
+        },
+        ProblemClass {
+            users: 36,
+            modulation: Modulation::Bpsk,
+        },
+        ProblemClass {
+            users: 48,
+            modulation: Modulation::Bpsk,
+        },
+        ProblemClass {
+            users: 6,
+            modulation: Modulation::Qpsk,
+        },
+        ProblemClass {
+            users: 10,
+            modulation: Modulation::Qpsk,
+        },
+        ProblemClass {
+            users: 14,
+            modulation: Modulation::Qpsk,
+        },
+        ProblemClass {
+            users: 18,
+            modulation: Modulation::Qpsk,
+        },
+        ProblemClass {
+            users: 4,
+            modulation: Modulation::Qam16,
+        },
+        ProblemClass {
+            users: 6,
+            modulation: Modulation::Qam16,
+        },
     ];
     for class in classes {
-        let (fix_med, fix_mean, opt_med) =
-            evaluate(class, Snr::from_db(20.0), anneals, instances, seed, with_opt);
+        let (fix_med, fix_mean, opt_med) = evaluate(
+            class,
+            Snr::from_db(20.0),
+            anneals,
+            instances,
+            seed,
+            with_opt,
+        );
         println!(
             "  {:<14}: Fix mean {:>10} median {:>10} | Opt median {:>10}",
             class.label(),
@@ -63,11 +99,17 @@ fn main() {
     println!("== right: TTB(1e-6) vs SNR ==");
     for (class, snrs) in [
         (
-            ProblemClass { users: 48, modulation: Modulation::Bpsk },
+            ProblemClass {
+                users: 48,
+                modulation: Modulation::Bpsk,
+            },
             [10.0, 15.0, 20.0, 25.0, 30.0, 40.0],
         ),
         (
-            ProblemClass { users: 14, modulation: Modulation::Qpsk },
+            ProblemClass {
+                users: 14,
+                modulation: Modulation::Qpsk,
+            },
             [10.0, 15.0, 20.0, 25.0, 30.0, 40.0],
         ),
     ] {
@@ -115,8 +157,16 @@ fn evaluate(
         .iter()
         .enumerate()
         .map(|(i, inst)| {
-            let spec = spec_for(default_params(), Default::default(), anneals, seed + i as u64);
-            run_instance(inst, &spec).0.ttb_us(1e-6).unwrap_or(f64::INFINITY)
+            let spec = spec_for(
+                default_params(),
+                Default::default(),
+                anneals,
+                seed + i as u64,
+            );
+            run_instance(inst, &spec)
+                .0
+                .ttb_us(1e-6)
+                .unwrap_or(f64::INFINITY)
         })
         .collect();
     let finite: Vec<f64> = fix.iter().copied().filter(|t| t.is_finite()).collect();

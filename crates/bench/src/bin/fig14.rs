@@ -35,12 +35,30 @@ fn main() {
     );
 
     let classes = [
-        ProblemClass { users: 36, modulation: Modulation::Bpsk },
-        ProblemClass { users: 48, modulation: Modulation::Bpsk },
-        ProblemClass { users: 60, modulation: Modulation::Bpsk },
-        ProblemClass { users: 12, modulation: Modulation::Qpsk },
-        ProblemClass { users: 14, modulation: Modulation::Qpsk },
-        ProblemClass { users: 16, modulation: Modulation::Qpsk },
+        ProblemClass {
+            users: 36,
+            modulation: Modulation::Bpsk,
+        },
+        ProblemClass {
+            users: 48,
+            modulation: Modulation::Bpsk,
+        },
+        ProblemClass {
+            users: 60,
+            modulation: Modulation::Bpsk,
+        },
+        ProblemClass {
+            users: 12,
+            modulation: Modulation::Qpsk,
+        },
+        ProblemClass {
+            users: 14,
+            modulation: Modulation::Qpsk,
+        },
+        ProblemClass {
+            users: 16,
+            modulation: Modulation::Qpsk,
+        },
     ];
 
     println!(
@@ -75,8 +93,12 @@ fn main() {
         let quamax_t: Vec<f64> = (0..instances)
             .map(|i| {
                 let inst = sc.sample(&mut rng);
-                let spec =
-                    spec_for(default_params(), Default::default(), anneals, seed + i as u64);
+                let spec = spec_for(
+                    default_params(),
+                    Default::default(),
+                    anneals,
+                    seed + i as u64,
+                );
                 let (stats, _) = run_instance(&inst, &spec);
                 stats.ttb_us(zf_ber).unwrap_or(f64::INFINITY)
             })
@@ -89,7 +111,11 @@ fn main() {
             zf_ber,
             zf_us,
             fmt(t_match),
-            if speedup.is_finite() { format!("{speedup:.0}x") } else { "—".into() }
+            if speedup.is_finite() {
+                format!("{speedup:.0}x")
+            } else {
+                "—".into()
+            }
         );
         report.push(serde_json::json!({
             "class": class.label(),

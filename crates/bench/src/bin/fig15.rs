@@ -47,7 +47,12 @@ fn main() {
                     .collect();
                 Instance::transmit(h, bits, m, sc.snr, &mut irng)
             };
-            let spec = spec_for(default_params(), Default::default(), anneals, seed + i as u64);
+            let spec = spec_for(
+                default_params(),
+                Default::default(),
+                anneals,
+                seed + i as u64,
+            );
             let (stats, _) = run_instance(&inst, &spec);
             ttb.push(stats.ttb_us(1e-6).unwrap_or(f64::INFINITY));
             ttf.push(stats.ttf_us(1e-4, 1_500).unwrap_or(f64::INFINITY));

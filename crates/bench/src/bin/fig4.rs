@@ -29,8 +29,11 @@ fn main() {
         serde_json::json!({"anneals": anneals, "seed": seed}),
     );
 
-    let classes =
-        [(36usize, Modulation::Bpsk), (18, Modulation::Qpsk), (9, Modulation::Qam16)];
+    let classes = [
+        (36usize, Modulation::Bpsk),
+        (18, Modulation::Qpsk),
+        (9, Modulation::Qam16),
+    ];
     for (nt, m) in classes {
         for channel_use in 0..2u64 {
             let mut rng = StdRng::seed_from_u64(seed * 100 + channel_use);
@@ -51,7 +54,9 @@ fn main() {
                 spec.decoder,
             );
             let mut drng = StdRng::seed_from_u64(spec.seed);
-            let run = decoder.decode(&inst.detection_input(), anneals, &mut drng).unwrap();
+            let run = decoder
+                .decode(&inst.detection_input(), anneals, &mut drng)
+                .unwrap();
             let profile = BitErrorProfile::from_run(&run, inst.tx_bits());
             let dist = run.distribution();
             let gaps = dist.relative_gaps();
@@ -65,16 +70,17 @@ fn main() {
                 stats.p0,
                 dist.num_distinct()
             );
-            println!("{:>5} {:>10} {:>9} {:>7}", "rank", "dE (rel)", "freq", "bits✗");
+            println!(
+                "{:>5} {:>10} {:>9} {:>7}",
+                "rank", "dE (rel)", "freq", "bits✗"
+            );
             let mut rows = Vec::new();
             #[allow(clippy::needless_range_loop)] // r is a rank, indexing three parallel views
             for r in 0..dist.num_distinct().min(show) {
                 let e = &dist.entries()[r];
                 let freq = e.count as f64 / dist.total_samples() as f64;
-                let errors = quamax_wireless::count_bit_errors(
-                    &run.bits_for_rank(r),
-                    inst.tx_bits(),
-                );
+                let errors =
+                    quamax_wireless::count_bit_errors(&run.bits_for_rank(r), inst.tx_bits());
                 println!("{:>5} {:>10.5} {:>9.5} {:>7}", r + 1, gaps[r], freq, errors);
                 rows.push(serde_json::json!({
                     "rank": r + 1,

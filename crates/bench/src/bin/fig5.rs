@@ -47,8 +47,9 @@ fn main() {
         // The same instance set across all parameter settings isolates
         // the J_F effect (paper protocol).
         let mut rng = StdRng::seed_from_u64(seed + nt as u64);
-        let insts: Vec<_> =
-            (0..instances).map(|_| Scenario::new(nt, nt, m).sample(&mut rng)).collect();
+        let insts: Vec<_> = (0..instances)
+            .map(|_| Scenario::new(nt, nt, m).sample(&mut rng))
+            .collect();
         for improved in [false, true] {
             println!(
                 "\n{}x{} {} | {} range | TTS(0.99) median [10th–90th] µs",
@@ -62,15 +63,17 @@ fn main() {
                     continue;
                 }
                 let params = CandidateParams {
-                    embed: EmbedParams { j_ferro: jf, improved_range: improved },
+                    embed: EmbedParams {
+                        j_ferro: jf,
+                        improved_range: improved,
+                    },
                     schedule: Schedule::standard(1.0),
                 };
                 let tts: Vec<f64> = insts
                     .iter()
                     .enumerate()
                     .map(|(i, inst)| {
-                        let spec =
-                            spec_for(params, Default::default(), anneals, seed + i as u64);
+                        let spec = spec_for(params, Default::default(), anneals, seed + i as u64);
                         let (stats, _) = run_instance(inst, &spec);
                         stats.tts99_us().unwrap_or(f64::INFINITY)
                     })

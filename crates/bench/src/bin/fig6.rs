@@ -33,30 +33,40 @@ fn main() {
     for nt in [8usize, 12, 14, 16, 18] {
         let m = Modulation::Qpsk;
         let mut rng = StdRng::seed_from_u64(seed + nt as u64);
-        let insts: Vec<_> =
-            (0..instances).map(|_| Scenario::new(nt, nt, m).sample(&mut rng)).collect();
+        let insts: Vec<_> = (0..instances)
+            .map(|_| Scenario::new(nt, nt, m).sample(&mut rng))
+            .collect();
         println!("\n{nt}x{nt} QPSK | median TTS(0.99) µs per (Ta, J_F), improved range");
         for ta in [1.0, 10.0, 100.0] {
             print!("  Ta={ta:>5}:");
             let mut best_for_ta = f64::INFINITY;
             for &jf in &jfs {
                 let params = CandidateParams {
-                    embed: EmbedParams { j_ferro: jf, improved_range: true },
+                    embed: EmbedParams {
+                        j_ferro: jf,
+                        improved_range: true,
+                    },
                     schedule: Schedule::standard(ta),
                 };
                 let tts: Vec<f64> = insts
                     .iter()
                     .enumerate()
                     .map(|(i, inst)| {
-                        let spec =
-                            spec_for(params, Default::default(), anneals, seed + i as u64);
+                        let spec = spec_for(params, Default::default(), anneals, seed + i as u64);
                         let (stats, _) = run_instance(inst, &spec);
                         stats.tts99_us().unwrap_or(f64::INFINITY)
                     })
                     .collect();
                 let med = percentile(&tts, 50.0);
                 best_for_ta = best_for_ta.min(med);
-                print!("  JF{jf}:{}", if med.is_finite() { format!("{med:>9.1}") } else { "      inf".into() });
+                print!(
+                    "  JF{jf}:{}",
+                    if med.is_finite() {
+                        format!("{med:>9.1}")
+                    } else {
+                        "      inf".into()
+                    }
+                );
                 report.push(serde_json::json!({
                     "users": nt,
                     "ta_us": ta,
@@ -64,7 +74,14 @@ fn main() {
                     "tts_median_us": if med.is_finite() { serde_json::json!(med) } else { serde_json::Value::Null },
                 }));
             }
-            println!("   | best {}", if best_for_ta.is_finite() { format!("{best_for_ta:.1}") } else { "inf".into() });
+            println!(
+                "   | best {}",
+                if best_for_ta.is_finite() {
+                    format!("{best_for_ta:.1}")
+                } else {
+                    "inf".into()
+                }
+            );
         }
     }
     let path = report.write().expect("write results");

@@ -37,8 +37,9 @@ fn main() {
     let m = Modulation::Qpsk;
     let nt = 18;
     let mut rng = StdRng::seed_from_u64(seed);
-    let insts: Vec<_> =
-        (0..instances).map(|_| Scenario::new(nt, nt, m).sample(&mut rng)).collect();
+    let insts: Vec<_> = (0..instances)
+        .map(|_| Scenario::new(nt, nt, m).sample(&mut rng))
+        .collect();
 
     for tp in [1.0, 10.0, 100.0] {
         println!("\n18x18 QPSK | Tp={tp} µs | median TTS(0.99) µs vs pause position");
@@ -48,7 +49,10 @@ fn main() {
                 continue;
             }
             let params = CandidateParams {
-                embed: EmbedParams { j_ferro: jf, improved_range: true },
+                embed: EmbedParams {
+                    j_ferro: jf,
+                    improved_range: true,
+                },
                 schedule: Schedule::with_pause(1.0, sp, tp),
             };
             let tts: Vec<f64> = insts
@@ -66,7 +70,11 @@ fn main() {
             }
             println!(
                 "  sp={sp:.2}: {}",
-                if med.is_finite() { format!("{med:>9.1}") } else { "      inf".into() }
+                if med.is_finite() {
+                    format!("{med:>9.1}")
+                } else {
+                    "      inf".into()
+                }
             );
             report.push(serde_json::json!({
                 "tp_us": tp,
@@ -74,7 +82,10 @@ fn main() {
                 "tts_median_us": if med.is_finite() { serde_json::json!(med) } else { serde_json::Value::Null },
             }));
         }
-        println!("  best sp for Tp={tp}: {:.2} (TTS {:.1} µs)", best.1, best.0);
+        println!(
+            "  best sp for Tp={tp}: {:.2} (TTS {:.1} µs)",
+            best.1, best.0
+        );
     }
     let path = report.write().expect("write results");
     println!("\nwrote {}", path.display());

@@ -9,8 +9,7 @@
 //! Run: `cargo run --release -p quamax-bench --bin fig8`
 
 use quamax_bench::{
-    fix_for_class, optimize_instance, small_no_pause_grid, small_pause_grid,
-    Args, Report,
+    fix_for_class, optimize_instance, small_no_pause_grid, small_pause_grid, Args, Report,
 };
 use quamax_core::metrics::percentile;
 use quamax_core::{RunStatistics, Scenario};
@@ -42,14 +41,16 @@ fn main() {
     let m = Modulation::Qpsk;
     let nt = 18;
     let mut rng = StdRng::seed_from_u64(seed);
-    let insts: Vec<_> =
-        (0..instances).map(|_| Scenario::new(nt, nt, m).sample(&mut rng)).collect();
+    let insts: Vec<_> = (0..instances)
+        .map(|_| Scenario::new(nt, nt, m).sample(&mut rng))
+        .collect();
 
     // Four strategies: {pause, no-pause} × {Fix, Opt}.
     let mut strategies: Vec<(String, Vec<RunStatistics>)> = Vec::new();
-    for (label, grid) in
-        [("pause", small_pause_grid()), ("no-pause", small_no_pause_grid())]
-    {
+    for (label, grid) in [
+        ("pause", small_pause_grid()),
+        ("no-pause", small_no_pause_grid()),
+    ] {
         // Fix: best class-level setting by median score.
         let (fix_params, fix_stats) =
             fix_for_class(&insts, &grid, Default::default(), anneals, seed);
@@ -64,7 +65,14 @@ fn main() {
             .iter()
             .enumerate()
             .map(|(i, inst)| {
-                optimize_instance(inst, &grid, Default::default(), anneals, seed + 31 * i as u64).1
+                optimize_instance(
+                    inst,
+                    &grid,
+                    Default::default(),
+                    anneals,
+                    seed + 31 * i as u64,
+                )
+                .1
             })
             .collect();
         strategies.push((format!("Opt {label}"), opt_stats));
@@ -114,7 +122,9 @@ fn main() {
         let v: Vec<f64> = stats
             .iter()
             .map(|s| {
-                let na = (t / (s.cycle_us / s.parallel_factor as f64)).floor().max(1.0) as usize;
+                let na = (t / (s.cycle_us / s.parallel_factor as f64))
+                    .floor()
+                    .max(1.0) as usize;
                 s.expected_ber(na)
             })
             .collect();

@@ -31,15 +31,42 @@ fn main() {
     );
 
     let classes = [
-        ProblemClass { users: 36, modulation: Modulation::Bpsk },
-        ProblemClass { users: 48, modulation: Modulation::Bpsk },
-        ProblemClass { users: 60, modulation: Modulation::Bpsk },
-        ProblemClass { users: 12, modulation: Modulation::Qpsk },
-        ProblemClass { users: 15, modulation: Modulation::Qpsk },
-        ProblemClass { users: 18, modulation: Modulation::Qpsk },
-        ProblemClass { users: 4, modulation: Modulation::Qam16 },
-        ProblemClass { users: 5, modulation: Modulation::Qam16 },
-        ProblemClass { users: 6, modulation: Modulation::Qam16 },
+        ProblemClass {
+            users: 36,
+            modulation: Modulation::Bpsk,
+        },
+        ProblemClass {
+            users: 48,
+            modulation: Modulation::Bpsk,
+        },
+        ProblemClass {
+            users: 60,
+            modulation: Modulation::Bpsk,
+        },
+        ProblemClass {
+            users: 12,
+            modulation: Modulation::Qpsk,
+        },
+        ProblemClass {
+            users: 15,
+            modulation: Modulation::Qpsk,
+        },
+        ProblemClass {
+            users: 18,
+            modulation: Modulation::Qpsk,
+        },
+        ProblemClass {
+            users: 4,
+            modulation: Modulation::Qam16,
+        },
+        ProblemClass {
+            users: 5,
+            modulation: Modulation::Qam16,
+        },
+        ProblemClass {
+            users: 6,
+            modulation: Modulation::Qam16,
+        },
     ];
 
     for class in classes {
@@ -53,8 +80,12 @@ fn main() {
             .iter()
             .enumerate()
             .map(|(i, inst)| {
-                let spec =
-                    spec_for(default_params(), Default::default(), anneals, seed + i as u64);
+                let spec = spec_for(
+                    default_params(),
+                    Default::default(),
+                    anneals,
+                    seed + i as u64,
+                );
                 run_instance(inst, &spec).0
             })
             .collect();
@@ -82,14 +113,11 @@ fn main() {
     println!("\nwrote {}", path.display());
 }
 
-fn summarize(
-    class: &ProblemClass,
-    strategy: &str,
-    stats: &[RunStatistics],
-    report: &mut Report,
-) {
-    let ttbs: Vec<f64> =
-        stats.iter().map(|s| s.ttb_us(1e-6).unwrap_or(f64::INFINITY)).collect();
+fn summarize(class: &ProblemClass, strategy: &str, stats: &[RunStatistics], report: &mut Report) {
+    let ttbs: Vec<f64> = stats
+        .iter()
+        .map(|s| s.ttb_us(1e-6).unwrap_or(f64::INFINITY))
+        .collect();
     let med = percentile(&ttbs, 50.0);
     let finite: Vec<f64> = ttbs.iter().copied().filter(|t| t.is_finite()).collect();
     let mean = if finite.is_empty() {
@@ -109,7 +137,9 @@ fn summarize(
     // The time-series the paper plots: median E[BER] at a grid of
     // wall-clock points.
     let mut series = Vec::new();
-    for t_us in [2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1_000.0, 5_000.0] {
+    for t_us in [
+        2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1_000.0, 5_000.0,
+    ] {
         let bers: Vec<f64> = stats
             .iter()
             .map(|s| {

@@ -19,6 +19,7 @@
 
 pub mod cli;
 pub mod ground;
+pub mod kernelbench;
 pub mod output;
 pub mod runner;
 pub mod workload;
@@ -28,6 +29,6 @@ pub use ground::ground_truth;
 pub use output::Report;
 pub use runner::{run_instance, RunSpec};
 pub use workload::{
-    default_params, fix_for_class, optimize_instance, score, small_no_pause_grid,
-    small_pause_grid, spec_for, ProblemClass,
+    default_params, fix_for_class, optimize_instance, score, small_no_pause_grid, small_pause_grid,
+    spec_for, ProblemClass,
 };

@@ -1,12 +1,11 @@
 //! Uniform experiment output: a text table on stdout plus a JSON file
 //! under `results/` for downstream plotting.
 
-use serde::Serialize;
 use std::fs;
 use std::path::PathBuf;
 
 /// One experiment's report.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Report {
     /// Experiment id (e.g. "fig5").
     pub name: String,
@@ -19,7 +18,11 @@ pub struct Report {
 impl Report {
     /// Creates an empty report.
     pub fn new(name: &str, params: serde_json::Value) -> Self {
-        Report { name: name.to_string(), params, rows: Vec::new() }
+        Report {
+            name: name.to_string(),
+            params,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -33,7 +36,15 @@ impl Report {
         let dir = PathBuf::from("results");
         fs::create_dir_all(&dir)?;
         let path = dir.join(format!("{}.json", self.name));
-        fs::write(&path, serde_json::to_string_pretty(self).expect("serializable"))?;
+        let doc = serde_json::json!({
+            "name": self.name.clone(),
+            "params": self.params.clone(),
+            "rows": self.rows.clone(),
+        });
+        fs::write(
+            &path,
+            serde_json::to_string_pretty(&doc).expect("serializable"),
+        )?;
         Ok(path)
     }
 }

@@ -35,7 +35,10 @@ impl ProblemClass {
 /// `J_F = 4`, `Ta = 1 µs` with a 1 µs pause at `s_p = 0.35`.
 pub fn default_params() -> CandidateParams {
     CandidateParams {
-        embed: EmbedParams { j_ferro: 4.0, improved_range: true },
+        embed: EmbedParams {
+            j_ferro: 4.0,
+            improved_range: true,
+        },
         schedule: Schedule::with_pause(1.0, 0.35, 1.0),
     }
 }
@@ -47,7 +50,10 @@ pub fn small_pause_grid() -> Vec<CandidateParams> {
     for jf in [2.0, 3.0, 4.0, 5.0] {
         for sp in [0.25, 0.35, 0.45] {
             out.push(CandidateParams {
-                embed: EmbedParams { j_ferro: jf, improved_range: true },
+                embed: EmbedParams {
+                    j_ferro: jf,
+                    improved_range: true,
+                },
                 schedule: Schedule::with_pause(1.0, sp, 1.0),
             });
         }
@@ -61,7 +67,10 @@ pub fn small_no_pause_grid() -> Vec<CandidateParams> {
     for jf in [2.0, 3.0, 4.0, 5.0] {
         for ta in [1.0, 10.0] {
             out.push(CandidateParams {
-                embed: EmbedParams { j_ferro: jf, improved_range: true },
+                embed: EmbedParams {
+                    j_ferro: jf,
+                    improved_range: true,
+                },
                 schedule: Schedule::standard(ta),
             });
         }
@@ -70,9 +79,17 @@ pub fn small_no_pause_grid() -> Vec<CandidateParams> {
 }
 
 /// Builds a `RunSpec` from candidate parameters.
-pub fn spec_for(params: CandidateParams, annealer: AnnealerConfig, anneals: usize, seed: u64) -> RunSpec {
+pub fn spec_for(
+    params: CandidateParams,
+    annealer: AnnealerConfig,
+    anneals: usize,
+    seed: u64,
+) -> RunSpec {
     RunSpec {
-        decoder: DecoderConfig { embed: params.embed, schedule: params.schedule },
+        decoder: DecoderConfig {
+            embed: params.embed,
+            schedule: params.schedule,
+        },
         annealer,
         anneals,
         seed,
@@ -127,7 +144,10 @@ pub fn fix_for_class(
     anneals: usize,
     seed: u64,
 ) -> (CandidateParams, Vec<RunStatistics>) {
-    assert!(!instances.is_empty() && !candidates.is_empty(), "empty search");
+    assert!(
+        !instances.is_empty() && !candidates.is_empty(),
+        "empty search"
+    );
     // Evaluate all candidates on all instances once, then pick by
     // median score.
     let mut all_stats: Vec<Vec<RunStatistics>> = Vec::with_capacity(candidates.len());
@@ -177,7 +197,10 @@ mod tests {
 
     #[test]
     fn labels_and_sizes() {
-        let c = ProblemClass { users: 18, modulation: Modulation::Qpsk };
+        let c = ProblemClass {
+            users: 18,
+            modulation: Modulation::Qpsk,
+        };
         assert_eq!(c.label(), "18x18 QPSK");
         assert_eq!(c.logical_vars(), 36);
     }
@@ -186,7 +209,9 @@ mod tests {
     fn grids_are_well_formed() {
         assert_eq!(small_pause_grid().len(), 12);
         assert_eq!(small_no_pause_grid().len(), 8);
-        assert!(small_pause_grid().iter().all(|c| c.schedule.pause.is_some()));
+        assert!(small_pause_grid()
+            .iter()
+            .all(|c| c.schedule.pause.is_some()));
     }
 
     #[test]
@@ -197,7 +222,10 @@ mod tests {
         let cands = vec![
             default_params(),
             CandidateParams {
-                embed: EmbedParams { j_ferro: 9.0, improved_range: false },
+                embed: EmbedParams {
+                    j_ferro: 9.0,
+                    improved_range: false,
+                },
                 schedule: Schedule::standard(1.0),
             },
         ];
@@ -216,8 +244,7 @@ mod tests {
         let sc = Scenario::new(4, 4, Modulation::Bpsk);
         let instances: Vec<_> = (0..3).map(|_| sc.sample(&mut rng)).collect();
         let cands = vec![default_params()];
-        let (won, stats) =
-            fix_for_class(&instances, &cands, AnnealerConfig::default(), 100, 3);
+        let (won, stats) = fix_for_class(&instances, &cands, AnnealerConfig::default(), 100, 3);
         assert_eq!(won, default_params());
         assert_eq!(stats.len(), 3);
     }

@@ -54,14 +54,17 @@ pub enum EmbeddingError {
 impl std::fmt::Display for EmbeddingError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            EmbeddingError::DoesNotFit { n, needed, available } => write!(
+            EmbeddingError::DoesNotFit {
+                n,
+                needed,
+                available,
+            } => write!(
                 f,
                 "K_{n} triangle embedding needs a C{needed} corner; chip is C{available}"
             ),
-            EmbeddingError::DefectInTheWay { qubit, logical } => write!(
-                f,
-                "chain of logical {logical} requires dead qubit {qubit}"
-            ),
+            EmbeddingError::DefectInTheWay { qubit, logical } => {
+                write!(f, "chain of logical {logical} requires dead qubit {qubit}")
+            }
         }
     }
 }
@@ -117,7 +120,11 @@ impl CliqueEmbedding {
         let t = n.div_ceil(CELL_SIDE);
         let m = graph.grid();
         if row0 + t > m || col0 + t > m {
-            return Err(EmbeddingError::DoesNotFit { n, needed: t, available: m });
+            return Err(EmbeddingError::DoesNotFit {
+                n,
+                needed: t,
+                available: m,
+            });
         }
 
         // In the normal orientation the vertical segment runs on Left
@@ -155,14 +162,22 @@ impl CliqueEmbedding {
             }
             for &q in &chain {
                 if !graph.is_working(q) {
-                    return Err(EmbeddingError::DefectInTheWay { qubit: q, logical: i });
+                    return Err(EmbeddingError::DefectInTheWay {
+                        qubit: q,
+                        logical: i,
+                    });
                 }
                 debug_assert_eq!(owner[q], usize::MAX, "qubit claimed twice");
                 owner[q] = i;
             }
             chains.push(chain);
         }
-        Ok(CliqueEmbedding { chains, owner, anchor: (row0, col0), transposed })
+        Ok(CliqueEmbedding {
+            chains,
+            owner,
+            anchor: (row0, col0),
+            transposed,
+        })
     }
 
     /// Number of logical variables.
@@ -242,7 +257,11 @@ impl CliqueEmbedding {
         } else {
             // Meeting cell (g_max, g_min): the lower-group chain passes
             // vertically, the higher-group chain horizontally.
-            let (lo, hi, p_lo, p_hi) = if gi < gj { (gi, gj, pi, pj) } else { (gj, gi, pj, pi) };
+            let (lo, hi, p_lo, p_hi) = if gi < gj {
+                (gi, gj, pi, pj)
+            } else {
+                (gj, gi, pj, pi)
+            };
             let (r, c) = cell(hi, lo);
             let q_lo = graph.qubit(r, c, vert_side, p_lo);
             let q_hi = graph.qubit(r, c, horiz_side, p_hi);
@@ -287,7 +306,10 @@ mod tests {
         for i in 0..n {
             for j in (i + 1)..n {
                 let (qi, qj) = e.coupler_for(graph, i, j);
-                assert!(graph.edge_exists(qi, qj), "pair ({i},{j}): no edge {qi}--{qj}");
+                assert!(
+                    graph.edge_exists(qi, qj),
+                    "pair ({i},{j}): no edge {qi}--{qj}"
+                );
                 assert_eq!(e.owner(qi), Some(i), "pair ({i},{j}): wrong owner of {qi}");
                 assert_eq!(e.owner(qj), Some(j), "pair ({i},{j}): wrong owner of {qj}");
             }
@@ -343,10 +365,10 @@ mod tests {
             (10usize, 40usize),
             (20, 120),
             (40, 440),
-            (60, 960),   // printed as "1K"
-            (80, 1680),  // printed as "2K"
-            (120, 3720), // printed as "4K"
-            (160, 6560), // printed as "7K"
+            (60, 960),    // printed as "1K"
+            (80, 1680),   // printed as "2K"
+            (120, 3720),  // printed as "4K"
+            (160, 6560),  // printed as "7K"
             (240, 14640), // printed as "15K"
             (360, 32760), // printed as "33K"
         ];
@@ -360,7 +382,14 @@ mod tests {
         let g = ChimeraGraph::dw2q_ideal();
         assert!(CliqueEmbedding::new(&g, 64).is_ok());
         let err = CliqueEmbedding::new(&g, 65).unwrap_err();
-        assert_eq!(err, EmbeddingError::DoesNotFit { n: 65, needed: 17, available: 16 });
+        assert_eq!(
+            err,
+            EmbeddingError::DoesNotFit {
+                n: 65,
+                needed: 17,
+                available: 16
+            }
+        );
     }
 
     #[test]

@@ -38,7 +38,10 @@ impl Default for EmbedParams {
     /// with a `|J_F|` in the flat region of Fig. 5 (we default to 4.0;
     /// the Fix strategy re-tunes per problem class).
     fn default() -> Self {
-        EmbedParams { j_ferro: 4.0, improved_range: true }
+        EmbedParams {
+            j_ferro: 4.0,
+            improved_range: true,
+        }
     }
 }
 
@@ -145,7 +148,14 @@ impl EmbeddedProblem {
             problem.set_coupling(di, dj, g * scale);
         }
 
-        EmbeddedProblem { problem, chains, qubit_of, scale, chain_coupler, params }
+        EmbeddedProblem {
+            problem,
+            chains,
+            qubit_of,
+            scale,
+            chain_coupler,
+            params,
+        }
     }
 
     /// The programmed physical Ising problem (dense indices).
@@ -218,7 +228,13 @@ mod tests {
 
     #[test]
     fn chain_couplers_are_uniform_and_negative() {
-        let (_, emb, _) = compile(8, EmbedParams { j_ferro: 3.0, improved_range: false });
+        let (_, emb, _) = compile(
+            8,
+            EmbedParams {
+                j_ferro: 3.0,
+                improved_range: false,
+            },
+        );
         let expect = -1.0; // −J_F · κ = −3 · (1/3)
         for chain in emb.chains() {
             for w in chain.windows(2) {
@@ -229,8 +245,22 @@ mod tests {
 
     #[test]
     fn improved_range_doubles_chain_headroom() {
-        let std = compile(8, EmbedParams { j_ferro: 4.0, improved_range: false }).1;
-        let imp = compile(8, EmbedParams { j_ferro: 4.0, improved_range: true }).1;
+        let std = compile(
+            8,
+            EmbedParams {
+                j_ferro: 4.0,
+                improved_range: false,
+            },
+        )
+        .1;
+        let imp = compile(
+            8,
+            EmbedParams {
+                j_ferro: 4.0,
+                improved_range: true,
+            },
+        )
+        .1;
         // Standard: chains at −1, scale 1/4. Improved: chains at −2,
         // scale 1/2 — problem coefficients squeezed half as much.
         assert!((std.chain_coupler() + 1.0).abs() < 1e-12);
@@ -242,11 +272,19 @@ mod tests {
     fn programmed_coefficients_respect_hardware_bounds() {
         for improved in [false, true] {
             for jf in [1.0, 2.5, 7.0] {
-                let (_, emb, _) =
-                    compile(10, EmbedParams { j_ferro: jf, improved_range: improved });
+                let (_, emb, _) = compile(
+                    10,
+                    EmbedParams {
+                        j_ferro: jf,
+                        improved_range: improved,
+                    },
+                );
                 let lo = if improved { -2.0 } else { -1.0 };
                 for (_, _, g) in emb.problem().couplings() {
-                    assert!(g >= lo - 1e-12 && g <= 1.0 + 1e-12, "coupling {g} out of range");
+                    assert!(
+                        g >= lo - 1e-12 && g <= 1.0 + 1e-12,
+                        "coupling {g} out of range"
+                    );
                 }
                 for i in 0..emb.num_physical() {
                     let f = emb.problem().linear(i);
@@ -296,7 +334,10 @@ mod tests {
             &g,
             &e,
             &logical,
-            EmbedParams { j_ferro: 4.0, improved_range: true },
+            EmbedParams {
+                j_ferro: 4.0,
+                improved_range: true,
+            },
         );
         let phys_gs = exact_ground_state(emb.problem());
         let logical_gs = exact_ground_state(&logical);
@@ -328,7 +369,10 @@ mod tests {
             &g,
             &e,
             &logical,
-            EmbedParams { j_ferro: 2.0, improved_range: false },
+            EmbedParams {
+                j_ferro: 2.0,
+                improved_range: false,
+            },
         );
         // pre = 1/5, κ = 1/2 → programmed g_01 = 5·(1/10) = 1/2.
         let mut found = false;
@@ -347,7 +391,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "|J_F|")]
     fn weak_chains_are_rejected() {
-        let _ = compile(4, EmbedParams { j_ferro: 0.5, improved_range: false });
+        let _ = compile(
+            4,
+            EmbedParams {
+                j_ferro: 0.5,
+                improved_range: false,
+            },
+        );
     }
 
     #[test]

@@ -38,7 +38,10 @@ impl ChimeraGraph {
     /// An ideal (defect-free) `C_m`.
     pub fn ideal(m: usize) -> Self {
         assert!(m > 0, "grid dimension must be positive");
-        ChimeraGraph { m, defects: HashSet::new() }
+        ChimeraGraph {
+            m,
+            defects: HashSet::new(),
+        }
     }
 
     /// The ideal C16 of the D-Wave 2000Q.
@@ -111,7 +114,11 @@ impl ChimeraGraph {
         assert!(q < self.num_sites(), "qubit id out of range");
         let k = q % CELL_SIDE;
         let rest = q / CELL_SIDE;
-        let side = if rest.is_multiple_of(2) { Side::Left } else { Side::Right };
+        let side = if rest.is_multiple_of(2) {
+            Side::Left
+        } else {
+            Side::Right
+        };
         let cell = rest / 2;
         (cell / self.m, cell % self.m, side, k)
     }
@@ -129,14 +136,10 @@ impl ChimeraGraph {
             (Side::Left, Side::Right) | (Side::Right, Side::Left) => ra == rb && ca == cb,
             // Vertical couplers: left side, same column & position,
             // adjacent rows.
-            (Side::Left, Side::Left) => {
-                ca == cb && ka == kb && ra.abs_diff(rb) == 1
-            }
+            (Side::Left, Side::Left) => ca == cb && ka == kb && ra.abs_diff(rb) == 1,
             // Horizontal couplers: right side, same row & position,
             // adjacent columns.
-            (Side::Right, Side::Right) => {
-                ra == rb && ka == kb && ca.abs_diff(cb) == 1
-            }
+            (Side::Right, Side::Right) => ra == rb && ka == kb && ca.abs_diff(cb) == 1,
         }
     }
 
@@ -196,12 +199,7 @@ impl ChimeraGraph {
     pub fn num_couplers(&self) -> usize {
         // Count each edge once via the neighbour lists.
         (0..self.num_sites())
-            .map(|q| {
-                self.neighbors(q)
-                    .iter()
-                    .filter(|&&n| n > q)
-                    .count()
-            })
+            .map(|q| self.neighbors(q).iter().filter(|&&n| n > q).count())
             .sum()
     }
 }

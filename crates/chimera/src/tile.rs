@@ -32,10 +32,8 @@ pub fn tile_embeddings(graph: &ChimeraGraph, n: usize) -> Vec<CliqueEmbedding> {
     let mut out = Vec::new();
 
     // Relative cell sets of the two orientations.
-    let lower: Vec<(usize, usize)> =
-        (0..t).flat_map(|r| (0..=r).map(move |c| (r, c))).collect();
-    let upper: Vec<(usize, usize)> =
-        (0..t).flat_map(|r| (r..t).map(move |c| (r, c))).collect();
+    let lower: Vec<(usize, usize)> = (0..t).flat_map(|r| (0..=r).map(move |c| (r, c))).collect();
+    let upper: Vec<(usize, usize)> = (0..t).flat_map(|r| (r..t).map(move |c| (r, c))).collect();
 
     for r0 in 0..=(m - t) {
         for c0 in 0..=(m - t) {

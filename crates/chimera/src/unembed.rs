@@ -73,7 +73,11 @@ pub fn unembed_majority_vote<R: Rng + ?Sized>(
         };
         logical.push(value);
     }
-    UnembedOutcome { logical, broken_chains: broken, tie_breaks: ties }
+    UnembedOutcome {
+        logical,
+        broken_chains: broken,
+        tie_breaks: ties,
+    }
 }
 
 #[cfg(test)]

@@ -18,12 +18,12 @@
 
 use crate::reduce::ising_from_ml;
 use crate::scenario::DetectionInput;
-use quamax_anneal::{Annealer, Schedule, SolutionDistribution};
+use quamax_anneal::{Annealer, CompiledChains, Schedule, SolutionDistribution};
 use quamax_chimera::{
     parallelization, unembed_majority_vote, ChimeraGraph, CliqueEmbedding, EmbedParams,
     EmbeddedProblem, EmbeddingError,
 };
-use quamax_ising::{spins_to_bits, IsingProblem};
+use quamax_ising::{spins_to_bits, CompiledProblem, IsingProblem};
 use quamax_wireless::gray::quamax_bits_to_gray;
 use rand::Rng;
 
@@ -80,12 +80,20 @@ pub struct QuamaxDecoder {
 impl QuamaxDecoder {
     /// A decoder on an ideal DW2Q chip.
     pub fn new(annealer: Annealer, config: DecoderConfig) -> Self {
-        QuamaxDecoder { annealer, graph: ChimeraGraph::dw2q_ideal(), config }
+        QuamaxDecoder {
+            annealer,
+            graph: ChimeraGraph::dw2q_ideal(),
+            config,
+        }
     }
 
     /// A decoder on a specific chip (e.g. with a defect map).
     pub fn with_graph(annealer: Annealer, graph: ChimeraGraph, config: DecoderConfig) -> Self {
-        QuamaxDecoder { annealer, graph, config }
+        QuamaxDecoder {
+            annealer,
+            graph,
+            config,
+        }
     }
 
     /// Current configuration.
@@ -147,13 +155,19 @@ impl QuamaxDecoder {
     ) -> Result<DecodeRun, DecodeError> {
         let (logical, offset) = ising_from_ml(&input.h, &input.y, input.modulation);
         let embedding = CliqueEmbedding::new(&self.graph, logical.num_spins())?;
-        let embedded = EmbeddedProblem::compile(&self.graph, &embedding, &logical, self.config.embed);
+        let embedded =
+            EmbeddedProblem::compile(&self.graph, &embedding, &logical, self.config.embed);
+        // Freeze the programmed problem into the annealer's CSR kernel
+        // view once per decode; the whole anneal batch (and every
+        // worker thread) shares it read-only.
+        let compiled = CompiledProblem::new(embedded.problem());
+        let compiled_chains = CompiledChains::compile(&compiled, embedded.chains());
 
         let seed: u64 = rng.random();
         let samples = match candidate_gray_bits {
-            None => self.annealer.run_chained(
-                embedded.problem(),
-                embedded.chains(),
+            None => self.annealer.run_compiled(
+                &compiled,
+                &compiled_chains,
                 &self.config.schedule,
                 num_anneals,
                 seed,
@@ -174,9 +188,9 @@ impl QuamaxDecoder {
                         physical[d] = logical_spins[i];
                     }
                 }
-                self.annealer.run_reverse(
-                    embedded.problem(),
-                    embedded.chains(),
+                self.annealer.run_reverse_compiled(
+                    &compiled,
+                    &compiled_chains,
                     &physical,
                     &self.config.schedule,
                     num_anneals,
@@ -250,7 +264,10 @@ impl DecodeRun {
     /// # Panics
     /// Panics when the run had zero anneals.
     pub fn best_bits(&self) -> Vec<u8> {
-        assert!(self.distribution.num_distinct() > 0, "empty run has no decode");
+        assert!(
+            self.distribution.num_distinct() > 0,
+            "empty run has no decode"
+        );
         self.bits_for_rank(0)
     }
 
@@ -295,9 +312,14 @@ mod tests {
         let inst = sc.sample(&mut rng);
         let decoder = QuamaxDecoder::new(
             quiet_annealer(),
-            DecoderConfig { schedule: Schedule::standard(10.0), ..Default::default() },
+            DecoderConfig {
+                schedule: Schedule::standard(10.0),
+                ..Default::default()
+            },
         );
-        let run = decoder.decode(&inst.detection_input(), 100, &mut rng).unwrap();
+        let run = decoder
+            .decode(&inst.detection_input(), 100, &mut rng)
+            .unwrap();
         assert_eq!(run.best_bits(), inst.tx_bits());
         // Ising best energy + offset = ‖y − Hv̂‖² = 0 for the noiseless
         // ground truth.
@@ -308,14 +330,22 @@ mod tests {
     #[test]
     fn decodes_noiseless_qpsk_and_qam16() {
         let mut rng = StdRng::seed_from_u64(2);
-        for (m, nt, na) in [(Modulation::Qpsk, 3usize, 200usize), (Modulation::Qam16, 2, 400)] {
+        for (m, nt, na) in [
+            (Modulation::Qpsk, 3usize, 200usize),
+            (Modulation::Qam16, 2, 400),
+        ] {
             let sc = Scenario::new(nt, nt, m);
             let inst = sc.sample(&mut rng);
             let decoder = QuamaxDecoder::new(
                 quiet_annealer(),
-                DecoderConfig { schedule: Schedule::standard(20.0), ..Default::default() },
+                DecoderConfig {
+                    schedule: Schedule::standard(20.0),
+                    ..Default::default()
+                },
             );
-            let run = decoder.decode(&inst.detection_input(), na, &mut rng).unwrap();
+            let run = decoder
+                .decode(&inst.detection_input(), na, &mut rng)
+                .unwrap();
             assert_eq!(run.best_bits(), inst.tx_bits(), "{}", m.name());
         }
     }
@@ -326,9 +356,14 @@ mod tests {
         let sc = Scenario::new(4, 4, Modulation::Bpsk);
         let inst = sc.sample(&mut rng);
         let decoder = QuamaxDecoder::new(quiet_annealer(), DecoderConfig::default());
-        let run = decoder.decode(&inst.detection_input(), 50, &mut rng).unwrap();
+        let run = decoder
+            .decode(&inst.detection_input(), 50, &mut rng)
+            .unwrap();
         assert_eq!(run.distribution().total_samples(), 50);
-        assert!(run.parallel_factor() >= 20, "4-user BPSK should tile heavily");
+        assert!(
+            run.parallel_factor() >= 20,
+            "4-user BPSK should tile heavily"
+        );
         assert!(run.chain_break_fraction() >= 0.0 && run.chain_break_fraction() <= 1.0);
         // Default schedule: 1 µs anneal + 1 µs pause.
         assert!((run.anneal_cycle_us() - 2.0).abs() < 1e-12);
@@ -354,7 +389,9 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(seed);
             let inst = sc.sample(&mut rng);
             let decoder = QuamaxDecoder::new(quiet_annealer(), DecoderConfig::default());
-            let run = decoder.decode(&inst.detection_input(), 30, &mut rng).unwrap();
+            let run = decoder
+                .decode(&inst.detection_input(), 30, &mut rng)
+                .unwrap();
             run.best_bits()
         };
         assert_eq!(run_once(7), run_once(7));
@@ -379,7 +416,11 @@ mod tests {
         let run = decoder
             .decode_reverse(&inst.detection_input(), 100, &candidate, &mut rng)
             .unwrap();
-        assert_eq!(run.best_bits(), inst.tx_bits(), "refinement should fix 2 bits");
+        assert_eq!(
+            run.best_bits(),
+            inst.tx_bits(),
+            "refinement should fix 2 bits"
+        );
     }
 
     #[test]
@@ -402,9 +443,14 @@ mod tests {
         let inst = sc.sample(&mut rng);
         let decoder = QuamaxDecoder::new(
             quiet_annealer(),
-            DecoderConfig { schedule: Schedule::standard(30.0), ..Default::default() },
+            DecoderConfig {
+                schedule: Schedule::standard(30.0),
+                ..Default::default()
+            },
         );
-        let run = decoder.decode(&inst.detection_input(), 600, &mut rng).unwrap();
+        let run = decoder
+            .decode(&inst.detection_input(), 600, &mut rng)
+            .unwrap();
         assert_eq!(run.best_bits(), inst.tx_bits());
     }
 
@@ -420,9 +466,14 @@ mod tests {
         });
         let decoder = QuamaxDecoder::new(
             annealer,
-            DecoderConfig { schedule: Schedule::standard(1.0), ..Default::default() },
+            DecoderConfig {
+                schedule: Schedule::standard(1.0),
+                ..Default::default()
+            },
         );
-        let run = decoder.decode(&inst.detection_input(), 200, &mut rng).unwrap();
+        let run = decoder
+            .decode(&inst.detection_input(), 200, &mut rng)
+            .unwrap();
         assert!(run.distribution().num_distinct() > 1);
         let a = run.bits_for_rank(0);
         let b = run.bits_for_rank(1);

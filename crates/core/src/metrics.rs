@@ -21,9 +21,14 @@ use quamax_wireless::{count_bit_errors, fer_from_ber};
 /// never observed); returns `cycle_time` when `p0 ≥ 1` (every anneal
 /// succeeds — one cycle suffices at any confidence).
 pub fn time_to_solution(p0: f64, cycle_time: f64, target_confidence: f64) -> Option<f64> {
-    assert!((0.0..1.0).contains(&target_confidence) || target_confidence < 1.0,
-        "confidence must be < 1");
-    assert!((0.0..=1.0).contains(&p0), "p0 must be a probability, got {p0}");
+    assert!(
+        (0.0..1.0).contains(&target_confidence) || target_confidence < 1.0,
+        "confidence must be < 1"
+    );
+    assert!(
+        (0.0..=1.0).contains(&p0),
+        "p0 must be a probability, got {p0}"
+    );
     if p0 == 0.0 {
         return None;
     }
@@ -59,7 +64,11 @@ impl BitErrorProfile {
             probs.push(e.count as f64 / total);
             errors.push(count_bit_errors(&run.bits_for_rank(rank), tx_bits));
         }
-        BitErrorProfile { probs, errors, n_bits: tx_bits.len() }
+        BitErrorProfile {
+            probs,
+            errors,
+            n_bits: tx_bits.len(),
+        }
     }
 
     /// Builds a profile from raw parts (tests, canned distributions).
@@ -67,8 +76,15 @@ impl BitErrorProfile {
         assert_eq!(probs.len(), errors.len(), "ranks disagree");
         assert!(n_bits > 0, "empty payload");
         let total: f64 = probs.iter().sum();
-        assert!((total - 1.0).abs() < 1e-9, "probabilities must sum to 1, got {total}");
-        BitErrorProfile { probs, errors, n_bits }
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "probabilities must sum to 1, got {total}"
+        );
+        BitErrorProfile {
+            probs,
+            errors,
+            n_bits,
+        }
     }
 
     /// Number of distinct ranks `L`.
@@ -84,7 +100,9 @@ impl BitErrorProfile {
     /// Bit errors of the best (rank-0) solution — the BER floor this
     /// run converges to as `Na → ∞`.
     pub fn floor_ber(&self) -> f64 {
-        self.errors.first().map_or(0.0, |&e| e as f64 / self.n_bits as f64)
+        self.errors
+            .first()
+            .map_or(0.0, |&e| e as f64 / self.n_bits as f64)
     }
 
     /// The paper's Eq. 9: expected BER of the minimum-energy solution
@@ -309,7 +327,10 @@ mod tests {
             assert!(b <= prev + 1e-15, "not monotone at {na}");
             prev = b;
         }
-        assert!(p.expected_ber(10_000) < 1e-12, "floor should be 0 (rank 0 correct)");
+        assert!(
+            p.expected_ber(10_000) < 1e-12,
+            "floor should be 0 (rank 0 correct)"
+        );
         assert_eq!(p.floor_ber(), 0.0);
     }
 
@@ -349,7 +370,10 @@ mod tests {
         let p = canned();
         let na = p.anneals_to_ber(1e-3).unwrap();
         assert!(p.expected_ber(na) <= 1e-3);
-        assert!(na == 1 || p.expected_ber(na - 1) > 1e-3, "not minimal: {na}");
+        assert!(
+            na == 1 || p.expected_ber(na - 1) > 1e-3,
+            "not minimal: {na}"
+        );
     }
 
     #[test]
@@ -394,7 +418,12 @@ mod tests {
     #[test]
     fn ttf_unreachable_when_floor_ber_too_high() {
         let p = BitErrorProfile::from_parts(vec![1.0], vec![2], 10);
-        let stats = RunStatistics { profile: p, p0: 0.0, cycle_us: 1.0, parallel_factor: 1 };
+        let stats = RunStatistics {
+            profile: p,
+            p0: 0.0,
+            cycle_us: 1.0,
+            parallel_factor: 1,
+        };
         assert_eq!(stats.ttf_us(1e-4, 1500), None);
         assert_eq!(stats.tts99_us(), None);
     }

@@ -57,7 +57,10 @@ pub fn grid_no_pause(improved_range: bool, jf_step: usize, tas: &[f64]) -> Vec<C
         }
         for &ta in tas {
             out.push(CandidateParams {
-                embed: EmbedParams { j_ferro: jf, improved_range },
+                embed: EmbedParams {
+                    j_ferro: jf,
+                    improved_range,
+                },
                 schedule: Schedule::standard(ta),
             });
         }
@@ -84,7 +87,10 @@ pub fn grid_with_pause(
                 continue;
             }
             out.push(CandidateParams {
-                embed: EmbedParams { j_ferro: jf, improved_range },
+                embed: EmbedParams {
+                    j_ferro: jf,
+                    improved_range,
+                },
                 schedule: Schedule::with_pause(ta, sp, tp),
             });
         }

@@ -43,7 +43,7 @@ pub fn transform_weights(modulation: Modulation) -> (Vec<Complex>, Complex) {
     let mut weights = Vec::with_capacity(modulation.bits_per_symbol());
     // I-dimension bits, most significant first: weight 2^(bits−b)·…
     for b in 0..bits_per_dim {
-        weights.push(Complex::real(f64::from(1u32 << (bits_per_dim - b)) ));
+        weights.push(Complex::real(f64::from(1u32 << (bits_per_dim - b))));
     }
     if modulation.dimensions() == 2 {
         for b in 0..bits_per_dim {
@@ -159,7 +159,6 @@ pub fn ising_from_ml_amortized(
     }
 }
 
-
 /// Eq. 6 (BPSK): `f_i = −2·Re⟨H_i, y⟩`, `g_ij = 2·Re⟨H_i, H_j⟩`,
 /// offset such that energies match the ML norm.
 fn ising_bpsk(gram: &CMatrix, h_y: &CVector, y: &CVector) -> (IsingProblem, f64) {
@@ -186,7 +185,14 @@ fn ising_qpsk(gram: &CMatrix, h_y: &CVector, y: &CVector) -> (IsingProblem, f64)
     for i in 0..n {
         let user = i / 2;
         // Eq. 7: odd (I) spins couple to Re⟨H,y⟩, even (Q) to Im.
-        p.set_linear(i, if i % 2 == 0 { -2.0 * h_y[user].re } else { -2.0 * h_y[user].im });
+        p.set_linear(
+            i,
+            if i % 2 == 0 {
+                -2.0 * h_y[user].re
+            } else {
+                -2.0 * h_y[user].im
+            },
+        );
         for j in (i + 1)..n {
             let user_j = j / 2;
             if user_j == user {
@@ -211,12 +217,7 @@ fn ising_qpsk(gram: &CMatrix, h_y: &CVector, y: &CVector) -> (IsingProblem, f64)
 /// Eqs. 13–14 (16-QAM). Spin order per user `n` (paper's 1-based
 /// 4n−3 … 4n): I-MSB, I-LSB, Q-MSB, Q-LSB, with transform weights
 /// 4, 2, 4j, 2j.
-fn ising_qam16(
-    h: &CMatrix,
-    gram: &CMatrix,
-    h_y: &CVector,
-    y: &CVector,
-) -> (IsingProblem, f64) {
+fn ising_qam16(h: &CMatrix, gram: &CMatrix, h_y: &CVector, y: &CVector) -> (IsingProblem, f64) {
     let nt = gram.cols();
     let n = 4 * nt;
     let mut p = IsingProblem::new(n);
@@ -280,11 +281,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    fn random_case(
-        rng: &mut StdRng,
-        nr: usize,
-        nt: usize,
-    ) -> (CMatrix, CVector) {
+    fn random_case(rng: &mut StdRng, nr: usize, nt: usize) -> (CMatrix, CVector) {
         let g = ComplexGaussian::unit();
         let h = CMatrix::from_fn(nr, nt, |_, _| g.sample(rng));
         let y = CVector::from_fn(nr, |_| g.sample(rng));
@@ -456,10 +453,7 @@ mod tests {
             assert!((gs.energy + offset).abs() < 1e-8, "{}", m.name());
             let qubo_bits = spins_to_bits(&gs.ground_states[0]);
             // Translate per symbol and compare with the Gray tx bits.
-            let decoded: Vec<u8> = qubo_bits
-                .chunks(q)
-                .flat_map(quamax_bits_to_gray)
-                .collect();
+            let decoded: Vec<u8> = qubo_bits.chunks(q).flat_map(quamax_bits_to_gray).collect();
             assert_eq!(decoded, tx, "{}", m.name());
         }
     }

@@ -71,7 +71,13 @@ impl Scenario {
     /// A noise-free random-phase scenario (the §5.3 default).
     pub fn new(nt: usize, nr: usize, modulation: Modulation) -> Self {
         assert!(nt > 0 && nr >= nt, "need Nr >= Nt >= 1");
-        Scenario { nt, nr, modulation, channel: ChannelKind::RandomPhase, snr: None }
+        Scenario {
+            nt,
+            nr,
+            modulation,
+            channel: ChannelKind::RandomPhase,
+            snr: None,
+        }
     }
 
     /// Switches to i.i.d. Rayleigh fading.
@@ -108,7 +114,9 @@ impl Scenario {
         assert_eq!(h.cols(), self.nt, "channel user count mismatch");
         assert_eq!(h.rows(), self.nr, "channel antenna count mismatch");
         let q = self.modulation.bits_per_symbol();
-        let tx_bits: Vec<u8> = (0..self.nt * q).map(|_| rng.random_range(0..=1) as u8).collect();
+        let tx_bits: Vec<u8> = (0..self.nt * q)
+            .map(|_| rng.random_range(0..=1) as u8)
+            .collect();
         Instance::transmit(h, tx_bits, self.modulation, self.snr, rng)
     }
 }
@@ -141,19 +149,35 @@ impl Instance {
             None => clean,
             Some(s) => apply_awgn(&clean, s.noise_variance(modulation), rng),
         };
-        Instance { h, y, tx_bits, modulation, snr }
+        Instance {
+            h,
+            y,
+            tx_bits,
+            modulation,
+            snr,
+        }
     }
 
     /// Re-noises the same channel and bits with a fresh AWGN draw at
     /// `snr` — the §5.4 protocol (fixed channel/bits, ten noise
     /// instances).
     pub fn renoise<R: Rng + ?Sized>(&self, snr: Snr, rng: &mut R) -> Instance {
-        Instance::transmit(self.h.clone(), self.tx_bits.clone(), self.modulation, Some(snr), rng)
+        Instance::transmit(
+            self.h.clone(),
+            self.tx_bits.clone(),
+            self.modulation,
+            Some(snr),
+            rng,
+        )
     }
 
     /// The detector-visible part.
     pub fn detection_input(&self) -> DetectionInput {
-        DetectionInput { h: self.h.clone(), y: self.y.clone(), modulation: self.modulation }
+        DetectionInput {
+            h: self.h.clone(),
+            y: self.y.clone(),
+            modulation: self.modulation,
+        }
     }
 
     /// Ground-truth transmitted (Gray) bits.

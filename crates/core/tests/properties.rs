@@ -12,8 +12,7 @@ fn complex() -> impl Strategy<Value = Complex> {
 }
 
 fn channel(nr: usize, nt: usize) -> impl Strategy<Value = CMatrix> {
-    proptest::collection::vec(complex(), nr * nt)
-        .prop_map(move |d| CMatrix::from_vec(nr, nt, d))
+    proptest::collection::vec(complex(), nr * nt).prop_map(move |d| CMatrix::from_vec(nr, nt, d))
 }
 
 fn received(nr: usize) -> impl Strategy<Value = CVector> {

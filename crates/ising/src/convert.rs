@@ -73,9 +73,7 @@ mod tests {
     use crate::spins::bits_to_spins;
 
     fn all_bit_configs(n: usize) -> impl Iterator<Item = Vec<u8>> {
-        (0..(1u32 << n)).map(move |k| {
-            (0..n).map(|i| ((k >> i) & 1) as u8).collect()
-        })
+        (0..(1u32 << n)).map(move |k| (0..n).map(|i| ((k >> i) & 1) as u8).collect())
     }
 
     fn sample_qubo() -> QuboProblem {

@@ -42,9 +42,15 @@ pub struct RankedSolution {
 /// same point about classical ML detection generally.)
 pub fn exact_ground_state(problem: &IsingProblem) -> ExactSolution {
     let n = problem.num_spins();
-    assert!(n <= 30, "exhaustive search capped at 30 spins (asked for {n})");
+    assert!(
+        n <= 30,
+        "exhaustive search capped at 30 spins (asked for {n})"
+    );
     if n == 0 {
-        return ExactSolution { energy: 0.0, ground_states: vec![Vec::new()] };
+        return ExactSolution {
+            energy: 0.0,
+            ground_states: vec![Vec::new()],
+        };
     }
 
     let mut enumerator = GrayCodeSpins::new(n);
@@ -64,7 +70,10 @@ pub fn exact_ground_state(problem: &IsingProblem) -> ExactSolution {
             ground_states.push(enumerator.config().to_vec());
         }
     }
-    ExactSolution { energy: best, ground_states }
+    ExactSolution {
+        energy: best,
+        ground_states,
+    }
 }
 
 impl IsingProblem {
@@ -107,7 +116,11 @@ pub fn rank_all_solutions(problem: &IsingProblem, tie_tol: f64) -> Vec<RankedSol
     for (e, spins) in entries {
         match ranked.last_mut() {
             Some(last) if (e - last.energy).abs() <= tie_tol => last.degeneracy += 1,
-            _ => ranked.push(RankedSolution { spins, energy: e, degeneracy: 1 }),
+            _ => ranked.push(RankedSolution {
+                spins,
+                energy: e,
+                degeneracy: 1,
+            }),
         }
     }
     ranked

@@ -86,7 +86,10 @@ impl IsingProblem {
     /// Panics on a self-coupling (`i == j`) or out-of-range index.
     pub fn set_coupling(&mut self, i: usize, j: usize, g: f64) {
         assert_ne!(i, j, "self-couplings are not part of the Ising form");
-        assert!(i < self.num_spins() && j < self.num_spins(), "spin index out of range");
+        assert!(
+            i < self.num_spins() && j < self.num_spins(),
+            "spin index out of range"
+        );
         let existed = Self::upsert(&mut self.adjacency[i], j, g);
         let existed2 = Self::upsert(&mut self.adjacency[j], i, g);
         debug_assert_eq!(existed, existed2, "adjacency lists out of sync");
@@ -95,16 +98,36 @@ impl IsingProblem {
         }
     }
 
-    /// Adds to the coupling `g_ij`.
+    /// Adds to the coupling `g_ij` — one upsert per endpoint (no
+    /// read-back scan; reductions accumulating dense Gram terms call
+    /// this in a tight loop).
     pub fn add_coupling(&mut self, i: usize, j: usize, g: f64) {
-        let cur = self.coupling(i, j);
-        self.set_coupling(i, j, cur + g);
+        assert_ne!(i, j, "self-couplings are not part of the Ising form");
+        assert!(
+            i < self.num_spins() && j < self.num_spins(),
+            "spin index out of range"
+        );
+        let existed = Self::upsert_with(&mut self.adjacency[i], j, g, |cur, d| cur + d);
+        let existed2 = Self::upsert_with(&mut self.adjacency[j], i, g, |cur, d| cur + d);
+        debug_assert_eq!(existed, existed2, "adjacency lists out of sync");
+        if !existed {
+            self.coupling_count += 1;
+        }
     }
 
     fn upsert(list: &mut Vec<(usize, f64)>, j: usize, g: f64) -> bool {
+        Self::upsert_with(list, j, g, |_, new| new)
+    }
+
+    fn upsert_with(
+        list: &mut Vec<(usize, f64)>,
+        j: usize,
+        g: f64,
+        combine: impl Fn(f64, f64) -> f64,
+    ) -> bool {
         for entry in list.iter_mut() {
             if entry.0 == j {
-                entry.1 = g;
+                entry.1 = combine(entry.1, g);
                 return true;
             }
         }
@@ -133,7 +156,11 @@ impl IsingProblem {
     /// Panics when `spins.len()` differs from the spin count; debug-
     /// asserts ±1 values.
     pub fn energy(&self, spins: &[Spin]) -> f64 {
-        assert_eq!(spins.len(), self.num_spins(), "configuration length mismatch");
+        assert_eq!(
+            spins.len(),
+            self.num_spins(),
+            "configuration length mismatch"
+        );
         debug_assert!(spins.iter().all(|&s| s == 1 || s == -1));
         let mut e = 0.0;
         for (i, &s) in spins.iter().enumerate() {
@@ -222,8 +249,7 @@ mod tests {
     #[test]
     fn flip_delta_agrees_with_energy_difference() {
         let p = triangle();
-        let configs: [[Spin; 3]; 4] =
-            [[1, 1, 1], [1, -1, 1], [-1, -1, -1], [-1, 1, -1]];
+        let configs: [[Spin; 3]; 4] = [[1, 1, 1], [1, -1, 1], [-1, -1, -1], [-1, 1, -1]];
         for c in configs {
             for i in 0..3 {
                 let mut flipped = c;

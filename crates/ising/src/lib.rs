@@ -19,12 +19,14 @@
 //! dynamics, and an exhaustive exact solver used as ground truth by the
 //! decoder tests and the Fig. 4-style solution-rank analyses.
 
+pub mod compiled;
 pub mod convert;
 pub mod exact;
 pub mod ising;
 pub mod qubo;
 pub mod spins;
 
+pub use compiled::CompiledProblem;
 pub use convert::{ising_to_qubo, qubo_to_ising};
 pub use exact::{exact_ground_state, rank_all_solutions, ExactSolution, RankedSolution};
 pub use ising::IsingProblem;

@@ -110,7 +110,11 @@ mod tests {
         let mut e = GrayCodeSpins::new(4);
         let mut seen = HashSet::new();
         while e.advance().is_some() {
-            assert!(seen.insert(e.config().to_vec()), "duplicate {:?}", e.config());
+            assert!(
+                seen.insert(e.config().to_vec()),
+                "duplicate {:?}",
+                e.config()
+            );
         }
         assert_eq!(seen.len(), 16);
     }
@@ -122,8 +126,7 @@ mod tests {
         let mut prev = e.config().to_vec();
         while let Some(flip) = e.advance() {
             let cur = e.config().to_vec();
-            let diffs: Vec<usize> =
-                (0..5).filter(|&i| cur[i] != prev[i]).collect();
+            let diffs: Vec<usize> = (0..5).filter(|&i| cur[i] != prev[i]).collect();
             assert_eq!(diffs, vec![flip]);
             prev = cur;
         }

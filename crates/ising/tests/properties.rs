@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 use quamax_ising::spins::bits_to_spins;
 use quamax_ising::{
-    exact_ground_state, ising_to_qubo, qubo_to_ising, rank_all_solutions, IsingProblem,
-    QuboProblem,
+    exact_ground_state, ising_to_qubo, qubo_to_ising, rank_all_solutions, CompiledProblem,
+    IsingProblem, QuboProblem,
 };
 
 const N: usize = 6;
@@ -47,6 +47,39 @@ fn qubo_problem() -> impl Strategy<Value = QuboProblem> {
 
 fn all_bits(n: usize) -> impl Iterator<Item = Vec<u8>> {
     (0..(1u32 << n)).map(move |k| (0..n).map(|i| ((k >> i) & 1) as u8).collect())
+}
+
+/// Strategy: a Chimera-structured sparse problem — `cells` K4,4 unit
+/// cells (degree ≤ 6: 4 in-cell neighbors plus up to 2 inter-cell
+/// couplers), the physical-problem regime of the annealer's kernel.
+fn chimera_sparse(cells: usize) -> impl Strategy<Value = IsingProblem> {
+    let in_cell = cells * 16;
+    let inter = if cells > 1 { (cells - 1) * 4 } else { 0 };
+    let coeffs = proptest::collection::vec(-2.0f64..2.0, cells * 8 + in_cell + inter);
+    coeffs.prop_map(move |c| {
+        let mut p = IsingProblem::new(cells * 8);
+        let mut it = c.into_iter();
+        for q in 0..cells * 8 {
+            p.set_linear(q, it.next().unwrap());
+        }
+        for cell in 0..cells {
+            let base = cell * 8;
+            // K4,4 within the cell: left half to right half.
+            for l in 0..4 {
+                for r in 4..8 {
+                    p.set_coupling(base + l, base + r, it.next().unwrap());
+                }
+            }
+            // Horizontal couplers to the next cell (same-position right
+            // spins), mirroring the chip's inter-cell wiring.
+            if cell + 1 < cells {
+                for pos in 4..8 {
+                    p.set_coupling(base + pos, base + 8 + pos, it.next().unwrap());
+                }
+            }
+        }
+        p
+    })
 }
 
 proptest! {
@@ -113,6 +146,42 @@ proptest! {
         prop_assert!((ranked[0].energy - sol.energy).abs() < 1e-9);
         let total: usize = ranked.iter().map(|r| r.degeneracy).sum();
         prop_assert_eq!(total, 1 << N);
+    }
+
+    /// The compiled CSR view agrees with the adjacency-list
+    /// implementation on dense problems: total energy on every
+    /// configuration, ΔE for every single-spin flip, and the cached
+    /// local-field initialization.
+    #[test]
+    fn compiled_matches_naive_on_dense(p in ising_problem()) {
+        let c = CompiledProblem::new(&p);
+        assert_eq!(c.num_spins(), p.num_spins());
+        assert_eq!(c.num_couplings(), p.num_couplings());
+        let mut fields = Vec::new();
+        for bits in all_bits(N) {
+            let s = bits_to_spins(&bits);
+            prop_assert!((c.energy(&s) - p.energy(&s)).abs() < 1e-9);
+            c.local_fields_into(&s, &mut fields);
+            for i in 0..N {
+                prop_assert!((c.flip_delta(&s, i) - p.flip_delta(&s, i)).abs() < 1e-9);
+                prop_assert!(
+                    (-2.0 * s[i] as f64 * fields[i] - p.flip_delta(&s, i)).abs() < 1e-9
+                );
+            }
+        }
+    }
+
+    /// Same agreement on Chimera-sparse (degree ≤ 6) problems — the
+    /// physical-problem regime the annealer actually sweeps.
+    #[test]
+    fn compiled_matches_naive_on_chimera_sparse(p in chimera_sparse(3), k in 0u64..1 << 24) {
+        let c = CompiledProblem::new(&p);
+        let n = p.num_spins();
+        let s: Vec<i8> = (0..n).map(|i| if (k >> i) & 1 == 1 { 1 } else { -1 }).collect();
+        prop_assert!((c.energy(&s) - p.energy(&s)).abs() < 1e-9);
+        for i in 0..n {
+            prop_assert!((c.flip_delta(&s, i) - p.flip_delta(&s, i)).abs() < 1e-9);
+        }
     }
 
     /// Scaling by a positive constant preserves the ground-state set.

@@ -18,7 +18,11 @@ pub struct CMatrix {
 impl CMatrix {
     /// An all-zero `rows × cols` matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        CMatrix { rows, cols, data: vec![Complex::ZERO; rows * cols] }
+        CMatrix {
+            rows,
+            cols,
+            data: vec![Complex::ZERO; rows * cols],
+        }
     }
 
     /// The `n × n` identity.
@@ -54,8 +58,15 @@ impl CMatrix {
     pub fn from_rows(rows: &[Vec<Complex>]) -> Self {
         let r = rows.len();
         let c = rows.first().map_or(0, Vec::len);
-        assert!(rows.iter().all(|row| row.len() == c), "from_rows: ragged rows");
-        CMatrix { rows: r, cols: c, data: rows.concat() }
+        assert!(
+            rows.iter().all(|row| row.len() == c),
+            "from_rows: ragged rows"
+        );
+        CMatrix {
+            rows: r,
+            cols: c,
+            data: rows.concat(),
+        }
     }
 
     /// Number of rows.
@@ -186,7 +197,11 @@ impl IndexMut<(usize, usize)> for CMatrix {
 impl Add for &CMatrix {
     type Output = CMatrix;
     fn add(self, rhs: &CMatrix) -> CMatrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add: shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "add: shape mismatch"
+        );
         CMatrix {
             rows: self.rows,
             cols: self.cols,
@@ -203,7 +218,11 @@ impl Add for &CMatrix {
 impl Sub for &CMatrix {
     type Output = CMatrix;
     fn sub(self, rhs: &CMatrix) -> CMatrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "sub: shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "sub: shape mismatch"
+        );
         CMatrix {
             rows: self.rows,
             cols: self.cols,
@@ -283,9 +302,7 @@ mod tests {
 
     #[test]
     fn hermitian_transpose_conjugates() {
-        let a = CMatrix::from_rows(&[
-            vec![Complex::new(1.0, 2.0), Complex::new(3.0, -1.0)],
-        ]);
+        let a = CMatrix::from_rows(&[vec![Complex::new(1.0, 2.0), Complex::new(3.0, -1.0)]]);
         let h = a.hermitian();
         assert_eq!(h.rows(), 2);
         assert_eq!(h.cols(), 1);
@@ -329,8 +346,14 @@ mod tests {
     #[test]
     fn col_row_extraction() {
         let a = m2(1.0, 2.0, 3.0, 4.0);
-        assert_eq!(a.col(1).as_slice(), &[Complex::real(2.0), Complex::real(4.0)]);
-        assert_eq!(a.row(1).as_slice(), &[Complex::real(3.0), Complex::real(4.0)]);
+        assert_eq!(
+            a.col(1).as_slice(),
+            &[Complex::real(2.0), Complex::real(4.0)]
+        );
+        assert_eq!(
+            a.row(1).as_slice(),
+            &[Complex::real(3.0), Complex::real(4.0)]
+        );
     }
 
     #[test]

@@ -119,7 +119,10 @@ impl QrDecomposition {
         // sub-diagonal rounding residue so R is exactly triangular.
         let q_thin = CMatrix::from_fn(m, n, |i, j| q[(i, j)]);
         let r_thin = CMatrix::from_fn(n, n, |i, j| if i <= j { r[(i, j)] } else { Complex::ZERO });
-        QrDecomposition { q: q_thin, r: r_thin }
+        QrDecomposition {
+            q: q_thin,
+            r: r_thin,
+        }
     }
 
     /// Computes `ȳ = Q*·y`, the rotated receive vector of the sphere
@@ -132,8 +135,8 @@ impl QrDecomposition {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::rng::ComplexGaussian;
     use crate::approx_eq;
+    use crate::rng::ComplexGaussian;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -185,7 +188,11 @@ mod tests {
         for r in 0..6 {
             for c in 0..6 {
                 let want = if r == c { 1.0 } else { 0.0 };
-                assert!(approx_eq(g[(r, c)].re, want, 1e-9), "gram({r},{c})={}", g[(r, c)]);
+                assert!(
+                    approx_eq(g[(r, c)].re, want, 1e-9),
+                    "gram({r},{c})={}",
+                    g[(r, c)]
+                );
                 assert!(approx_eq(g[(r, c)].im, 0.0, 1e-9));
             }
         }
@@ -246,7 +253,10 @@ mod tests {
                 assert!(approx_eq(back[(r, c)].re, a[(r, c)].re, 1e-9));
             }
         }
-        assert!(qr.r[(1, 1)].abs() < 1e-9, "rank deficiency must surface in R");
+        assert!(
+            qr.r[(1, 1)].abs() < 1e-9,
+            "rank deficiency must surface in R"
+        );
     }
 
     #[test]

@@ -80,7 +80,9 @@ impl ComplexGaussian {
     /// Panics on negative variance.
     pub fn with_variance(variance: f64) -> Self {
         assert!(variance >= 0.0, "variance must be non-negative");
-        ComplexGaussian { part_std: (variance / 2.0).sqrt() }
+        ComplexGaussian {
+            part_std: (variance / 2.0).sqrt(),
+        }
     }
 
     /// Unit-variance `CN(0, 1)` (Rayleigh channel taps).

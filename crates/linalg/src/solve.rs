@@ -59,11 +59,7 @@ pub fn lu_solve(a: &CMatrix, b: &CVector) -> Result<CVector, LinalgError> {
     // Scale-aware singularity threshold: pivots are compared against the
     // largest magnitude of the input times machine epsilon (with a floor
     // so the all-zero matrix is rejected too).
-    let max_abs = lu
-        .as_slice()
-        .iter()
-        .map(|z| z.abs())
-        .fold(0.0f64, f64::max);
+    let max_abs = lu.as_slice().iter().map(|z| z.abs()).fold(0.0f64, f64::max);
     let tol = (max_abs * 1e-13).max(1e-300);
 
     for k in 0..n {
@@ -122,7 +118,10 @@ pub fn lu_solve(a: &CMatrix, b: &CVector) -> Result<CVector, LinalgError> {
 /// `A` must be Hermitian (callers construct it as a Gram matrix, possibly
 /// plus `σ²I`); this is debug-asserted, not re-verified in release builds.
 pub fn hermitian_solve(a: &CMatrix, b: &CVector) -> Result<CVector, LinalgError> {
-    debug_assert!(is_hermitian(a, 1e-9), "hermitian_solve: matrix is not Hermitian");
+    debug_assert!(
+        is_hermitian(a, 1e-9),
+        "hermitian_solve: matrix is not Hermitian"
+    );
     lu_solve(a, b)
 }
 
@@ -226,8 +225,8 @@ pub fn is_hermitian(a: &CMatrix, tol: f64) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::rng::ComplexGaussian;
     use crate::approx_eq;
+    use crate::rng::ComplexGaussian;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -15,7 +15,9 @@ pub struct CVector {
 impl CVector {
     /// An all-zero vector of length `n`.
     pub fn zeros(n: usize) -> Self {
-        CVector { data: vec![Complex::ZERO; n] }
+        CVector {
+            data: vec![Complex::ZERO; n],
+        }
     }
 
     /// Wraps an existing buffer.
@@ -25,12 +27,16 @@ impl CVector {
 
     /// Builds from a closure over indices.
     pub fn from_fn(n: usize, mut f: impl FnMut(usize) -> Complex) -> Self {
-        CVector { data: (0..n).map(&mut f).collect() }
+        CVector {
+            data: (0..n).map(&mut f).collect(),
+        }
     }
 
     /// Builds a vector of purely real entries.
     pub fn from_reals(re: &[f64]) -> Self {
-        CVector { data: re.iter().map(|&r| Complex::real(r)).collect() }
+        CVector {
+            data: re.iter().map(|&r| Complex::real(r)).collect(),
+        }
     }
 
     /// Number of entries.
@@ -120,12 +126,16 @@ impl CVector {
 
     /// Entrywise scaling by a complex factor.
     pub fn scale(&self, k: Complex) -> CVector {
-        CVector { data: self.data.iter().map(|&z| z * k).collect() }
+        CVector {
+            data: self.data.iter().map(|&z| z * k).collect(),
+        }
     }
 
     /// Entrywise conjugate.
     pub fn conj(&self) -> CVector {
-        CVector { data: self.data.iter().map(|z| z.conj()).collect() }
+        CVector {
+            data: self.data.iter().map(|z| z.conj()).collect(),
+        }
     }
 
     /// `true` when every entry is finite.
@@ -186,7 +196,9 @@ impl Mul<Complex> for &CVector {
 
 impl FromIterator<Complex> for CVector {
     fn from_iter<T: IntoIterator<Item = Complex>>(iter: T) -> Self {
-        CVector { data: iter.into_iter().collect() }
+        CVector {
+            data: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -196,7 +208,10 @@ mod tests {
     use crate::approx_eq;
 
     fn v(entries: &[(f64, f64)]) -> CVector {
-        entries.iter().map(|&(re, im)| Complex::new(re, im)).collect()
+        entries
+            .iter()
+            .map(|&(re, im)| Complex::new(re, im))
+            .collect()
     }
 
     #[test]

@@ -37,15 +37,19 @@ impl CpuPool {
     /// A pool of `cores` cores under the given policy.
     pub fn new(cores: usize, policy: CpuPolicy) -> Self {
         assert!(cores > 0, "need at least one core");
-        CpuPool { cores, policy, busy_until_us: 0.0 }
+        CpuPool {
+            cores,
+            policy,
+            busy_until_us: 0.0,
+        }
     }
 
     /// Per-subcarrier decode time, µs.
     pub fn per_problem_us(&self, users: usize) -> f64 {
         match self.policy {
-            CpuPolicy::ZeroForcing { vectors_per_channel } => {
-                zf_time_us(users, users, vectors_per_channel)
-            }
+            CpuPolicy::ZeroForcing {
+                vectors_per_channel,
+            } => zf_time_us(users, users, vectors_per_channel),
             CpuPolicy::Sphere { expected_nodes } => sphere_time_us(expected_nodes),
         }
     }
@@ -76,7 +80,9 @@ mod tests {
 
     #[test]
     fn more_cores_cut_frame_time() {
-        let policy = CpuPolicy::ZeroForcing { vectors_per_channel: 1 };
+        let policy = CpuPolicy::ZeroForcing {
+            vectors_per_channel: 1,
+        };
         let one = CpuPool::new(1, policy).service_time_us(50, 48);
         let ten = CpuPool::new(10, policy).service_time_us(50, 48);
         assert!((one / ten - 10.0).abs() < 1e-9);
@@ -84,14 +90,24 @@ mod tests {
 
     #[test]
     fn sphere_policy_uses_node_model() {
-        let pool = CpuPool::new(1, CpuPolicy::Sphere { expected_nodes: 1_900 });
+        let pool = CpuPool::new(
+            1,
+            CpuPolicy::Sphere {
+                expected_nodes: 1_900,
+            },
+        );
         // Table 1's hard row: ≈ 190 µs per subcarrier.
         assert!((pool.per_problem_us(30) - 190.0).abs() < 1e-9);
     }
 
     #[test]
     fn fifo_backlog_accumulates() {
-        let mut pool = CpuPool::new(4, CpuPolicy::ZeroForcing { vectors_per_channel: 1 });
+        let mut pool = CpuPool::new(
+            4,
+            CpuPolicy::ZeroForcing {
+                vectors_per_channel: 1,
+            },
+        );
         let t1 = pool.enqueue(0.0, 8, 12);
         let t2 = pool.enqueue(0.0, 8, 12);
         assert!(t2 > t1);

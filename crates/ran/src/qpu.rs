@@ -40,7 +40,11 @@ impl QpuOverheads {
 
     /// The integrated future system: overheads engineered away.
     pub fn integrated() -> Self {
-        QpuOverheads { preprocessing_us: 0.0, programming_us: 0.0, readout_per_anneal_us: 0.0 }
+        QpuOverheads {
+            preprocessing_us: 0.0,
+            programming_us: 0.0,
+            readout_per_anneal_us: 0.0,
+        }
     }
 }
 
@@ -59,8 +63,16 @@ pub struct QpuServer {
 impl QpuServer {
     /// A server with the given schedule cost and anneal budget.
     pub fn new(overheads: QpuOverheads, cycle_us: f64, anneals: usize) -> Self {
-        assert!(cycle_us > 0.0 && anneals > 0, "need positive cycle and anneal count");
-        QpuServer { overheads, cycle_us, anneals, busy_until_us: 0.0 }
+        assert!(
+            cycle_us > 0.0 && anneals > 0,
+            "need positive cycle and anneal count"
+        );
+        QpuServer {
+            overheads,
+            cycle_us,
+            anneals,
+            busy_until_us: 0.0,
+        }
     }
 
     /// Service time for one frame: `problems` subcarrier decodes of
@@ -68,8 +80,8 @@ impl QpuServer {
     pub fn service_time_us(&self, problems: usize, logical_vars: usize) -> f64 {
         let pf = parallelization(logical_vars).max(1);
         let batches = problems.div_ceil(pf) as f64;
-        let per_batch = self.anneals as f64
-            * (self.cycle_us + self.overheads.readout_per_anneal_us);
+        let per_batch =
+            self.anneals as f64 * (self.cycle_us + self.overheads.readout_per_anneal_us);
         self.overheads.preprocessing_us + self.overheads.programming_us + batches * per_batch
     }
 
@@ -110,8 +122,8 @@ mod tests {
         // ≥ 47 ms of fixed overhead plus 6.25 ms readout per batch:
         // today's stack busts every wireless deadline (§7's point).
         assert!(t > 40_000.0, "t={t}");
-        let integrated = QpuServer::new(QpuOverheads::integrated(), 2.0, 50)
-            .service_time_us(50, 16);
+        let integrated =
+            QpuServer::new(QpuOverheads::integrated(), 2.0, 50).service_time_us(50, 16);
         assert!(t > 100.0 * integrated);
     }
 

@@ -75,7 +75,11 @@ impl Simulation {
     /// `server`.
     pub fn new(aps: Vec<AccessPoint>, fronthaul: FronthaulConfig, server: Server) -> Self {
         assert!(!aps.is_empty(), "need at least one access point");
-        Simulation { aps, fronthaul, server }
+        Simulation {
+            aps,
+            fronthaul,
+            server,
+        }
     }
 
     /// Runs for `horizon_us` of simulated time, generating each AP's
@@ -106,9 +110,7 @@ impl Simulation {
             let ap = &self.aps[idx];
             let at_dc = arrival + hop;
             let done_dc = match &mut self.server {
-                Server::Qpu(q) => {
-                    q.enqueue(at_dc, ap.problems_per_frame(), ap.logical_vars())
-                }
+                Server::Qpu(q) => q.enqueue(at_dc, ap.problems_per_frame(), ap.logical_vars()),
                 Server::Cpu(c) => c.enqueue(at_dc, ap.problems_per_frame(), ap.users),
             };
             let done_at_ap = done_dc + hop;
@@ -152,12 +154,19 @@ mod tests {
         let server = Server::Qpu(QpuServer::new(QpuOverheads::integrated(), 2.0, 3));
         let mut sim = Simulation::new(
             vec![wifi_ap(0, 1_000.0)],
-            FronthaulConfig { one_way_latency_us: 2.0 },
+            FronthaulConfig {
+                one_way_latency_us: 2.0,
+            },
             server,
         );
         let report = sim.run(20_000.0);
         assert_eq!(report.frames.len(), 20);
-        assert_eq!(report.deadline_rate(), 1.0, "max latency {}", report.max_latency_us());
+        assert_eq!(
+            report.deadline_rate(),
+            1.0,
+            "max latency {}",
+            report.max_latency_us()
+        );
     }
 
     #[test]
@@ -165,7 +174,10 @@ mod tests {
         // §7: "QuAMax cannot be deployed today".
         let server = Server::Qpu(QpuServer::new(QpuOverheads::current_dw2q(), 2.0, 3));
         let mut sim = Simulation::new(
-            vec![AccessPoint { deadline: Deadline::Wcdma, ..wifi_ap(0, 100_000.0) }],
+            vec![AccessPoint {
+                deadline: Deadline::Wcdma,
+                ..wifi_ap(0, 100_000.0)
+            }],
             FronthaulConfig::default(),
             server,
         );
@@ -178,11 +190,7 @@ mod tests {
     fn overloaded_server_builds_backlog() {
         // Frames every 10 µs against ~30 µs service: latency must grow.
         let server = Server::Qpu(QpuServer::new(QpuOverheads::integrated(), 2.0, 3));
-        let mut sim = Simulation::new(
-            vec![wifi_ap(0, 10.0)],
-            FronthaulConfig::default(),
-            server,
-        );
+        let mut sim = Simulation::new(vec![wifi_ap(0, 10.0)], FronthaulConfig::default(), server);
         let report = sim.run(2_000.0);
         let first = report.frames.first().unwrap().latency_us;
         let last = report.frames.last().unwrap().latency_us;
@@ -207,14 +215,24 @@ mod tests {
         let mut sim_lte = Simulation::new(
             vec![ap],
             FronthaulConfig::default(),
-            Server::Cpu(CpuPool::new(8, CpuPolicy::ZeroForcing { vectors_per_channel: 1 })),
+            Server::Cpu(CpuPool::new(
+                8,
+                CpuPolicy::ZeroForcing {
+                    vectors_per_channel: 1,
+                },
+            )),
         );
         assert_eq!(sim_lte.run(20_000.0).deadline_rate(), 1.0);
 
         let mut sim_wifi = Simulation::new(
             vec![wifi_variant],
             FronthaulConfig::default(),
-            Server::Cpu(CpuPool::new(8, CpuPolicy::ZeroForcing { vectors_per_channel: 1 })),
+            Server::Cpu(CpuPool::new(
+                8,
+                CpuPolicy::ZeroForcing {
+                    vectors_per_channel: 1,
+                },
+            )),
         );
         assert_eq!(sim_wifi.run(20_000.0).deadline_rate(), 0.0);
     }

@@ -66,7 +66,9 @@ pub struct FronthaulConfig {
 
 impl Default for FronthaulConfig {
     fn default() -> Self {
-        FronthaulConfig { one_way_latency_us: 5.0 }
+        FronthaulConfig {
+            one_way_latency_us: 5.0,
+        }
     }
 }
 

@@ -54,15 +54,21 @@ impl ConvolutionalCode {
     /// # Panics
     /// Panics on odd-length input or input shorter than the tail.
     pub fn decode(&self, coded: &[u8]) -> Vec<u8> {
-        assert!(coded.len().is_multiple_of(2), "rate-1/2 stream must have even length");
+        assert!(
+            coded.len().is_multiple_of(2),
+            "rate-1/2 stream must have even length"
+        );
         let steps = coded.len() / 2;
-        assert!(steps >= CONSTRAINT - 1, "input shorter than the trellis tail");
+        assert!(
+            steps >= CONSTRAINT - 1,
+            "input shorter than the trellis tail"
+        );
         const INF: u32 = u32::MAX / 2;
 
         // path_metric[s] = best Hamming distance into state s.
         let mut metric = vec![INF; STATES];
         metric[0] = 0; // encoder starts zeroed
-        // survivors[t][s] = predecessor-state bit decision (input bit).
+                       // survivors[t][s] = predecessor-state bit decision (input bit).
         let mut survivors: Vec<Vec<u8>> = Vec::with_capacity(steps);
         let mut prev_state: Vec<Vec<u8>> = Vec::with_capacity(steps);
 
@@ -258,11 +264,7 @@ mod tests {
         }
         assert!(channel_errors > 50, "test needs actual errors");
         let decoded = code.decode(&coded);
-        let residual = data
-            .iter()
-            .zip(&decoded)
-            .filter(|(a, b)| a != b)
-            .count();
+        let residual = data.iter().zip(&decoded).filter(|(a, b)| a != b).count();
         let coded_ber = residual as f64 / data.len() as f64;
         assert!(
             coded_ber < 0.002,
@@ -297,8 +299,7 @@ mod tests {
             *bit ^= 1;
         }
         let received = il.deinterleave(&channel);
-        let positions: Vec<usize> =
-            (0..200).filter(|&i| received[i] == 1).collect();
+        let positions: Vec<usize> = (0..200).filter(|&i| received[i] == 1).collect();
         assert_eq!(positions.len(), 8);
         for w in positions.windows(2) {
             assert!(w[1] - w[0] >= 25, "burst not spread: {positions:?}");

@@ -38,7 +38,9 @@ pub fn ls_estimate(y_pilots: &CMatrix, pilots: &CMatrix) -> CMatrix {
         "observation and pilot slot counts differ"
     );
     let np = pilots.cols() as f64;
-    y_pilots.mul_mat(&pilots.hermitian()).scale(Complex::real(1.0 / np))
+    y_pilots
+        .mul_mat(&pilots.hermitian())
+        .scale(Complex::real(1.0 / np))
 }
 
 /// Simulates the pilot phase: transmits `pilots` through `h` with AWGN

@@ -22,7 +22,11 @@ pub struct Frame {
 impl Frame {
     /// A frame of `bytes` random payload bytes.
     pub fn random<R: Rng + ?Sized>(bytes: usize, rng: &mut R) -> Self {
-        Frame { bits: (0..bytes * 8).map(|_| rng.random_range(0..=1) as u8).collect() }
+        Frame {
+            bits: (0..bytes * 8)
+                .map(|_| rng.random_range(0..=1) as u8)
+                .collect(),
+        }
     }
 
     /// Wraps explicit bits (each 0/1).
@@ -63,7 +67,10 @@ pub fn count_bit_errors(a: &[u8], b: &[u8]) -> usize {
 ///
 /// Numerically robust for tiny BER via `ln1p`/`exp_m1`.
 pub fn fer_from_ber(ber: f64, frame_bytes: usize) -> f64 {
-    assert!((0.0..=1.0).contains(&ber), "BER must be a probability, got {ber}");
+    assert!(
+        (0.0..=1.0).contains(&ber),
+        "BER must be a probability, got {ber}"
+    );
     let n = (frame_bytes * 8) as f64;
     // 1 − (1−p)^n = −expm1(n·ln1p(−p))
     -f64::exp_m1(n * f64::ln_1p(-ber))

@@ -78,7 +78,11 @@ pub fn gray_bits_to_quamax(bits: &[u8]) -> Vec<u8> {
 /// # Panics
 /// Panics unless `bits.len() == 4` (this literal form is 16-QAM only).
 pub fn quamax_to_gray_via_intermediate(bits: &[u8]) -> Vec<u8> {
-    assert_eq!(bits.len(), 4, "intermediate-code route is specified for 16-QAM");
+    assert_eq!(
+        bits.len(),
+        4,
+        "intermediate-code route is specified for 16-QAM"
+    );
     // Step 1: intermediate code (Fig. 2(a) → 2(b)).
     let mut b = bits.to_vec();
     if b[1] == 1 {
@@ -103,7 +107,10 @@ fn per_dimension(bits: &[u8], f: impl Fn(&[u8]) -> Vec<u8>) -> Vec<u8> {
     if bits.len() <= 1 {
         return bits.to_vec();
     }
-    assert!(bits.len().is_multiple_of(2), "complex modulations carry an even bit count");
+    assert!(
+        bits.len().is_multiple_of(2),
+        "complex modulations carry an even bit count"
+    );
     let half = bits.len() / 2;
     let mut out = f(&bits[..half]);
     out.extend(f(&bits[half..]));
@@ -117,10 +124,7 @@ pub fn bits_to_index(bits: &[u8]) -> u32 {
 
 /// Unpacks an index into `width` bits, MSB first.
 pub fn index_to_bits(k: u32, width: usize) -> Vec<u8> {
-    (0..width)
-        .rev()
-        .map(|i| ((k >> i) & 1) as u8)
-        .collect()
+    (0..width).rev().map(|i| ((k >> i) & 1) as u8).collect()
 }
 
 #[cfg(test)]
@@ -199,7 +203,14 @@ mod tests {
     #[test]
     fn bpsk_and_qpsk_translation_is_identity() {
         // One bit per dimension: the paper keeps BPSK/QPSK untranslated.
-        for bits in [vec![0u8], vec![1], vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]] {
+        for bits in [
+            vec![0u8],
+            vec![1],
+            vec![0, 0],
+            vec![0, 1],
+            vec![1, 0],
+            vec![1, 1],
+        ] {
             assert_eq!(quamax_bits_to_gray(&bits), bits);
         }
     }

@@ -29,8 +29,12 @@ pub enum Modulation {
 
 impl Modulation {
     /// All schemes, in increasing spectral efficiency.
-    pub const ALL: [Modulation; 4] =
-        [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64];
+    pub const ALL: [Modulation; 4] = [
+        Modulation::Bpsk,
+        Modulation::Qpsk,
+        Modulation::Qam16,
+        Modulation::Qam64,
+    ];
 
     /// Bits per symbol (`Q = log₂|O|`).
     pub fn bits_per_symbol(self) -> usize {
@@ -160,7 +164,11 @@ impl Modulation {
     /// symbol vector `v̄ ∈ O^{Nt}` with Gray mapping.
     pub fn map_gray_vector(self, bits: &[u8]) -> CVector {
         let q = self.bits_per_symbol();
-        assert_eq!(bits.len() % q, 0, "bit vector length must be a multiple of {q}");
+        assert_eq!(
+            bits.len() % q,
+            0,
+            "bit vector length must be a multiple of {q}"
+        );
         bits.chunks(q).map(|chunk| self.map_gray(chunk)).collect()
     }
 
@@ -168,7 +176,11 @@ impl Modulation {
     /// transform (the `e = [T(q₁),…,T(q_Nt)]ᵀ` of Eq. 5).
     pub fn map_quamax_vector(self, bits: &[u8]) -> CVector {
         let q = self.bits_per_symbol();
-        assert_eq!(bits.len() % q, 0, "bit vector length must be a multiple of {q}");
+        assert_eq!(
+            bits.len() % q,
+            0,
+            "bit vector length must be a multiple of {q}"
+        );
         bits.chunks(q).map(|chunk| self.map_quamax(chunk)).collect()
     }
 }
@@ -196,8 +208,7 @@ mod tests {
         // Cross-check against the constellation average.
         for m in Modulation::ALL {
             let pts = m.constellation();
-            let avg: f64 =
-                pts.iter().map(|(_, s)| s.norm_sqr()).sum::<f64>() / pts.len() as f64;
+            let avg: f64 = pts.iter().map(|(_, s)| s.norm_sqr()).sum::<f64>() / pts.len() as f64;
             assert!((avg - m.mean_symbol_energy()).abs() < 1e-12, "{}", m.name());
         }
     }
@@ -214,14 +225,26 @@ mod tests {
     #[test]
     fn qpsk_maps() {
         // T(q) = (2q₁−1) + j(2q₂−1).
-        assert_eq!(Modulation::Qpsk.map_quamax(&[0, 0]), Complex::new(-1.0, -1.0));
-        assert_eq!(Modulation::Qpsk.map_quamax(&[1, 0]), Complex::new(1.0, -1.0));
-        assert_eq!(Modulation::Qpsk.map_quamax(&[0, 1]), Complex::new(-1.0, 1.0));
+        assert_eq!(
+            Modulation::Qpsk.map_quamax(&[0, 0]),
+            Complex::new(-1.0, -1.0)
+        );
+        assert_eq!(
+            Modulation::Qpsk.map_quamax(&[1, 0]),
+            Complex::new(1.0, -1.0)
+        );
+        assert_eq!(
+            Modulation::Qpsk.map_quamax(&[0, 1]),
+            Complex::new(-1.0, 1.0)
+        );
         assert_eq!(Modulation::Qpsk.map_quamax(&[1, 1]), Complex::new(1.0, 1.0));
         // One bit per dimension: Gray = QuAMax for QPSK.
         for k in 0..4u32 {
             let bits = crate::gray::index_to_bits(k, 2);
-            assert_eq!(Modulation::Qpsk.map_gray(&bits), Modulation::Qpsk.map_quamax(&bits));
+            assert_eq!(
+                Modulation::Qpsk.map_gray(&bits),
+                Modulation::Qpsk.map_quamax(&bits)
+            );
         }
     }
 
@@ -340,7 +363,10 @@ mod tests {
     fn demap_clamps_out_of_range() {
         let m = Modulation::Qam16;
         // Far outside the constellation: clamp to the corner.
-        assert_eq!(m.demap_gray(Complex::new(99.0, -99.0)), m.demap_gray(Complex::new(3.0, -3.0)));
+        assert_eq!(
+            m.demap_gray(Complex::new(99.0, -99.0)),
+            m.demap_gray(Complex::new(3.0, -3.0))
+        );
     }
 
     #[test]

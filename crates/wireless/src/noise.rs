@@ -43,8 +43,7 @@ mod tests {
     fn noise_is_zero_mean() {
         let mut rng = StdRng::seed_from_u64(7);
         let n = awgn_vector(100_000, 1.0, &mut rng);
-        let mean = n.as_slice().iter().copied().sum::<quamax_linalg::Complex>()
-            / 100_000.0;
+        let mean = n.as_slice().iter().copied().sum::<quamax_linalg::Complex>() / 100_000.0;
         assert!(mean.abs() < 0.02, "mean={mean}");
     }
 }

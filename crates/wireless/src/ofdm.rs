@@ -55,14 +55,24 @@ impl OfdmFrame {
         assert!(n_subcarriers > 0, "need at least one subcarrier");
         let mut subcarriers = Vec::with_capacity(n_subcarriers);
         let mut h = rayleigh_channel(nr, nt, rng);
-        subcarriers.push(Subcarrier { index: 0, h: h.clone() });
+        subcarriers.push(Subcarrier {
+            index: 0,
+            h: h.clone(),
+        });
         let innov = (1.0 - coherence * coherence).sqrt();
         for k in 1..n_subcarriers {
             let w = rayleigh_channel(nr, nt, rng);
             h = &h.scale(Complex::real(coherence)) + &w.scale(Complex::real(innov));
-            subcarriers.push(Subcarrier { index: k, h: h.clone() });
+            subcarriers.push(Subcarrier {
+                index: k,
+                h: h.clone(),
+            });
         }
-        OfdmFrame { subcarriers, nt, nr }
+        OfdmFrame {
+            subcarriers,
+            nt,
+            nr,
+        }
     }
 
     /// Number of users (transmit antennas).

@@ -161,7 +161,13 @@ impl TraceGenerator {
             user_amp.push(10f64.powf(gain_db / 20.0));
         }
 
-        TraceGenerator { config, steer, user_amp, path_gain, next_index: 0 }
+        TraceGenerator {
+            config,
+            steer,
+            user_amp,
+            path_gain,
+            next_index: 0,
+        }
     }
 
     /// The configuration this trace was generated with.
@@ -198,7 +204,11 @@ impl TraceGenerator {
             }
         }
         let snr_db = rng.random_range(self.config.snr_range_db.0..=self.config.snr_range_db.1);
-        let use_ = TraceUse { h_full, snr_db, index: self.next_index };
+        let use_ = TraceUse {
+            h_full,
+            snr_db,
+            index: self.next_index,
+        };
         self.next_index += 1;
         use_
     }
@@ -211,7 +221,11 @@ mod tests {
     use rand::SeedableRng;
 
     fn small_config() -> TraceConfig {
-        TraceConfig { bs_antennas: 24, users: 4, ..TraceConfig::default() }
+        TraceConfig {
+            bs_antennas: 24,
+            users: 4,
+            ..TraceConfig::default()
+        }
     }
 
     #[test]
@@ -238,7 +252,10 @@ mod tests {
     #[test]
     fn marginal_tap_power_is_near_unit_without_gain_spread() {
         let mut rng = StdRng::seed_from_u64(2);
-        let cfg = TraceConfig { gain_spread_db: 0.0, ..TraceConfig::default() };
+        let cfg = TraceConfig {
+            gain_spread_db: 0.0,
+            ..TraceConfig::default()
+        };
         let mut g = TraceGenerator::new(cfg, &mut rng);
         // Average over many uses: per-tap power ≈ 1 (path gains CN(0,1/P),
         // unit-modulus steering entries).
@@ -313,9 +330,7 @@ mod tests {
         assert_eq!(sub.cols(), 4);
         // Every subsampled row must exist among the original rows.
         for r in 0..8 {
-            let found = (0..24).any(|orig| {
-                (0..4).all(|c| sub[(r, c)] == u.h_full[(orig, c)])
-            });
+            let found = (0..24).any(|orig| (0..4).all(|c| sub[(r, c)] == u.h_full[(orig, c)]));
             assert!(found, "row {r} not found in original");
         }
     }
@@ -342,11 +357,14 @@ mod tests {
             }
             tr
         };
-        let cfg = TraceConfig { gain_spread_db: 0.0, ..TraceConfig::default() };
+        let cfg = TraceConfig {
+            gain_spread_db: 0.0,
+            ..TraceConfig::default()
+        };
         let mut g = TraceGenerator::new(cfg, &mut rng);
         let mut corr_vals = Vec::new();
         let mut iid_vals = Vec::new();
-        for _ in 0..31 {
+        for _ in 0..101 {
             let u = g.next_use(&mut rng);
             let sub = u.subsample(8, &mut rng);
             corr_vals.push(trace_inv_gram(&sub));
@@ -368,7 +386,10 @@ mod tests {
     #[should_panic(expected = "temporal_alpha")]
     fn invalid_alpha_panics() {
         let mut rng = StdRng::seed_from_u64(7);
-        let cfg = TraceConfig { temporal_alpha: 1.5, ..TraceConfig::default() };
+        let cfg = TraceConfig {
+            temporal_alpha: 1.5,
+            ..TraceConfig::default()
+        };
         let _ = TraceGenerator::new(cfg, &mut rng);
     }
 

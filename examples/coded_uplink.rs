@@ -44,9 +44,10 @@ fn main() {
     let mut raw_errors = 0usize;
     for chunk in tx_stream.chunks(per_use) {
         let h = rayleigh_channel(users, users, &mut rng);
-        let inst =
-            Instance::transmit(h, chunk.to_vec(), modulation, Some(snr), &mut rng);
-        let run = decoder.decode(&inst.detection_input(), anneals, &mut rng).unwrap();
+        let inst = Instance::transmit(h, chunk.to_vec(), modulation, Some(snr), &mut rng);
+        let run = decoder
+            .decode(&inst.detection_input(), anneals, &mut rng)
+            .unwrap();
         let bits = run.best_bits();
         raw_errors += count_bit_errors(&bits, chunk);
         rx_stream.extend(bits);

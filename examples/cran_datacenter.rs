@@ -9,8 +9,8 @@
 //! Run: `cargo run --release --example cran_datacenter`
 
 use quamax::ran::{
-    AccessPoint, CpuPolicy, CpuPool, Deadline, FronthaulConfig, QpuOverheads, QpuServer,
-    Server, Simulation,
+    AccessPoint, CpuPolicy, CpuPool, Deadline, FronthaulConfig, QpuOverheads, QpuServer, Server,
+    Simulation,
 };
 use quamax::wireless::Modulation;
 
@@ -43,7 +43,9 @@ fn main() {
             deadline: Deadline::Wcdma,
         },
     ];
-    let fronthaul = FronthaulConfig { one_way_latency_us: 5.0 };
+    let fronthaul = FronthaulConfig {
+        one_way_latency_us: 5.0,
+    };
     let horizon_us = 100_000.0;
 
     // Anneal budget per subcarrier problem: 3 anneals of 2 µs cycles
@@ -59,11 +61,21 @@ fn main() {
         ),
         (
             "CPU pool, 16 cores, zero-forcing",
-            Server::Cpu(CpuPool::new(16, CpuPolicy::ZeroForcing { vectors_per_channel: 1 })),
+            Server::Cpu(CpuPool::new(
+                16,
+                CpuPolicy::ZeroForcing {
+                    vectors_per_channel: 1,
+                },
+            )),
         ),
         (
             "CPU pool, 16 cores, sphere (1,900 nodes)",
-            Server::Cpu(CpuPool::new(16, CpuPolicy::Sphere { expected_nodes: 1_900 })),
+            Server::Cpu(CpuPool::new(
+                16,
+                CpuPolicy::Sphere {
+                    expected_nodes: 1_900,
+                },
+            )),
         ),
     ];
 

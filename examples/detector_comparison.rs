@@ -24,7 +24,10 @@ fn main() {
     let sphere = SphereDecoder::new(modulation);
     let zf = ZeroForcingDetector::new(modulation);
 
-    println!("{users}x{users} {} over Rayleigh fading, {trials} channel uses:\n", modulation.name());
+    println!(
+        "{users}x{users} {} over Rayleigh fading, {trials} channel uses:\n",
+        modulation.name()
+    );
     println!(
         "{:>6} {:>12} {:>12} {:>12} {:>12}",
         "SNR", "ZF", "MMSE", "Sphere(ML)", "QuAMax"
@@ -37,7 +40,9 @@ fn main() {
         let mut bits = 0usize;
         let mut sphere_nodes = 0u64;
         for _ in 0..trials {
-            let sc = Scenario::new(users, users, modulation).with_rayleigh().with_snr(snr);
+            let sc = Scenario::new(users, users, modulation)
+                .with_rayleigh()
+                .with_snr(snr);
             let inst = sc.sample(&mut rng);
             let tx = inst.tx_bits();
             bits += tx.len();
@@ -54,7 +59,9 @@ fn main() {
             let s = sphere.decode(inst.h(), inst.y()).expect("non-degenerate");
             sphere_nodes += s.visited_nodes;
             errs[2] += count_bit_errors(&s.bits, tx);
-            let run = quamax.decode(&inst.detection_input(), anneals, &mut rng).unwrap();
+            let run = quamax
+                .decode(&inst.detection_input(), anneals, &mut rng)
+                .unwrap();
             errs[3] += count_bit_errors(&run.best_bits(), tx);
         }
         let ber = |e: usize| e as f64 / bits as f64;

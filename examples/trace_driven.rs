@@ -40,7 +40,9 @@ fn main() {
                 Some(Snr::from_db(use_.snr_db)),
                 &mut rng,
             );
-            let run = decoder.decode(&inst.detection_input(), anneals, &mut rng).unwrap();
+            let run = decoder
+                .decode(&inst.detection_input(), anneals, &mut rng)
+                .unwrap();
             errors += count_bit_errors(&run.best_bits(), inst.tx_bits());
             bits += inst.tx_bits().len();
             let stats = RunStatistics::from_run(&run, inst.tx_bits(), None);
@@ -51,7 +53,11 @@ fn main() {
             "{:<5} 8x8 trace ({uses} uses): BER {:.2e} | median TTB(1e-6) {}",
             modulation.name(),
             errors as f64 / bits as f64,
-            if med.is_finite() { format!("{med:.1} µs") } else { "∞".into() },
+            if med.is_finite() {
+                format!("{med:.1} µs")
+            } else {
+                "∞".into()
+            },
         );
     }
     println!("\n(the paper reports ≈2 µs BPSK amortized / 2–10 µs QPSK on the measured trace)");

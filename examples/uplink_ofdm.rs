@@ -55,7 +55,10 @@ fn main() {
         "\nOFDM symbol: {subcarriers} subcarriers x {users} users x {} bits = {total_bits} bits",
         modulation.bits_per_symbol()
     );
-    println!("bit errors: {total_errors} (BER {:.2e})", total_errors as f64 / total_bits as f64);
+    println!(
+        "bit errors: {total_errors} (BER {:.2e})",
+        total_errors as f64 / total_bits as f64
+    );
     println!(
         "anneal time: {total_anneal_us:.0} µs sequential, {:.0} µs with {parallel_factor} problems tiled per chip",
         total_anneal_us / parallel_factor as f64

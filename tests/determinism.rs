@@ -23,9 +23,14 @@ fn decode_is_deterministic_across_thread_counts() {
     let run_with_threads = |threads: usize| {
         let mut rng = Rng::seed_from_u64(21);
         let inst = Scenario::new(8, 8, Modulation::Qpsk).sample(&mut rng);
-        let annealer = Annealer::new(AnnealerConfig { threads, ..Default::default() });
+        let annealer = Annealer::new(AnnealerConfig {
+            threads,
+            ..Default::default()
+        });
         let decoder = QuamaxDecoder::new(annealer, DecoderConfig::default());
-        let run = decoder.decode(&inst.detection_input(), 64, &mut rng).unwrap();
+        let run = decoder
+            .decode(&inst.detection_input(), 64, &mut rng)
+            .unwrap();
         (run.best_bits(), run.distribution().num_distinct())
     };
     assert_eq!(run_with_threads(1), run_with_threads(4));

@@ -34,7 +34,14 @@ fn noiseless_decodes_are_exact_for_all_modulations() {
         let run = quiet_decoder(10.0)
             .decode(&inst.detection_input(), na, &mut rng)
             .unwrap();
-        assert_eq!(run.best_bits(), inst.tx_bits(), "{} {}x{}", m.name(), nt, nt);
+        assert_eq!(
+            run.best_bits(),
+            inst.tx_bits(),
+            "{} {}x{}",
+            m.name(),
+            nt,
+            nt
+        );
     }
 }
 
@@ -45,7 +52,9 @@ fn quamax_agrees_with_sphere_decoder_under_noise() {
     // transmitted bits.
     let mut rng = Rng::seed_from_u64(2);
     let m = Modulation::Qpsk;
-    let sc = Scenario::new(10, 10, m).with_rayleigh().with_snr(Snr::from_db(14.0));
+    let sc = Scenario::new(10, 10, m)
+        .with_rayleigh()
+        .with_snr(Snr::from_db(14.0));
     let sphere = SphereDecoder::new(m);
     let decoder = quiet_decoder(10.0);
     let mut agreements = 0;
@@ -53,12 +62,17 @@ fn quamax_agrees_with_sphere_decoder_under_noise() {
     for _ in 0..trials {
         let inst = sc.sample(&mut rng);
         let ml = sphere.decode(inst.h(), inst.y()).unwrap();
-        let run = decoder.decode(&inst.detection_input(), 400, &mut rng).unwrap();
+        let run = decoder
+            .decode(&inst.detection_input(), 400, &mut rng)
+            .unwrap();
         if run.best_bits() == ml.bits {
             agreements += 1;
         }
     }
-    assert!(agreements >= 8, "only {agreements}/{trials} runs matched exact ML");
+    assert!(
+        agreements >= 8,
+        "only {agreements}/{trials} runs matched exact ML"
+    );
 }
 
 #[test]
@@ -75,7 +89,9 @@ fn decoded_energy_never_beats_ml() {
     for _ in 0..5 {
         let inst = sc.sample(&mut rng);
         let ml = exhaustive_ml(inst.h(), inst.y(), m);
-        let run = decoder.decode(&inst.detection_input(), 200, &mut rng).unwrap();
+        let run = decoder
+            .decode(&inst.detection_input(), 200, &mut rng)
+            .unwrap();
         // Compare through the ML-metric identity: E_ising + offset = ‖y−He‖².
         let best = run.distribution().best_energy().unwrap() + run.ml_offset();
         assert!(
@@ -88,7 +104,10 @@ fn decoded_energy_never_beats_ml() {
 
 #[test]
 fn higher_snr_means_fewer_bit_errors() {
-    let mut rng = Rng::seed_from_u64(4);
+    // Seed chosen to give the 0 dB leg a healthy error margin (~14/240
+    // bit errors); nearby seeds produce as few as 0, which would
+    // vacuously pass the comparison below.
+    let mut rng = Rng::seed_from_u64(7);
     let m = Modulation::Qpsk;
     let decoder = QuamaxDecoder::new(
         Annealer::dw2q(AnnealerConfig::default()),
@@ -96,11 +115,15 @@ fn higher_snr_means_fewer_bit_errors() {
     );
     let mut errors_at = Vec::new();
     for snr_db in [0.0, 25.0] {
-        let sc = Scenario::new(8, 8, m).with_rayleigh().with_snr(Snr::from_db(snr_db));
+        let sc = Scenario::new(8, 8, m)
+            .with_rayleigh()
+            .with_snr(Snr::from_db(snr_db));
         let mut errors = 0;
         for _ in 0..15 {
             let inst = sc.sample(&mut rng);
-            let run = decoder.decode(&inst.detection_input(), 150, &mut rng).unwrap();
+            let run = decoder
+                .decode(&inst.detection_input(), 150, &mut rng)
+                .unwrap();
             errors += count_bit_errors(&run.best_bits(), inst.tx_bits());
         }
         errors_at.push(errors);
@@ -122,7 +145,9 @@ fn full_chip_sizes_decode() {
         Annealer::dw2q(AnnealerConfig::default()),
         DecoderConfig::default(),
     );
-    let run = decoder.decode(&inst.detection_input(), 150, &mut rng).unwrap();
+    let run = decoder
+        .decode(&inst.detection_input(), 150, &mut rng)
+        .unwrap();
     let errors = count_bit_errors(&run.best_bits(), inst.tx_bits());
     // Headline regime: near-error-free at 20 dB.
     assert!(errors <= 2, "60x60 BPSK at 20 dB had {errors} errors");

@@ -19,7 +19,11 @@ fn oversized_problems_report_does_not_fit() {
         DecoderConfig::default(),
     );
     match decoder.decode(&inst.detection_input(), 1, &mut rng) {
-        Err(DecodeError::Embedding(EmbeddingError::DoesNotFit { n, needed, available })) => {
+        Err(DecodeError::Embedding(EmbeddingError::DoesNotFit {
+            n,
+            needed,
+            available,
+        })) => {
             assert_eq!(n, 80);
             assert_eq!(needed, 20);
             assert_eq!(available, 16);
@@ -49,18 +53,18 @@ fn singular_channel_fails_zf_but_not_quamax() {
     let h = CMatrix::from_fn(4, 2, |r, _| col[(r, 0)]);
     assert_eq!(pseudo_inverse(&h), Err(LinalgError::Singular));
 
-    let inst = quamax_core::scenario::Instance::transmit(
-        h,
-        vec![1, 0],
-        Modulation::Bpsk,
-        None,
-        &mut rng,
-    );
+    let inst =
+        quamax_core::scenario::Instance::transmit(h, vec![1, 0], Modulation::Bpsk, None, &mut rng);
     let decoder = QuamaxDecoder::new(
-        Annealer::new(AnnealerConfig { ice: IceModel::none(), ..Default::default() }),
+        Annealer::new(AnnealerConfig {
+            ice: IceModel::none(),
+            ..Default::default()
+        }),
         DecoderConfig::default(),
     );
-    let run = decoder.decode(&inst.detection_input(), 100, &mut rng).unwrap();
+    let run = decoder
+        .decode(&inst.detection_input(), 100, &mut rng)
+        .unwrap();
     // Degenerate ML: both [1,0] and [0,1] give the same received
     // signal; accept either, reject anything else.
     let bits = run.best_bits();
@@ -76,7 +80,9 @@ fn extreme_ice_degrades_but_does_not_crash() {
         ..Default::default()
     });
     let decoder = QuamaxDecoder::new(annealer, DecoderConfig::default());
-    let run = decoder.decode(&inst.detection_input(), 50, &mut rng).unwrap();
+    let run = decoder
+        .decode(&inst.detection_input(), 50, &mut rng)
+        .unwrap();
     // Output is structurally valid even when informationally useless.
     assert_eq!(run.best_bits().len(), 12);
     let errors = count_bit_errors(&run.best_bits(), inst.tx_bits());
@@ -113,6 +119,8 @@ fn zero_snr_still_produces_valid_structures() {
         Annealer::dw2q(AnnealerConfig::default()),
         DecoderConfig::default(),
     );
-    let run = decoder.decode(&inst.detection_input(), 50, &mut rng).unwrap();
+    let run = decoder
+        .decode(&inst.detection_input(), 50, &mut rng)
+        .unwrap();
     assert_eq!(run.best_bits().len(), 8);
 }

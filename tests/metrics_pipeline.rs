@@ -14,7 +14,9 @@ fn run_stats(seed: u64, na: usize) -> RunStatistics {
         Annealer::dw2q(AnnealerConfig::default()),
         DecoderConfig::default(),
     );
-    let run = decoder.decode(&inst.detection_input(), na, &mut rng).unwrap();
+    let run = decoder
+        .decode(&inst.detection_input(), na, &mut rng)
+        .unwrap();
     RunStatistics::from_run(&run, inst.tx_bits(), None)
 }
 
@@ -68,7 +70,9 @@ fn more_anneals_never_hurt_the_expected_ber_noiseless() {
         ..Default::default()
     });
     let decoder = QuamaxDecoder::new(annealer, DecoderConfig::default());
-    let run = decoder.decode(&inst.detection_input(), 400, &mut rng).unwrap();
+    let run = decoder
+        .decode(&inst.detection_input(), 400, &mut rng)
+        .unwrap();
     let stats = RunStatistics::from_run(&run, inst.tx_bits(), None);
     let mut prev = f64::INFINITY;
     for na in [1usize, 2, 4, 16, 64, 256] {

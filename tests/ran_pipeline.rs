@@ -21,7 +21,9 @@ fn measured_anneal_budget_feeds_the_deadline_model() {
         Annealer::dw2q(AnnealerConfig::default()),
         DecoderConfig::default(),
     );
-    let run = decoder.decode(&inst.detection_input(), 400, &mut rng).unwrap();
+    let run = decoder
+        .decode(&inst.detection_input(), 400, &mut rng)
+        .unwrap();
     let stats = RunStatistics::from_run(&run, inst.tx_bits(), None);
     let na = stats
         .profile
@@ -42,7 +44,9 @@ fn measured_anneal_budget_feeds_the_deadline_model() {
     let cycle = run.anneal_cycle_us();
     let mut integrated = Simulation::new(
         vec![ap.clone()],
-        FronthaulConfig { one_way_latency_us: 2.0 },
+        FronthaulConfig {
+            one_way_latency_us: 2.0,
+        },
         Server::Qpu(QpuServer::new(QpuOverheads::integrated(), cycle, na)),
     );
     let report = integrated.run(30_000.0);
@@ -57,7 +61,10 @@ fn measured_anneal_budget_feeds_the_deadline_model() {
 
     // Step 3: same budget, today's overheads: nothing meets anything.
     let mut today = Simulation::new(
-        vec![AccessPoint { deadline: Deadline::Wcdma, ..ap }],
+        vec![AccessPoint {
+            deadline: Deadline::Wcdma,
+            ..ap
+        }],
         FronthaulConfig::default(),
         Server::Qpu(QpuServer::new(QpuOverheads::current_dw2q(), cycle, na)),
     );

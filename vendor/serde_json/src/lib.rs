@@ -1,0 +1,246 @@
+//! Offline vendored subset of the `serde_json` API.
+//!
+//! The experiment harness emits result files through three entry
+//! points — [`Value`], the [`json!`] macro, and [`to_string_pretty`] —
+//! so only those are implemented, without the serde trait machinery.
+//! Numbers are stored as `f64` (every quantity the harness writes fits
+//! exactly or is a measured float); non-finite floats serialize as
+//! `null`, matching the harness's `nullable()` convention.
+
+/// A JSON document tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An object; key order is preserved as written.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(x) => write_number(out, *x),
+            Value::String(s) => write_escaped(out, s),
+            Value::Array(items) => write_seq(out, indent, '[', ']', items.len(), |out, i| {
+                items[i].write(out, indent + 1)
+            }),
+            Value::Object(fields) => write_seq(out, indent, '{', '}', fields.len(), |out, i| {
+                write_escaped(out, &fields[i].0);
+                out.push_str(": ");
+                fields[i].1.write(out, indent + 1);
+            }),
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    if len == 0 {
+        out.push(open);
+        out.push(close);
+        return;
+    }
+    out.push(open);
+    for i in 0..len {
+        out.push('\n');
+        for _ in 0..=indent {
+            out.push_str("  ");
+        }
+        item(out, i);
+        if i + 1 < len {
+            out.push(',');
+        }
+    }
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+    out.push(close);
+}
+
+fn write_number(out: &mut String, x: f64) {
+    use std::fmt::Write as _;
+    if !x.is_finite() {
+        out.push_str("null");
+    } else if x == x.trunc() && x.abs() < 9e15 {
+        let _ = write!(out, "{}", x as i64);
+    } else {
+        let _ = write!(out, "{x}");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    use std::fmt::Write as _;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Serializes with two-space indentation (the layout downstream
+/// plotting scripts read).
+pub fn to_string_pretty(value: &Value) -> Result<String, std::convert::Infallible> {
+    let mut out = String::new();
+    value.write(&mut out, 0);
+    Ok(out)
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::String(s)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(s: &String) -> Self {
+        Value::String(s.clone())
+    }
+}
+
+macro_rules! from_number {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(x: $t) -> Self {
+                Value::Number(x as f64)
+            }
+        }
+    )*};
+}
+from_number!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! from_number_ref {
+    ($($t:ty),*) => {$(
+        impl From<&$t> for Value {
+            fn from(x: &$t) -> Self {
+                Value::Number(*x as f64)
+            }
+        }
+    )*};
+}
+from_number_ref!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(items: Vec<T>) -> Self {
+        Value::Array(items.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(items: &[T]) -> Self {
+        Value::Array(items.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(opt: Option<T>) -> Self {
+        opt.map_or(Value::Null, Into::into)
+    }
+}
+
+impl<A: Into<Value>, B: Into<Value>> From<(A, B)> for Value {
+    fn from((a, b): (A, B)) -> Self {
+        Value::Array(vec![a.into(), b.into()])
+    }
+}
+
+/// Builds a [`Value`] from a JSON-object literal or any
+/// `Into<Value>` expression.
+#[macro_export]
+macro_rules! json {
+    ({}) => { $crate::Value::Object(Vec::new()) };
+    ({ $($key:literal : $val:expr),+ $(,)? }) => {
+        $crate::Value::Object(vec![
+            $(($key.to_string(), $crate::Value::from($val))),+
+        ])
+    };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_layout_and_escaping() {
+        let v = json!({
+            "name": "fig\"5\"",
+            "count": 3usize,
+            "ratio": 2.5,
+            "missing": Value::Null,
+            "flag": true,
+        });
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"name\": \"fig\\\"5\\\"\""));
+        assert!(s.contains("\"count\": 3"));
+        assert!(s.contains("\"ratio\": 2.5"));
+        assert!(s.contains("\"missing\": null"));
+        assert!(s.contains("\"flag\": true"));
+    }
+
+    #[test]
+    fn arrays_options_and_tuples() {
+        let v = json!({
+            "xs": vec![1.0, 2.0],
+            "pause": Some((0.35f64, 1.0f64)),
+            "none": Option::<f64>::None,
+        });
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"none\": null"));
+        assert!(s.contains("0.35"));
+    }
+
+    #[test]
+    fn non_finite_serializes_as_null() {
+        assert_eq!(to_string_pretty(&json!(f64::INFINITY)).unwrap(), "null");
+    }
+
+    #[test]
+    fn empty_object() {
+        assert_eq!(to_string_pretty(&json!({})).unwrap(), "{}");
+    }
+
+    #[test]
+    fn integers_have_no_decimal_point() {
+        assert_eq!(to_string_pretty(&json!(20.0f64)).unwrap(), "20");
+        assert_eq!(to_string_pretty(&json!(7usize)).unwrap(), "7");
+    }
+}
