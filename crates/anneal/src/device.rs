@@ -244,6 +244,19 @@ impl Annealer {
         }
 
         let config = self.config;
+        if threads == 1 {
+            // Batch front-ends (e.g. a decode session sharding a
+            // coherence interval across cores) run many single-threaded
+            // anneal batches concurrently; skipping the scoped spawn
+            // keeps each of those batches free of thread overhead.
+            // Identical output by the determinism contract.
+            let mut worker = Worker::new();
+            for (k, slot) in samples.iter_mut().enumerate() {
+                let mut rng = StdRng::seed_from_u64(splitmix(seed, k as u64));
+                *slot = worker.anneal(problem, chains, init, &betas, &fractions, &config, &mut rng);
+            }
+            return samples;
+        }
         let chunk = num_anneals.div_ceil(threads);
         std::thread::scope(|scope| {
             for (t, out_chunk) in samples.chunks_mut(chunk).enumerate() {

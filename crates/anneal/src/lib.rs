@@ -83,6 +83,18 @@
 //!    (fields recomputed from the refrozen coefficients), so reuse
 //!    never leaks one anneal's state into the next.
 //!
+//! * **Compile-once batch entry** — [`Annealer::run_compiled`] accepts
+//!   a caller-held `CompiledProblem`/`CompiledChains` pair, and the
+//!   CSR view supports in-place coefficient refresh
+//!   (`CompiledProblem::set_linear_term` / `set_entry_weight`), so a
+//!   front-end that holds the problem *structure* fixed — the decode
+//!   session pattern, where only the received-vector-dependent fields
+//!   move between batches — re-targets the frozen view per batch
+//!   instead of re-freezing. With `threads: 1` the batch runs inline
+//!   on the caller thread (no scoped spawn), which is what a sharded
+//!   multi-session front-end wants: parallelism at the batch
+//!   dimension, not nested inside each anneal batch.
+//!
 //! The naive adjacency-list kernels (`sa::sweep`,
 //! `IsingProblem::flip_delta`, `sa::chain_flip_delta`) remain as the
 //! reference implementations; property tests cross-check the compiled

@@ -8,7 +8,7 @@
 //!
 //! Run: `cargo run --release -p quamax-bench --bin fig10`
 
-use quamax_bench::{default_params, run_instance, spec_for, Args, ProblemClass, Report};
+use quamax_bench::{default_params, run_instances, spec_for, Args, ProblemClass, Report};
 use quamax_core::metrics::percentile;
 use quamax_core::Scenario;
 use quamax_wireless::Modulation;
@@ -79,20 +79,30 @@ fn main() {
         "class", "p5", "p25", "median", "p75", "p95", "within"
     );
     for class in classes {
+        // Instances draw sequentially from the class RNG stream (same
+        // set as the serial harness); the decodes shard across cores.
         let mut rng = StdRng::seed_from_u64(seed + 7 * class.logical_vars() as u64);
-        let ttbs: Vec<f64> = (0..instances)
-            .map(|i| {
-                let inst =
-                    Scenario::new(class.users, class.users, class.modulation).sample(&mut rng);
-                let spec = spec_for(
-                    default_params(),
-                    Default::default(),
-                    anneals,
-                    seed + i as u64,
-                );
-                let (stats, _) = run_instance(&inst, &spec);
-                stats.ttb_us(1e-6).unwrap_or(f64::INFINITY)
+        let insts: Vec<_> = (0..instances)
+            .map(|_| Scenario::new(class.users, class.users, class.modulation).sample(&mut rng))
+            .collect();
+        let work: Vec<_> = insts
+            .iter()
+            .enumerate()
+            .map(|(i, inst)| {
+                (
+                    inst,
+                    spec_for(
+                        default_params(),
+                        Default::default(),
+                        anneals,
+                        seed + i as u64,
+                    ),
+                )
             })
+            .collect();
+        let ttbs: Vec<f64> = run_instances(&work)
+            .iter()
+            .map(|(stats, _)| stats.ttb_us(1e-6).unwrap_or(f64::INFINITY))
             .collect();
         let within: Vec<f64> = ttbs.iter().copied().filter(|t| *t <= deadline_us).collect();
         let q = |p: f64| -> f64 {

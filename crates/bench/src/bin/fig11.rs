@@ -8,7 +8,7 @@
 //!
 //! Run: `cargo run --release -p quamax-bench --bin fig11`
 
-use quamax_bench::{default_params, run_instance, spec_for, Args, ProblemClass, Report};
+use quamax_bench::{default_params, run_instances, spec_for, Args, ProblemClass, Report};
 use quamax_core::metrics::percentile;
 use quamax_core::Scenario;
 use quamax_wireless::frame::{FRAME_BYTES_ACK, FRAME_BYTES_MTU};
@@ -63,17 +63,29 @@ fn main() {
         "class", "med TTF(1500B)", "mean TTF(1500B)", "med TTF(50B)", "mean TTF(50B)"
     );
     for class in classes {
+        // Instances draw sequentially from the class RNG stream; the
+        // decodes shard across cores.
         let mut rng = StdRng::seed_from_u64(seed + 13 * class.logical_vars() as u64);
+        let insts: Vec<_> = (0..instances)
+            .map(|_| Scenario::new(class.users, class.users, class.modulation).sample(&mut rng))
+            .collect();
+        let work: Vec<_> = insts
+            .iter()
+            .enumerate()
+            .map(|(i, inst)| {
+                (
+                    inst,
+                    spec_for(
+                        default_params(),
+                        Default::default(),
+                        anneals,
+                        seed + i as u64,
+                    ),
+                )
+            })
+            .collect();
         let mut per_frame: Vec<Vec<f64>> = vec![Vec::new(); 2];
-        for i in 0..instances {
-            let inst = Scenario::new(class.users, class.users, class.modulation).sample(&mut rng);
-            let spec = spec_for(
-                default_params(),
-                Default::default(),
-                anneals,
-                seed + i as u64,
-            );
-            let (stats, _) = run_instance(&inst, &spec);
+        for (stats, _) in run_instances(&work) {
             for (fi, bytes) in [FRAME_BYTES_MTU, FRAME_BYTES_ACK].iter().enumerate() {
                 per_frame[fi].push(stats.ttf_us(target_fer, *bytes).unwrap_or(f64::INFINITY));
             }

@@ -11,7 +11,7 @@
 
 use quamax_baselines::timing::zf_time_us;
 use quamax_baselines::ZeroForcingDetector;
-use quamax_bench::{default_params, run_instance, spec_for, Args, ProblemClass, Report};
+use quamax_bench::{default_params, run_instances, spec_for, Args, ProblemClass, Report};
 use quamax_core::metrics::percentile;
 use quamax_core::Scenario;
 use quamax_wireless::{count_bit_errors, Modulation, Snr};
@@ -90,18 +90,27 @@ fn main() {
 
         // QuAMax: wall-clock time to reach the same BER (Eq. 9 curve),
         // median across instances on the same channel family.
-        let quamax_t: Vec<f64> = (0..instances)
-            .map(|i| {
-                let inst = sc.sample(&mut rng);
-                let spec = spec_for(
-                    default_params(),
-                    Default::default(),
-                    anneals,
-                    seed + i as u64,
-                );
-                let (stats, _) = run_instance(&inst, &spec);
-                stats.ttb_us(zf_ber).unwrap_or(f64::INFINITY)
+        // Instances draw sequentially (after the ZF pass, same stream
+        // position as the serial harness); decodes shard across cores.
+        let insts: Vec<_> = (0..instances).map(|_| sc.sample(&mut rng)).collect();
+        let work: Vec<_> = insts
+            .iter()
+            .enumerate()
+            .map(|(i, inst)| {
+                (
+                    inst,
+                    spec_for(
+                        default_params(),
+                        Default::default(),
+                        anneals,
+                        seed + i as u64,
+                    ),
+                )
             })
+            .collect();
+        let quamax_t: Vec<f64> = run_instances(&work)
+            .iter()
+            .map(|(stats, _)| stats.ttb_us(zf_ber).unwrap_or(f64::INFINITY))
             .collect();
         let t_match = percentile(&quamax_t, 50.0);
         let speedup = zf_us / t_match;

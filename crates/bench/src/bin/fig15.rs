@@ -9,7 +9,7 @@
 //!
 //! Run: `cargo run --release -p quamax-bench --bin fig15`
 
-use quamax_bench::{default_params, run_instance, spec_for, Args, Report};
+use quamax_bench::{default_params, run_instances, spec_for, Args, Report};
 use quamax_core::metrics::percentile;
 use quamax_core::{Instance, Scenario};
 use quamax_wireless::{Modulation, Snr, TraceConfig, TraceGenerator};
@@ -30,30 +30,42 @@ fn main() {
     for m in [Modulation::Bpsk, Modulation::Qpsk] {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut tracegen = TraceGenerator::new(TraceConfig::default(), &mut rng);
-        let mut ttb = Vec::new();
-        let mut ttf = Vec::new();
-        let mut cycle_floor = 0.0f64;
-        for i in 0..uses {
-            let use_ = tracegen.next_use(&mut rng);
-            let h = use_.subsample(8, &mut rng);
-            let sc = Scenario::new(8, 8, m).with_snr(Snr::from_db(use_.snr_db));
-            // Trace-driven: the channel comes from the trace, bits and
-            // noise are fresh.
-            let inst = {
+        // The trace replays sequentially (channel uses are a stream);
+        // the decodes shard across cores.
+        let insts: Vec<Instance> = (0..uses)
+            .map(|i| {
+                let use_ = tracegen.next_use(&mut rng);
+                let h = use_.subsample(8, &mut rng);
+                let sc = Scenario::new(8, 8, m).with_snr(Snr::from_db(use_.snr_db));
+                // Trace-driven: the channel comes from the trace, bits
+                // and noise are fresh.
                 let mut irng = StdRng::seed_from_u64(seed + 101 * i as u64);
                 let q = m.bits_per_symbol();
                 let bits: Vec<u8> = (0..8 * q)
                     .map(|_| rand::Rng::random_range(&mut irng, 0..=1) as u8)
                     .collect();
                 Instance::transmit(h, bits, m, sc.snr, &mut irng)
-            };
-            let spec = spec_for(
-                default_params(),
-                Default::default(),
-                anneals,
-                seed + i as u64,
-            );
-            let (stats, _) = run_instance(&inst, &spec);
+            })
+            .collect();
+        let work: Vec<_> = insts
+            .iter()
+            .enumerate()
+            .map(|(i, inst)| {
+                (
+                    inst,
+                    spec_for(
+                        default_params(),
+                        Default::default(),
+                        anneals,
+                        seed + i as u64,
+                    ),
+                )
+            })
+            .collect();
+        let mut ttb = Vec::new();
+        let mut ttf = Vec::new();
+        let mut cycle_floor = 0.0f64;
+        for (stats, _) in run_instances(&work) {
             ttb.push(stats.ttb_us(1e-6).unwrap_or(f64::INFINITY));
             ttf.push(stats.ttf_us(1e-4, 1_500).unwrap_or(f64::INFINITY));
             cycle_floor = stats.cycle_us;

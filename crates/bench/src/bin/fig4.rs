@@ -79,8 +79,8 @@ fn main() {
             for r in 0..dist.num_distinct().min(show) {
                 let e = &dist.entries()[r];
                 let freq = e.count as f64 / dist.total_samples() as f64;
-                let errors =
-                    quamax_wireless::count_bit_errors(&run.bits_for_rank(r), inst.tx_bits());
+                let bits = run.bits_for_rank(r).expect("r < num_distinct");
+                let errors = quamax_wireless::count_bit_errors(&bits, inst.tx_bits());
                 println!("{:>5} {:>10.5} {:>9.5} {:>7}", r + 1, gaps[r], freq, errors);
                 rows.push(serde_json::json!({
                     "rank": r + 1,

@@ -11,7 +11,7 @@
 //!       [--anneals N] [--instances K] [--jf-step S]`
 
 use quamax_anneal::Schedule;
-use quamax_bench::{run_instance, spec_for, Args, Report};
+use quamax_bench::{run_instances, spec_for, Args, Report};
 use quamax_chimera::EmbedParams;
 use quamax_core::metrics::percentile;
 use quamax_core::params::{jf_grid, CandidateParams};
@@ -69,14 +69,21 @@ fn main() {
                     },
                     schedule: Schedule::standard(1.0),
                 };
-                let tts: Vec<f64> = insts
+                // All instances of this setting decode in parallel
+                // (per-seed deterministic; see runner::run_instances).
+                let work: Vec<_> = insts
                     .iter()
                     .enumerate()
                     .map(|(i, inst)| {
-                        let spec = spec_for(params, Default::default(), anneals, seed + i as u64);
-                        let (stats, _) = run_instance(inst, &spec);
-                        stats.tts99_us().unwrap_or(f64::INFINITY)
+                        (
+                            inst,
+                            spec_for(params, Default::default(), anneals, seed + i as u64),
+                        )
                     })
+                    .collect();
+                let tts: Vec<f64> = run_instances(&work)
+                    .iter()
+                    .map(|(stats, _)| stats.tts99_us().unwrap_or(f64::INFINITY))
                     .collect();
                 let med = percentile(&tts, 50.0);
                 let p10 = percentile(&tts, 10.0);

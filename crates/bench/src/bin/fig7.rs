@@ -9,7 +9,7 @@
 //! Run: `cargo run --release -p quamax-bench --bin fig7`
 
 use quamax_anneal::Schedule;
-use quamax_bench::{run_instance, spec_for, Args, Report};
+use quamax_bench::{run_instances, spec_for, Args, Report};
 use quamax_chimera::EmbedParams;
 use quamax_core::metrics::percentile;
 use quamax_core::params::{sp_grid, CandidateParams};
@@ -55,14 +55,21 @@ fn main() {
                 },
                 schedule: Schedule::with_pause(1.0, sp, tp),
             };
-            let tts: Vec<f64> = insts
+            // All instances of this pause setting decode in parallel
+            // (per-seed deterministic; see runner::run_instances).
+            let work: Vec<_> = insts
                 .iter()
                 .enumerate()
                 .map(|(i, inst)| {
-                    let spec = spec_for(params, Default::default(), anneals, seed + i as u64);
-                    let (stats, _) = run_instance(inst, &spec);
-                    stats.tts99_us().unwrap_or(f64::INFINITY)
+                    (
+                        inst,
+                        spec_for(params, Default::default(), anneals, seed + i as u64),
+                    )
                 })
+                .collect();
+            let tts: Vec<f64> = run_instances(&work)
+                .iter()
+                .map(|(stats, _)| stats.tts99_us().unwrap_or(f64::INFINITY))
                 .collect();
             let med = percentile(&tts, 50.0);
             if med < best.0 {

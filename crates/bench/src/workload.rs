@@ -1,7 +1,7 @@
 //! Shared experiment workloads: problem classes, parameter strategies,
 //! and the Fix/Opt drivers built on the runner kernel.
 
-use crate::runner::{run_instance, RunSpec};
+use crate::runner::{run_instances, RunSpec};
 use quamax_anneal::{AnnealerConfig, Schedule};
 use quamax_chimera::EmbedParams;
 use quamax_core::params::{select_best, CandidateParams};
@@ -116,10 +116,22 @@ pub fn optimize_instance(
     seed: u64,
 ) -> (CandidateParams, RunStatistics) {
     assert!(!candidates.is_empty(), "need at least one candidate");
+    // All candidates decode in parallel (the oracle's whole point is
+    // trying everything); the winner scan below keeps the historical
+    // first-wins tie-breaking by walking results in candidate order.
+    let work: Vec<(&Instance, RunSpec)> = candidates
+        .iter()
+        .enumerate()
+        .map(|(k, cand)| {
+            (
+                instance,
+                spec_for(*cand, annealer, anneals, seed.wrapping_add(k as u64)),
+            )
+        })
+        .collect();
+    let results = run_instances(&work);
     let mut best: Option<(CandidateParams, RunStatistics, Option<f64>)> = None;
-    for (k, cand) in candidates.iter().enumerate() {
-        let spec = spec_for(*cand, annealer, anneals, seed.wrapping_add(k as u64));
-        let (stats, _) = run_instance(instance, &spec);
+    for (cand, (stats, _)) in candidates.iter().zip(results) {
         let s = score(&stats);
         let better = match &best {
             None => true,
@@ -148,22 +160,30 @@ pub fn fix_for_class(
         !instances.is_empty() && !candidates.is_empty(),
         "empty search"
     );
-    // Evaluate all candidates on all instances once, then pick by
+    // Evaluate all candidates on all instances once — the full
+    // (candidate × instance) grid sharded across cores — then pick by
     // median score.
+    let work: Vec<(&Instance, RunSpec)> = candidates
+        .iter()
+        .enumerate()
+        .flat_map(|(k, cand)| {
+            instances.iter().enumerate().map(move |(i, inst)| {
+                (
+                    inst,
+                    spec_for(
+                        *cand,
+                        annealer,
+                        anneals,
+                        seed.wrapping_add((k * instances.len() + i) as u64),
+                    ),
+                )
+            })
+        })
+        .collect();
+    let mut results = run_instances(&work).into_iter().map(|(stats, _)| stats);
     let mut all_stats: Vec<Vec<RunStatistics>> = Vec::with_capacity(candidates.len());
-    for (k, cand) in candidates.iter().enumerate() {
-        let mut per_inst = Vec::with_capacity(instances.len());
-        for (i, inst) in instances.iter().enumerate() {
-            let spec = spec_for(
-                *cand,
-                annealer,
-                anneals,
-                seed.wrapping_add((k * instances.len() + i) as u64),
-            );
-            let (stats, _) = run_instance(inst, &spec);
-            per_inst.push(stats);
-        }
-        all_stats.push(per_inst);
+    for _ in candidates {
+        all_stats.push(results.by_ref().take(instances.len()).collect());
     }
     let median_score = |stats: &Vec<RunStatistics>| -> Option<f64> {
         let mut scores: Vec<f64> = stats
@@ -191,6 +211,7 @@ pub fn fix_for_class(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::run_instance;
     use quamax_core::Scenario;
     use rand::rngs::StdRng;
     use rand::SeedableRng;

@@ -61,8 +61,17 @@ pub struct EmbeddedProblem {
     /// Overall scale from the *original* logical problem to programmed
     /// coefficients (pre-normalization × hardware renormalization).
     scale: f64,
+    /// The hardware renormalization factor κ (depends only on params).
+    kappa: f64,
     /// The programmed chain coupler value (negative).
     chain_coupler: f64,
+    /// One record per nonzero logical coupling, in the logical
+    /// problem's `couplings()` order: `(logical_i, logical_j, dense_a,
+    /// dense_b)` where `(dense_a, dense_b)` is the physical coupler
+    /// realizing `g_ij`. This is the *programming map* — everything
+    /// about coupler placement that depends only on the coupling
+    /// sparsity pattern, not on the coefficient values.
+    programmed: Vec<(u32, u32, u32, u32)>,
     params: EmbedParams,
 }
 
@@ -133,6 +142,7 @@ impl EmbeddedProblem {
             }
         }
         // (Eq. 12) problem couplers at the chains' meeting points.
+        let mut programmed = Vec::with_capacity(logical.num_couplings());
         for (i, j, g) in logical.couplings() {
             if g == 0.0 {
                 continue;
@@ -146,6 +156,7 @@ impl EmbeddedProblem {
             // positions of opposite sides belonging to one logical).
             debug_assert_eq!(problem.coupling(di, dj), 0.0, "coupler reuse");
             problem.set_coupling(di, dj, g * scale);
+            programmed.push((i as u32, j as u32, di as u32, dj as u32));
         }
 
         EmbeddedProblem {
@@ -153,9 +164,63 @@ impl EmbeddedProblem {
             chains,
             qubit_of,
             scale,
+            kappa,
             chain_coupler,
+            programmed,
             params,
         }
+    }
+
+    /// The logical→programmed scale a *new* logical problem would get
+    /// on this embedding (its pre-normalization times the fixed
+    /// hardware renormalization κ) — the per-decode piece of the Eq.
+    /// 10–12 compile for callers reusing the embedding across a
+    /// coherence interval.
+    pub fn scale_for(&self, logical: &IsingProblem) -> f64 {
+        let max_abs = logical.max_abs_coefficient();
+        let pre = if max_abs > 0.0 { 1.0 / max_abs } else { 1.0 };
+        pre * self.kappa
+    }
+
+    /// Re-targets the programmed problem to a new logical problem with
+    /// the **same coupling sparsity pattern** as the one this embedding
+    /// was compiled from, in place: chain couplers are untouched (they
+    /// depend only on the embedding parameters), fields and problem
+    /// couplers are rewritten with the new values and scale. The result
+    /// is exactly what [`EmbeddedProblem::compile`] would produce for
+    /// `logical` on the same embedding, without re-deriving chains or
+    /// coupler placement.
+    ///
+    /// This is the coherence-interval reuse path: in the ML reduction
+    /// the couplings (and hence the sparsity pattern) depend only on
+    /// the channel `H`, so one embedding serves every received vector
+    /// `y` of the interval.
+    ///
+    /// # Panics
+    /// Panics when the logical spin count differs from the embedding's;
+    /// debug-asserts that every previously-programmed coupler is still
+    /// present (same sparsity).
+    pub fn reprogram(&mut self, logical: &IsingProblem) {
+        assert_eq!(
+            logical.num_spins(),
+            self.chains.len(),
+            "logical problem and embedding disagree on variable count"
+        );
+        let scale = self.scale_for(logical);
+        let chain_len = self.chains.first().map_or(1, Vec::len) as f64;
+        for (i, dense_chain) in self.chains.iter().enumerate() {
+            let per_qubit = logical.linear(i) * scale / chain_len;
+            for &d in dense_chain {
+                self.problem.set_linear(d, per_qubit);
+            }
+        }
+        for &(i, j, di, dj) in &self.programmed {
+            let g = logical.coupling(i as usize, j as usize);
+            debug_assert!(g != 0.0, "coupling ({i},{j}) vanished under reprogram");
+            self.problem
+                .set_coupling(di as usize, dj as usize, g * scale);
+        }
+        self.scale = scale;
     }
 
     /// The programmed physical Ising problem (dense indices).
@@ -181,6 +246,15 @@ impl EmbeddedProblem {
     /// The overall logical→programmed coefficient scale.
     pub fn scale(&self) -> f64 {
         self.scale
+    }
+
+    /// The programming map: one `(logical_i, logical_j, dense_a,
+    /// dense_b)` record per nonzero logical coupling, in the logical
+    /// problem's `couplings()` order. Callers that freeze the physical
+    /// problem into a faster representation use this to re-target
+    /// problem couplers without re-deriving the embedding.
+    pub fn programmed_couplers(&self) -> &[(u32, u32, u32, u32)] {
+        &self.programmed
     }
 
     /// The programmed (negative) chain coupler value.
@@ -386,6 +460,34 @@ mod tests {
             }
         }
         assert!(found, "no coupler between chains 0 and 1");
+    }
+
+    #[test]
+    fn reprogram_matches_fresh_compile() {
+        // Same sparsity, new coefficient values (a different "y" in the
+        // ML reduction): in-place reprogramming must reproduce a fresh
+        // compile exactly, coefficient for coefficient.
+        let g = ChimeraGraph::dw2q_ideal();
+        let e = CliqueEmbedding::new(&g, 10).unwrap();
+        let first = sample_logical(10);
+        let mut emb = EmbeddedProblem::compile(&g, &e, &first, EmbedParams::default());
+
+        // Perturb fields (y-dependent) and coupling values (scale
+        // shifts), keeping the sparsity pattern.
+        let mut second = sample_logical(10);
+        for i in 0..10 {
+            second.set_linear(i, first.linear(i) * 1.75 - 0.3);
+        }
+        for (i, j, gv) in first.couplings().collect::<Vec<_>>() {
+            second.set_coupling(i, j, gv * 0.6);
+        }
+
+        emb.reprogram(&second);
+        let fresh = EmbeddedProblem::compile(&g, &e, &second, EmbedParams::default());
+        assert_eq!(emb.problem(), fresh.problem());
+        assert_eq!(emb.scale(), fresh.scale());
+        assert_eq!(emb.scale(), fresh.scale_for(&second));
+        assert_eq!(emb.programmed_couplers(), fresh.programmed_couplers());
     }
 
     #[test]

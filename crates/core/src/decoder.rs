@@ -16,7 +16,7 @@
 //! the paper's per-instance metrics (Eq. 9, TTB) are order statistics
 //! over it, not just the best answer.
 
-use crate::reduce::ising_from_ml;
+use crate::reduce::{ising_from_ml, ising_from_ml_amortized};
 use crate::scenario::DetectionInput;
 use quamax_anneal::{Annealer, CompiledChains, Schedule, SolutionDistribution};
 use quamax_chimera::{
@@ -24,8 +24,11 @@ use quamax_chimera::{
     EmbeddedProblem, EmbeddingError,
 };
 use quamax_ising::{spins_to_bits, CompiledProblem, IsingProblem};
+use quamax_linalg::{CMatrix, CVector};
 use quamax_wireless::gray::quamax_bits_to_gray;
-use rand::Rng;
+use quamax_wireless::Modulation;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Decoder-level configuration: embedding parameters and schedule.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -153,21 +156,171 @@ impl QuamaxDecoder {
         candidate_gray_bits: Option<&[u8]>,
         rng: &mut R,
     ) -> Result<DecodeRun, DecodeError> {
-        let (logical, offset) = ising_from_ml(&input.h, &input.y, input.modulation);
+        // One-shot decode = a single-use session. The session produces
+        // bit-identical results to the historical inline path (same
+        // reductions, same programmed coefficients, same RNG draws).
+        let mut session = self.compile(input)?;
+        Ok(match candidate_gray_bits {
+            None => session.decode_with_rng(&input.y, num_anneals, rng),
+            Some(gray) => session.decode_reverse(&input.y, num_anneals, gray, rng),
+        })
+    }
+
+    /// Compiles the channel-dependent (per-coherence-interval) part of
+    /// the decode once, returning a [`DecodeSession`] that streams
+    /// per-received-vector decodes through the frozen problem.
+    ///
+    /// In the ML reduction the couplings `g_ij` (and hence the
+    /// embedding, the chain layout, and the annealer's CSR view of the
+    /// problem) depend only on `H` and the modulation; only the linear
+    /// fields `h_i` and the global renormalization scale depend on `y`.
+    /// A C-RAN front-end therefore compiles one session per coherence
+    /// interval and decodes every subcarrier / OFDM symbol of the
+    /// interval against it, paying the reduce→embed→freeze cost once
+    /// (`input.y` is used only to shape the compile; any `y` of the
+    /// interval works).
+    pub fn compile(&self, input: &DetectionInput) -> Result<DecodeSession, DecodeError> {
+        let gram = input.h.gram();
+        let h_herm = input.h.hermitian();
+        let (logical, _) = if input.modulation == Modulation::Qam64 {
+            ising_from_ml(&input.h, &input.y, input.modulation)
+        } else {
+            let h_y = h_herm.mul_vec(&input.y);
+            ising_from_ml_amortized(&input.h, &gram, &h_y, &input.y, input.modulation)
+        };
         let embedding = CliqueEmbedding::new(&self.graph, logical.num_spins())?;
         let embedded =
             EmbeddedProblem::compile(&self.graph, &embedding, &logical, self.config.embed);
         // Freeze the programmed problem into the annealer's CSR kernel
-        // view once per decode; the whole anneal batch (and every
-        // worker thread) shares it read-only.
-        let compiled = CompiledProblem::new(embedded.problem());
-        let compiled_chains = CompiledChains::compile(&compiled, embedded.chains());
+        // view once per session; decodes refresh coefficients in place.
+        let base = CompiledProblem::new(embedded.problem());
+        let chains = CompiledChains::compile(&base, embedded.chains());
+        // Resolve each programmed coupler's CSR entry once; per decode
+        // the new value is written straight into the frozen layout.
+        let slots: Vec<(u32, u32, u32)> = embedded
+            .programmed_couplers()
+            .iter()
+            .map(|&(i, j, da, db)| {
+                let k = base
+                    .coupler_entry(da as usize, db as usize)
+                    .expect("programmed coupler exists in CSR");
+                (k as u32, i, j)
+            })
+            .collect();
+        let mut chain_of = vec![0u32; embedded.num_physical()];
+        for (i, chain) in embedded.chains().iter().enumerate() {
+            for &d in chain {
+                chain_of[d] = i as u32;
+            }
+        }
+        let chain_len = embedded.chains().first().map_or(1, Vec::len) as f64;
+        let scratch = base.clone();
+        Ok(DecodeSession {
+            inner: SessionInner {
+                annealer: self.annealer.clone(),
+                config: self.config,
+                modulation: input.modulation,
+                h: input.h.clone(),
+                gram,
+                h_herm,
+                parallel_factor: parallelization(embedding.num_logical()).max(1),
+                embedded,
+                base,
+                chains,
+                slots,
+                chain_of,
+                chain_len,
+            },
+            scratch,
+        })
+    }
+}
 
+/// A compiled decode session: the `H`-dependent work (ML reduction
+/// structure, Chimera embedding, CSR freeze, chain tables) done once,
+/// with per-`y` decodes reduced to an in-place linear-field/scale
+/// refresh plus the anneal batch itself.
+///
+/// Produced by [`QuamaxDecoder::compile`]. Decodes through a session
+/// are bit-identical to [`QuamaxDecoder::decode`] on the same
+/// `(H, y, seed)` — the session is an amortization, not a different
+/// algorithm.
+pub struct DecodeSession {
+    inner: SessionInner,
+    /// The programmed-problem view refreshed per decode (`&mut self`
+    /// decode path); batch workers clone their own from `inner.base`.
+    scratch: CompiledProblem,
+}
+
+/// The shared, read-only part of a session (what batch workers borrow).
+struct SessionInner {
+    annealer: Annealer,
+    config: DecoderConfig,
+    modulation: Modulation,
+    h: CMatrix,
+    /// `H*H` — the channel Gram matrix every closed-form coupling and
+    /// field reads (computed once per coherence interval).
+    gram: CMatrix,
+    /// `H*` — applied per decode for the matched filter `H*y`.
+    h_herm: CMatrix,
+    parallel_factor: usize,
+    /// Chain layout + programming map (coefficients inside are stale
+    /// after compile; only structure is read).
+    embedded: EmbeddedProblem,
+    /// The frozen CSR template: chain couplers valid for the whole
+    /// session, fields/problem couplers refreshed per decode.
+    base: CompiledProblem,
+    chains: CompiledChains,
+    /// `(CSR entry, logical i, logical j)` per programmed coupler.
+    slots: Vec<(u32, u32, u32)>,
+    /// Dense physical qubit → owning logical chain.
+    chain_of: Vec<u32>,
+    chain_len: f64,
+}
+
+impl SessionInner {
+    /// Rebuilds the (small) logical problem for `y` and writes the
+    /// programmed coefficients into `scratch`, reproducing exactly what
+    /// a fresh reduce→embed→freeze would put there.
+    fn program(&self, y: &CVector, scratch: &mut CompiledProblem) -> (IsingProblem, f64) {
+        assert_eq!(
+            y.len(),
+            self.h.rows(),
+            "received vector length differs from receive antennas"
+        );
+        let (logical, offset) = if self.modulation == Modulation::Qam64 {
+            // No closed form: the generic reduction recomputes the
+            // QUBO; still amortizes embedding + freeze.
+            ising_from_ml(&self.h, y, self.modulation)
+        } else {
+            let h_y = self.h_herm.mul_vec(y);
+            ising_from_ml_amortized(&self.h, &self.gram, &h_y, y, self.modulation)
+        };
+        let scale = self.embedded.scale_for(&logical);
+        for (d, &c) in self.chain_of.iter().enumerate() {
+            scratch.set_linear_term(d, logical.linear(c as usize) * scale / self.chain_len);
+        }
+        for &(k, i, j) in &self.slots {
+            scratch.set_entry_weight(k as usize, logical.coupling(i as usize, j as usize) * scale);
+        }
+        (logical, offset)
+    }
+
+    fn run_with<R: Rng + ?Sized>(
+        &self,
+        scratch: &mut CompiledProblem,
+        annealer: &Annealer,
+        y: &CVector,
+        num_anneals: usize,
+        candidate_gray_bits: Option<&[u8]>,
+        rng: &mut R,
+    ) -> DecodeRun {
+        let (logical, offset) = self.program(y, scratch);
         let seed: u64 = rng.random();
         let samples = match candidate_gray_bits {
-            None => self.annealer.run_compiled(
-                &compiled,
-                &compiled_chains,
+            None => annealer.run_compiled(
+                scratch,
+                &self.chains,
                 &self.config.schedule,
                 num_anneals,
                 seed,
@@ -175,22 +328,22 @@ impl QuamaxDecoder {
             Some(gray) => {
                 // Gray bits → QuAMax-transform bits → logical spins →
                 // expansion onto the physical chains.
-                let q = input.modulation.bits_per_symbol();
+                let q = self.modulation.bits_per_symbol();
                 let logical_spins = quamax_ising::bits_to_spins(
                     &gray
                         .chunks(q)
                         .flat_map(quamax_wireless::gray::gray_bits_to_quamax)
                         .collect::<Vec<u8>>(),
                 );
-                let mut physical = vec![0i8; embedded.num_physical()];
-                for (i, chain) in embedded.chains().iter().enumerate() {
+                let mut physical = vec![0i8; self.embedded.num_physical()];
+                for (i, chain) in self.embedded.chains().iter().enumerate() {
                     for &d in chain {
                         physical[d] = logical_spins[i];
                     }
                 }
-                self.annealer.run_reverse_compiled(
-                    &compiled,
-                    &compiled_chains,
+                annealer.run_reverse_compiled(
+                    scratch,
+                    &self.chains,
                     &physical,
                     &self.config.schedule,
                     num_anneals,
@@ -203,22 +356,163 @@ impl QuamaxDecoder {
         let mut logical_samples = Vec::with_capacity(samples.len());
         let mut broken = 0usize;
         for s in &samples {
-            let out = unembed_majority_vote(&embedded, s, rng);
+            let out = unembed_majority_vote(&self.embedded, s, rng);
             broken += out.broken_chains;
             logical_samples.push(out.logical);
         }
         let distribution = SolutionDistribution::from_samples(&logical, &logical_samples);
         let total_chains = logical.num_spins().max(1) * samples.len().max(1);
 
-        Ok(DecodeRun {
+        DecodeRun {
             distribution,
             logical,
             ml_offset: offset,
-            modulation: input.modulation,
+            modulation: self.modulation,
             schedule: self.config.schedule,
-            parallel_factor: parallelization(embedding.num_logical()).max(1),
+            parallel_factor: self.parallel_factor,
             chain_break_fraction: broken as f64 / total_chains as f64,
-        })
+        }
+    }
+}
+
+impl DecodeSession {
+    /// Modulation the session was compiled for.
+    pub fn modulation(&self) -> Modulation {
+        self.inner.modulation
+    }
+
+    /// Logical Ising variables (= payload bits per channel use).
+    pub fn num_logical(&self) -> usize {
+        self.inner.embedded.chains().len()
+    }
+
+    /// Payload bits per decode.
+    pub fn num_bits(&self) -> usize {
+        self.num_logical()
+    }
+
+    /// Physical qubits occupied by the compiled embedding.
+    pub fn num_physical(&self) -> usize {
+        self.inner.embedded.num_physical()
+    }
+
+    /// Geometric chip parallelization factor of this problem size.
+    pub fn parallel_factor(&self) -> usize {
+        self.inner.parallel_factor
+    }
+
+    /// Decodes one received vector with a fixed seed — the streaming
+    /// entry point (`seed` covers both the anneal batch and the
+    /// unembedding tie-breaks). Equivalent to
+    /// [`QuamaxDecoder::decode`] driven by `StdRng::seed_from_u64(seed)`
+    /// on the same `(H, y)`.
+    pub fn decode(&mut self, y: &CVector, num_anneals: usize, seed: u64) -> DecodeRun {
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.decode_with_rng(y, num_anneals, &mut rng)
+    }
+
+    /// Decodes one received vector drawing the anneal seed and the
+    /// unembedding tie-breaks from `rng` (the historical
+    /// [`QuamaxDecoder::decode`] contract).
+    pub fn decode_with_rng<R: Rng + ?Sized>(
+        &mut self,
+        y: &CVector,
+        num_anneals: usize,
+        rng: &mut R,
+    ) -> DecodeRun {
+        self.inner.run_with(
+            &mut self.scratch,
+            &self.inner.annealer,
+            y,
+            num_anneals,
+            None,
+            rng,
+        )
+    }
+
+    /// Reverse-anneal decode through the session (see
+    /// [`QuamaxDecoder::decode_reverse`]).
+    ///
+    /// # Panics
+    /// Panics when the candidate bit count differs from the payload, or
+    /// the configured schedule is not reverse.
+    pub fn decode_reverse<R: Rng + ?Sized>(
+        &mut self,
+        y: &CVector,
+        num_anneals: usize,
+        candidate_gray_bits: &[u8],
+        rng: &mut R,
+    ) -> DecodeRun {
+        assert!(
+            self.inner.config.schedule.is_reverse(),
+            "decode_reverse needs a Schedule::reverse configuration"
+        );
+        assert_eq!(
+            candidate_gray_bits.len(),
+            self.num_bits(),
+            "candidate bit count mismatch"
+        );
+        self.inner.run_with(
+            &mut self.scratch,
+            &self.inner.annealer,
+            y,
+            num_anneals,
+            Some(candidate_gray_bits),
+            rng,
+        )
+    }
+
+    /// Decodes a batch of `(y, seed)` pairs — one coherence interval's
+    /// worth of subcarrier/symbol problems — sharded across CPU cores
+    /// with one scratch problem view per worker.
+    ///
+    /// Each item is decoded under its own `StdRng::seed_from_u64(seed)`
+    /// stream, so results are bit-identical to calling
+    /// [`DecodeSession::decode`] item by item (and to one-shot
+    /// [`QuamaxDecoder::decode`] under the same seeds), regardless of
+    /// worker count. The batch dimension is the primary parallelism;
+    /// leftover cores (batches smaller than the machine) are split
+    /// across the workers' inner anneal batches.
+    pub fn decode_batch(&self, items: &[(CVector, u64)], num_anneals: usize) -> Vec<DecodeRun> {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let threads = cores.min(items.len());
+        // Distribute cores over the workers: determinism is
+        // thread-count independent, so this only allocates parallelism
+        // — no nested oversubscription, no idle cores on small
+        // batches. An explicit thread setting on the annealer wins.
+        let mut config = *self.inner.annealer.config();
+        if config.threads == 0 {
+            config.threads = (cores / threads).max(1);
+        }
+        let worker_annealer = Annealer::new(config);
+        let chunk = items.len().div_ceil(threads);
+        let mut out: Vec<Option<DecodeRun>> = (0..items.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (in_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                let inner = &self.inner;
+                let annealer = &worker_annealer;
+                scope.spawn(move || {
+                    let mut scratch = inner.base.clone();
+                    for ((y, seed), slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
+                        let mut rng = StdRng::seed_from_u64(*seed);
+                        *slot = Some(inner.run_with(
+                            &mut scratch,
+                            annealer,
+                            y,
+                            num_anneals,
+                            None,
+                            &mut rng,
+                        ));
+                    }
+                });
+            }
+        });
+        out.into_iter()
+            .map(|r| r.expect("every batch slot decoded"))
+            .collect()
     }
 }
 
@@ -251,12 +545,14 @@ impl DecodeRun {
         self.ml_offset
     }
 
-    /// Gray-translated decoded bits of the rank-`r` solution.
-    pub fn bits_for_rank(&self, rank: usize) -> Vec<u8> {
-        let entry = &self.distribution.entries()[rank];
+    /// Gray-translated decoded bits of the rank-`r` solution, or
+    /// `None` when the run observed fewer than `rank + 1` distinct
+    /// solutions.
+    pub fn bits_for_rank(&self, rank: usize) -> Option<Vec<u8>> {
+        let entry = self.distribution.entries().get(rank)?;
         let qubo_bits = spins_to_bits(&entry.spins);
         let q = self.modulation.bits_per_symbol();
-        qubo_bits.chunks(q).flat_map(quamax_bits_to_gray).collect()
+        Some(qubo_bits.chunks(q).flat_map(quamax_bits_to_gray).collect())
     }
 
     /// The decode: Gray bits of the minimum-energy solution found.
@@ -264,11 +560,7 @@ impl DecodeRun {
     /// # Panics
     /// Panics when the run had zero anneals.
     pub fn best_bits(&self) -> Vec<u8> {
-        assert!(
-            self.distribution.num_distinct() > 0,
-            "empty run has no decode"
-        );
-        self.bits_for_rank(0)
+        self.bits_for_rank(0).expect("empty run has no decode")
     }
 
     /// Wall-clock time of one anneal cycle, `Ta + Tp`, in µs.
@@ -475,8 +767,129 @@ mod tests {
             .decode(&inst.detection_input(), 200, &mut rng)
             .unwrap();
         assert!(run.distribution().num_distinct() > 1);
-        let a = run.bits_for_rank(0);
-        let b = run.bits_for_rank(1);
+        let a = run.bits_for_rank(0).unwrap();
+        let b = run.bits_for_rank(1).unwrap();
         assert_ne!(a, b);
+        // Past the observed distinct solutions there is no decode.
+        assert_eq!(run.bits_for_rank(run.distribution().num_distinct()), None);
+    }
+
+    #[test]
+    fn session_decode_matches_one_shot_decode() {
+        // Same (H, y, seed): a compiled session and the one-shot path
+        // must agree on every observable of the run.
+        let mut rng = StdRng::seed_from_u64(11);
+        let sc = Scenario::new(4, 4, Modulation::Qpsk);
+        let inst = sc.sample(&mut rng);
+        let input = inst.detection_input();
+        let decoder = QuamaxDecoder::new(quiet_annealer(), DecoderConfig::default());
+
+        let mut one_shot_rng = StdRng::seed_from_u64(99);
+        let one_shot = decoder.decode(&input, 40, &mut one_shot_rng).unwrap();
+
+        let mut session = decoder.compile(&input).unwrap();
+        let via_session = session.decode(&input.y, 40, 99);
+
+        assert_eq!(one_shot.best_bits(), via_session.best_bits());
+        assert_eq!(one_shot.distribution(), via_session.distribution());
+        assert_eq!(one_shot.ml_offset(), via_session.ml_offset());
+        assert_eq!(
+            one_shot.chain_break_fraction(),
+            via_session.chain_break_fraction()
+        );
+        assert_eq!(one_shot.parallel_factor(), via_session.parallel_factor());
+    }
+
+    #[test]
+    fn session_streams_fresh_received_vectors() {
+        // The coherence-interval pattern: one channel H, many y. Each
+        // session decode must equal a fresh one-shot decode of that y.
+        let mut rng = StdRng::seed_from_u64(12);
+        let sc = Scenario::new(4, 4, Modulation::Bpsk);
+        let base = sc.sample(&mut rng);
+        let decoder = QuamaxDecoder::new(
+            quiet_annealer(),
+            DecoderConfig {
+                schedule: Schedule::standard(10.0),
+                ..Default::default()
+            },
+        );
+        let mut session = decoder.compile(&base.detection_input()).unwrap();
+        for k in 0..4u64 {
+            // New bits + noise over the same channel.
+            let inst = base.renoise(quamax_wireless::Snr::from_db(18.0), &mut rng);
+            let input = inst.detection_input();
+            let run = session.decode(&input.y, 60, 1000 + k);
+            let mut one_rng = StdRng::seed_from_u64(1000 + k);
+            let one = decoder.decode(&input, 60, &mut one_rng).unwrap();
+            assert_eq!(run.best_bits(), one.best_bits(), "y #{k}");
+            assert_eq!(run.distribution(), one.distribution(), "y #{k}");
+        }
+    }
+
+    #[test]
+    fn batch_decode_is_bit_identical_to_sequential() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let sc = Scenario::new(3, 3, Modulation::Qam16);
+        let base = sc.sample(&mut rng);
+        let decoder = QuamaxDecoder::new(
+            quiet_annealer(),
+            DecoderConfig {
+                schedule: Schedule::standard(15.0),
+                ..Default::default()
+            },
+        );
+        let mut session = decoder.compile(&base.detection_input()).unwrap();
+        let items: Vec<(quamax_linalg::CVector, u64)> = (0..6u64)
+            .map(|k| {
+                let inst = base.renoise(quamax_wireless::Snr::from_db(20.0), &mut rng);
+                (inst.y().clone(), 7_000 + k)
+            })
+            .collect();
+        let batch = session.decode_batch(&items, 30);
+        assert_eq!(batch.len(), items.len());
+        for (run, (y, seed)) in batch.iter().zip(&items) {
+            let single = session.decode(y, 30, *seed);
+            assert_eq!(run.best_bits(), single.best_bits());
+            assert_eq!(run.distribution(), single.distribution());
+        }
+    }
+
+    #[test]
+    fn session_reverse_decode_matches_one_shot() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let sc = Scenario::new(5, 5, Modulation::Qpsk);
+        let inst = sc.sample(&mut rng);
+        let input = inst.detection_input();
+        let mut candidate = inst.tx_bits().to_vec();
+        candidate[1] ^= 1;
+        let decoder = QuamaxDecoder::new(
+            quiet_annealer(),
+            DecoderConfig {
+                schedule: Schedule::reverse(2.0, 0.6, 2.0),
+                ..Default::default()
+            },
+        );
+        let mut one_rng = StdRng::seed_from_u64(77);
+        let one = decoder
+            .decode_reverse(&input, 50, &candidate, &mut one_rng)
+            .unwrap();
+        let mut session = decoder.compile(&input).unwrap();
+        let mut s_rng = StdRng::seed_from_u64(77);
+        let via = session.decode_reverse(&input.y, 50, &candidate, &mut s_rng);
+        assert_eq!(one.best_bits(), via.best_bits());
+        assert_eq!(one.distribution(), via.distribution());
+    }
+
+    #[test]
+    fn oversized_session_compile_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let sc = Scenario::new(40, 40, Modulation::Qam16);
+        let inst = sc.sample(&mut rng);
+        let decoder = QuamaxDecoder::new(quiet_annealer(), DecoderConfig::default());
+        match decoder.compile(&inst.detection_input()) {
+            Err(DecodeError::Embedding(EmbeddingError::DoesNotFit { n: 160, .. })) => {}
+            other => panic!("expected DoesNotFit, got {:?}", other.err()),
+        }
     }
 }

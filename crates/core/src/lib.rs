@@ -19,6 +19,47 @@
 //!   parallelization amortization;
 //! * [`params`] — the Fix (per-class) and Opt (per-instance oracle)
 //!   annealer parameter selection strategies of §5.3.
+//!
+//! # DESIGN — compile-once decode sessions
+//!
+//! The paper's C-RAN deployment story (§7) decodes *many subcarrier
+//! problems per frame* against a channel `H` that is constant over a
+//! coherence interval (~30 ms at walking speed, §2.1), yet a naive
+//! decode re-derives everything per `(H, y)` call. The decode API is
+//! therefore organized around the **`H`-only / `y`-dependent split** of
+//! the Ising parameters:
+//!
+//! * **`H`-only (per coherence interval)** — the couplings `g_ij` of
+//!   every closed-form reduction are functions of the Gram matrix
+//!   `H*H` alone (Eqs. 6–8, 13–14), so the coupling *sparsity pattern*,
+//!   the clique embedding, the chain layout, the annealer's CSR freeze
+//!   (`CompiledProblem`), and the chain move tables (`CompiledChains`)
+//!   are all fixed for the interval. So are the chain couplers
+//!   (`−J_F·κ` depends only on the embedding parameters).
+//! * **`y`-dependent (per decode)** — the linear fields `f_i` read the
+//!   matched-filter output `H*y`, and the hardware pre-normalization
+//!   scale `1/max|coefficient|` moves with them. Both are refreshed
+//!   *in place* on the frozen CSR view (`set_linear_term` /
+//!   `set_entry_weight`), never re-sorted or reallocated.
+//!
+//! The session lifecycle:
+//!
+//! ```text
+//! QuamaxDecoder::compile(&input)      // once per coherence interval:
+//!   -> DecodeSession                  //   reduce structure, embed,
+//!                                     //   freeze CSR, map couplers
+//! session.decode(&y, na, seed)        // per received vector: refresh
+//!                                     //   fields + scale, anneal
+//! session.decode_batch(&[(y, seed)])  // an interval's worth, sharded
+//!                                     //   across cores (per-worker
+//!                                     //   scratch, per-item RNG)
+//! ```
+//!
+//! Sessions are an amortization, not a different algorithm: decoding
+//! `(H, y)` through a session is bit-identical to one-shot
+//! [`QuamaxDecoder::decode`] under the same seed (property-tested per
+//! modulation, including reverse annealing), and the one-shot API is
+//! itself a thin wrapper over a single-use session.
 
 pub mod decoder;
 pub mod metrics;
@@ -26,7 +67,7 @@ pub mod params;
 pub mod reduce;
 pub mod scenario;
 
-pub use decoder::{DecodeError, DecodeRun, DecoderConfig, QuamaxDecoder};
+pub use decoder::{DecodeError, DecodeRun, DecodeSession, DecoderConfig, QuamaxDecoder};
 pub use metrics::{percentile, BitErrorProfile, RunStatistics};
 pub use params::CandidateParams;
 pub use reduce::{ising_from_ml, qubo_from_ml};

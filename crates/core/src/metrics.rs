@@ -62,7 +62,10 @@ impl BitErrorProfile {
         let mut errors = Vec::with_capacity(entries.len());
         for (rank, e) in entries.iter().enumerate() {
             probs.push(e.count as f64 / total);
-            errors.push(count_bit_errors(&run.bits_for_rank(rank), tx_bits));
+            let bits = run
+                .bits_for_rank(rank)
+                .expect("rank enumerated from the run's own entries");
+            errors.push(count_bit_errors(&bits, tx_bits));
         }
         BitErrorProfile {
             probs,

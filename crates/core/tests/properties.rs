@@ -1,11 +1,16 @@
-//! Property-based tests for the ML reductions and Eq. 9 metrics.
+//! Property-based tests for the ML reductions, Eq. 9 metrics, and the
+//! compile-once decode-session equivalence contract.
 
 use proptest::prelude::*;
+use quamax_anneal::{Annealer, AnnealerConfig, IceModel, Schedule};
 use quamax_core::metrics::BitErrorProfile;
 use quamax_core::reduce::{ising_from_ml, qubo_from_ml};
+use quamax_core::{DecoderConfig, QuamaxDecoder, Scenario};
 use quamax_ising::qubo_to_ising;
 use quamax_linalg::{CMatrix, CVector, Complex};
-use quamax_wireless::Modulation;
+use quamax_wireless::{Modulation, Snr};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 fn complex() -> impl Strategy<Value = Complex> {
     (-2.0f64..2.0, -2.0f64..2.0).prop_map(|(re, im)| Complex::new(re, im))
@@ -99,5 +104,125 @@ proptest! {
         if let Some(na) = profile.anneals_to_ber(one * 0.5) {
             prop_assert!(profile.expected_ber(na) <= one * 0.5 + 1e-12);
         }
+    }
+}
+
+/// A fast annealer for the equivalence properties: the contract under
+/// test is bit-identity, not solution quality, so short schedules and
+/// the calibrated ICE model (exercising the refreeze path) suffice.
+fn session_annealer() -> Annealer {
+    Annealer::new(AnnealerConfig {
+        sweeps_per_us: 10.0,
+        ..Default::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// `DecodeSession::decode_batch` over one coherence interval is
+    /// bit-identical to repeated one-shot `QuamaxDecoder::decode` at
+    /// the same seeds — the API-redesign contract, across modulations,
+    /// user counts, channel seeds, and decode seeds (ICE on, so the
+    /// per-anneal refreeze stream equivalence is covered too).
+    #[test]
+    fn session_batch_equals_repeated_one_shot(
+        m in prop_oneof![
+            Just(Modulation::Bpsk),
+            Just(Modulation::Qpsk),
+            Just(Modulation::Qam16),
+        ],
+        channel_seed in 0u64..1_000,
+        decode_seed in 0u64..100_000,
+        users in 2usize..5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(channel_seed);
+        let sc = Scenario::new(users, users, m);
+        let interval = sc.sample(&mut rng);
+        let decoder = QuamaxDecoder::new(session_annealer(), DecoderConfig::default());
+
+        // One coherence interval: fixed H, three received vectors.
+        let items: Vec<(CVector, u64)> = (0..3u64)
+            .map(|k| {
+                let inst = interval.renoise(Snr::from_db(20.0), &mut rng);
+                (inst.y().clone(), decode_seed + k)
+            })
+            .collect();
+
+        let session = decoder.compile(&interval.detection_input()).expect("fits the chip");
+        let batch = session.decode_batch(&items, 15);
+
+        for ((y, seed), run) in items.iter().zip(&batch) {
+            let input = quamax_core::DetectionInput {
+                h: interval.h().clone(),
+                y: y.clone(),
+                modulation: m,
+            };
+            let mut one_rng = StdRng::seed_from_u64(*seed);
+            let one = decoder.decode(&input, 15, &mut one_rng).unwrap();
+            prop_assert_eq!(one.best_bits(), run.best_bits());
+            prop_assert_eq!(one.distribution(), run.distribution());
+            prop_assert_eq!(one.ml_offset(), run.ml_offset());
+            prop_assert_eq!(one.chain_break_fraction(), run.chain_break_fraction());
+        }
+    }
+
+    /// The same contract holds for reverse annealing through a session.
+    #[test]
+    fn session_reverse_equals_one_shot_reverse(
+        channel_seed in 0u64..1_000,
+        decode_seed in 0u64..100_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(channel_seed);
+        let sc = Scenario::new(4, 4, Modulation::Qpsk);
+        let inst = sc.sample(&mut rng);
+        let input = inst.detection_input();
+        let mut candidate = inst.tx_bits().to_vec();
+        candidate[2] ^= 1;
+        let decoder = QuamaxDecoder::new(
+            session_annealer(),
+            DecoderConfig {
+                schedule: Schedule::reverse(1.0, 0.6, 1.0),
+                ..Default::default()
+            },
+        );
+        let mut one_rng = StdRng::seed_from_u64(decode_seed);
+        let one = decoder
+            .decode_reverse(&input, 12, &candidate, &mut one_rng)
+            .unwrap();
+        let mut session = decoder.compile(&input).expect("fits the chip");
+        let mut s_rng = StdRng::seed_from_u64(decode_seed);
+        let via = session.decode_reverse(&input.y, 12, &candidate, &mut s_rng);
+        prop_assert_eq!(one.best_bits(), via.best_bits());
+        prop_assert_eq!(one.distribution(), via.distribution());
+    }
+
+    /// A zero-ICE session also matches (the refreeze path disabled —
+    /// the programmed coefficients themselves are compared through the
+    /// sweep dynamics).
+    #[test]
+    fn session_equivalence_without_ice(
+        channel_seed in 0u64..1_000,
+        decode_seed in 0u64..100_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(channel_seed);
+        let sc = Scenario::new(3, 3, Modulation::Qam16);
+        let interval = sc.sample(&mut rng);
+        let decoder = QuamaxDecoder::new(
+            Annealer::new(AnnealerConfig {
+                ice: IceModel::none(),
+                sweeps_per_us: 10.0,
+                ..Default::default()
+            }),
+            DecoderConfig::default(),
+        );
+        let inst = interval.renoise(Snr::from_db(15.0), &mut rng);
+        let input = inst.detection_input();
+        let mut session = decoder.compile(&interval.detection_input()).expect("fits the chip");
+        let via = session.decode(&input.y, 20, decode_seed);
+        let mut one_rng = StdRng::seed_from_u64(decode_seed);
+        let one = decoder.decode(&input, 20, &mut one_rng).unwrap();
+        prop_assert_eq!(one.best_bits(), via.best_bits());
+        prop_assert_eq!(one.distribution(), via.distribution());
     }
 }

@@ -231,6 +231,51 @@ impl CompiledProblem {
         );
     }
 
+    /// Overwrites the linear coefficient `f_i` in place.
+    ///
+    /// Together with [`CompiledProblem::set_entry_weight`] this is the
+    /// *coefficient refresh* surface: a caller that holds a problem
+    /// whose CSR **structure** is fixed (same spins, same coupling
+    /// sparsity pattern) can re-target the frozen view to new
+    /// coefficient values without re-sorting or reallocating — the
+    /// per-decode path of a compile-once decode session, where only
+    /// the receive-vector-dependent fields (and a global scale) move
+    /// between Monte-Carlo batches.
+    #[inline]
+    pub fn set_linear_term(&mut self, i: usize, f: f64) {
+        self.linear[i] = f;
+    }
+
+    /// The CSR entry index of the directed coupling `i → j`, found by
+    /// binary search in spin `i`'s sorted row — `None` when the pair is
+    /// not coupled. The returned index is stable for the lifetime of
+    /// the compiled structure, so callers refreshing the same problem
+    /// shape many times resolve each coupler once and then write
+    /// through [`CompiledProblem::set_entry_weight`].
+    pub fn coupler_entry(&self, i: usize, j: usize) -> Option<usize> {
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        self.neighbors[lo..hi]
+            .binary_search(&(j as u32))
+            .ok()
+            .map(|pos| lo + pos)
+    }
+
+    /// Writes the undirected coupling held at CSR entry `k` — both the
+    /// entry itself and its twin (the reverse direction) — keeping the
+    /// stored problem symmetric.
+    #[inline]
+    pub fn set_entry_weight(&mut self, k: usize, g: f64) {
+        self.weights[k] = g;
+        self.weights[self.twin[k] as usize] = g;
+    }
+
+    /// The coefficient currently held at CSR entry `k`.
+    #[inline]
+    pub fn entry_weight(&self, k: usize) -> f64 {
+        self.weights[k]
+    }
+
     /// Applies `f` to every linear coefficient, in spin order.
     pub fn perturb_linear(&mut self, mut f: impl FnMut(f64) -> f64) {
         for v in self.linear.iter_mut() {
@@ -358,6 +403,29 @@ mod tests {
         // Refreeze restores the base exactly.
         scratch.refreeze_from(&base);
         assert_eq!(scratch, base);
+    }
+
+    #[test]
+    fn coefficient_refresh_matches_a_fresh_compile() {
+        // Re-targeting a compiled structure to new coefficient values
+        // must be indistinguishable from compiling the new problem.
+        let p = triangle();
+        let mut c = CompiledProblem::new(&p);
+        let mut p2 = triangle();
+        p2.set_linear(0, -3.5);
+        p2.set_linear(2, 7.0);
+        p2.set_coupling(0, 1, 2.25);
+        p2.set_coupling(1, 2, 0.125);
+        for i in 0..3 {
+            c.set_linear_term(i, p2.linear(i));
+        }
+        for (i, j, g) in p2.couplings() {
+            let k = c.coupler_entry(i, j).expect("same sparsity");
+            c.set_entry_weight(k, g);
+            assert_eq!(c.entry_weight(k), g);
+        }
+        assert_eq!(c, CompiledProblem::new(&p2));
+        assert_eq!(c.coupler_entry(0, 0), None);
     }
 
     #[test]

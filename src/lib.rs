@@ -33,7 +33,7 @@ pub mod prelude {
     pub use quamax_anneal::{Annealer, AnnealerConfig, Backend, Schedule};
     pub use quamax_baselines::{MmseDetector, SphereDecoder, ZeroForcingDetector};
     pub use quamax_core::metrics::{percentile, BitErrorProfile, RunStatistics};
-    pub use quamax_core::{DecoderConfig, DetectionInput, QuamaxDecoder, Scenario};
+    pub use quamax_core::{DecodeSession, DecoderConfig, DetectionInput, QuamaxDecoder, Scenario};
     pub use quamax_linalg::{CMatrix, CVector, Complex};
     pub use quamax_wireless::{Modulation, Snr};
     pub use rand::rngs::StdRng as Rng;
