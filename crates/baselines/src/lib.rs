@@ -13,6 +13,16 @@
 //! * [`timing`] — paper-era processing-time models (BigStation-style
 //!   single-core ZF, Skylake-style per-node sphere decoding) used to
 //!   place classical baselines on Fig. 14's time axis.
+//!
+//! Each detector splits its work along the same **`H`-only /
+//! `y`-dependent** seam the QuAMax decode sessions use: `compile(&H)`
+//! hoists the per-coherence-interval factorization (ZF's pseudo-
+//! inverse, MMSE's LU of the regularized Gram, sphere's QR) into a
+//! reusable filter ([`ZfFilter`], [`MmseFilter`], [`CompiledSphere`]),
+//! and the per-received-vector path is a matrix–vector product, a
+//! triangular solve, or a tree walk. The one-shot `decode(&H, &y)`
+//! APIs remain as single-use wrappers and are bit-identical to the
+//! compiled path (property-tested).
 
 pub mod ml;
 pub mod mmse;
@@ -21,6 +31,6 @@ pub mod timing;
 pub mod zf;
 
 pub use ml::{exhaustive_ml, MlResult};
-pub use mmse::MmseDetector;
-pub use sphere::{SphereDecoder, SphereResult};
-pub use zf::ZeroForcingDetector;
+pub use mmse::{MmseDetector, MmseFilter};
+pub use sphere::{CompiledSphere, SphereDecoder, SphereError, SphereResult};
+pub use zf::{ZeroForcingDetector, ZfFilter};

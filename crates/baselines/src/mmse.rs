@@ -5,8 +5,13 @@
 //! sinks ZF on ill-conditioned channels, at the cost of a bias; at
 //! high SNR the two coincide. The paper groups it with ZF among the
 //! linear filters large MIMO systems settle for (§1).
+//!
+//! The regularized Gram matrix depends only on `H` and the noise
+//! level, so [`MmseDetector::compile`] LU-factors it once per
+//! coherence interval; per received vector the cached [`MmseFilter`]
+//! pays a matched filter `H*y` plus an `O(Nt²)` triangular solve.
 
-use quamax_linalg::{hermitian_solve, CMatrix, CVector, Complex, LinalgError};
+use quamax_linalg::{is_hermitian, CMatrix, CVector, Complex, LinalgError, LuFactor};
 use quamax_wireless::Modulation;
 
 /// An MMSE detector.
@@ -30,25 +35,69 @@ impl MmseDetector {
         }
     }
 
-    /// Decodes one channel use.
-    pub fn decode(&self, h: &CMatrix, y: &CVector) -> Result<Vec<u8>, LinalgError> {
-        let x = self.equalize(h, y)?;
-        let mut bits = Vec::with_capacity(h.cols() * self.modulation.bits_per_symbol());
-        for u in 0..h.cols() {
-            bits.extend(self.modulation.demap_gray(x[u]));
-        }
-        Ok(bits)
-    }
-
-    /// The equalized symbol estimates.
-    pub fn equalize(&self, h: &CMatrix, y: &CVector) -> Result<CVector, LinalgError> {
+    /// Compiles the channel-dependent work — forming and LU-factoring
+    /// the regularized Gram matrix `H*H + (σ²/Es)·I` — into a reusable
+    /// per-coherence-interval filter.
+    pub fn compile(&self, h: &CMatrix) -> Result<MmseFilter, LinalgError> {
         let ridge = self.noise_variance / self.modulation.mean_symbol_energy();
         let mut gram = h.gram();
         for i in 0..gram.rows() {
             gram[(i, i)] += Complex::real(ridge);
         }
-        let rhs = h.hermitian().mul_vec(y);
-        hermitian_solve(&gram, &rhs)
+        debug_assert!(is_hermitian(&gram, 1e-9), "regularized Gram not Hermitian");
+        Ok(MmseFilter {
+            modulation: self.modulation,
+            h_herm: h.hermitian(),
+            factor: LuFactor::compute(&gram)?,
+        })
+    }
+
+    /// Decodes one channel use.
+    ///
+    /// One-shot form of [`MmseDetector::compile`] +
+    /// [`MmseFilter::decode`] (bit-identical; the split only amortizes).
+    pub fn decode(&self, h: &CMatrix, y: &CVector) -> Result<Vec<u8>, LinalgError> {
+        Ok(self.compile(h)?.decode(y))
+    }
+
+    /// The equalized symbol estimates.
+    pub fn equalize(&self, h: &CMatrix, y: &CVector) -> Result<CVector, LinalgError> {
+        Ok(self.compile(h)?.equalize(y))
+    }
+}
+
+/// A compiled MMSE filter: the matched filter `H*` and the LU-factored
+/// regularized Gram matrix of one channel, applied per received vector
+/// as a matrix–vector product plus two triangular solves.
+#[derive(Clone, Debug)]
+pub struct MmseFilter {
+    modulation: Modulation,
+    h_herm: CMatrix,
+    factor: LuFactor,
+}
+
+impl MmseFilter {
+    /// Users (= columns of the compiled channel).
+    pub fn num_users(&self) -> usize {
+        self.factor.dim()
+    }
+
+    /// Modulation the filter slices for.
+    pub fn modulation(&self) -> Modulation {
+        self.modulation
+    }
+
+    /// The equalized symbol estimates for one received vector.
+    pub fn equalize(&self, y: &CVector) -> CVector {
+        let rhs = self.h_herm.mul_vec(y);
+        self.factor
+            .solve(&rhs)
+            .expect("rhs length fixed by the compiled channel")
+    }
+
+    /// Decodes one received vector over the compiled channel.
+    pub fn decode(&self, y: &CVector) -> Vec<u8> {
+        self.modulation.demap_gray_vector(&self.equalize(y))
     }
 }
 

@@ -108,34 +108,83 @@ impl SphereDecoder {
         self
     }
 
+    /// Compiles the channel-dependent work — the QR decomposition of
+    /// `H` — into a reusable per-coherence-interval search context.
+    ///
+    /// # Panics
+    /// Panics when `h` is wider than tall (`Nr < Nt`).
+    pub fn compile(&self, h: &CMatrix) -> CompiledSphere {
+        assert!(h.rows() >= h.cols(), "sphere decoding needs Nr >= Nt");
+        CompiledSphere {
+            decoder: self.clone(),
+            qr: QrDecomposition::compute(h),
+            nr: h.rows(),
+            constellation: self.modulation.constellation(),
+        }
+    }
+
     /// Decodes one channel use.
+    ///
+    /// One-shot form of [`SphereDecoder::compile`] +
+    /// [`CompiledSphere::decode`] (bit-identical; the split only
+    /// amortizes the QR).
     ///
     /// # Panics
     /// Panics when `h` is wider than tall (`Nr < Nt`) or `y` mismatched.
     pub fn decode(&self, h: &CMatrix, y: &CVector) -> Result<SphereResult, SphereError> {
-        assert!(h.rows() >= h.cols(), "sphere decoding needs Nr >= Nt");
-        assert_eq!(h.rows(), y.len(), "H and y disagree on receive antennas");
-        let nt = h.cols();
-        let qr = QrDecomposition::compute(h);
+        self.compile(h).decode(y)
+    }
+}
+
+/// A compiled sphere-search context: the cached QR of one channel;
+/// each received vector pays only the rotation `ȳ = Q*y` and the tree
+/// walk itself.
+#[derive(Clone, Debug)]
+pub struct CompiledSphere {
+    decoder: SphereDecoder,
+    qr: QrDecomposition,
+    nr: usize,
+    constellation: Vec<(Vec<u8>, Complex)>,
+}
+
+impl CompiledSphere {
+    /// Users (= tree height) of the compiled channel.
+    pub fn num_users(&self) -> usize {
+        self.qr.r.cols()
+    }
+
+    /// Modulation the search runs over.
+    pub fn modulation(&self) -> Modulation {
+        self.decoder.modulation
+    }
+
+    /// Decodes one received vector over the compiled channel.
+    ///
+    /// # Panics
+    /// Panics when `y` disagrees with the compiled channel's antennas.
+    pub fn decode(&self, y: &CVector) -> Result<SphereResult, SphereError> {
+        assert_eq!(self.nr, y.len(), "H and y disagree on receive antennas");
+        let nt = self.num_users();
+        let qr = &self.qr;
         let y_bar = qr.rotate(y);
         // The thin QR drops ‖y‖² − ‖Q*y‖² ≥ 0, constant over v: account
         // for it so the returned metric equals the true ML norm.
         let residual = (y.norm_sqr() - y_bar.norm_sqr()).max(0.0);
 
-        let constellation = self.modulation.constellation();
+        let constellation = &self.constellation;
         let mut search = Search {
             r: &qr.r,
             y_bar: &y_bar,
-            constellation: &constellation,
-            best_metric: if self.initial_radius.is_finite() {
-                self.initial_radius - residual
+            constellation,
+            best_metric: if self.decoder.initial_radius.is_finite() {
+                self.decoder.initial_radius - residual
             } else {
                 f64::INFINITY
             },
             best_path: Vec::new(),
             chosen: vec![usize::MAX; nt],
             visited: 0,
-            budget: self.node_budget,
+            budget: self.decoder.node_budget,
         };
         search.descend(nt, 0.0);
 
@@ -148,7 +197,7 @@ impl SphereDecoder {
         }
 
         // best_path is indexed by user (levels assign chosen[level−1]).
-        let mut bits = Vec::with_capacity(nt * self.modulation.bits_per_symbol());
+        let mut bits = Vec::with_capacity(nt * self.decoder.modulation.bits_per_symbol());
         let mut symbols = CVector::zeros(nt);
         for (user, &ci) in search.best_path.iter().enumerate() {
             let (b, s) = &constellation[ci];

@@ -1,11 +1,15 @@
 //! Zero-forcing detection — the linear baseline of Fig. 14.
 //!
 //! `v̂ = slice(H⁺y)`: invert the channel, then hard-slice per user.
-//! `O(Nt³)` once per channel use, independent of constellation size —
-//! which is why Argos/BigStation-class systems use it — but the
-//! pseudo-inverse amplifies noise in the directions of small singular
-//! values, so BER collapses exactly where the paper says it does:
-//! poorly-conditioned channels with `Nt ≈ Nr` (§5.4).
+//! `O(Nt³)` once per *channel* — not per channel use: the pseudo-
+//! inverse depends only on `H`, so [`ZeroForcingDetector::compile`]
+//! hoists it out of the per-vector path and a coherence interval's
+//! worth of received vectors ride the cached [`ZfFilter`] at `O(Nt·Nr)`
+//! each. Constellation-size independent — which is why Argos/
+//! BigStation-class systems use it — but the pseudo-inverse amplifies
+//! noise in the directions of small singular values, so BER collapses
+//! exactly where the paper says it does: poorly-conditioned channels
+//! with `Nt ≈ Nr` (§5.4).
 
 use quamax_linalg::{pseudo_inverse, CMatrix, CVector, LinalgError};
 use quamax_wireless::Modulation;
@@ -22,22 +26,59 @@ impl ZeroForcingDetector {
         ZeroForcingDetector { modulation }
     }
 
+    /// Compiles the channel-dependent work — the `O(Nt³)` pseudo-
+    /// inverse — into a reusable per-coherence-interval filter. Fails
+    /// (rather than guessing) when the channel is rank-deficient.
+    pub fn compile(&self, h: &CMatrix) -> Result<ZfFilter, LinalgError> {
+        Ok(ZfFilter {
+            modulation: self.modulation,
+            pinv: pseudo_inverse(h)?,
+        })
+    }
+
     /// Decodes one channel use. Fails (rather than guessing) when the
     /// channel is rank-deficient.
+    ///
+    /// One-shot form of [`ZeroForcingDetector::compile`] +
+    /// [`ZfFilter::decode`] (bit-identical; the split only amortizes).
     pub fn decode(&self, h: &CMatrix, y: &CVector) -> Result<Vec<u8>, LinalgError> {
-        let pinv = pseudo_inverse(h)?;
-        let x = pinv.mul_vec(y);
-        let mut bits = Vec::with_capacity(h.cols() * self.modulation.bits_per_symbol());
-        for u in 0..h.cols() {
-            bits.extend(self.modulation.demap_gray(x[u]));
-        }
-        Ok(bits)
+        Ok(self.compile(h)?.decode(y))
     }
 
     /// The equalized (pre-slicing) symbol estimates — useful for soft
     /// metrics and diagnostics.
     pub fn equalize(&self, h: &CMatrix, y: &CVector) -> Result<CVector, LinalgError> {
-        Ok(pseudo_inverse(h)?.mul_vec(y))
+        Ok(self.compile(h)?.equalize(y))
+    }
+}
+
+/// A compiled zero-forcing filter: the cached pseudo-inverse `H⁺` of
+/// one channel, applied per received vector as a matrix–vector product.
+#[derive(Clone, Debug)]
+pub struct ZfFilter {
+    modulation: Modulation,
+    pinv: CMatrix,
+}
+
+impl ZfFilter {
+    /// Users (= columns of the compiled channel).
+    pub fn num_users(&self) -> usize {
+        self.pinv.rows()
+    }
+
+    /// Modulation the filter slices for.
+    pub fn modulation(&self) -> Modulation {
+        self.modulation
+    }
+
+    /// The equalized (pre-slicing) symbol estimates `H⁺y`.
+    pub fn equalize(&self, y: &CVector) -> CVector {
+        self.pinv.mul_vec(y)
+    }
+
+    /// Decodes one received vector over the compiled channel.
+    pub fn decode(&self, y: &CVector) -> Vec<u8> {
+        self.modulation.demap_gray_vector(&self.equalize(y))
     }
 }
 

@@ -1,7 +1,8 @@
-//! Property-based tests: the sphere decoder is exactly ML.
+//! Property-based tests: the sphere decoder is exactly ML, and every
+//! compiled filter is bit-identical to its one-shot decode API.
 
 use proptest::prelude::*;
-use quamax_baselines::{exhaustive_ml, SphereDecoder, ZeroForcingDetector};
+use quamax_baselines::{exhaustive_ml, MmseDetector, SphereDecoder, ZeroForcingDetector};
 use quamax_linalg::{CMatrix, CVector, Complex};
 use quamax_wireless::Modulation;
 
@@ -66,6 +67,76 @@ proptest! {
         let y = h.mul_vec(&m.map_gray_vector(&bits));
         if let Ok(out) = ZeroForcingDetector::new(m).decode(&h, &y) {
             prop_assert_eq!(out, bits);
+        }
+    }
+
+    /// A compiled ZF filter streams many received vectors bit-identically
+    /// to the one-shot decode of each, across modulations.
+    #[test]
+    fn zf_filter_matches_one_shot(
+        hdata in proptest::collection::vec(complex(), 9),
+        ydata in proptest::collection::vec(complex(), 9),
+        m in prop_oneof![Just(Modulation::Bpsk), Just(Modulation::Qpsk), Just(Modulation::Qam16)],
+    ) {
+        let h = CMatrix::from_vec(3, 3, hdata);
+        let zf = ZeroForcingDetector::new(m);
+        let filter = match zf.compile(&h) {
+            Ok(f) => f,
+            Err(_) => return Ok(()), // rank-deficient: one-shot fails identically
+        };
+        for chunk in ydata.chunks(3) {
+            let y = CVector::from_vec(chunk.to_vec());
+            prop_assert_eq!(filter.decode(&y), zf.decode(&h, &y).unwrap());
+            let soft = filter.equalize(&y);
+            let soft_direct = zf.equalize(&h, &y).unwrap();
+            for u in 0..3 {
+                prop_assert_eq!(soft[u], soft_direct[u]);
+            }
+        }
+    }
+
+    /// A compiled MMSE filter is bit-identical to the one-shot decode,
+    /// across modulations and noise levels (including the ZF limit σ²=0).
+    #[test]
+    fn mmse_filter_matches_one_shot(
+        hdata in proptest::collection::vec(complex(), 9),
+        ydata in proptest::collection::vec(complex(), 9),
+        sigma2 in prop_oneof![Just(0.0f64), 1e-3f64..1.0],
+        m in prop_oneof![Just(Modulation::Bpsk), Just(Modulation::Qpsk), Just(Modulation::Qam16)],
+    ) {
+        let h = CMatrix::from_vec(3, 3, hdata);
+        let mmse = MmseDetector::new(m, sigma2);
+        let filter = match mmse.compile(&h) {
+            Ok(f) => f,
+            Err(_) => return Ok(()),
+        };
+        for chunk in ydata.chunks(3) {
+            let y = CVector::from_vec(chunk.to_vec());
+            prop_assert_eq!(filter.decode(&y), mmse.decode(&h, &y).unwrap());
+        }
+    }
+
+    /// A compiled sphere context reproduces the one-shot search exactly:
+    /// same bits, same metric, same visited-node count.
+    #[test]
+    fn compiled_sphere_matches_one_shot(
+        hdata in proptest::collection::vec(complex(), 9),
+        ydata in proptest::collection::vec(complex(), 9),
+        m in prop_oneof![Just(Modulation::Bpsk), Just(Modulation::Qpsk), Just(Modulation::Qam16)],
+    ) {
+        let h = CMatrix::from_vec(3, 3, hdata);
+        let sphere = SphereDecoder::new(m);
+        let compiled = sphere.compile(&h);
+        for chunk in ydata.chunks(3) {
+            let y = CVector::from_vec(chunk.to_vec());
+            match (compiled.decode(&y), sphere.decode(&h, &y)) {
+                (Ok(a), Ok(b)) => {
+                    prop_assert_eq!(a.bits, b.bits);
+                    prop_assert_eq!(a.metric, b.metric);
+                    prop_assert_eq!(a.visited_nodes, b.visited_nodes);
+                }
+                (a, b) => prop_assert_eq!(a, b),
+            }
         }
     }
 }

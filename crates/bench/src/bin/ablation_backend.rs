@@ -8,7 +8,7 @@
 //! Run: `cargo run --release -p quamax-bench --bin ablation_backend`
 
 use quamax_anneal::{AnnealerConfig, Backend, Schedule};
-use quamax_bench::{run_instance, spec_for, Args, Report};
+use quamax_bench::{run_instances, spec_for, Args, Report};
 use quamax_chimera::EmbedParams;
 use quamax_core::metrics::percentile;
 use quamax_core::params::CandidateParams;
@@ -58,14 +58,16 @@ fn main() {
                     sweeps_per_us: sweeps,
                     ..Default::default()
                 };
-                let results: Vec<(f64, f64)> = insts
+                // All instances of this setting decode in parallel
+                // (per-seed deterministic; see runner::run_instances).
+                let work: Vec<_> = insts
                     .iter()
                     .enumerate()
-                    .map(|(i, inst)| {
-                        let spec = spec_for(params, annealer, anneals, seed + i as u64);
-                        let (stats, _) = run_instance(inst, &spec);
-                        (stats.p0, stats.tts99_us().unwrap_or(f64::INFINITY))
-                    })
+                    .map(|(i, inst)| (inst, spec_for(params, annealer, anneals, seed + i as u64)))
+                    .collect();
+                let results: Vec<(f64, f64)> = run_instances(&work)
+                    .iter()
+                    .map(|(stats, _)| (stats.p0, stats.tts99_us().unwrap_or(f64::INFINITY)))
                     .collect();
                 let p0s: Vec<f64> = results.iter().map(|r| r.0).collect();
                 let tts: Vec<f64> = results.iter().map(|r| r.1).collect();

@@ -11,7 +11,7 @@
 //! Run: `cargo run --release -p quamax-bench --bin ablation_embedding`
 
 use quamax_anneal::{Annealer, AnnealerConfig, Schedule, SolutionDistribution};
-use quamax_bench::{default_params, ground_truth, run_instance, spec_for, Args, Report};
+use quamax_bench::{default_params, ground_truth, run_instances, spec_for, Args, Report};
 use quamax_core::metrics::percentile;
 use quamax_core::reduce::ising_from_ml;
 use quamax_core::Scenario;
@@ -40,19 +40,26 @@ fn main() {
             .map(|_| Scenario::new(nt, nt, m).sample(&mut rng))
             .collect();
 
-        // (a) full pipeline.
-        let embedded_p0: Vec<f64> = insts
+        // (a) full pipeline — all instances in parallel (per-seed
+        // deterministic; see runner::run_instances).
+        let work: Vec<_> = insts
             .iter()
             .enumerate()
             .map(|(i, inst)| {
-                let spec = spec_for(
-                    default_params(),
-                    Default::default(),
-                    anneals,
-                    seed + i as u64,
-                );
-                run_instance(inst, &spec).0.p0
+                (
+                    inst,
+                    spec_for(
+                        default_params(),
+                        Default::default(),
+                        anneals,
+                        seed + i as u64,
+                    ),
+                )
             })
+            .collect();
+        let embedded_p0: Vec<f64> = run_instances(&work)
+            .iter()
+            .map(|(stats, _)| stats.p0)
             .collect();
 
         // (b) logical-only: anneal the un-embedded problem with the

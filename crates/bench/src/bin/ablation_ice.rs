@@ -9,7 +9,7 @@
 //! Run: `cargo run --release -p quamax-bench --bin ablation_ice`
 
 use quamax_anneal::{AnnealerConfig, IceModel};
-use quamax_bench::{default_params, run_instance, spec_for, Args, Report};
+use quamax_bench::{default_params, run_instances, spec_for, Args, Report};
 use quamax_core::metrics::percentile;
 use quamax_core::Scenario;
 use quamax_wireless::Modulation;
@@ -41,14 +41,21 @@ fn main() {
                 ice: IceModel::dw2q().scaled(scale),
                 ..Default::default()
             };
-            let results: Vec<(f64, f64)> = insts
+            // All instances of this ICE scale decode in parallel
+            // (per-seed deterministic; see runner::run_instances).
+            let work: Vec<_> = insts
                 .iter()
                 .enumerate()
                 .map(|(i, inst)| {
-                    let spec = spec_for(default_params(), annealer, anneals, seed + i as u64);
-                    let (stats, _) = run_instance(inst, &spec);
-                    (stats.p0, stats.ttb_us(1e-6).unwrap_or(f64::INFINITY))
+                    (
+                        inst,
+                        spec_for(default_params(), annealer, anneals, seed + i as u64),
+                    )
                 })
+                .collect();
+            let results: Vec<(f64, f64)> = run_instances(&work)
+                .iter()
+                .map(|(stats, _)| (stats.p0, stats.ttb_us(1e-6).unwrap_or(f64::INFINITY)))
                 .collect();
             let p0s: Vec<f64> = results.iter().map(|r| r.0).collect();
             let ttbs: Vec<f64> = results.iter().map(|r| r.1).collect();

@@ -1,0 +1,163 @@
+//! Records the compiled-filter before/after comparison for the
+//! classical detector backends to `BENCH_detect.json` (run from the
+//! repo root: `cargo run --release -p quamax-bench --bin bench_detect`).
+//!
+//! Workload: one coherence interval — a fixed 12-user QPSK Rayleigh
+//! channel `H` with 64 received vectors — decoded two ways per
+//! backend:
+//!
+//! * `direct` — the one-shot API (`decode(&H, &y)` per vector),
+//!   re-factorizing `H` every call (ZF: pseudo-inverse LU; MMSE: LU of
+//!   the regularized Gram; sphere: QR);
+//! * `session` — the `Detector` trait path: `DetectorKind::compile`
+//!   once, then `detect(&y, seed)` per vector against the cached
+//!   factorization.
+//!
+//! The win is *asserted*, not inferred from wall clock: the
+//! `quamax_linalg::factorization_count` tally must read exactly one
+//! factorization for the whole session pass versus one per vector for
+//! the direct pass, and both passes must agree bit for bit, before any
+//! timing is reported.
+
+use quamax_baselines::{MmseDetector, SphereDecoder, ZeroForcingDetector};
+use quamax_core::{Detector, DetectorKind, DetectorSession, Scenario};
+use quamax_linalg::{factorization_count, CVector};
+use quamax_wireless::{Modulation, Snr};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+const VECTORS: usize = 64;
+const ROUNDS: usize = 5;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2020); // HotNets '20
+    let m = Modulation::Qpsk;
+    let snr = Snr::from_db(16.0);
+    let scenario = Scenario::new(12, 12, m).with_rayleigh().with_snr(snr);
+    let base = scenario.sample(&mut rng);
+    let input = base.detection_input();
+    let ys: Vec<CVector> = (0..VECTORS)
+        .map(|_| base.renoise(snr, &mut rng).y().clone())
+        .collect();
+    let sigma2 = snr.noise_variance(m);
+
+    let zf = ZeroForcingDetector::new(m);
+    let mmse = MmseDetector::new(m, sigma2);
+    let sphere = SphereDecoder::new(m);
+
+    // Per backend: (direct bits, direct pass), (session bits, session
+    // pass) — closures so the timing loop reruns the identical work.
+    type Pass<'a> = Box<dyn FnMut() -> Vec<Vec<u8>> + 'a>;
+    let backends: Vec<(&str, Pass, Pass)> = vec![
+        (
+            "zf",
+            Box::new(|| ys.iter().map(|y| zf.decode(&input.h, y).unwrap()).collect()),
+            Box::new(|| {
+                let mut s = DetectorKind::zf().compile(&input).unwrap();
+                ys.iter().map(|y| s.detect(y, 0).unwrap().bits).collect()
+            }),
+        ),
+        (
+            "mmse",
+            Box::new(|| {
+                ys.iter()
+                    .map(|y| mmse.decode(&input.h, y).unwrap())
+                    .collect()
+            }),
+            Box::new(|| {
+                let mut s = DetectorKind::mmse(sigma2).compile(&input).unwrap();
+                ys.iter().map(|y| s.detect(y, 0).unwrap().bits).collect()
+            }),
+        ),
+        (
+            "sphere",
+            Box::new(|| {
+                ys.iter()
+                    .map(|y| sphere.decode(&input.h, y).unwrap().bits)
+                    .collect()
+            }),
+            Box::new(|| {
+                let mut s = DetectorKind::sphere().compile(&input).unwrap();
+                ys.iter().map(|y| s.detect(y, 0).unwrap().bits).collect()
+            }),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    println!(
+        "{VECTORS} received vectors over one 12x12 QPSK Rayleigh channel ({} rounds, best):\n",
+        ROUNDS
+    );
+    for (name, mut direct, mut session) in backends {
+        // --- Correctness + factorization-count gate. ---
+        let before = factorization_count();
+        let direct_bits = direct();
+        let direct_factorizations = factorization_count() - before;
+        let before = factorization_count();
+        let session_bits = session();
+        let session_factorizations = factorization_count() - before;
+        assert_eq!(
+            direct_bits, session_bits,
+            "{name}: session diverged from direct decode"
+        );
+        assert_eq!(
+            direct_factorizations, VECTORS as u64,
+            "{name}: direct path should factor once per vector"
+        );
+        assert_eq!(
+            session_factorizations, 1,
+            "{name}: session should factor exactly once per interval"
+        );
+
+        // --- Throughput: best-of-ROUNDS wall clock per pass. ---
+        let time = |pass: &mut Pass| -> f64 {
+            let mut best = f64::INFINITY;
+            for _ in 0..ROUNDS {
+                let t0 = Instant::now();
+                std::hint::black_box(pass());
+                best = best.min(t0.elapsed().as_secs_f64());
+            }
+            best
+        };
+        let direct_s = time(&mut direct);
+        let session_s = time(&mut session);
+        let per_decode_us = |s: f64| s * 1e6 / VECTORS as f64;
+        println!(
+            "{name:<8} direct {:>8.2} µs/decode ({VECTORS} factorizations) | session {:>8.2} µs/decode (1 factorization) | speedup {:>5.2}x",
+            per_decode_us(direct_s),
+            per_decode_us(session_s),
+            direct_s / session_s,
+        );
+        rows.push(serde_json::json!({
+            "backend": name,
+            "direct_factorizations": direct_factorizations,
+            "session_factorizations": session_factorizations,
+            "direct_us_per_decode": (per_decode_us(direct_s) * 100.0).round() / 100.0,
+            "session_us_per_decode": (per_decode_us(session_s) * 100.0).round() / 100.0,
+            "speedup": ((direct_s / session_s) * 100.0).round() / 100.0,
+        }));
+    }
+
+    let workload = serde_json::json!({
+        "class": "12x12 QPSK Rayleigh",
+        "snr_db": 16.0,
+        "vectors": VECTORS,
+        "seed": 2020,
+    });
+    let doc = serde_json::json!({
+        "name": "BENCH_detect",
+        "workload": workload,
+        "note": "one coherence interval (fixed H), 64 received vectors; per backend the \
+                 session pass must count exactly 1 linalg factorization vs 64 for the \
+                 direct pass and agree bit for bit before timing; best-of-5 wall clock",
+        "bit_identical": true,
+        "rows": rows,
+    });
+    std::fs::write(
+        "BENCH_detect.json",
+        serde_json::to_string_pretty(&doc).expect("serializable"),
+    )
+    .expect("write BENCH_detect.json");
+    println!("\nwrote BENCH_detect.json");
+}

@@ -5,14 +5,23 @@
 //! across all modulations; at fixed users, TTB improves with SNR and
 //! the Opt oracle is nearly SNR-insensitive (BER 1e-6 within 100 µs).
 //!
+//! Protocol note: each class's channels and bit strings are drawn
+//! *once* and re-noised per SNR point (the §5.4 fixed-channel
+//! protocol). The Fix decodes ride **one compiled detector session per
+//! channel across the entire SNR sweep** — the ML reduction structure
+//! and embedding depend only on `H`, so only the received vector (and
+//! hence the in-place field refresh) changes between SNR points — and
+//! the per-channel sweeps are sharded across cores.
+//!
 //! Run: `cargo run --release -p quamax-bench --bin fig13`
 
+use quamax_anneal::Annealer;
 use quamax_bench::{
-    default_params, optimize_instance, run_instance, small_pause_grid, spec_for, Args,
+    default_params, ground_truth, optimize_instance, run_map, small_pause_grid, spec_for, Args,
     ProblemClass, Report,
 };
 use quamax_core::metrics::percentile;
-use quamax_core::Scenario;
+use quamax_core::{Detector, DetectorKind, DetectorSession, RunStatistics, Scenario};
 use quamax_wireless::{Modulation, Snr};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -73,14 +82,8 @@ fn main() {
         },
     ];
     for class in classes {
-        let (fix_med, fix_mean, opt_med) = evaluate(
-            class,
-            Snr::from_db(20.0),
-            anneals,
-            instances,
-            seed,
-            with_opt,
-        );
+        let points = evaluate(class, &[20.0], anneals, instances, seed, with_opt);
+        let (fix_med, fix_mean, opt_med) = points[0];
         println!(
             "  {:<14}: Fix mean {:>10} median {:>10} | Opt median {:>10}",
             class.label(),
@@ -97,31 +100,20 @@ fn main() {
     }
 
     println!("== right: TTB(1e-6) vs SNR ==");
-    for (class, snrs) in [
-        (
-            ProblemClass {
-                users: 48,
-                modulation: Modulation::Bpsk,
-            },
-            [10.0, 15.0, 20.0, 25.0, 30.0, 40.0],
-        ),
-        (
-            ProblemClass {
-                users: 14,
-                modulation: Modulation::Qpsk,
-            },
-            [10.0, 15.0, 20.0, 25.0, 30.0, 40.0],
-        ),
+    let snrs = [10.0, 15.0, 20.0, 25.0, 30.0, 40.0];
+    for class in [
+        ProblemClass {
+            users: 48,
+            modulation: Modulation::Bpsk,
+        },
+        ProblemClass {
+            users: 14,
+            modulation: Modulation::Qpsk,
+        },
     ] {
-        for snr_db in snrs {
-            let (fix_med, fix_mean, opt_med) = evaluate(
-                class,
-                Snr::from_db(snr_db),
-                anneals,
-                instances,
-                seed + snr_db as u64,
-                with_opt,
-            );
+        // The whole SNR sweep shares the class's compiled sessions.
+        let points = evaluate(class, &snrs, anneals, instances, seed, with_opt);
+        for (&snr_db, &(fix_med, fix_mean, opt_med)) in snrs.iter().zip(&points) {
             println!(
                 "  {:<14} @ {snr_db:>4} dB: Fix mean {:>10} median {:>10} | Opt median {:>10}",
                 class.label(),
@@ -141,62 +133,105 @@ fn main() {
     println!("\nwrote {}", path.display());
 }
 
-/// Returns (Fix median, Fix mean-of-finite, Opt median) TTB(1e-6) µs.
+/// Per SNR point: (Fix median, Fix mean-of-finite, Opt median)
+/// TTB(1e-6) µs. Channels are fixed across the sweep; each channel's
+/// Fix decodes stream through one compiled session (per-channel
+/// workers sharded across cores, per-seed deterministic).
 fn evaluate(
     class: ProblemClass,
-    snr: Snr,
+    snrs: &[f64],
     anneals: usize,
     instances: usize,
     seed: u64,
     with_opt: bool,
-) -> (f64, f64, f64) {
+) -> Vec<(f64, f64, f64)> {
     let mut rng = StdRng::seed_from_u64(seed + 3 * class.logical_vars() as u64);
-    let sc = Scenario::new(class.users, class.users, class.modulation).with_snr(snr);
-    let insts: Vec<_> = (0..instances).map(|_| sc.sample(&mut rng)).collect();
-    let fix: Vec<f64> = insts
+    let sc = Scenario::new(class.users, class.users, class.modulation);
+    let bases: Vec<_> = (0..instances).map(|_| sc.sample(&mut rng)).collect();
+
+    // noisy[instance][snr_index]: the received vectors both Fix and
+    // Opt decode — generated once so the Fix-vs-Opt gap is a *paired*
+    // comparison on identical noise realizations, not draw variance.
+    let noisy: Vec<Vec<quamax_core::Instance>> = bases
         .iter()
         .enumerate()
-        .map(|(i, inst)| {
-            let spec = spec_for(
-                default_params(),
-                Default::default(),
-                anneals,
-                seed + i as u64,
-            );
-            run_instance(inst, &spec)
-                .0
-                .ttb_us(1e-6)
-                .unwrap_or(f64::INFINITY)
+        .map(|(i, base)| {
+            let mut noise_rng = StdRng::seed_from_u64(seed ^ (0x9e37_79b9 + i as u64));
+            snrs.iter()
+                .map(|&snr_db| base.renoise(Snr::from_db(snr_db), &mut noise_rng))
+                .collect()
         })
         .collect();
-    let finite: Vec<f64> = fix.iter().copied().filter(|t| t.is_finite()).collect();
-    let fix_mean = if finite.is_empty() {
-        f64::INFINITY
-    } else {
-        finite.iter().sum::<f64>() / finite.len() as f64
-    };
-    let opt_med = if with_opt {
-        let opt: Vec<f64> = insts
+    let indexed: Vec<(usize, &quamax_core::Instance)> = bases.iter().enumerate().collect();
+
+    let mut spec = spec_for(default_params(), Default::default(), anneals, seed);
+    // run_map shards one worker per instance; cap each worker's inner
+    // anneal threads so the fleet fills the machine instead of
+    // oversubscribing it (the same guard run_instances applies).
+    if spec.annealer.threads == 0 {
+        spec.annealer.threads = quamax_bench::inner_threads_for(instances);
+    }
+    let kind = DetectorKind::quamax(Annealer::new(spec.annealer), spec.decoder, anneals);
+
+    // fix_ttb[instance][snr_index]; each worker compiles its channel's
+    // session once and walks every SNR point through it.
+    let fix_ttb: Vec<Vec<f64>> = run_map(&indexed, |&(i, base)| {
+        let mut session = kind
+            .compile(&base.detection_input())
+            .expect("experiment sizes fit the chip");
+        noisy[i]
             .iter()
-            .enumerate()
-            .map(|(i, inst)| {
-                optimize_instance(
-                    inst,
-                    &small_pause_grid(),
-                    Default::default(),
-                    anneals,
-                    seed + 29 * i as u64,
-                )
-                .1
-                .ttb_us(1e-6)
-                .unwrap_or(f64::INFINITY)
+            .map(|inst| {
+                let gt = ground_truth(inst);
+                let detection = session
+                    .detect(inst.y(), seed + i as u64)
+                    .expect("annealed decode");
+                let run = detection.annealed_run().expect("quamax run");
+                RunStatistics::from_run(run, inst.tx_bits(), Some(gt.energy))
+                    .ttb_us(1e-6)
+                    .unwrap_or(f64::INFINITY)
             })
-            .collect();
-        percentile(&opt, 50.0)
-    } else {
-        f64::INFINITY
-    };
-    (percentile(&fix, 50.0), fix_mean, opt_med)
+            .collect()
+    });
+
+    snrs.iter()
+        .enumerate()
+        .map(|(s, _)| {
+            let fix: Vec<f64> = fix_ttb.iter().map(|per_inst| per_inst[s]).collect();
+            let finite: Vec<f64> = fix.iter().copied().filter(|t| t.is_finite()).collect();
+            let fix_mean = if finite.is_empty() {
+                f64::INFINITY
+            } else {
+                finite.iter().sum::<f64>() / finite.len() as f64
+            };
+            let opt_med = if with_opt {
+                // The oracle re-tunes parameters per instance, which
+                // changes the embedding — so it compiles per candidate
+                // (sharded inside optimize_instance) — but decodes the
+                // same received vectors as the Fix pass above.
+                let opt: Vec<f64> = noisy
+                    .iter()
+                    .enumerate()
+                    .map(|(i, per_snr)| {
+                        optimize_instance(
+                            &per_snr[s],
+                            &small_pause_grid(),
+                            Default::default(),
+                            anneals,
+                            seed + 29 * i as u64,
+                        )
+                        .1
+                        .ttb_us(1e-6)
+                        .unwrap_or(f64::INFINITY)
+                    })
+                    .collect();
+                percentile(&opt, 50.0)
+            } else {
+                f64::INFINITY
+            };
+            (percentile(&fix, 50.0), fix_mean, opt_med)
+        })
+        .collect()
 }
 
 fn fmt(x: f64) -> String {

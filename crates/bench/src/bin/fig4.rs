@@ -11,9 +11,10 @@
 //!
 //! Run: `cargo run --release -p quamax-bench --bin fig4 -- [--anneals N]`
 
+use quamax_anneal::Annealer;
 use quamax_bench::{default_params, ground_truth, spec_for, Args, Report};
 use quamax_core::metrics::BitErrorProfile;
-use quamax_core::Scenario;
+use quamax_core::{Detector, DetectorKind, DetectorSession, Scenario};
 use quamax_wireless::Modulation;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -48,16 +49,17 @@ fn main() {
             let (stats, _) = quamax_bench::run_instance(&inst, &spec);
             // Re-decode to reach the distribution (run_instance returns
             // statistics only); the decode is deterministic, so rebuild
-            // through the decoder for the rank table.
-            let decoder = quamax_core::QuamaxDecoder::new(
-                quamax_anneal::Annealer::new(spec.annealer),
-                spec.decoder,
-            );
-            let mut drng = StdRng::seed_from_u64(spec.seed);
-            let run = decoder
-                .decode(&inst.detection_input(), anneals, &mut drng)
-                .unwrap();
-            let profile = BitErrorProfile::from_run(&run, inst.tx_bits());
+            // through the trait API for the rank table.
+            let kind = DetectorKind::quamax(Annealer::new(spec.annealer), spec.decoder, anneals);
+            let input = inst.detection_input();
+            let mut session = kind.compile(&input).expect("fits the chip");
+            let detection = session
+                .detect(&input.y, spec.seed)
+                .expect("annealed decode");
+            let run = detection
+                .annealed_run()
+                .expect("quamax kind attaches its run");
+            let profile = BitErrorProfile::from_run(run, inst.tx_bits());
             let dist = run.distribution();
             let gaps = dist.relative_gaps();
 

@@ -10,8 +10,8 @@
 //! Run: `cargo run --release -p quamax-bench --bin table1 -- [--instances N]`
 
 use quamax_baselines::SphereDecoder;
-use quamax_bench::{Args, Report};
-use quamax_core::Scenario;
+use quamax_bench::{run_map, Args, Report};
+use quamax_core::{Instance, Scenario};
 use quamax_wireless::{Modulation, Snr};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -45,14 +45,17 @@ fn main() {
             let mut rng = StdRng::seed_from_u64(seed + (mi * 10 + col) as u64);
             let sc = Scenario::new(nt, nt, m).with_rayleigh().with_snr(snr);
             let decoder = SphereDecoder::new(m);
-            let mut total = 0u64;
-            for _ in 0..instances {
-                let inst = sc.sample(&mut rng);
-                total += decoder
+            // Instance generation keeps its sequential RNG stream; the
+            // (independent, per-instance) sphere searches shard across
+            // cores — same decodes, same mean, all cores busy.
+            let insts: Vec<Instance> = (0..instances).map(|_| sc.sample(&mut rng)).collect();
+            let nodes = run_map(&insts, |inst| {
+                decoder
                     .decode(inst.h(), inst.y())
                     .expect("Rayleigh channels are non-degenerate")
-                    .visited_nodes;
-            }
+                    .visited_nodes
+            });
+            let total: u64 = nodes.iter().sum();
             measured[mi][col] = total as f64 / instances as f64;
         }
     }

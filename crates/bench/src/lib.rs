@@ -27,7 +27,7 @@ pub mod workload;
 pub use cli::Args;
 pub use ground::ground_truth;
 pub use output::Report;
-pub use runner::{run_instance, run_instances, RunSpec};
+pub use runner::{inner_threads_for, run_instance, run_instances, run_map, RunSpec};
 pub use workload::{
     default_params, fix_for_class, optimize_instance, score, small_no_pause_grid, small_pause_grid,
     spec_for, ProblemClass,

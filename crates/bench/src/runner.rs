@@ -1,12 +1,18 @@
 //! The experiment kernel: decode one instance under one parameter
-//! setting, return the full `RunStatistics` — plus the sharded driver
-//! that fans a whole work list out across CPU cores.
+//! setting, return the full `RunStatistics` — plus the sharded drivers
+//! that fan whole work lists out across CPU cores.
+//!
+//! Decodes go through the unified detector traits
+//! (`DetectorKind::quamax` → `compile` → `detect`), so every figure
+//! binary exercises the same API surface the examples and the C-RAN
+//! front-end use; the trait path is bit-identical to the historical
+//! direct `QuamaxDecoder::decode` under the same seed.
 
 use crate::ground::{ground_truth, GroundTruth};
 use quamax_anneal::{Annealer, AnnealerConfig};
-use quamax_core::{DecoderConfig, Instance, QuamaxDecoder, RunStatistics};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use quamax_core::{
+    DecoderConfig, Detector, DetectorKind, DetectorSession, Instance, RunStatistics,
+};
 
 /// Everything one decode-and-score run needs.
 #[derive(Clone, Debug)]
@@ -28,12 +34,16 @@ pub struct RunSpec {
 /// the ML bits / hardness probe without re-running the sphere decoder).
 pub fn run_instance(instance: &Instance, spec: &RunSpec) -> (RunStatistics, GroundTruth) {
     let gt = ground_truth(instance);
-    let decoder = QuamaxDecoder::new(Annealer::new(spec.annealer), spec.decoder);
-    let mut rng = StdRng::seed_from_u64(spec.seed);
-    let run = decoder
-        .decode(&instance.detection_input(), spec.anneals, &mut rng)
-        .expect("experiment sizes fit the chip");
-    let stats = RunStatistics::from_run(&run, instance.tx_bits(), Some(gt.energy));
+    let kind = DetectorKind::quamax(Annealer::new(spec.annealer), spec.decoder, spec.anneals);
+    let input = instance.detection_input();
+    let mut session = kind.compile(&input).expect("experiment sizes fit the chip");
+    let detection = session
+        .detect(&input.y, spec.seed)
+        .expect("the annealed session cannot fail per decode");
+    let run = detection
+        .annealed_run()
+        .expect("the quamax kind always attaches its run");
+    let stats = RunStatistics::from_run(run, instance.tx_bits(), Some(gt.energy));
     (stats, gt)
 }
 
@@ -49,36 +59,66 @@ pub fn run_instance(instance: &Instance, spec: &RunSpec) -> (RunStatistics, Grou
 /// workers' inner anneal batches. An explicit thread setting on a
 /// spec's annealer wins.
 pub fn run_instances(work: &[(&Instance, RunSpec)]) -> Vec<(RunStatistics, GroundTruth)> {
-    if work.is_empty() {
-        return Vec::new();
-    }
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let threads = cores.min(work.len());
-    let inner_threads = (cores / threads).max(1);
-    let single = move |(instance, spec): &(&Instance, RunSpec)| {
+    let inner_threads = inner_threads_for(work.len());
+    run_map(work, move |(instance, spec): &(&Instance, RunSpec)| {
         let mut spec = spec.clone();
         if spec.annealer.threads == 0 {
             spec.annealer.threads = inner_threads;
         }
         run_instance(instance, &spec)
-    };
-    if threads == 1 {
-        return work.iter().map(single).collect();
+    })
+}
+
+/// Inner anneal threads for each of `workers` sharded workers: splits
+/// the machine so `workers × inner ≈ cores` — leftover cores on short
+/// work lists flow into the workers' anneal batches, and long lists
+/// never oversubscribe to `cores²` threads. Callers driving
+/// [`run_map`] with their own annealing workers (e.g. fig13's
+/// per-channel sessions) should set `AnnealerConfig::threads` from
+/// this unless the user pinned an explicit value.
+pub fn inner_threads_for(workers: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads = cores.min(workers.max(1));
+    (cores / threads).max(1)
+}
+
+/// Shards any per-item work list across CPU cores, returning results
+/// in input order — the generic primitive behind [`run_instances`],
+/// also used by the classical sweeps (`table1`'s sphere decodes, the
+/// calibration probe, the ablation binaries).
+///
+/// `f` must be self-contained per item (seeded by the item, no shared
+/// mutable state), which makes the output independent of the worker
+/// count — the same determinism contract as [`run_instances`].
+pub fn run_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
     }
-    let mut out: Vec<Option<(RunStatistics, GroundTruth)>> =
-        (0..work.len()).map(|_| None).collect();
-    let chunk = work.len().div_ceil(threads);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads = cores.min(items.len());
+    if threads == 1 {
+        return items.iter().map(f).collect();
+    }
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let chunk = items.len().div_ceil(threads);
     std::thread::scope(|scope| {
-        for (in_chunk, out_chunk) in work.chunks(chunk).zip(out.chunks_mut(chunk)) {
-            let single = &single;
+        for (in_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            let f = &f;
             scope.spawn(move || {
-                for (job, slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
-                    *slot = Some(single(job));
+                for (item, slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(f(item));
                 }
             });
         }
     });
-    out.into_iter().map(|r| r.expect("every job ran")).collect()
+    out.into_iter()
+        .map(|r| r.expect("every item mapped"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -88,6 +128,8 @@ mod tests {
     use quamax_chimera::EmbedParams;
     use quamax_core::Scenario;
     use quamax_wireless::Modulation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     #[test]
     fn kernel_produces_consistent_statistics() {
@@ -149,5 +191,14 @@ mod tests {
             assert_eq!(gt.ml_bits, serial_gt.ml_bits);
         }
         assert!(run_instances(&[]).is_empty());
+    }
+
+    #[test]
+    fn run_map_preserves_order_and_handles_edges() {
+        let items: Vec<u64> = (0..23).collect();
+        let out = run_map(&items, |&x| x * x);
+        assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>());
+        assert!(run_map::<u64, u64, _>(&[], |&x| x).is_empty());
+        assert_eq!(run_map(&[7u64], |&x| x + 1), vec![8]);
     }
 }

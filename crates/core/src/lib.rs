@@ -60,14 +60,51 @@
 //! [`QuamaxDecoder::decode`] under the same seed (property-tested per
 //! modulation, including reverse annealing), and the one-shot API is
 //! itself a thin wrapper over a single-use session.
+//!
+//! # DESIGN — the unified detector traits
+//!
+//! The H/y split above is not QuAMax-specific: *every* detector the
+//! paper compares against does `O(n³)` channel-only work before an
+//! `O(n²)`-ish per-vector step. The [`detect`] module therefore lifts
+//! the split into a pair of traits that all backends implement:
+//!
+//! ```text
+//! Detector::compile(&DetectionInput) -> Session   // once per coherence interval
+//! DetectorSession::detect(&y, seed) -> Detection  // per received vector
+//! ```
+//!
+//! What each backend hoists into `compile`:
+//!
+//! | backend  | `H`-only (compiled once)                   | per-`y` |
+//! |----------|--------------------------------------------|---------|
+//! | QuAMax   | reduction structure, embedding, CSR freeze | field refresh + anneal batch |
+//! | ZF       | pseudo-inverse `H⁺` (one LU of `H*H`)      | `H⁺y` + slice |
+//! | MMSE     | LU of `H*H + (σ²/Es)·I`, matched filter    | `H*y` + triangular solves + slice |
+//! | sphere   | QR of `H`                                  | rotate `ȳ = Q*y` + tree walk |
+//! | exact ML | —                                          | exhaustive scan |
+//!
+//! All sessions return the same [`detect::Detection`] (bits, the ML
+//! objective `‖y − Hv̂‖²`, backend statistics), so sweeps and sims
+//! iterate over backends as values via the [`detect::DetectorKind`]
+//! registry. A [`detect::HybridDetector`] composes two kinds into the
+//! HotNets '20 routing structure: the cheap linear session answers
+//! first and only residual-flagged problems reach the annealed or
+//! sphere session. Every trait path is bit-identical to the backend's
+//! direct API under the same `(H, y, seed)` — property-tested per
+//! modulation, hybrid routing decisions included.
 
 pub mod decoder;
+pub mod detect;
 pub mod metrics;
 pub mod params;
 pub mod reduce;
 pub mod scenario;
 
 pub use decoder::{DecodeError, DecodeRun, DecodeSession, DecoderConfig, QuamaxDecoder};
+pub use detect::{
+    BackendStats, DetectError, Detection, Detector, DetectorKind, DetectorSession, ExactMlDetector,
+    HybridDetector, QuamaxDetector, Route, RoutePolicy,
+};
 pub use metrics::{percentile, BitErrorProfile, RunStatistics};
 pub use params::CandidateParams;
 pub use reduce::{ising_from_ml, qubo_from_ml};

@@ -226,3 +226,134 @@ proptest! {
         prop_assert_eq!(one.distribution(), via.distribution());
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Trait-path equivalence: for every classical backend,
+    /// `Detector::compile` + `DetectorSession::detect` is bit-identical
+    /// to the backend's direct API on the same `(H, y)`, per modulation.
+    #[test]
+    fn trait_path_equals_direct_api_classical(
+        m in modulation(),
+        channel_seed in 0u64..10_000,
+        users in 2usize..4,
+    ) {
+        use quamax_baselines::{MmseDetector, SphereDecoder, ZeroForcingDetector, exhaustive_ml};
+        use quamax_core::{Detector, DetectorKind, DetectorSession};
+
+        let mut rng = StdRng::seed_from_u64(channel_seed);
+        let snr = Snr::from_db(12.0);
+        let sc = Scenario::new(users, users, m).with_rayleigh().with_snr(snr);
+        let interval = sc.sample(&mut rng);
+        let input = interval.detection_input();
+        let sigma2 = snr.noise_variance(m);
+
+        // Three received vectors over the same channel: the session is
+        // compiled once, the direct APIs re-factor per call.
+        let ys: Vec<CVector> = (0..3)
+            .map(|_| interval.renoise(snr, &mut rng).y().clone())
+            .collect();
+
+        let zf = ZeroForcingDetector::new(m);
+        let mmse = MmseDetector::new(m, sigma2);
+        let sphere = SphereDecoder::new(m);
+        if zf.decode(&input.h, &input.y).is_err() {
+            return Ok(()); // rank-deficient draw: trait compile fails identically
+        }
+
+        let mut zf_s = DetectorKind::zf().compile(&input).unwrap();
+        let mut mmse_s = DetectorKind::mmse(sigma2).compile(&input).unwrap();
+        let mut sphere_s = DetectorKind::sphere().compile(&input).unwrap();
+        let mut ml_s = DetectorKind::exact_ml().compile(&input).unwrap();
+
+        for y in &ys {
+            prop_assert_eq!(zf_s.detect(y, 0).unwrap().bits, zf.decode(&input.h, y).unwrap());
+            prop_assert_eq!(mmse_s.detect(y, 0).unwrap().bits, mmse.decode(&input.h, y).unwrap());
+            let via = sphere_s.detect(y, 0).unwrap();
+            let direct = sphere.decode(&input.h, y).unwrap();
+            prop_assert_eq!(via.bits, direct.bits);
+            prop_assert_eq!(via.metric, Some(direct.metric));
+            let ml = exhaustive_ml(&input.h, y, m);
+            let via_ml = ml_s.detect(y, 0).unwrap();
+            prop_assert_eq!(via_ml.bits, ml.bits);
+            prop_assert_eq!(via_ml.metric, Some(ml.metric));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Trait-path equivalence for the annealed backend: the
+    /// `DetectorKind::quamax` session reproduces one-shot
+    /// `QuamaxDecoder::decode` bit for bit under the same seed.
+    #[test]
+    fn trait_path_equals_direct_api_quamax(
+        m in modulation(),
+        channel_seed in 0u64..1_000,
+        decode_seed in 0u64..100_000,
+    ) {
+        use quamax_core::{Detector, DetectorKind, DetectorSession};
+
+        let mut rng = StdRng::seed_from_u64(channel_seed);
+        let sc = Scenario::new(3, 3, m);
+        let inst = sc.sample(&mut rng);
+        let input = inst.detection_input();
+        let config = DecoderConfig::default();
+        let kind = DetectorKind::quamax(session_annealer(), config, 15);
+        let mut session = kind.compile(&input).unwrap();
+        let via = session.detect(&input.y, decode_seed).unwrap();
+
+        let decoder = QuamaxDecoder::new(session_annealer(), config);
+        let mut one_rng = StdRng::seed_from_u64(decode_seed);
+        let one = decoder.decode(&input, 15, &mut one_rng).unwrap();
+        prop_assert_eq!(one.best_bits(), via.bits);
+        let run = via.annealed_run().expect("annealed run attached");
+        prop_assert_eq!(one.distribution(), run.distribution());
+        prop_assert_eq!(one.ml_offset(), run.ml_offset());
+    }
+
+    /// The hybrid router's decisions are deterministic and its output
+    /// is always exactly one of its two sub-sessions' detections.
+    #[test]
+    fn hybrid_output_is_one_of_its_routes(
+        m in modulation(),
+        channel_seed in 0u64..10_000,
+        margin in 0.5f64..4.0,
+    ) {
+        use quamax_core::{Detector, DetectorKind, DetectorSession, Route, RoutePolicy};
+
+        let mut rng = StdRng::seed_from_u64(channel_seed);
+        let snr = Snr::from_db(11.0);
+        let sc = Scenario::new(3, 3, m).with_rayleigh().with_snr(snr);
+        let inst = sc.sample(&mut rng);
+        let input = inst.detection_input();
+        if quamax_baselines::ZeroForcingDetector::new(m).decode(&input.h, &input.y).is_err() {
+            return Ok(());
+        }
+        let policy = RoutePolicy::noise_matched(snr, m, margin);
+        let kind = DetectorKind::hybrid(DetectorKind::zf(), DetectorKind::sphere(), policy);
+        let mut session = kind.compile(&input).unwrap();
+        let det = session.detect(&input.y, 3).unwrap();
+
+        let mut zf_s = DetectorKind::zf().compile(&input).unwrap();
+        let zf_det = zf_s.detect(&input.y, 3).unwrap();
+        let mut sp_s = DetectorKind::sphere().compile(&input).unwrap();
+        let sp_det = sp_s.detect(&input.y, 3).unwrap();
+
+        // The routing decision replays the policy exactly…
+        let per_antenna = zf_det.metric.unwrap() / input.nr() as f64;
+        let expect_route = if per_antenna <= policy.max_residual_per_antenna {
+            Route::Primary
+        } else {
+            Route::Fallback
+        };
+        prop_assert_eq!(det.route(), Some(expect_route));
+        // …and the bits are exactly the chosen sub-session's.
+        match expect_route {
+            Route::Primary => prop_assert_eq!(det.bits, zf_det.bits),
+            Route::Fallback => prop_assert_eq!(det.bits, sp_det.bits),
+        }
+    }
+}

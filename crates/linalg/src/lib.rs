@@ -32,8 +32,35 @@ pub use complex::Complex;
 pub use matrix::CMatrix;
 pub use qr::QrDecomposition;
 pub use rng::{standard_normal, ComplexGaussian};
-pub use solve::{cholesky, hermitian_solve, lu_solve, pseudo_inverse, LinalgError};
+pub use solve::{
+    cholesky, hermitian_solve, is_hermitian, lu_solve, pseudo_inverse, LinalgError, LuFactor,
+};
 pub use vector::CVector;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of matrix factorizations performed (LU and QR).
+///
+/// Factorizations are the `O(n³)` work that detection filters pay per
+/// *channel*, not per received vector; the compile-once detector
+/// sessions exist to hoist them out of the per-decode path. This tally
+/// lets benches and tests *assert* that hoisting (e.g. "K decodes
+/// through a session cost 1 factorization, not K") instead of inferring
+/// it from wall-clock noise.
+static FACTORIZATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Total LU + QR factorizations performed by this process so far.
+///
+/// Monotonic; take a snapshot before and after a region and subtract.
+/// (Counts are global across threads, so bracketed regions should not
+/// run concurrently with unrelated factorizing work.)
+pub fn factorization_count() -> u64 {
+    FACTORIZATIONS.load(Ordering::Relaxed)
+}
+
+pub(crate) fn record_factorization() {
+    FACTORIZATIONS.fetch_add(1, Ordering::Relaxed);
+}
 
 /// Tolerance used by the crate's own tests and by callers that need a
 /// "same up to rounding" comparison for unit-scale quantities.

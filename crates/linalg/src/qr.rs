@@ -37,6 +37,7 @@ impl QrDecomposition {
         let m = a.rows();
         let n = a.cols();
         assert!(m >= n, "QR requires rows >= cols (got {m}x{n})");
+        crate::record_factorization();
 
         // Work on a copy that becomes R (upper part), accumulating the
         // product of Householder reflections into Q (started at identity

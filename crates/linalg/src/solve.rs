@@ -38,11 +38,142 @@ impl std::fmt::Display for LinalgError {
 
 impl std::error::Error for LinalgError {}
 
+/// A reusable LU factorization `P·A = L·U` of a square complex matrix.
+///
+/// Detection filters solve against the *same* system matrix for every
+/// received vector of a coherence interval (MMSE's regularized Gram,
+/// ZF's Gram): factor once with [`LuFactor::compute`], then
+/// [`LuFactor::solve`] per right-hand side at `O(n²)`. Solving through
+/// a stored factor performs the identical floating-point operations in
+/// the identical order as the historical one-shot [`lu_solve`], so
+/// results are bit-identical — the factor is an amortization, not a
+/// different algorithm.
+#[derive(Clone, Debug)]
+pub struct LuFactor {
+    /// Combined factors: `U` on and above the diagonal, the elimination
+    /// multipliers of `L` (unit diagonal implied) strictly below.
+    lu: CMatrix,
+    /// Row swaps in elimination order: step `k` swapped rows `k` and
+    /// `swaps[k]`.
+    swaps: Vec<usize>,
+}
+
+impl LuFactor {
+    /// Factors square `a` with partial pivoting.
+    ///
+    /// Returns [`LinalgError::Singular`] when a pivot falls below a
+    /// scaled epsilon, and [`LinalgError::ShapeMismatch`] when `a` is
+    /// not square.
+    pub fn compute(a: &CMatrix) -> Result<LuFactor, LinalgError> {
+        let n = a.rows();
+        if a.cols() != n {
+            return Err(LinalgError::ShapeMismatch);
+        }
+        crate::record_factorization();
+        let mut lu = a.clone();
+        let mut swaps = vec![0usize; n];
+
+        // Scale-aware singularity threshold: pivots are compared against
+        // the largest magnitude of the input times machine epsilon (with
+        // a floor so the all-zero matrix is rejected too).
+        let max_abs = lu.as_slice().iter().map(|z| z.abs()).fold(0.0f64, f64::max);
+        let tol = (max_abs * 1e-13).max(1e-300);
+
+        for k in 0..n {
+            // Partial pivoting: pick the largest |a_ik| for i >= k.
+            let mut piv = k;
+            let mut piv_mag = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let m = lu[(i, k)].abs();
+                if m > piv_mag {
+                    piv = i;
+                    piv_mag = m;
+                }
+            }
+            if piv_mag <= tol {
+                return Err(LinalgError::Singular);
+            }
+            swaps[k] = piv;
+            if piv != k {
+                for c in 0..n {
+                    let tmp = lu[(k, c)];
+                    lu[(k, c)] = lu[(piv, c)];
+                    lu[(piv, c)] = tmp;
+                }
+            }
+
+            // Eliminate below the pivot, storing the multiplier in the
+            // zeroed position.
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                if factor == Complex::ZERO {
+                    continue;
+                }
+                for c in (k + 1)..n {
+                    let delta = factor * lu[(k, c)];
+                    lu[(i, c)] -= delta;
+                }
+            }
+        }
+        Ok(LuFactor { lu, swaps })
+    }
+
+    /// Dimension of the factored system.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A·x = b` against the stored factorization (`O(n²)`).
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when `b` has the wrong
+    /// length.
+    pub fn solve(&self, b: &CVector) -> Result<CVector, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch);
+        }
+        let mut x: Vec<Complex> = b.as_slice().to_vec();
+        // Apply the recorded row swaps, then forward-eliminate with the
+        // stored multipliers — the same per-entry operations, in the
+        // same order, as the interleaved one-shot elimination.
+        for (k, &piv) in self.swaps.iter().enumerate() {
+            if piv != k {
+                x.swap(k, piv);
+            }
+        }
+        for k in 0..n {
+            for i in (k + 1)..n {
+                let factor = self.lu[(i, k)];
+                if factor == Complex::ZERO {
+                    continue;
+                }
+                let delta = factor * x[k];
+                x[i] -= delta;
+            }
+        }
+        // Back substitution.
+        for k in (0..n).rev() {
+            let mut acc = x[k];
+            #[allow(clippy::needless_range_loop)] // c indexes both U's row and x
+            for c in (k + 1)..n {
+                acc -= self.lu[(k, c)] * x[c];
+            }
+            x[k] = acc / self.lu[(k, k)];
+        }
+        Ok(CVector::from_vec(x))
+    }
+}
+
 /// Solves `A·x = b` for square complex `A` by LU with partial pivoting.
 ///
 /// Returns [`LinalgError::Singular`] when a pivot falls below a scaled
 /// epsilon, and [`LinalgError::ShapeMismatch`] when `A` is not square or
 /// `b` has the wrong length.
+///
+/// One-shot form of [`LuFactor`]: callers solving against the same `A`
+/// repeatedly should factor once and reuse it.
 pub fn lu_solve(a: &CMatrix, b: &CVector) -> Result<CVector, LinalgError> {
     let n = a.rows();
     if a.cols() != n || b.len() != n {
@@ -51,66 +182,7 @@ pub fn lu_solve(a: &CMatrix, b: &CVector) -> Result<CVector, LinalgError> {
     if n == 0 {
         return Ok(CVector::zeros(0));
     }
-
-    // Augmented working copies.
-    let mut lu = a.clone();
-    let mut x: Vec<Complex> = b.as_slice().to_vec();
-
-    // Scale-aware singularity threshold: pivots are compared against the
-    // largest magnitude of the input times machine epsilon (with a floor
-    // so the all-zero matrix is rejected too).
-    let max_abs = lu.as_slice().iter().map(|z| z.abs()).fold(0.0f64, f64::max);
-    let tol = (max_abs * 1e-13).max(1e-300);
-
-    for k in 0..n {
-        // Partial pivoting: pick the largest |a_ik| for i >= k.
-        let mut piv = k;
-        let mut piv_mag = lu[(k, k)].abs();
-        for i in (k + 1)..n {
-            let m = lu[(i, k)].abs();
-            if m > piv_mag {
-                piv = i;
-                piv_mag = m;
-            }
-        }
-        if piv_mag <= tol {
-            return Err(LinalgError::Singular);
-        }
-        if piv != k {
-            for c in 0..n {
-                let tmp = lu[(k, c)];
-                lu[(k, c)] = lu[(piv, c)];
-                lu[(piv, c)] = tmp;
-            }
-            x.swap(k, piv);
-        }
-
-        // Eliminate below the pivot.
-        let pivot = lu[(k, k)];
-        for i in (k + 1)..n {
-            let factor = lu[(i, k)] / pivot;
-            if factor == Complex::ZERO {
-                continue;
-            }
-            lu[(i, k)] = Complex::ZERO;
-            for c in (k + 1)..n {
-                let delta = factor * lu[(k, c)];
-                lu[(i, c)] -= delta;
-            }
-            let delta = factor * x[k];
-            x[i] -= delta;
-        }
-    }
-
-    // Back substitution.
-    for k in (0..n).rev() {
-        let mut acc = x[k];
-        for c in (k + 1)..n {
-            acc -= lu[(k, c)] * x[c];
-        }
-        x[k] = acc / lu[(k, k)];
-    }
-    Ok(CVector::from_vec(x))
+    LuFactor::compute(a)?.solve(b)
 }
 
 /// Solves the Hermitian system `A·x = b`.
@@ -138,11 +210,14 @@ pub fn pseudo_inverse(a: &CMatrix) -> Result<CMatrix, LinalgError> {
     let ah = a.hermitian();
     let gram = ah.mul_mat(a);
     let n = gram.rows();
-    // Invert the Gram matrix column by column: G·X = A*, X = A⁺.
+    // Invert the Gram matrix column by column: G·X = A*, X = A⁺. One
+    // factorization serves every column (bit-identical to refactoring
+    // per column, since each would reproduce the same factors).
+    let factor = LuFactor::compute(&gram)?;
     let mut out = CMatrix::zeros(n, a.rows());
     for c in 0..a.rows() {
         let rhs = ah.col(c);
-        let x = lu_solve(&gram, &rhs)?;
+        let x = factor.solve(&rhs)?;
         for r in 0..n {
             out[(r, c)] = x[r];
         }
@@ -258,6 +333,136 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The historical one-shot elimination (pre-`LuFactor`), with the
+    /// right-hand side updated *inside* the factorization loop. Kept
+    /// verbatim as the reference for the bit-identity contract — the
+    /// production `lu_solve` now routes through `LuFactor`, so testing
+    /// against `lu_solve` alone would be circular.
+    fn reference_interleaved_lu_solve(a: &CMatrix, b: &CVector) -> Result<CVector, LinalgError> {
+        let n = a.rows();
+        if a.cols() != n || b.len() != n {
+            return Err(LinalgError::ShapeMismatch);
+        }
+        let mut lu = a.clone();
+        let mut x: Vec<Complex> = b.as_slice().to_vec();
+        let max_abs = lu.as_slice().iter().map(|z| z.abs()).fold(0.0f64, f64::max);
+        let tol = (max_abs * 1e-13).max(1e-300);
+        for k in 0..n {
+            let mut piv = k;
+            let mut piv_mag = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let m = lu[(i, k)].abs();
+                if m > piv_mag {
+                    piv = i;
+                    piv_mag = m;
+                }
+            }
+            if piv_mag <= tol {
+                return Err(LinalgError::Singular);
+            }
+            if piv != k {
+                for c in 0..n {
+                    let tmp = lu[(k, c)];
+                    lu[(k, c)] = lu[(piv, c)];
+                    lu[(piv, c)] = tmp;
+                }
+                x.swap(k, piv);
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                if factor == Complex::ZERO {
+                    continue;
+                }
+                lu[(i, k)] = Complex::ZERO;
+                for c in (k + 1)..n {
+                    let delta = factor * lu[(k, c)];
+                    lu[(i, c)] -= delta;
+                }
+                let delta = factor * x[k];
+                x[i] -= delta;
+            }
+        }
+        for k in (0..n).rev() {
+            let mut acc = x[k];
+            for c in (k + 1)..n {
+                acc -= lu[(k, c)] * x[c];
+            }
+            x[k] = acc / lu[(k, k)];
+        }
+        Ok(CVector::from_vec(x))
+    }
+
+    #[test]
+    fn lu_factor_solve_is_bit_identical_to_interleaved_elimination() {
+        // The compiled-filter guarantee: the split factor-then-solve
+        // performs the identical floating-point operations as the
+        // historical interleaved elimination — exactly, not just
+        // approximately. This pins every pre-PR decode result that
+        // flowed through the old lu_solve.
+        let mut rng = StdRng::seed_from_u64(21);
+        for n in [1usize, 3, 6, 12, 24] {
+            let a = random_matrix(&mut rng, n, n);
+            let factor = LuFactor::compute(&a).expect("well-conditioned");
+            assert_eq!(factor.dim(), n);
+            for _ in 0..4 {
+                let b = random_vector(&mut rng, n);
+                let reference = reference_interleaved_lu_solve(&a, &b).unwrap();
+                let via_factor = factor.solve(&b).unwrap();
+                let one_shot = lu_solve(&a, &b).unwrap();
+                for i in 0..n {
+                    assert_eq!(reference[i], via_factor[i], "n={n} i={i}");
+                    assert_eq!(reference[i], one_shot[i], "n={n} i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reference_and_factor_agree_on_singularity() {
+        let a = CMatrix::zeros(3, 3);
+        let b = CVector::zeros(3);
+        assert_eq!(
+            reference_interleaved_lu_solve(&a, &b),
+            Err(LinalgError::Singular)
+        );
+    }
+
+    #[test]
+    fn lu_factor_rejects_bad_shapes_and_singularity() {
+        assert_eq!(
+            LuFactor::compute(&CMatrix::zeros(2, 3)).err(),
+            Some(LinalgError::ShapeMismatch)
+        );
+        assert_eq!(
+            LuFactor::compute(&CMatrix::zeros(3, 3)).err(),
+            Some(LinalgError::Singular)
+        );
+        let mut rng = StdRng::seed_from_u64(22);
+        let f = LuFactor::compute(&random_matrix(&mut rng, 4, 4)).unwrap();
+        assert_eq!(
+            f.solve(&CVector::zeros(5)).err(),
+            Some(LinalgError::ShapeMismatch)
+        );
+    }
+
+    #[test]
+    fn factorization_tally_counts_lu_and_qr() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let a = random_matrix(&mut rng, 5, 5);
+        let b = random_vector(&mut rng, 5);
+        let before = crate::factorization_count();
+        let factor = LuFactor::compute(&a).unwrap();
+        for _ in 0..10 {
+            factor.solve(&b).unwrap();
+        }
+        let _ = crate::QrDecomposition::compute(&a);
+        let after = crate::factorization_count();
+        // Tests run concurrently, so other threads may also factor;
+        // this thread contributed exactly 2 (solves are free).
+        assert!(after - before >= 2);
     }
 
     #[test]

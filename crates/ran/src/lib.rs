@@ -16,16 +16,28 @@
 //!   integrated system;
 //! * [`cpu`] — a multi-core CPU pool running the classical baselines
 //!   (ZF or Sphere-Decoder service times from `baselines::timing`);
+//! * [`hybrid`] — the classical-first server of the HotNets '20
+//!   follow-on structure: the CPU pool decodes everything, the QPU
+//!   re-decodes only the residual-flagged fallback fraction per AP;
 //! * [`sim`] — a deterministic discrete-event simulation dispatching
-//!   per-subcarrier decode jobs to either server and scoring deadline
-//!   compliance.
+//!   per-subcarrier decode jobs to any of the servers and scoring
+//!   deadline compliance.
+//!
+//! Programming amortization is modeled two ways on the QPU server:
+//! frame-counted coherence ([`QpuServer::with_coherence`]) and a
+//! per-AP *session cache keyed by channel hash*
+//! ([`QpuServer::with_session_cache`] + [`qpu::channel_hash`]), which
+//! evicts on coherence expiry and reprograms exactly when an AP's
+//! channel actually changes.
 
 pub mod cpu;
+pub mod hybrid;
 pub mod qpu;
 pub mod sim;
 pub mod topology;
 
 pub use cpu::{CpuPolicy, CpuPool};
-pub use qpu::{QpuOverheads, QpuServer};
+pub use hybrid::HybridServer;
+pub use qpu::{channel_hash, QpuOverheads, QpuServer, SessionCache};
 pub use sim::{FrameRecord, Server, SimReport, Simulation};
 pub use topology::{AccessPoint, Deadline, FronthaulConfig};

@@ -16,6 +16,124 @@
 //! device the paper envisions.
 
 use quamax_chimera::parallelization;
+use quamax_linalg::CMatrix;
+
+/// A stable 64-bit fingerprint of a channel estimate — the key a
+/// compiled decode session is cached under. Two frames whose estimated
+/// `H` hashes equal can share one programmed problem (the couplings
+/// depend only on `H`); a changed hash means the coherence interval
+/// ended and the chip must be reprogrammed.
+///
+/// FNV-1a over the raw `f64` bit patterns: deterministic across runs
+/// and platforms with IEEE-754 doubles.
+pub fn channel_hash(h: &CMatrix) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut acc = OFFSET;
+    let mut eat = |v: u64| {
+        for shift in [0u32, 8, 16, 24, 32, 40, 48, 56] {
+            acc ^= (v >> shift) & 0xff;
+            acc = acc.wrapping_mul(PRIME);
+        }
+    };
+    eat(h.rows() as u64);
+    eat(h.cols() as u64);
+    for z in h.as_slice() {
+        eat(z.re.to_bits());
+        eat(z.im.to_bits());
+    }
+    acc
+}
+
+/// A per-source cache of compiled (programmed) decode sessions, keyed
+/// by channel hash, with eviction on coherence expiry.
+///
+/// Models the data-center front of §7 under the PR-2 compile-once
+/// sessions: each access point's current channel owns at most one
+/// programmed problem on the QPU; a frame whose channel hash is still
+/// cached (and fresh) skips host preprocessing and chip programming.
+/// Entries are evicted once they outlive the coherence time — the
+/// channel has physically changed, so the programmed problem is stale
+/// even if an identical hash were to reappear.
+#[derive(Clone, Debug)]
+pub struct SessionCache {
+    /// Maximum age of a cached session, µs (the coherence time).
+    coherence_us: f64,
+    /// `(source key, channel hash, programmed-at clock)` per source.
+    entries: Vec<(usize, u64, f64)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl SessionCache {
+    /// A cache whose sessions live `coherence_us` before eviction.
+    ///
+    /// # Panics
+    /// Panics when `coherence_us` is not positive.
+    pub fn new(coherence_us: f64) -> Self {
+        assert!(coherence_us > 0.0, "coherence time must be positive");
+        SessionCache {
+            coherence_us,
+            entries: Vec::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up `(key, hash)` at time `now_us`, inserting/refreshing on
+    /// miss. Returns `true` on a hit (the frame skips programming).
+    ///
+    /// Expired entries — of *any* source — are evicted first, so the
+    /// cache never reports stale sessions and its size stays bounded by
+    /// the live source count.
+    pub fn lookup(&mut self, now_us: f64, key: usize, hash: u64) -> bool {
+        let ttl = self.coherence_us;
+        self.entries.retain(|&(_, _, at)| now_us - at <= ttl);
+        match self.entries.iter().find(|&&(k, _, _)| k == key) {
+            Some(&(_, cached_hash, _)) if cached_hash == hash => {
+                self.hits += 1;
+                true
+            }
+            _ => {
+                // New channel for this source: the old programmed
+                // problem (if any) is dead — replace it.
+                self.entries.retain(|&(k, _, _)| k != key);
+                self.entries.push((key, hash, now_us));
+                self.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// The configured coherence time, µs.
+    pub fn coherence_us(&self) -> f64 {
+        self.coherence_us
+    }
+
+    /// `(hits, misses)` since construction or the last [`reset`].
+    ///
+    /// [`reset`]: SessionCache::reset
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Live cached sessions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Clears entries and counters.
+    pub fn reset(&mut self) {
+        self.entries.clear();
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
 
 /// The non-compute overhead stack of a QA job (§7).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -71,6 +189,9 @@ pub struct QpuServer {
     /// Frames served so far per source key (to know which frames fall
     /// on a session boundary and pay the programming overhead).
     frames_served: Vec<(usize, usize)>,
+    /// Channel-hash-keyed session cache (the time-based alternative to
+    /// frame-counted coherence); `None` = uncached.
+    cache: Option<SessionCache>,
     /// Time at which the server frees up (simulation clock, µs).
     busy_until_us: f64,
 }
@@ -89,6 +210,7 @@ impl QpuServer {
             anneals,
             coherence_frames: 1,
             frames_served: Vec::new(),
+            cache: None,
             busy_until_us: 0.0,
         }
     }
@@ -103,6 +225,25 @@ impl QpuServer {
         assert!(frames > 0, "a session covers at least one frame");
         self.coherence_frames = frames;
         self
+    }
+
+    /// Attaches a per-source session cache keyed by *channel hash* with
+    /// eviction after `coherence_us` — the time-based refinement of
+    /// [`QpuServer::with_coherence`]: instead of assuming a fixed frame
+    /// count per session, frames name their channel
+    /// ([`QpuServer::enqueue_channel`]) and programming is skipped
+    /// exactly while the hash is cached and fresh.
+    ///
+    /// # Panics
+    /// Panics when `coherence_us` is not positive.
+    pub fn with_session_cache(mut self, coherence_us: f64) -> Self {
+        self.cache = Some(SessionCache::new(coherence_us));
+        self
+    }
+
+    /// The attached session cache, if any (for hit/miss statistics).
+    pub fn session_cache(&self) -> Option<&SessionCache> {
+        self.cache.as_ref()
     }
 
     /// Service time for one frame: `problems` subcarrier decodes of
@@ -167,10 +308,38 @@ impl QpuServer {
         done
     }
 
+    /// Enqueues a frame from source `key` whose channel estimate hashes
+    /// to `channel_hash` (see [`channel_hash`]): programming is paid
+    /// only when the hash misses the session cache — first sight of
+    /// this channel, a channel change, or coherence expiry.
+    ///
+    /// Requires [`QpuServer::with_session_cache`]; without a cache this
+    /// degrades to the frame-counted [`QpuServer::enqueue_keyed`].
+    pub fn enqueue_channel(
+        &mut self,
+        now_us: f64,
+        key: usize,
+        channel_hash: u64,
+        problems: usize,
+        logical_vars: usize,
+    ) -> f64 {
+        let Some(cache) = self.cache.as_mut() else {
+            return self.enqueue_keyed(now_us, key, problems, logical_vars);
+        };
+        let program = !cache.lookup(now_us, key, channel_hash);
+        let start = now_us.max(self.busy_until_us);
+        let done = start + self.amortized_service_time_us(problems, logical_vars, program);
+        self.busy_until_us = done;
+        done
+    }
+
     /// Resets the server clock and session state (new simulation).
     pub fn reset(&mut self) {
         self.busy_until_us = 0.0;
         self.frames_served.clear();
+        if let Some(cache) = self.cache.as_mut() {
+            cache.reset();
+        }
     }
 }
 
@@ -259,6 +428,97 @@ mod tests {
         );
         srv.reset();
         assert!((srv.enqueue_keyed(0.0, 7, 50, 16) - full).abs() < 1e-9);
+    }
+
+    #[test]
+    fn session_cache_amortizes_until_channel_or_coherence_changes() {
+        // 30 ms coherence on a partly-integrated device (80 µs
+        // programming, so frames finish well inside the interval):
+        // frames with the same channel hash pay anneals only; a hash
+        // change or expiry reprograms.
+        let overheads = QpuOverheads {
+            preprocessing_us: 0.0,
+            programming_us: 80.0,
+            readout_per_anneal_us: 0.0,
+        };
+        let mut srv = QpuServer::new(overheads, 2.0, 10).with_session_cache(30_000.0);
+        let full = srv.amortized_service_time_us(50, 16, true);
+        let amortized = srv.amortized_service_time_us(50, 16, false);
+
+        let mut last = 0.0;
+        let mut cost = |srv: &mut QpuServer, at: f64, hash: u64| {
+            let done = srv.enqueue_channel(at.max(last), 7, hash, 50, 16);
+            let c = done - at.max(last);
+            last = done;
+            c
+        };
+        assert!(
+            (cost(&mut srv, 0.0, 0xAA) - full).abs() < 1e-9,
+            "first sight programs"
+        );
+        assert!(
+            (cost(&mut srv, 0.0, 0xAA) - amortized).abs() < 1e-9,
+            "cached hash skips"
+        );
+        assert!(
+            (cost(&mut srv, 0.0, 0xBB) - full).abs() < 1e-9,
+            "channel change reprograms"
+        );
+        assert!((cost(&mut srv, 0.0, 0xBB) - amortized).abs() < 1e-9);
+        // Past the coherence time the entry is evicted even for the
+        // same hash — the physical channel moved on.
+        assert!(
+            (cost(&mut srv, 100_000.0, 0xBB) - full).abs() < 1e-9,
+            "expired session reprograms"
+        );
+        let (hits, misses) = srv.session_cache().unwrap().stats();
+        assert_eq!((hits, misses), (2, 3));
+        srv.reset();
+        assert_eq!(srv.session_cache().unwrap().stats(), (0, 0));
+        assert!(srv.session_cache().unwrap().is_empty());
+    }
+
+    #[test]
+    fn session_cache_is_per_source() {
+        let mut srv = QpuServer::new(QpuOverheads::current_dw2q(), 2.0, 10).with_session_cache(1e9);
+        let full = srv.amortized_service_time_us(50, 16, true);
+        let amortized = srv.amortized_service_time_us(50, 16, false);
+        let t1 = srv.enqueue_channel(0.0, 1, 0xCC, 50, 16);
+        let t2 = srv.enqueue_channel(0.0, 2, 0xCC, 50, 16);
+        let t3 = srv.enqueue_channel(0.0, 1, 0xCC, 50, 16);
+        assert!((t1 - full).abs() < 1e-9);
+        assert!(
+            (t2 - t1 - full).abs() < 1e-9,
+            "source 2 programs its own session even at an equal hash"
+        );
+        assert!((t3 - t2 - amortized).abs() < 1e-9);
+        assert_eq!(srv.session_cache().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn channel_hash_is_stable_and_sensitive() {
+        use quamax_linalg::Complex;
+        let h = CMatrix::from_fn(3, 2, |r, c| Complex::new(r as f64, c as f64));
+        assert_eq!(channel_hash(&h), channel_hash(&h.clone()));
+        let mut h2 = h.clone();
+        h2[(1, 1)] += Complex::real(1e-12);
+        assert_ne!(
+            channel_hash(&h),
+            channel_hash(&h2),
+            "any tap change re-keys"
+        );
+        // Shape participates: a 2×3 of the same data is a different key.
+        let wide = CMatrix::from_fn(2, 3, |r, c| Complex::new(r as f64, c as f64));
+        assert_ne!(channel_hash(&h), channel_hash(&wide));
+    }
+
+    #[test]
+    fn enqueue_channel_without_cache_degrades_to_keyed() {
+        let mut cached = QpuServer::new(QpuOverheads::current_dw2q(), 2.0, 10).with_coherence(4);
+        let mut plain = cached.clone();
+        let a = cached.enqueue_channel(0.0, 3, 0xDD, 50, 16);
+        let b = plain.enqueue_keyed(0.0, 3, 50, 16);
+        assert!((a - b).abs() < 1e-9);
     }
 
     #[test]

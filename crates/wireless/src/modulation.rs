@@ -147,6 +147,17 @@ impl Modulation {
         bits
     }
 
+    /// Slices a whole equalized symbol vector to **Gray** bits, user 0
+    /// first — the per-vector tail of every linear detector
+    /// ([`Modulation::demap_gray`] per entry).
+    pub fn demap_gray_vector(self, x: &CVector) -> Vec<u8> {
+        let mut bits = Vec::with_capacity(x.len() * self.bits_per_symbol());
+        for u in 0..x.len() {
+            bits.extend(self.demap_gray(x[u]));
+        }
+        bits
+    }
+
     /// Enumerates the whole constellation as `(gray_bits, symbol)` pairs,
     /// in bit-index order. Used by exhaustive ML search and tests.
     pub fn constellation(self) -> Vec<(Vec<u8>, Complex)> {

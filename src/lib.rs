@@ -19,6 +19,35 @@
 //! let run = decoder.decode(&instance.detection_input(), 50, &mut rng).unwrap();
 //! assert_eq!(run.best_bits().len(), 4); // one bit per BPSK user
 //! ```
+//!
+//! Detectors — quantum-annealed or classical — share one trait API:
+//! [`DetectorKind`](prelude::DetectorKind) constructs any backend (or the
+//! hybrid classical-first router), `compile` does the per-coherence-interval
+//! work once, and the session streams per-received-vector detections:
+//!
+//! ```
+//! use quamax::prelude::*;
+//!
+//! let mut rng = Rng::seed_from_u64(7);
+//! let snr = Snr::from_db(25.0);
+//! let interval = Scenario::new(4, 4, Modulation::Qpsk).with_snr(snr).sample(&mut rng);
+//! let input = interval.detection_input();
+//!
+//! // Classical-first with quantum fallback: MMSE answers, and only
+//! // residual-flagged problems reach the annealer.
+//! let kind = DetectorKind::hybrid(
+//!     DetectorKind::mmse(snr.noise_variance(Modulation::Qpsk)),
+//!     DetectorKind::quamax(
+//!         Annealer::dw2q(AnnealerConfig::default()),
+//!         DecoderConfig::default(),
+//!         50,
+//!     ),
+//!     RoutePolicy::noise_matched(snr, Modulation::Qpsk, 3.0),
+//! );
+//! let mut session = kind.compile(&input).unwrap(); // once per coherence interval
+//! let detection = session.detect(&input.y, 42).unwrap(); // per received vector
+//! assert_eq!(detection.bits.len(), 8);
+//! ```
 pub use quamax_anneal as anneal;
 pub use quamax_baselines as baselines;
 pub use quamax_chimera as chimera;
@@ -33,7 +62,10 @@ pub mod prelude {
     pub use quamax_anneal::{Annealer, AnnealerConfig, Backend, Schedule};
     pub use quamax_baselines::{MmseDetector, SphereDecoder, ZeroForcingDetector};
     pub use quamax_core::metrics::{percentile, BitErrorProfile, RunStatistics};
-    pub use quamax_core::{DecodeSession, DecoderConfig, DetectionInput, QuamaxDecoder, Scenario};
+    pub use quamax_core::{
+        DecodeSession, DecoderConfig, Detection, DetectionInput, Detector, DetectorKind,
+        DetectorSession, QuamaxDecoder, RoutePolicy, Scenario,
+    };
     pub use quamax_linalg::{CMatrix, CVector, Complex};
     pub use quamax_wireless::{Modulation, Snr};
     pub use rand::rngs::StdRng as Rng;
