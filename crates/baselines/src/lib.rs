@@ -32,5 +32,7 @@ pub mod zf;
 
 pub use ml::{exhaustive_ml, MlResult};
 pub use mmse::{MmseDetector, MmseFilter};
-pub use sphere::{CompiledSphere, SphereDecoder, SphereError, SphereResult};
+pub use sphere::{
+    CompiledSphere, SphereCandidate, SphereDecoder, SphereError, SphereListResult, SphereResult,
+};
 pub use zf::{ZeroForcingDetector, ZfFilter};

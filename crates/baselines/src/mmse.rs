@@ -99,6 +99,27 @@ impl MmseFilter {
     pub fn decode(&self, y: &CVector) -> Vec<u8> {
         self.modulation.demap_gray_vector(&self.equalize(y))
     }
+
+    /// The equalizer matrix `W = (H*H + (σ²/Es)I)⁻¹H*` materialized
+    /// (`z = Wy`) — one triangular solve per receive antenna against
+    /// the cached LU, done once so soft demappers can price the
+    /// filter's post-equalization SINR (bias `(WH)_{uu}`, noise
+    /// `σ²·(WW*)_{uu}`, residual interference off-diagonals of `WH`).
+    pub fn filter_matrix(&self) -> CMatrix {
+        let nt = self.factor.dim();
+        let nr = self.h_herm.cols();
+        let mut w = CMatrix::zeros(nt, nr);
+        for j in 0..nr {
+            let col = self
+                .factor
+                .solve(&self.h_herm.col(j))
+                .expect("column length fixed by the compiled channel");
+            for i in 0..nt {
+                w[(i, j)] = col[i];
+            }
+        }
+        w
+    }
 }
 
 #[cfg(test)]

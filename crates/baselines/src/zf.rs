@@ -76,6 +76,13 @@ impl ZfFilter {
         self.pinv.mul_vec(y)
     }
 
+    /// The compiled equalizer matrix `W = H⁺` itself (`z = Wy`) —
+    /// what soft demappers need to price the filter's per-stream noise
+    /// amplification (`σ²·(WW*)_{uu}` after equalization).
+    pub fn filter_matrix(&self) -> CMatrix {
+        self.pinv.clone()
+    }
+
     /// Decodes one received vector over the compiled channel.
     pub fn decode(&self, y: &CVector) -> Vec<u8> {
         self.modulation.demap_gray_vector(&self.equalize(y))

@@ -10,7 +10,7 @@
 //! Run: `cargo run --release -p quamax-bench --bin ablation_csi`
 
 use quamax_anneal::Annealer;
-use quamax_bench::{default_params, Args, Report};
+use quamax_bench::{default_params, inner_threads_for, run_map, Args, Report};
 use quamax_core::{DecoderConfig, DetectionInput, QuamaxDecoder, Scenario};
 use quamax_wireless::{count_bit_errors, dft_pilots, estimate_channel, Modulation, Snr};
 use rand::rngs::StdRng;
@@ -35,41 +35,61 @@ fn main() {
     let m = Modulation::Qpsk;
     let nt = 12;
     let pilot_sigma2 = pilot_snr.noise_variance(m);
-    let decoder = QuamaxDecoder::new(
-        Annealer::new(Default::default()),
-        DecoderConfig {
-            embed: default_params().embed,
-            schedule: default_params().schedule,
-        },
-    );
+    let pilot_lengths = [0usize, 12, 24, 48, 96]; // Np = 0 encodes "perfect CSI"
+
+    // One flat work list over (Np, instance): every job re-derives its
+    // instance, pilot noise, and decode from its own seeds, so the
+    // whole sweep shards across cores with worker-count-independent
+    // results (the per-run artifact is the instance's bit-error count).
+    let jobs: Vec<(usize, usize)> = pilot_lengths
+        .iter()
+        .flat_map(|&np| (0..instances).map(move |i| (np, i)))
+        .collect();
+    let inner_threads = inner_threads_for(jobs.len());
+    let decoder = || {
+        QuamaxDecoder::new(
+            Annealer::new(quamax_anneal::AnnealerConfig {
+                threads: inner_threads,
+                ..Default::default()
+            }),
+            DecoderConfig {
+                embed: default_params().embed,
+                schedule: default_params().schedule,
+            },
+        )
+    };
 
     println!("12x12 QPSK @ {snr} (pilots at {pilot_snr}): BER vs pilot length (LS estimation)");
-    // Np = 0 encodes "perfect CSI".
-    for np in [0usize, 12, 24, 48, 96] {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut errors = 0usize;
-        let mut bits = 0usize;
-        for i in 0..instances {
-            let inst = Scenario::new(nt, nt, m)
-                .with_rayleigh()
-                .with_snr(snr)
-                .sample(&mut rng);
-            let h_used = if np == 0 {
-                inst.h().clone()
-            } else {
-                let pilots = dft_pilots(nt, np);
-                estimate_channel(inst.h(), &pilots, pilot_sigma2, &mut rng)
-            };
-            let input = DetectionInput {
-                h: h_used,
-                y: inst.y().clone(),
-                modulation: m,
-            };
-            let mut drng = StdRng::seed_from_u64(seed + 13 * i as u64);
-            let run = decoder.decode(&input, anneals, &mut drng).unwrap();
-            errors += count_bit_errors(&run.best_bits(), inst.tx_bits());
-            bits += inst.tx_bits().len();
-        }
+    let per_job: Vec<(usize, usize)> = run_map(&jobs, |&(np, i)| {
+        let mut rng = StdRng::seed_from_u64(
+            seed ^ (np as u64 + 1).wrapping_mul(0x9e37_79b9) ^ (i as u64) << 17,
+        );
+        let inst = Scenario::new(nt, nt, m)
+            .with_rayleigh()
+            .with_snr(snr)
+            .sample(&mut rng);
+        let h_used = if np == 0 {
+            inst.h().clone()
+        } else {
+            let pilots = dft_pilots(nt, np);
+            estimate_channel(inst.h(), &pilots, pilot_sigma2, &mut rng)
+        };
+        let input = DetectionInput {
+            h: h_used,
+            y: inst.y().clone(),
+            modulation: m,
+        };
+        let mut drng = StdRng::seed_from_u64(seed + 13 * i as u64);
+        let run = decoder().decode(&input, anneals, &mut drng).unwrap();
+        (
+            count_bit_errors(&run.best_bits(), inst.tx_bits()),
+            inst.tx_bits().len(),
+        )
+    });
+    for (k, &np) in pilot_lengths.iter().enumerate() {
+        let slice = &per_job[k * instances..(k + 1) * instances];
+        let errors: usize = slice.iter().map(|r| r.0).sum();
+        let bits: usize = slice.iter().map(|r| r.1).sum();
         let ber = errors as f64 / bits as f64;
         let label = if np == 0 {
             "perfect".into()

@@ -11,8 +11,8 @@
 //! Run: `cargo run --release -p quamax-bench --bin ablation_gray`
 
 use quamax_anneal::Annealer;
-use quamax_bench::{default_params, spec_for, Args, Report};
-use quamax_core::{QuamaxDecoder, Scenario};
+use quamax_bench::{default_params, inner_threads_for, run_map, spec_for, Args, Report};
+use quamax_core::{Instance, QuamaxDecoder, Scenario};
 use quamax_ising::spins_to_bits;
 use quamax_wireless::{count_bit_errors, Modulation, Snr};
 use rand::rngs::StdRng;
@@ -38,17 +38,21 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(seed);
     let sc = Scenario::new(nt, nt, m).with_snr(Snr::from_db(snr_db));
 
-    let mut with_bits_errs = 0usize;
-    let mut without_bits_errs = 0usize;
-    let mut total_bits = 0usize;
-    for i in 0..instances {
-        let inst = sc.sample(&mut rng);
-        let spec = spec_for(
+    // Instance generation stays serial (one cheap rng stream); the
+    // decodes — the expensive part — shard across cores, each run
+    // self-seeded so the artifacts are worker-count independent.
+    let insts: Vec<(usize, Instance)> = (0..instances).map(|i| (i, sc.sample(&mut rng))).collect();
+    let inner_threads = inner_threads_for(insts.len());
+    let per_run: Vec<(usize, usize)> = run_map(&insts, |(i, inst)| {
+        let mut spec = spec_for(
             default_params(),
             Default::default(),
             anneals,
-            seed + i as u64,
+            seed + *i as u64,
         );
+        if spec.annealer.threads == 0 {
+            spec.annealer.threads = inner_threads;
+        }
         let decoder = QuamaxDecoder::new(Annealer::new(spec.annealer), spec.decoder);
         let mut drng = StdRng::seed_from_u64(spec.seed);
         let run = decoder
@@ -58,10 +62,14 @@ fn main() {
         let translated = run.best_bits();
         // Without: raw QUBO bits of the best solution, taken as Gray.
         let raw: Vec<u8> = spins_to_bits(&run.distribution().best_solution().unwrap().spins);
-        with_bits_errs += count_bit_errors(&translated, inst.tx_bits());
-        without_bits_errs += count_bit_errors(&raw, inst.tx_bits());
-        total_bits += nt * q;
-    }
+        (
+            count_bit_errors(&translated, inst.tx_bits()),
+            count_bit_errors(&raw, inst.tx_bits()),
+        )
+    });
+    let with_bits_errs: usize = per_run.iter().map(|r| r.0).sum();
+    let without_bits_errs: usize = per_run.iter().map(|r| r.1).sum();
+    let total_bits = instances * nt * q;
     let ber_with = with_bits_errs as f64 / total_bits as f64;
     let ber_without = without_bits_errs as f64 / total_bits as f64;
     println!("4x4 16-QAM at {snr_db} dB, {instances} channel uses:");

@@ -11,9 +11,9 @@
 //!
 //! Run: `cargo run --release -p quamax-bench --bin ablation_reverse`
 
-use quamax_anneal::{Annealer, Schedule};
+use quamax_anneal::{Annealer, AnnealerConfig, Schedule};
 use quamax_baselines::ZeroForcingDetector;
-use quamax_bench::{default_params, ground_truth, Args, Report};
+use quamax_bench::{default_params, ground_truth, inner_threads_for, run_map, Args, Report};
 use quamax_core::{DecoderConfig, QuamaxDecoder, Scenario};
 use quamax_wireless::{Modulation, Snr};
 use rand::rngs::StdRng;
@@ -40,18 +40,30 @@ fn main() {
     let insts: Vec<_> = (0..instances).map(|_| sc.sample(&mut rng)).collect();
     let zf = ZeroForcingDetector::new(m);
 
+    // Decoders are rebuilt per sharded job; cap their inner anneal
+    // threads so instances × anneal batches fill the machine exactly
+    // once (the run_map contract keeps results worker-count
+    // independent either way).
+    let annealer = || {
+        Annealer::new(AnnealerConfig {
+            threads: inner_threads_for(insts.len()),
+            ..Default::default()
+        })
+    };
     // Forward baseline: the calibrated default (pause schedule).
-    let forward = QuamaxDecoder::new(
-        Annealer::new(Default::default()),
-        DecoderConfig {
-            embed: default_params().embed,
-            schedule: default_params().schedule,
-        },
-    );
-    let p0_of = |decoder: &QuamaxDecoder, reverse_from: Option<&dyn Fn(usize) -> Vec<u8>>| {
-        let mut p0s = Vec::new();
-        for (i, inst) in insts.iter().enumerate() {
+    let forward_config = DecoderConfig {
+        embed: default_params().embed,
+        schedule: default_params().schedule,
+    };
+    // Each instance's ground truth + decode + P0 is one self-seeded
+    // job; the median is taken over the sharded per-run artifacts.
+    let p0_of = |config: DecoderConfig,
+                 reverse_from: Option<&(dyn Fn(usize) -> Vec<u8> + Sync)>| {
+        let jobs: Vec<usize> = (0..insts.len()).collect();
+        let mut p0s: Vec<f64> = run_map(&jobs, |&i| {
+            let inst = &insts[i];
             let gt = ground_truth(inst);
+            let decoder = QuamaxDecoder::new(annealer(), config);
             let mut drng = StdRng::seed_from_u64(seed + 7 * i as u64);
             let run = match reverse_from {
                 None => decoder
@@ -62,29 +74,26 @@ fn main() {
                     .unwrap(),
             };
             let tol = 1e-6 * gt.energy.abs().max(1.0);
-            p0s.push(run.distribution().probability_of_energy(gt.energy, tol));
-        }
+            run.distribution().probability_of_energy(gt.energy, tol)
+        });
         p0s.sort_by(|a, b| a.partial_cmp(b).unwrap());
         p0s[p0s.len() / 2]
     };
 
-    let fwd = p0_of(&forward, None);
+    let fwd = p0_of(forward_config, None);
     println!("16x16 QPSK @ {snr}: forward-anneal median P0 = {fwd:.4}");
     report.push(serde_json::json!({"mode": "forward", "p0_median": fwd}));
 
+    let candidates: Vec<Vec<u8>> = insts
+        .iter()
+        .map(|inst| zf.decode(inst.h(), inst.y()).expect("non-degenerate"))
+        .collect();
     for s_r in [0.2, 0.35, 0.5, 0.65, 0.8] {
-        let reverse = QuamaxDecoder::new(
-            Annealer::new(Default::default()),
-            DecoderConfig {
-                embed: default_params().embed,
-                schedule: Schedule::reverse(1.0, s_r, 1.0),
-            },
-        );
-        let candidates: Vec<Vec<u8>> = insts
-            .iter()
-            .map(|inst| zf.decode(inst.h(), inst.y()).expect("non-degenerate"))
-            .collect();
-        let p0 = p0_of(&reverse, Some(&|i: usize| candidates[i].clone()));
+        let reverse_config = DecoderConfig {
+            embed: default_params().embed,
+            schedule: Schedule::reverse(1.0, s_r, 1.0),
+        };
+        let p0 = p0_of(reverse_config, Some(&|i: usize| candidates[i].clone()));
         println!("  reverse from ZF, s_r = {s_r}: median P0 = {p0:.4}");
         report.push(serde_json::json!({"mode": "reverse_zf", "s_r": s_r, "p0_median": p0}));
     }

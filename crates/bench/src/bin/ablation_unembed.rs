@@ -11,7 +11,7 @@
 //! Run: `cargo run --release -p quamax-bench --bin ablation_unembed`
 
 use quamax_anneal::{Annealer, AnnealerConfig, Schedule};
-use quamax_bench::{ground_truth, Args, Report};
+use quamax_bench::{ground_truth, inner_threads_for, run_map, Args, Report};
 use quamax_chimera::{
     unembed_majority_vote, ChimeraGraph, CliqueEmbedding, EmbedParams, EmbeddedProblem,
 };
@@ -39,7 +39,6 @@ fn main() {
     let (logical, _) = ising_from_ml(inst.h(), inst.y(), m);
     let graph = ChimeraGraph::dw2q_ideal();
     let embedding = CliqueEmbedding::new(&graph, logical.num_spins()).unwrap();
-    let annealer = Annealer::new(AnnealerConfig::default());
     let schedule = Schedule::with_pause(1.0, 0.35, 1.0);
 
     println!("14x14 QPSK | unembedding policies vs J_F (improved range)");
@@ -47,7 +46,15 @@ fn main() {
         "{:>5} {:>12} {:>14} {:>14} {:>10}",
         "J_F", "break rate", "P0 (majority)", "P0 (discard)", "kept"
     );
-    for jf in [1.0, 1.5, 2.0, 3.0, 4.0, 6.0] {
+    // Each J_F setting is one self-contained job (its own embedding
+    // compile, anneal batch, and unembedding rng), so the sweep shards
+    // across cores; leftover cores flow into each job's anneal batch.
+    let jf_values = [1.0, 1.5, 2.0, 3.0, 4.0, 6.0];
+    let annealer = Annealer::new(AnnealerConfig {
+        threads: inner_threads_for(jf_values.len()),
+        ..Default::default()
+    });
+    let rows = run_map(&jf_values, |&jf| {
         let embedded = EmbeddedProblem::compile(
             &graph,
             &embedding,
@@ -85,19 +92,25 @@ fn main() {
             }
         }
         let total_chains = logical.num_spins() * samples.len();
-        let break_rate = breaks as f64 / total_chains as f64;
-        let p0_majority = hits_majority as f64 / samples.len() as f64;
-        let p0_discard = hits_discard as f64 / samples.len() as f64; // per submitted anneal
+        (
+            jf,
+            breaks as f64 / total_chains as f64,
+            hits_majority as f64 / samples.len() as f64,
+            hits_discard as f64 / samples.len() as f64, // per submitted anneal
+            kept as f64 / samples.len() as f64,
+        )
+    });
+    for (jf, break_rate, p0_majority, p0_discard, kept_fraction) in rows {
         println!(
             "{jf:>5} {break_rate:>12.4} {p0_majority:>14.4} {p0_discard:>14.4} {:>7.1}%",
-            100.0 * kept as f64 / samples.len() as f64
+            100.0 * kept_fraction
         );
         report.push(serde_json::json!({
             "j_ferro": jf,
             "chain_break_rate": break_rate,
             "p0_majority": p0_majority,
             "p0_discard_per_submitted": p0_discard,
-            "clean_sample_fraction": kept as f64 / samples.len() as f64,
+            "clean_sample_fraction": kept_fraction,
         }));
     }
     let path = report.write().expect("write results");

@@ -216,7 +216,7 @@ impl<S: DetectorSession + ?Sized> DetectorSession for Box<S> {
 
 /// `‖y − H·map(bits)‖²` — the ML objective every backend's answer is
 /// priced with.
-fn ml_objective(h: &CMatrix, y: &CVector, bits: &[u8], m: Modulation) -> f64 {
+pub(crate) fn ml_objective(h: &CMatrix, y: &CVector, bits: &[u8], m: Modulation) -> f64 {
     let v = m.map_gray_vector(bits);
     (y - &h.mul_vec(&v)).norm_sqr()
 }
@@ -232,6 +232,12 @@ pub trait LinearFilter {
     const NAME: &'static str;
     /// Decodes one received vector over the compiled channel.
     fn decode(&self, y: &CVector) -> Vec<u8>;
+    /// The equalized (pre-slicing) symbol estimates `z = Wy`.
+    fn equalize(&self, y: &CVector) -> CVector;
+    /// The compiled equalizer matrix `W` itself — soft demappers price
+    /// the filter's post-equalization SINR from it (see
+    /// [`crate::soft`]).
+    fn filter_matrix(&self) -> CMatrix;
     /// Modulation the filter slices for.
     fn modulation(&self) -> Modulation;
     /// Users of the compiled channel.
@@ -242,6 +248,12 @@ impl LinearFilter for ZfFilter {
     const NAME: &'static str = "zf";
     fn decode(&self, y: &CVector) -> Vec<u8> {
         ZfFilter::decode(self, y)
+    }
+    fn equalize(&self, y: &CVector) -> CVector {
+        ZfFilter::equalize(self, y)
+    }
+    fn filter_matrix(&self) -> CMatrix {
+        ZfFilter::filter_matrix(self)
     }
     fn modulation(&self) -> Modulation {
         ZfFilter::modulation(self)
@@ -255,6 +267,12 @@ impl LinearFilter for MmseFilter {
     const NAME: &'static str = "mmse";
     fn decode(&self, y: &CVector) -> Vec<u8> {
         MmseFilter::decode(self, y)
+    }
+    fn equalize(&self, y: &CVector) -> CVector {
+        MmseFilter::equalize(self, y)
+    }
+    fn filter_matrix(&self) -> CMatrix {
+        MmseFilter::filter_matrix(self)
     }
     fn modulation(&self) -> Modulation {
         MmseFilter::modulation(self)
@@ -802,6 +820,43 @@ impl Detector for DetectorKind {
     }
 }
 
+/// Measures a detector's *empirical* fallback rate over a calibration
+/// batch of `trials` instances drawn from `scenario` — the loop-closer
+/// between the decode-level [`HybridDetector`] and the queueing-level
+/// `quamax_ran::HybridServer`: the fraction this helper measures under
+/// a routing policy is exactly the `fallback_fraction` the discrete-
+/// event server should be provisioned with (and what `cran_datacenter`
+/// feeds it).
+///
+/// Non-hybrid kinds never route, so their measured fraction is 0.
+/// Deterministic: the batch is drawn from `StdRng::seed_from_u64(seed)`
+/// and each detection is seeded from the trial index.
+pub fn measured_fallback_fraction(
+    kind: &DetectorKind,
+    scenario: &crate::scenario::Scenario,
+    trials: usize,
+    seed: u64,
+) -> Result<f64, DetectError> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    assert!(trials > 0, "calibration needs at least one trial");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut fallbacks = 0usize;
+    for t in 0..trials {
+        let inst = scenario.sample(&mut rng);
+        let input = inst.detection_input();
+        let mut session = kind.compile(&input)?;
+        let det = session.detect(
+            &input.y,
+            seed ^ (0x9e37_79b9_7f4a_7c15u64).wrapping_mul(t as u64 + 1),
+        )?;
+        if det.route() == Some(Route::Fallback) {
+            fallbacks += 1;
+        }
+    }
+    Ok(fallbacks as f64 / trials as f64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1116,6 +1171,39 @@ mod tests {
             session.detect(&input.y, 2),
             Err(DetectError::Sphere(_))
         ));
+    }
+
+    #[test]
+    fn measured_fallback_fraction_tracks_the_policy() {
+        // A zero threshold rejects every primary answer (fraction 1);
+        // an infinite one accepts everything (fraction 0); a noise-
+        // matched gate at moderate SNR lands strictly between — the
+        // number a HybridServer should be provisioned with.
+        let sc = Scenario::new(4, 4, Modulation::Qpsk).with_snr(Snr::from_db(9.0));
+        let always = DetectorKind::hybrid(
+            DetectorKind::zf(),
+            DetectorKind::sphere(),
+            RoutePolicy::new(0.0),
+        );
+        assert_eq!(measured_fallback_fraction(&always, &sc, 8, 1).unwrap(), 1.0);
+        let never = DetectorKind::hybrid(
+            DetectorKind::zf(),
+            DetectorKind::sphere(),
+            RoutePolicy::new(f64::INFINITY),
+        );
+        assert_eq!(measured_fallback_fraction(&never, &sc, 8, 1).unwrap(), 0.0);
+        let gated = DetectorKind::hybrid(
+            DetectorKind::zf(),
+            DetectorKind::sphere(),
+            RoutePolicy::noise_matched(Snr::from_db(9.0), Modulation::Qpsk, 3.0),
+        );
+        let f = measured_fallback_fraction(&gated, &sc, 30, 1).unwrap();
+        assert!(f > 0.0 && f < 1.0, "measured fraction {f}");
+        // Non-hybrid kinds never route.
+        assert_eq!(
+            measured_fallback_fraction(&DetectorKind::zf(), &sc, 5, 1).unwrap(),
+            0.0
+        );
     }
 
     #[test]

@@ -92,20 +92,56 @@
 //! sphere session. Every trait path is bit-identical to the backend's
 //! direct API under the same `(H, y, seed)` — property-tested per
 //! modulation, hybrid routing decisions included.
+//!
+//! # DESIGN — soft output: LLR derivation per backend
+//!
+//! Coded uplinks consume *reliabilities*, not bits, so every registry
+//! kind also compiles a soft session
+//! ([`detect::DetectorKind::compile_soft`] →
+//! [`soft::SoftDetectorSession::detect_soft`] →
+//! [`soft::SoftDetection`]). The per-bit LLR convention is uniform —
+//! positive ⇒ bit 1, magnitude = max-log reliability `Δ‖y − Hv‖²/σ²`,
+//! sign always agreeing with the backend's own hard decision — but the
+//! derivation is backend-shaped:
+//!
+//! | backend  | LLR derivation |
+//! |----------|----------------|
+//! | QuAMax   | **list max-log over the anneal ensemble**: the ranked [`DecodeRun`](decoder::DecodeRun) solution distribution is already a hypothesis list, and each entry prices exactly (`E_ising + ml_offset = ‖y − Hv‖²`), so the multi-anneal pool doubles as a list demapper at zero extra anneals |
+//! | ZF/MMSE  | **Gaussian approximation from the compiled filter's post-equalization SINR**: bias `μ_u = (WH)_uu`, noise `σ²(WW*)_uu`, residual interference `Es·Σ_{j≠u}‖(WH)_{uj}‖²`, priced once per coherence interval; per received vector the demapper bias-compensates and runs per-dimension max-log over the PAM levels |
+//! | sphere   | **list sphere decoding** over the compiled QR: the same Schnorr–Euchner walk keeps the `list_size` best leaves (pruning against the worst *kept* leaf), which is exactly the max-log hypothesis pool |
+//! | exact ML | exhaustive max-log over the whole constellation power — the ground truth the list demappers approximate |
+//! | hybrid   | the accepted side's LLRs flow through the same residual-gated route as the hard path |
+//!
+//! **Clamping policy** ([`soft::SoftSpec::max_llr`]): every LLR is
+//! clamped to `±max_llr`. A *list* backend whose pool never observed a
+//! bit's counter-hypothesis prices the missing side at the pool's
+//! **worst** entry — the lower bound a ranked list actually proves
+//! (anything outside the top-`L` leaves scores at least the `L`-th) —
+//! so a missing hypothesis cannot outvote a whole constraint span of
+//! honestly-priced bits; only a single-candidate pool (every anneal
+//! unanimous) saturates to `±max_llr` outright
+//! (`quamax_wireless::ConvolutionalCode::decode_soft`, whose hard path
+//! is the saturated ±1 special case). The [`coded`] module assembles
+//! the full frame pipeline: encode → interleave → detect_soft per
+//! channel use → deinterleave LLRs → soft Viterbi.
 
+pub mod coded;
 pub mod decoder;
 pub mod detect;
 pub mod metrics;
 pub mod params;
 pub mod reduce;
 pub mod scenario;
+pub mod soft;
 
+pub use coded::{CodedFrame, CodedFrameOutcome};
 pub use decoder::{DecodeError, DecodeRun, DecodeSession, DecoderConfig, QuamaxDecoder};
 pub use detect::{
-    BackendStats, DetectError, Detection, Detector, DetectorKind, DetectorSession, ExactMlDetector,
-    HybridDetector, QuamaxDetector, Route, RoutePolicy,
+    measured_fallback_fraction, BackendStats, DetectError, Detection, Detector, DetectorKind,
+    DetectorSession, ExactMlDetector, HybridDetector, QuamaxDetector, Route, RoutePolicy,
 };
 pub use metrics::{percentile, BitErrorProfile, RunStatistics};
 pub use params::CandidateParams;
 pub use reduce::{ising_from_ml, qubo_from_ml};
 pub use scenario::{DetectionInput, Instance, Scenario};
+pub use soft::{SoftDetection, SoftDetectorSession, SoftSpec};

@@ -1,0 +1,958 @@
+//! Soft-output detection: per-bit log-likelihood ratios (LLRs) from
+//! every backend of the [`crate::detect`] registry, for the coded
+//! uplink above MIMO detection.
+//!
+//! The paper evaluates uncoded BER, but a deployable C-RAN uplink is
+//! coded, and what a soft-input channel decoder consumes is not bits —
+//! it is *reliabilities*. This module extends the detector traits with
+//! that output:
+//!
+//! * [`SoftDetectorSession::detect_soft`] returns a [`SoftDetection`]:
+//!   the hard bits, the ML objective, the backend statistics, and one
+//!   LLR per payload bit;
+//! * the annealed backend turns its multi-anneal candidate pool into a
+//!   **list demapper** (the ranked [`DecodeRun`] ensemble *is* the
+//!   hypothesis list);
+//! * the linear backends (ZF/MMSE) use the **Gaussian approximation**
+//!   from the compiled filter's post-equalization SINR;
+//! * the sphere backend runs **list sphere decoding** over the
+//!   compiled QR.
+//!
+//! Sign convention (shared with `quamax_wireless`'s soft Viterbi):
+//! positive LLR ⇒ bit 1, negative ⇒ bit 0, magnitude = max-log
+//! reliability `Δ‖y − Hv‖²/σ²`. Every LLR's sign agrees with the
+//! backend's own hard decision (property-tested per backend and
+//! modulation), and magnitudes are clamped to [`SoftSpec::max_llr`].
+//! A list backend that never observed a bit's counter-hypothesis
+//! prices it at the pool's worst entry (the lower bound a ranked list
+//! actually proves), clamping outright only when the pool is a single
+//! unanimous candidate.
+//!
+//! [`DecodeRun`]: crate::decoder::DecodeRun
+
+use crate::detect::{
+    ml_objective, BackendStats, DetectError, Detection, Detector, DetectorKind, DetectorSession,
+    LinearFilter, QuamaxDetector, QuamaxSession, Route, RoutePolicy,
+};
+use crate::scenario::DetectionInput;
+use quamax_baselines::{
+    CompiledSphere, MmseDetector, SphereDecoder, ZeroForcingDetector, ZfFilter,
+};
+use quamax_linalg::{CMatrix, CVector, Complex, LinalgError};
+use quamax_wireless::{Modulation, Snr};
+
+/// Default LLR magnitude clamp: generous enough that a soft Viterbi
+/// pass still distinguishes reliabilities below it, small enough that
+/// a single missing counter-hypothesis cannot outvote a constraint
+/// span of honest observations.
+pub const DEFAULT_MAX_LLR: f64 = 50.0;
+
+/// Parameters of a soft-output compile: what the LLR derivation needs
+/// beyond the [`DetectionInput`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SoftSpec {
+    /// Total complex noise variance σ² per receive antenna — the
+    /// denominator of every max-log LLR. (For an MMSE kind this is
+    /// usually the same σ² as the filter's ridge, but the two are
+    /// deliberately independent: the ridge shapes the equalizer, this
+    /// scales the reliabilities.)
+    pub noise_variance: f64,
+    /// Magnitude clamp applied to every emitted LLR, and the value a
+    /// list demapper assigns when a bit's counter-hypothesis is absent
+    /// from the candidate pool.
+    pub max_llr: f64,
+    /// Leaf-list size for the sphere backend's list decode (ignored by
+    /// the other backends; the annealed pool size is set by the anneal
+    /// budget instead).
+    pub list_size: usize,
+}
+
+impl SoftSpec {
+    /// A spec at the given noise variance with default clamp and list
+    /// size.
+    ///
+    /// # Panics
+    /// Panics on negative variance.
+    pub fn new(noise_variance: f64) -> Self {
+        assert!(noise_variance >= 0.0, "noise variance must be non-negative");
+        SoftSpec {
+            noise_variance,
+            max_llr: DEFAULT_MAX_LLR,
+            list_size: 16,
+        }
+    }
+
+    /// The spec matched to an operating SNR (the usual constructor:
+    /// `σ² = E[|v|²]/SNR`).
+    pub fn noise_matched(snr: Snr, modulation: Modulation) -> Self {
+        SoftSpec::new(snr.noise_variance(modulation))
+    }
+
+    /// Overrides the LLR clamp.
+    ///
+    /// # Panics
+    /// Panics unless `max_llr` is positive.
+    pub fn with_max_llr(mut self, max_llr: f64) -> Self {
+        assert!(max_llr > 0.0, "clamp must be positive");
+        self.max_llr = max_llr;
+        self
+    }
+
+    /// Overrides the sphere leaf-list size.
+    ///
+    /// # Panics
+    /// Panics when `list_size` is zero.
+    pub fn with_list_size(mut self, list_size: usize) -> Self {
+        assert!(list_size > 0, "need a non-empty leaf list");
+        self.list_size = list_size;
+        self
+    }
+
+    /// σ² floored away from zero so noiseless setups produce (clamped)
+    /// finite LLRs instead of NaNs.
+    fn sigma2(&self) -> f64 {
+        self.noise_variance.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// The result of one soft detection: [`Detection`]'s fields plus one
+/// LLR per payload bit.
+#[derive(Clone, Debug)]
+pub struct SoftDetection {
+    /// Per-bit LLRs, user 0 first (positive ⇒ bit 1), clamped to the
+    /// spec's `max_llr`. Same indexing as `bits`.
+    pub llrs: Vec<f64>,
+    /// Hard-decision bits — the sign pattern of `llrs` (each LLR's
+    /// sign agrees with its bit; zero-LLR ties resolve to the
+    /// backend's own hard decision).
+    pub bits: Vec<u8>,
+    /// The ML objective `‖y − Hv̂‖²` of the hard decision, where the
+    /// backend can price it (mirrors [`Detection::metric`]).
+    pub objective: Option<f64>,
+    /// Backend statistics (the annealed run, sphere node counts, the
+    /// hybrid route), exactly as the hard path reports them.
+    pub stats: BackendStats,
+}
+
+impl SoftDetection {
+    /// This detection as a hard [`Detection`] (drops the LLRs). The
+    /// bits are the *soft* session's decisions — for a biased linear
+    /// filter (MMSE) these can differ from the raw-sliced hard
+    /// session's near decision boundaries; see [`SoftLinearSession`].
+    pub fn into_hard(self) -> Detection {
+        Detection {
+            bits: self.bits,
+            metric: self.objective,
+            stats: self.stats,
+        }
+    }
+
+    /// The hybrid routing decision, if this detection was routed.
+    pub fn route(&self) -> Option<Route> {
+        self.stats.route()
+    }
+}
+
+/// The soft-output extension of [`DetectorSession`]: one extra method,
+/// same compile-once lifecycle, same seeding contract.
+pub trait SoftDetectorSession: DetectorSession {
+    /// Detects one received vector and derives per-bit LLRs.
+    fn detect_soft(&mut self, y: &CVector, seed: u64) -> Result<SoftDetection, DetectError>;
+}
+
+impl<S: SoftDetectorSession + ?Sized> SoftDetectorSession for Box<S> {
+    fn detect_soft(&mut self, y: &CVector, seed: u64) -> Result<SoftDetection, DetectError> {
+        (**self).detect_soft(y, seed)
+    }
+}
+
+/// Max-log LLRs from a ranked candidate pool of `(bits, ml_metric)`
+/// hypotheses — the list demapper shared by the annealed, sphere, and
+/// exhaustive backends. For bit `k`, `λ_b` is the best metric among
+/// pool entries with bit `k = b`; the LLR is `(λ_0 − λ_1)/σ²`.
+///
+/// **Missing-hypothesis policy**: when the pool never observed one
+/// side of a bit, its metric is priced at the pool's *worst* entry —
+/// a true lower bound for a ranked list (anything absent from the
+/// top-`L` leaves scores at least the `L`-th), and the honest
+/// surrogate for an anneal ensemble (the annealer kept landing
+/// elsewhere). This keeps a missing counter-hypothesis from outvoting
+/// honestly-priced bits in the soft Viterbi pass. A single-candidate
+/// pool has no spread to price with and degrades to `±max_llr` (every
+/// anneal of the batch agreed). All LLRs clamp to `±max_llr` last.
+fn list_llrs(pool: &[(Vec<u8>, f64)], num_bits: usize, spec: &SoftSpec) -> Vec<f64> {
+    debug_assert!(!pool.is_empty(), "list demapping needs candidates");
+    let sigma2 = spec.sigma2();
+    let worst = pool.iter().map(|e| e.1).fold(f64::NEG_INFINITY, f64::max);
+    let lone = pool.len() == 1;
+    let mut best0 = vec![f64::INFINITY; num_bits];
+    let mut best1 = vec![f64::INFINITY; num_bits];
+    for (bits, metric) in pool {
+        debug_assert_eq!(bits.len(), num_bits);
+        for (k, &b) in bits.iter().enumerate() {
+            let slot = if b == 0 { &mut best0[k] } else { &mut best1[k] };
+            if *metric < *slot {
+                *slot = *metric;
+            }
+        }
+    }
+    (0..num_bits)
+        .map(|k| {
+            let raw = match (best0[k].is_finite(), best1[k].is_finite()) {
+                (true, true) => (best0[k] - best1[k]) / sigma2,
+                (false, true) if lone => spec.max_llr,
+                (true, false) if lone => -spec.max_llr,
+                (false, true) => (worst - best1[k]) / sigma2,
+                (true, false) => -(worst - best0[k]) / sigma2,
+                (false, false) => 0.0,
+            };
+            raw.clamp(-spec.max_llr, spec.max_llr)
+        })
+        .collect()
+}
+
+// --- Linear filters: Gaussian-approximation LLRs --------------------
+
+/// Soft session for a compiled linear filter: the hard filter plus the
+/// per-stream post-equalization SINR model priced once at compile.
+///
+/// For equalizer `W` (cached pseudo-inverse or MMSE solve) and
+/// `B = WH`, stream `u` sees `z_u = μ_u v_u + interference + noise`
+/// with bias `μ_u = B_uu`, noise power `σ²·(WW*)_uu` and residual
+/// interference `Es·Σ_{j≠u}|B_uj|²`. The demapper bias-compensates
+/// (`z̃ = z/μ`), then emits per-dimension max-log LLRs over the PAM
+/// levels against the effective per-dimension noise — for ZF this
+/// degenerates to the classic `σ²·(H*H)⁻¹_uu` noise-amplification
+/// form, for MMSE it is the standard unbiased-SINR demapper.
+///
+/// Note that `detect_soft`'s hard bits are the *bias-compensated*
+/// slicer's decisions (so every LLR sign agrees with its bit), while
+/// `detect` keeps the raw-sliced hard path bit-identical to the
+/// filter's own `decode`. For ZF the two coincide (`μ = 1`); for MMSE
+/// at low SNR they can differ near 16-QAM level boundaries, where the
+/// biased slicer is the one that's wrong — the soft path's decision
+/// is the unbiased (better) one, not a different algorithm's.
+pub struct SoftLinearSession<F: LinearFilter> {
+    filter: F,
+    h: CMatrix,
+    spec: SoftSpec,
+    /// Per-user complex bias `μ_u = (WH)_uu`.
+    bias: Vec<Complex>,
+    /// Per-user *total complex* effective noise+interference variance
+    /// after bias compensation (`ν̃_u`), floored positive. The
+    /// per-dimension max-log metric `Δd²/ν̃` matches the list
+    /// backends' `Δ‖y − Hv‖²/σ²` scale exactly: a complex Gaussian of
+    /// total variance `ν̃` has per-real-dimension variance `ν̃/2`, so
+    /// the Gaussian exponent `Δd²/(2·ν̃/2)` reduces to `Δd²/ν̃`.
+    nu: Vec<f64>,
+    /// Per-dimension `(gray bits, PAM level)` demap table.
+    dim_table: Vec<(Vec<u8>, f64)>,
+}
+
+/// Soft session over the cached ZF pseudo-inverse.
+pub type SoftZfSession = SoftLinearSession<ZfFilter>;
+/// Soft session over the cached MMSE filter.
+pub type SoftMmseSession = SoftLinearSession<quamax_baselines::MmseFilter>;
+
+impl<F: LinearFilter> SoftLinearSession<F> {
+    /// Prices the SINR model of `filter` over `h` once.
+    pub fn compile(filter: F, h: CMatrix, spec: SoftSpec) -> Self {
+        let m = filter.modulation();
+        let w = filter.filter_matrix();
+        let b = w.mul_mat(&h);
+        let es = m.mean_symbol_energy();
+        let nt = filter.num_users();
+        let mut bias = Vec::with_capacity(nt);
+        let mut nu = Vec::with_capacity(nt);
+        for u in 0..nt {
+            let mu = b[(u, u)];
+            let noise: f64 =
+                (0..w.cols()).map(|j| w[(u, j)].norm_sqr()).sum::<f64>() * spec.sigma2();
+            let interference: f64 = (0..nt)
+                .filter(|&j| j != u)
+                .map(|j| b[(u, j)].norm_sqr())
+                .sum::<f64>()
+                * es;
+            // A vanishing bias means the filter passes nothing of this
+            // stream — keep the math finite, the huge variance marks
+            // every bit of the stream unreliable.
+            let gain = mu.norm_sqr().max(f64::MIN_POSITIVE);
+            nu.push(((noise + interference) / gain).max(f64::MIN_POSITIVE));
+            bias.push(if mu.norm_sqr() > 0.0 {
+                mu
+            } else {
+                Complex::real(1.0)
+            });
+        }
+        SoftLinearSession {
+            h,
+            spec,
+            bias,
+            nu,
+            dim_table: m.dimension_table(),
+            filter,
+        }
+    }
+
+    /// LLRs and hard bits of one real dimension's coordinate `x`.
+    fn demap_dimension(&self, x: f64, nu: f64, llrs: &mut Vec<f64>, bits: &mut Vec<u8>) {
+        let per_dim = self.filter.modulation().bits_per_dimension();
+        let mut best0 = vec![f64::INFINITY; per_dim];
+        let mut best1 = vec![f64::INFINITY; per_dim];
+        let mut best = f64::INFINITY;
+        let mut best_bits: &[u8] = &self.dim_table[0].0;
+        for (level_bits, level) in &self.dim_table {
+            let d = x - level;
+            let metric = d * d / nu;
+            if metric < best {
+                best = metric;
+                best_bits = level_bits;
+            }
+            for (j, &lb) in level_bits.iter().enumerate() {
+                let slot = if lb == 0 {
+                    &mut best0[j]
+                } else {
+                    &mut best1[j]
+                };
+                if metric < *slot {
+                    *slot = metric;
+                }
+            }
+        }
+        for j in 0..per_dim {
+            // Both hypotheses exist in a full PAM table.
+            llrs.push((best0[j] - best1[j]).clamp(-self.spec.max_llr, self.spec.max_llr));
+        }
+        bits.extend_from_slice(best_bits);
+    }
+}
+
+impl<F: LinearFilter> DetectorSession for SoftLinearSession<F> {
+    fn detect(&mut self, y: &CVector, _seed: u64) -> Result<Detection, DetectError> {
+        let bits = self.filter.decode(y);
+        let metric = ml_objective(&self.h, y, &bits, self.filter.modulation());
+        Ok(Detection {
+            bits,
+            metric: Some(metric),
+            stats: BackendStats::Linear,
+        })
+    }
+    fn modulation(&self) -> Modulation {
+        self.filter.modulation()
+    }
+    fn num_bits(&self) -> usize {
+        self.filter.num_users() * self.filter.modulation().bits_per_symbol()
+    }
+    fn backend_name(&self) -> &'static str {
+        F::NAME
+    }
+}
+
+impl<F: LinearFilter> SoftDetectorSession for SoftLinearSession<F> {
+    fn detect_soft(&mut self, y: &CVector, _seed: u64) -> Result<SoftDetection, DetectError> {
+        let m = self.filter.modulation();
+        let z = self.filter.equalize(y);
+        let mut llrs = Vec::with_capacity(self.num_bits());
+        let mut bits = Vec::with_capacity(self.num_bits());
+        for u in 0..z.len() {
+            let zt = z[u] / self.bias[u];
+            let nu = self.nu[u];
+            self.demap_dimension(zt.re, nu, &mut llrs, &mut bits);
+            if m.dimensions() == 2 {
+                self.demap_dimension(zt.im, nu, &mut llrs, &mut bits);
+            }
+        }
+        let objective = ml_objective(&self.h, y, &bits, m);
+        Ok(SoftDetection {
+            llrs,
+            bits,
+            objective: Some(objective),
+            stats: BackendStats::Linear,
+        })
+    }
+}
+
+// --- Sphere: list sphere decoding -----------------------------------
+
+/// Soft session for the sphere backend: the compiled QR drives a list
+/// sphere decode, and the leaf list is the max-log hypothesis pool.
+pub struct SoftSphereSession {
+    compiled: CompiledSphere,
+    spec: SoftSpec,
+}
+
+impl DetectorSession for SoftSphereSession {
+    fn detect(&mut self, y: &CVector, _seed: u64) -> Result<Detection, DetectError> {
+        let out = self.compiled.decode(y)?;
+        Ok(Detection {
+            bits: out.bits,
+            metric: Some(out.metric),
+            stats: BackendStats::Sphere {
+                visited_nodes: out.visited_nodes,
+            },
+        })
+    }
+    fn modulation(&self) -> Modulation {
+        self.compiled.modulation()
+    }
+    fn num_bits(&self) -> usize {
+        self.compiled.num_users() * self.compiled.modulation().bits_per_symbol()
+    }
+    fn backend_name(&self) -> &'static str {
+        "sphere"
+    }
+}
+
+impl SoftDetectorSession for SoftSphereSession {
+    fn detect_soft(&mut self, y: &CVector, _seed: u64) -> Result<SoftDetection, DetectError> {
+        let list = self.compiled.decode_list(y, self.spec.list_size)?;
+        let pool: Vec<(Vec<u8>, f64)> = list
+            .entries
+            .iter()
+            .map(|e| (e.bits.clone(), e.metric))
+            .collect();
+        let llrs = list_llrs(&pool, self.num_bits(), &self.spec);
+        let best = &list.entries[0];
+        Ok(SoftDetection {
+            llrs,
+            bits: best.bits.clone(),
+            objective: Some(best.metric),
+            stats: BackendStats::Sphere {
+                visited_nodes: list.visited_nodes,
+            },
+        })
+    }
+}
+
+// --- QuAMax: the anneal ensemble as a list demapper -----------------
+
+/// Soft session for the annealed backend: one decode produces the
+/// ranked [`DecodeRun`] solution distribution, and that ensemble *is*
+/// the hypothesis list — each distinct logical solution prices to
+/// `E_ising + ml_offset = ‖y − Hv‖²` exactly, so the run doubles as a
+/// max-log list demapper at zero extra anneals.
+///
+/// [`DecodeRun`]: crate::decoder::DecodeRun
+pub struct SoftQuamaxSession {
+    inner: QuamaxSession,
+    spec: SoftSpec,
+}
+
+impl DetectorSession for SoftQuamaxSession {
+    fn detect(&mut self, y: &CVector, seed: u64) -> Result<Detection, DetectError> {
+        self.inner.detect(y, seed)
+    }
+    fn modulation(&self) -> Modulation {
+        self.inner.modulation()
+    }
+    fn num_bits(&self) -> usize {
+        self.inner.num_bits()
+    }
+    fn backend_name(&self) -> &'static str {
+        self.inner.backend_name()
+    }
+}
+
+impl SoftDetectorSession for SoftQuamaxSession {
+    fn detect_soft(&mut self, y: &CVector, seed: u64) -> Result<SoftDetection, DetectError> {
+        let det = self.inner.detect(y, seed)?;
+        let run = det
+            .annealed_run()
+            .expect("the annealed session always attaches its run");
+        let pool: Vec<(Vec<u8>, f64)> = (0..run.distribution().num_distinct())
+            .map(|rank| {
+                let bits = run
+                    .bits_for_rank(rank)
+                    .expect("rank within the distribution");
+                let metric = run.distribution().entries()[rank].energy + run.ml_offset();
+                (bits, metric)
+            })
+            .collect();
+        let llrs = list_llrs(&pool, det.bits.len(), &self.spec);
+        Ok(SoftDetection {
+            llrs,
+            bits: det.bits,
+            objective: det.metric,
+            stats: det.stats,
+        })
+    }
+}
+
+// --- Exhaustive ML: exact max-log reference -------------------------
+
+/// Soft session for the exhaustive backend: enumerates the *entire*
+/// constellation power and computes exact max-log LLRs — the ground
+/// truth the list demappers approximate (test-suite sizes only).
+pub struct SoftExactMlSession {
+    h: CMatrix,
+    modulation: Modulation,
+    spec: SoftSpec,
+}
+
+impl DetectorSession for SoftExactMlSession {
+    fn detect(&mut self, y: &CVector, _seed: u64) -> Result<Detection, DetectError> {
+        let out = quamax_baselines::exhaustive_ml(&self.h, y, self.modulation);
+        Ok(Detection {
+            bits: out.bits,
+            metric: Some(out.metric),
+            stats: BackendStats::Exact,
+        })
+    }
+    fn modulation(&self) -> Modulation {
+        self.modulation
+    }
+    fn num_bits(&self) -> usize {
+        self.h.cols() * self.modulation.bits_per_symbol()
+    }
+    fn backend_name(&self) -> &'static str {
+        "exact_ml"
+    }
+}
+
+impl SoftDetectorSession for SoftExactMlSession {
+    fn detect_soft(&mut self, y: &CVector, _seed: u64) -> Result<SoftDetection, DetectError> {
+        let m = self.modulation;
+        let nt = self.h.cols();
+        let constellation = m.constellation();
+        let order = constellation.len();
+        let total = order.checked_pow(nt as u32).expect("test-suite sizes");
+        let mut pool = Vec::with_capacity(total);
+        let mut v = CVector::zeros(nt);
+        for k in 0..total {
+            let mut idx = k;
+            let mut bits = Vec::with_capacity(self.num_bits());
+            for u in 0..nt {
+                let (b, s) = &constellation[idx % order];
+                bits.extend_from_slice(b);
+                v[u] = *s;
+                idx /= order;
+            }
+            let metric = (y - &self.h.mul_vec(&v)).norm_sqr();
+            pool.push((bits, metric));
+        }
+        let llrs = list_llrs(&pool, self.num_bits(), &self.spec);
+        let (best_bits, best_metric) = pool
+            .into_iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite metrics"))
+            .expect("non-empty constellation power");
+        Ok(SoftDetection {
+            llrs,
+            bits: best_bits,
+            objective: Some(best_metric),
+            stats: BackendStats::Exact,
+        })
+    }
+}
+
+// --- Hybrid routing, soft ------------------------------------------
+
+/// Soft session for the hybrid router: the same residual-gated routing
+/// as the hard [`HybridSession`], carried out over soft sub-sessions so
+/// the accepted side's LLRs flow through. Availability degrades the
+/// same way: a side that cannot compile (or answer) routes to the
+/// other.
+///
+/// [`HybridSession`]: crate::detect::HybridSession
+pub struct SoftHybridSession {
+    primary: Option<Box<dyn SoftDetectorSession>>,
+    fallback: Option<Box<dyn SoftDetectorSession>>,
+    policy: RoutePolicy,
+    receive_antennas: usize,
+}
+
+impl SoftHybridSession {
+    fn wrap(detection: SoftDetection, route: Route, primary_metric: f64) -> SoftDetection {
+        SoftDetection {
+            llrs: detection.llrs,
+            bits: detection.bits,
+            objective: detection.objective,
+            stats: BackendStats::Hybrid {
+                route,
+                primary_metric,
+                inner: Box::new(detection.stats),
+            },
+        }
+    }
+
+    fn a_side(&self) -> &dyn SoftDetectorSession {
+        self.fallback
+            .as_deref()
+            .or(self.primary.as_deref())
+            .expect("compile keeps at least one side")
+    }
+}
+
+impl DetectorSession for SoftHybridSession {
+    fn detect(&mut self, y: &CVector, seed: u64) -> Result<Detection, DetectError> {
+        self.detect_soft(y, seed).map(SoftDetection::into_hard)
+    }
+    fn modulation(&self) -> Modulation {
+        self.a_side().modulation()
+    }
+    fn num_bits(&self) -> usize {
+        self.a_side().num_bits()
+    }
+    fn backend_name(&self) -> &'static str {
+        "hybrid"
+    }
+}
+
+impl SoftDetectorSession for SoftHybridSession {
+    fn detect_soft(&mut self, y: &CVector, seed: u64) -> Result<SoftDetection, DetectError> {
+        let first = match self.primary.as_mut() {
+            Some(session) => match session.detect_soft(y, seed) {
+                Ok(det) => Some(det),
+                Err(e) if self.fallback.is_none() => return Err(e),
+                Err(_) => None,
+            },
+            None => None,
+        };
+        let Some(first) = first else {
+            let session = self
+                .fallback
+                .as_mut()
+                .expect("compile keeps at least one side");
+            let second = session.detect_soft(y, seed)?;
+            return Ok(Self::wrap(second, Route::Fallback, f64::INFINITY));
+        };
+        let metric = first.objective.unwrap_or(f64::INFINITY);
+        let per_antenna = metric / self.receive_antennas.max(1) as f64;
+        let Some(fallback) = self.fallback.as_mut() else {
+            return Ok(Self::wrap(first, Route::Primary, metric));
+        };
+        if per_antenna <= self.policy.max_residual_per_antenna {
+            return Ok(Self::wrap(first, Route::Primary, metric));
+        }
+        match fallback.detect_soft(y, seed) {
+            Ok(second) => Ok(Self::wrap(second, Route::Fallback, metric)),
+            Err(_) => Ok(Self::wrap(first, Route::Primary, metric)),
+        }
+    }
+}
+
+// --- Registry entry point -------------------------------------------
+
+impl DetectorKind {
+    /// Compiles a *soft-output* session for this kind — the LLR
+    /// counterpart of [`Detector::compile`], supported by every
+    /// registry backend (the annealed list demapper, the Gaussian
+    /// linear demappers, list sphere decoding, exact max-log for
+    /// `ExactMl`, and residual-gated routing over soft sub-sessions
+    /// for `Hybrid`).
+    pub fn compile_soft(
+        &self,
+        input: &DetectionInput,
+        spec: SoftSpec,
+    ) -> Result<Box<dyn SoftDetectorSession>, DetectError> {
+        Ok(match self {
+            DetectorKind::ZeroForcing => {
+                let filter = ZeroForcingDetector::new(input.modulation).compile(&input.h)?;
+                Box::new(SoftLinearSession::compile(filter, input.h.clone(), spec))
+            }
+            DetectorKind::Mmse { noise_variance } => {
+                let filter =
+                    MmseDetector::new(input.modulation, *noise_variance).compile(&input.h)?;
+                Box::new(SoftLinearSession::compile(filter, input.h.clone(), spec))
+            }
+            DetectorKind::Sphere { node_budget } => {
+                if input.h.rows() < input.h.cols() {
+                    return Err(DetectError::Linalg(LinalgError::ShapeMismatch));
+                }
+                let mut sphere = SphereDecoder::new(input.modulation);
+                if let Some(budget) = node_budget {
+                    sphere = sphere.with_node_budget(*budget);
+                }
+                Box::new(SoftSphereSession {
+                    compiled: sphere.compile(&input.h),
+                    spec,
+                })
+            }
+            DetectorKind::ExactMl => Box::new(SoftExactMlSession {
+                h: input.h.clone(),
+                modulation: input.modulation,
+                spec,
+            }),
+            DetectorKind::Quamax {
+                annealer,
+                config,
+                anneals,
+            } => Box::new(SoftQuamaxSession {
+                inner: QuamaxDetector::new(annealer.clone(), *config, *anneals).compile(input)?,
+                spec,
+            }),
+            DetectorKind::Hybrid {
+                primary,
+                fallback,
+                policy,
+            } => {
+                let first = primary.compile_soft(input, spec).ok();
+                let second = match fallback.compile_soft(input, spec) {
+                    Ok(session) => Some(session),
+                    Err(e) if first.is_none() => return Err(e),
+                    Err(_) => None,
+                };
+                Box::new(SoftHybridSession {
+                    primary: first,
+                    fallback: second,
+                    policy: *policy,
+                    receive_antennas: input.nr(),
+                })
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::DecoderConfig;
+    use crate::scenario::Scenario;
+    use quamax_anneal::{Annealer, AnnealerConfig, IceModel, Schedule};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn quiet_annealer() -> Annealer {
+        Annealer::new(AnnealerConfig {
+            ice: IceModel::none(),
+            sweeps_per_us: 50.0,
+            ..Default::default()
+        })
+    }
+
+    fn all_soft_kinds(sigma2: f64) -> Vec<DetectorKind> {
+        vec![
+            DetectorKind::zf(),
+            DetectorKind::mmse(sigma2),
+            DetectorKind::sphere(),
+            DetectorKind::exact_ml(),
+            DetectorKind::quamax(
+                quiet_annealer(),
+                DecoderConfig {
+                    schedule: Schedule::standard(10.0),
+                    ..Default::default()
+                },
+                150,
+            ),
+            DetectorKind::hybrid(
+                DetectorKind::zf(),
+                DetectorKind::sphere(),
+                RoutePolicy::new(0.5),
+            ),
+        ]
+    }
+
+    #[test]
+    fn every_kind_compiles_soft_and_emits_consistent_llrs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let snr = Snr::from_db(12.0);
+        let sc = Scenario::new(3, 3, Modulation::Qpsk).with_snr(snr);
+        let inst = sc.sample(&mut rng);
+        let input = inst.detection_input();
+        let spec = SoftSpec::noise_matched(snr, Modulation::Qpsk);
+        for kind in all_soft_kinds(spec.noise_variance) {
+            let name = kind.name();
+            let mut session = kind.compile_soft(&input, spec).expect(name);
+            let soft = session.detect_soft(&input.y, 5).expect(name);
+            assert_eq!(soft.llrs.len(), 6, "{name}");
+            assert_eq!(soft.bits.len(), 6, "{name}");
+            for (k, (&llr, &bit)) in soft.llrs.iter().zip(&soft.bits).enumerate() {
+                assert!(llr.abs() <= spec.max_llr + 1e-12, "{name} bit {k}: {llr}");
+                if llr > 0.0 {
+                    assert_eq!(bit, 1, "{name} bit {k}: llr {llr}");
+                }
+                if llr < 0.0 {
+                    assert_eq!(bit, 0, "{name} bit {k}: llr {llr}");
+                }
+            }
+            assert!(soft.objective.expect(name).is_finite(), "{name}");
+        }
+    }
+
+    #[test]
+    fn sphere_list_llrs_match_exact_max_log() {
+        // A leaf list covering the whole constellation power makes the
+        // sphere's list demapper *exactly* the max-log demapper.
+        let mut rng = StdRng::seed_from_u64(2);
+        let snr = Snr::from_db(8.0);
+        let sc = Scenario::new(2, 2, Modulation::Qam16).with_snr(snr);
+        let spec = SoftSpec::noise_matched(snr, Modulation::Qam16).with_list_size(256);
+        for _ in 0..5 {
+            let inst = sc.sample(&mut rng);
+            let input = inst.detection_input();
+            let mut sphere = DetectorKind::sphere().compile_soft(&input, spec).unwrap();
+            let mut exact = DetectorKind::exact_ml().compile_soft(&input, spec).unwrap();
+            let s = sphere.detect_soft(&input.y, 0).unwrap();
+            let e = exact.detect_soft(&input.y, 0).unwrap();
+            assert_eq!(s.bits, e.bits);
+            for (a, b) in s.llrs.iter().zip(&e.llrs) {
+                assert!((a - b).abs() < 1e-6 * b.abs().max(1.0), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn quamax_pool_of_one_clamps_every_counter_hypothesis() {
+        // A single anneal observes exactly one candidate: every bit's
+        // counter-hypothesis is missing, so every LLR sits at the
+        // clamp, signed by the hard decision.
+        let mut rng = StdRng::seed_from_u64(3);
+        let sc = Scenario::new(4, 4, Modulation::Bpsk);
+        let inst = sc.sample(&mut rng);
+        let input = inst.detection_input();
+        let spec = SoftSpec::new(0.1);
+        let kind = DetectorKind::quamax(
+            quiet_annealer(),
+            DecoderConfig {
+                schedule: Schedule::standard(10.0),
+                ..Default::default()
+            },
+            1,
+        );
+        let mut session = kind.compile_soft(&input, spec).unwrap();
+        let soft = session.detect_soft(&input.y, 9).unwrap();
+        for (&llr, &bit) in soft.llrs.iter().zip(&soft.bits) {
+            assert_eq!(llr.abs(), spec.max_llr);
+            assert_eq!(u8::from(llr > 0.0), bit);
+        }
+    }
+
+    #[test]
+    fn quamax_soft_hard_bits_match_the_hard_session() {
+        // detect_soft is the hard decode plus LLRs — same run, same
+        // bits, same objective under the same seed.
+        let mut rng = StdRng::seed_from_u64(4);
+        let snr = Snr::from_db(14.0);
+        let sc = Scenario::new(3, 3, Modulation::Qam16).with_snr(snr);
+        let inst = sc.sample(&mut rng);
+        let input = inst.detection_input();
+        let kind = DetectorKind::quamax(
+            quiet_annealer(),
+            DecoderConfig {
+                schedule: Schedule::standard(15.0),
+                ..Default::default()
+            },
+            200,
+        );
+        let mut hard = kind.compile(&input).unwrap();
+        let mut soft = kind
+            .compile_soft(&input, SoftSpec::noise_matched(snr, Modulation::Qam16))
+            .unwrap();
+        let h = hard.detect(&input.y, 77).unwrap();
+        let s = soft.detect_soft(&input.y, 77).unwrap();
+        assert_eq!(h.bits, s.bits);
+        assert_eq!(h.metric, s.objective);
+    }
+
+    #[test]
+    fn linear_llr_magnitudes_grow_with_snr() {
+        // The Gaussian demapper's reliabilities must scale with the
+        // channel: the same channel at higher SNR yields larger mean
+        // |LLR| (up to the clamp).
+        let mut rng = StdRng::seed_from_u64(5);
+        let sc = Scenario::new(4, 4, Modulation::Qpsk).with_snr(Snr::from_db(6.0));
+        let inst = sc.sample(&mut rng);
+        let mean_abs = |snr_db: f64| -> f64 {
+            let snr = Snr::from_db(snr_db);
+            let re = inst.renoise(snr, &mut StdRng::seed_from_u64(42));
+            let input = re.detection_input();
+            let spec = SoftSpec::noise_matched(snr, Modulation::Qpsk).with_max_llr(1e6);
+            let mut s = DetectorKind::zf().compile_soft(&input, spec).unwrap();
+            let soft = s.detect_soft(&input.y, 0).unwrap();
+            soft.llrs.iter().map(|l| l.abs()).sum::<f64>() / soft.llrs.len() as f64
+        };
+        assert!(mean_abs(20.0) > 4.0 * mean_abs(2.0));
+    }
+
+    #[test]
+    fn soft_hybrid_routes_like_the_hard_hybrid() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let snr = Snr::from_db(10.0);
+        let sc = Scenario::new(3, 3, Modulation::Qpsk).with_snr(snr);
+        let kind = DetectorKind::hybrid(
+            DetectorKind::zf(),
+            DetectorKind::sphere(),
+            RoutePolicy::noise_matched(snr, Modulation::Qpsk, 3.0),
+        );
+        let spec = SoftSpec::noise_matched(snr, Modulation::Qpsk);
+        for _ in 0..6 {
+            let inst = sc.sample(&mut rng);
+            let input = inst.detection_input();
+            let mut hard = kind.compile(&input).unwrap();
+            let mut soft = kind.compile_soft(&input, spec).unwrap();
+            let h = hard.detect(&input.y, 3).unwrap();
+            let s = soft.detect_soft(&input.y, 3).unwrap();
+            assert_eq!(h.route(), s.route());
+            assert_eq!(h.bits, s.bits);
+        }
+    }
+
+    #[test]
+    fn linear_llrs_match_exact_max_log_on_single_stream_channels() {
+        // On a 1×1 channel the ZF Gaussian approximation is not an
+        // approximation: no interference, one stream, so its LLRs must
+        // equal the exhaustive max-log reference *in scale*, not just
+        // sign — the cross-backend consistency that lets a hybrid mix
+        // linear and list LLRs in one soft Viterbi pass.
+        let mut rng = StdRng::seed_from_u64(8);
+        for m in [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16] {
+            let snr = Snr::from_db(9.0);
+            let sc = Scenario::new(1, 1, m).with_rayleigh().with_snr(snr);
+            let spec = SoftSpec::noise_matched(snr, m).with_max_llr(1e9);
+            for _ in 0..4 {
+                let inst = sc.sample(&mut rng);
+                let input = inst.detection_input();
+                let mut zf = DetectorKind::zf().compile_soft(&input, spec).unwrap();
+                let mut exact = DetectorKind::exact_ml().compile_soft(&input, spec).unwrap();
+                let z = zf.detect_soft(&input.y, 0).unwrap();
+                let e = exact.detect_soft(&input.y, 0).unwrap();
+                assert_eq!(z.bits, e.bits, "{}", m.name());
+                for (k, (a, b)) in z.llrs.iter().zip(&e.llrs).enumerate() {
+                    assert!(
+                        (a - b).abs() < 1e-9 * b.abs().max(1.0),
+                        "{} bit {k}: zf {a} vs exact {b}",
+                        m.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_soft_hard_bits_match_exhaustive_ml() {
+        // The soft exhaustive session's own enumeration must stay in
+        // lockstep with the baselines' exhaustive_ml — one ground
+        // truth, two call paths.
+        let mut rng = StdRng::seed_from_u64(9);
+        let snr = Snr::from_db(7.0);
+        let sc = Scenario::new(3, 3, Modulation::Qpsk)
+            .with_rayleigh()
+            .with_snr(snr);
+        for _ in 0..5 {
+            let inst = sc.sample(&mut rng);
+            let input = inst.detection_input();
+            let mut soft = DetectorKind::exact_ml()
+                .compile_soft(&input, SoftSpec::noise_matched(snr, Modulation::Qpsk))
+                .unwrap();
+            let det = soft.detect_soft(&input.y, 0).unwrap();
+            let ml = quamax_baselines::exhaustive_ml(&input.h, &input.y, input.modulation);
+            assert_eq!(det.bits, ml.bits);
+            assert!((det.objective.unwrap() - ml.metric).abs() < 1e-9 * ml.metric.max(1.0));
+        }
+    }
+
+    #[test]
+    fn zero_noise_spec_stays_finite() {
+        // σ² = 0 (noise-free calibration runs): LLRs must clamp, not
+        // NaN.
+        let mut rng = StdRng::seed_from_u64(7);
+        let inst = Scenario::new(3, 3, Modulation::Qam16).sample(&mut rng);
+        let input = inst.detection_input();
+        let spec = SoftSpec::new(0.0);
+        for kind in [DetectorKind::zf(), DetectorKind::sphere()] {
+            let mut s = kind.compile_soft(&input, spec).unwrap();
+            let soft = s.detect_soft(&input.y, 0).unwrap();
+            assert!(soft.llrs.iter().all(|l| l.is_finite()));
+            assert_eq!(soft.bits, inst.tx_bits());
+        }
+    }
+}

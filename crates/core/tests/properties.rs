@@ -356,4 +356,94 @@ proptest! {
             Route::Fallback => prop_assert_eq!(det.bits, sp_det.bits),
         }
     }
+
+    /// The soft-output contract, every backend × modulation: one LLR
+    /// per payload bit, magnitudes within the clamp, and every LLR's
+    /// *sign* agreeing with the backend's own hard decision (positive
+    /// ⇒ bit 1, negative ⇒ bit 0, zero unconstrained).
+    #[test]
+    fn llr_signs_match_hard_bits_for_every_backend(
+        m in modulation(),
+        channel_seed in 0u64..10_000,
+        snr_db in 4.0f64..18.0,
+    ) {
+        use quamax_core::{DetectorKind, RoutePolicy, SoftSpec};
+
+        let mut rng = StdRng::seed_from_u64(channel_seed);
+        let snr = Snr::from_db(snr_db);
+        let sc = Scenario::new(2, 2, m).with_rayleigh().with_snr(snr);
+        let inst = sc.sample(&mut rng);
+        let input = inst.detection_input();
+        let spec = SoftSpec::noise_matched(snr, m);
+        let kinds = [
+            DetectorKind::zf(),
+            DetectorKind::mmse(spec.noise_variance),
+            DetectorKind::sphere(),
+            DetectorKind::exact_ml(),
+            DetectorKind::quamax(session_annealer(), DecoderConfig::default(), 20),
+            DetectorKind::hybrid(
+                DetectorKind::zf(),
+                DetectorKind::sphere(),
+                RoutePolicy::noise_matched(snr, m, 2.0),
+            ),
+        ];
+        for kind in kinds {
+            let name = kind.name();
+            let mut session = match kind.compile_soft(&input, spec) {
+                Ok(s) => s,
+                // A rank-deficient draw can sink the pure linear
+                // kinds; the property quantifies the sessions that
+                // do compile.
+                Err(_) => continue,
+            };
+            let soft = session.detect_soft(&input.y, channel_seed).unwrap();
+            prop_assert_eq!(soft.llrs.len(), input.num_bits(), "{}", name);
+            prop_assert_eq!(soft.bits.len(), input.num_bits(), "{}", name);
+            for (k, (&llr, &bit)) in soft.llrs.iter().zip(&soft.bits).enumerate() {
+                prop_assert!(llr.is_finite(), "{} bit {}", name, k);
+                prop_assert!(
+                    llr.abs() <= spec.max_llr + 1e-12,
+                    "{} bit {}: |{}| above the clamp", name, k, llr
+                );
+                if llr > 0.0 {
+                    prop_assert_eq!(bit, 1, "{} bit {}: llr {}", name, k, llr);
+                } else if llr < 0.0 {
+                    prop_assert_eq!(bit, 0, "{} bit {}: llr {}", name, k, llr);
+                }
+            }
+        }
+    }
+
+    /// Saturating a detection's LLRs (hard-bit signs, one common
+    /// magnitude) and soft-Viterbi-decoding is bit-identical to
+    /// hard-decision Viterbi over the hard bits — the coded pipeline's
+    /// soft path strictly generalizes the hard path, end to end
+    /// through the interleaver.
+    #[test]
+    fn saturated_llr_pipeline_equals_hard_pipeline(
+        m in modulation(),
+        channel_seed in 0u64..10_000,
+        magnitude in 0.5f64..30.0,
+    ) {
+        use quamax_core::{CodedFrame, DetectorKind, SoftSpec};
+
+        let frame = CodedFrame::new(2, m, 30);
+        let snr = Snr::from_db(6.0); // noisy: real detection errors
+        let spec = SoftSpec::noise_matched(snr, m);
+        let mut rng = StdRng::seed_from_u64(channel_seed);
+        let payload = frame.random_payload(&mut rng);
+        let out = frame
+            .run(&DetectorKind::mmse(spec.noise_variance), spec, snr, &payload, channel_seed)
+            .unwrap();
+        let saturated: Vec<f64> = out
+            .detected_bits
+            .iter()
+            .map(|&b| if b == 0 { -magnitude } else { magnitude })
+            .collect();
+        prop_assert_eq!(
+            frame.decode_soft(&saturated),
+            frame.decode_hard(&out.detected_bits)
+        );
+        prop_assert_eq!(&frame.decode_hard(&out.detected_bits), &out.hard_payload);
+    }
 }

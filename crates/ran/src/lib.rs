@@ -21,7 +21,12 @@
 //!   re-decodes only the residual-flagged fallback fraction per AP;
 //! * [`sim`] — a deterministic discrete-event simulation dispatching
 //!   per-subcarrier decode jobs to any of the servers and scoring
-//!   deadline compliance.
+//!   deadline compliance;
+//! * [`coded`] — the join of the timing world and the BER world:
+//!   every simulated frame is also decoded through the soft-output
+//!   coded pipeline (`quamax_core::coded`), and the report is **coded
+//!   goodput** — payload that arrived both on time and error-free,
+//!   hard-input vs soft-input Viterbi side by side.
 //!
 //! Programming amortization is modeled two ways on the QPU server:
 //! frame-counted coherence ([`QpuServer::with_coherence`]) and a
@@ -30,12 +35,14 @@
 //! evicts on coherence expiry and reprograms exactly when an AP's
 //! channel actually changes.
 
+pub mod coded;
 pub mod cpu;
 pub mod hybrid;
 pub mod qpu;
 pub mod sim;
 pub mod topology;
 
+pub use coded::{CodedUplink, CodedUplinkReport};
 pub use cpu::{CpuPolicy, CpuPool};
 pub use hybrid::HybridServer;
 pub use qpu::{channel_hash, QpuOverheads, QpuServer, SessionCache};

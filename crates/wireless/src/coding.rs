@@ -7,8 +7,18 @@
 //! drive BER down" (§5.3.3). This module provides the standard rate-1/2
 //! constraint-length-7 convolutional code (generators 133/171 octal —
 //! the code of 802.11, used across wireless standards) with
-//! hard-decision Viterbi decoding, so coded end-to-end experiments can
-//! quantify those claims.
+//! soft-input Viterbi decoding (max-log branch metrics from per-bit
+//! LLRs; the hard-decision decoder is the saturated ±1 special case),
+//! so coded end-to-end experiments can quantify those claims.
+//!
+//! LLR convention (shared with `quamax_core`'s soft detectors): a
+//! *positive* LLR argues for bit 1, a negative one for bit 0, and the
+//! magnitude is the max-log reliability. The Viterbi path metric adds
+//! `|L|` for every coded bit a path disagrees with — with every `L`
+//! saturated to the same magnitude this is exactly the Hamming metric,
+//! which is why [`ConvolutionalCode::decode`] and
+//! [`ConvolutionalCode::decode_soft`] agree bit for bit on saturated
+//! inputs (property-tested).
 
 /// Constraint length `K` (memory 6, 64 trellis states).
 pub const CONSTRAINT: usize = 7;
@@ -51,40 +61,71 @@ impl ConvolutionalCode {
     /// cover at least the tail). Returns the maximum-likelihood data
     /// bits (tail stripped).
     ///
+    /// This is the saturated special case of
+    /// [`ConvolutionalCode::decode_soft`]: each hard bit becomes an LLR
+    /// of ±1, turning the soft path metric into the Hamming distance.
+    ///
     /// # Panics
     /// Panics on odd-length input or input shorter than the tail.
     pub fn decode(&self, coded: &[u8]) -> Vec<u8> {
+        let llrs: Vec<f64> = coded
+            .iter()
+            .map(|&b| if b == 0 { -1.0 } else { 1.0 })
+            .collect();
+        self.decode_soft(&llrs)
+    }
+
+    /// Soft-input Viterbi decode from per-coded-bit LLRs (positive =
+    /// bit 1; length must be even and cover at least the tail). The
+    /// branch metric charges `|L|` for every coded bit a candidate path
+    /// disagrees with — the max-log metric, invariant under a global
+    /// positive rescaling of the LLRs. Returns the minimum-cost data
+    /// bits (tail stripped).
+    ///
+    /// # Panics
+    /// Panics on odd-length input or input shorter than the tail.
+    pub fn decode_soft(&self, llrs: &[f64]) -> Vec<u8> {
         assert!(
-            coded.len().is_multiple_of(2),
+            llrs.len().is_multiple_of(2),
             "rate-1/2 stream must have even length"
         );
-        let steps = coded.len() / 2;
+        let steps = llrs.len() / 2;
         assert!(
             steps >= CONSTRAINT - 1,
             "input shorter than the trellis tail"
         );
-        const INF: u32 = u32::MAX / 2;
+        // The cost of emitting coded bit `c` against received LLR `l`:
+        // zero when the signs agree, the reliability |l| when they
+        // disagree (max-log).
+        let cost = |c: u8, l: f64| -> f64 {
+            let mismatch = if c == 1 { l < 0.0 } else { l > 0.0 };
+            if mismatch {
+                l.abs()
+            } else {
+                0.0
+            }
+        };
 
-        // path_metric[s] = best Hamming distance into state s.
-        let mut metric = vec![INF; STATES];
-        metric[0] = 0; // encoder starts zeroed
-                       // survivors[t][s] = predecessor-state bit decision (input bit).
+        // path_metric[s] = best accumulated cost into state s.
+        let mut metric = vec![f64::INFINITY; STATES];
+        metric[0] = 0.0; // encoder starts zeroed
+                         // survivors[t][s] = predecessor-state bit decision (input bit).
         let mut survivors: Vec<Vec<u8>> = Vec::with_capacity(steps);
         let mut prev_state: Vec<Vec<u8>> = Vec::with_capacity(steps);
 
         for t in 0..steps {
-            let (r0, r1) = (coded[2 * t], coded[2 * t + 1]);
-            let mut next = vec![INF; STATES];
+            let (r0, r1) = (llrs[2 * t], llrs[2 * t + 1]);
+            let mut next = vec![f64::INFINITY; STATES];
             let mut dec = vec![0u8; STATES];
             let mut pre = vec![0u8; STATES];
             for (s, &m) in metric.iter().enumerate() {
-                if m >= INF {
+                if m.is_infinite() {
                     continue;
                 }
                 for b in 0u8..=1 {
                     let reg = ((s as u8) << 1) | b;
                     let (c0, c1) = (parity(reg & G0), parity(reg & G1));
-                    let branch = u32::from(c0 != r0) + u32::from(c1 != r1);
+                    let branch = cost(c0, r0) + cost(c1, r1);
                     let ns = (reg & ((STATES as u8) - 1)) as usize;
                     let cand = m + branch;
                     if cand < next[ns] {
@@ -154,22 +195,27 @@ impl BlockInterleaver {
     }
 
     /// Permutes one block (length must equal [`BlockInterleaver::len`]).
-    pub fn interleave(&self, bits: &[u8]) -> Vec<u8> {
-        assert_eq!(bits.len(), self.len(), "block size mismatch");
-        let mut out = Vec::with_capacity(bits.len());
+    /// Generic over the element so the same permutation carries hard
+    /// bits (`u8`) and soft LLRs (`f64`).
+    pub fn interleave<T: Copy>(&self, xs: &[T]) -> Vec<T> {
+        assert_eq!(xs.len(), self.len(), "block size mismatch");
+        let mut out = Vec::with_capacity(xs.len());
         for c in 0..self.cols {
             for r in 0..self.rows {
-                out.push(bits[r * self.cols + c]);
+                out.push(xs[r * self.cols + c]);
             }
         }
         out
     }
 
-    /// Inverts [`BlockInterleaver::interleave`].
-    pub fn deinterleave(&self, bits: &[u8]) -> Vec<u8> {
-        assert_eq!(bits.len(), self.len(), "block size mismatch");
-        let mut out = vec![0u8; bits.len()];
-        let mut it = bits.iter();
+    /// Inverts [`BlockInterleaver::interleave`] — for a soft-input
+    /// pipeline this is the interleaver-aware *LLR* reordering: each
+    /// received LLR travels to the code-domain position its coded bit
+    /// came from, reliability attached.
+    pub fn deinterleave<T: Copy>(&self, xs: &[T]) -> Vec<T> {
+        assert_eq!(xs.len(), self.len(), "block size mismatch");
+        let mut out = vec![xs[0]; xs.len()];
+        let mut it = xs.iter();
         for c in 0..self.cols {
             for r in 0..self.rows {
                 out[r * self.cols + c] = *it.next().expect("sized");
@@ -276,6 +322,59 @@ mod tests {
     #[should_panic(expected = "even length")]
     fn odd_input_panics() {
         let _ = ConvolutionalCode.decode(&[0, 1, 0]);
+    }
+
+    #[test]
+    fn soft_decode_uses_reliability() {
+        // Three confident coded bits are flipped *with low confidence*:
+        // the soft decoder shrugs them off exactly like channel noise,
+        // and a hard decoder given the same sign decisions agrees only
+        // because 3 scattered errors are within the code's power. Now
+        // concentrate 12 low-confidence flips in a burst: hard-decision
+        // decoding fails, soft decoding still recovers.
+        let code = ConvolutionalCode;
+        let mut rng = StdRng::seed_from_u64(7);
+        let data = random_bits(120, &mut rng);
+        let coded = code.encode(&data);
+        let mut llrs: Vec<f64> = coded
+            .iter()
+            .map(|&b| if b == 0 { -8.0 } else { 8.0 })
+            .collect();
+        for l in llrs.iter_mut().skip(50).take(12) {
+            *l = -0.1 * l.signum(); // wrong sign, tiny reliability
+        }
+        let hard_view: Vec<u8> = llrs.iter().map(|&l| u8::from(l > 0.0)).collect();
+        assert_ne!(
+            code.decode(&hard_view),
+            data,
+            "a 12-bit burst defeats hard decisions"
+        );
+        assert_eq!(
+            code.decode_soft(&llrs),
+            data,
+            "low reliability lets the soft decoder override the burst"
+        );
+    }
+
+    #[test]
+    fn saturated_soft_decode_equals_hard_decode() {
+        // The ±C special case, any C: identical survivors, identical
+        // bits — the contract the hard API is now built on.
+        let code = ConvolutionalCode;
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..10 {
+            let data = random_bits(150, &mut rng);
+            let mut coded = code.encode(&data);
+            for bit in coded.iter_mut() {
+                if rng.random::<f64>() < 0.04 {
+                    *bit ^= 1;
+                }
+            }
+            for c in [1.0, 7.25] {
+                let llrs: Vec<f64> = coded.iter().map(|&b| if b == 0 { -c } else { c }).collect();
+                assert_eq!(code.decode_soft(&llrs), code.decode(&coded));
+            }
+        }
     }
 
     #[test]

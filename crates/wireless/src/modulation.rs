@@ -158,6 +158,22 @@ impl Modulation {
         bits
     }
 
+    /// Enumerates one I/Q dimension's PAM levels as `(gray_bits, level)`
+    /// pairs in ascending level order — the per-dimension demapping
+    /// table behind [`Modulation::demap_gray`] and the soft
+    /// (LLR-producing) demappers. `map_gray` of a symbol is exactly the
+    /// per-dimension lookup of this table applied to each bit group.
+    pub fn dimension_table(self) -> Vec<(Vec<u8>, f64)> {
+        let l = self.levels_per_dimension();
+        let per_dim = self.bits_per_dimension();
+        (0..l as u32)
+            .map(|bin| {
+                let level = (2 * bin as i32 - (l as i32 - 1)) as f64;
+                (index_to_bits(binary_to_gray(bin), per_dim), level)
+            })
+            .collect()
+    }
+
     /// Enumerates the whole constellation as `(gray_bits, symbol)` pairs,
     /// in bit-index order. Used by exhaustive ML search and tests.
     pub fn constellation(self) -> Vec<(Vec<u8>, Complex)> {
@@ -402,5 +418,27 @@ mod tests {
     #[should_panic(expected = "expected 4 bits")]
     fn wrong_bit_count_panics() {
         let _ = Modulation::Qam16.map_gray(&[0, 1]);
+    }
+
+    #[test]
+    fn dimension_table_matches_symbol_maps() {
+        for m in Modulation::ALL {
+            let table = m.dimension_table();
+            assert_eq!(table.len(), m.levels_per_dimension());
+            // Ascending levels spanning ±(L−1) in steps of 2.
+            let l = m.levels_per_dimension() as f64;
+            for (k, (bits, level)) in table.iter().enumerate() {
+                assert_eq!(*level, 2.0 * k as f64 - (l - 1.0), "{}", m.name());
+                assert_eq!(bits.len(), m.bits_per_dimension());
+                // The I dimension of a full symbol built from these bits
+                // lands on this level (Q dimension pinned to the first
+                // table row).
+                let mut sym_bits = bits.clone();
+                if m.dimensions() == 2 {
+                    sym_bits.extend_from_slice(&table[0].0);
+                }
+                assert_eq!(m.map_gray(&sym_bits).re, *level, "{}", m.name());
+            }
+        }
     }
 }

@@ -104,4 +104,65 @@ proptest! {
             prop_assert_eq!(v[i], m.map_gray(chunk));
         }
     }
+
+    /// Soft-input Viterbi with *saturated* LLRs (every bit at the same
+    /// magnitude, signed by the hard decision) is bit-identical to the
+    /// hard-decision decoder, for any noise pattern and any saturation
+    /// level — the contract that makes the hard path the ±1 special
+    /// case of the soft path.
+    #[test]
+    fn saturated_soft_viterbi_is_the_hard_decoder(
+        data_seed in 0u64..10_000,
+        flips in proptest::collection::vec(0usize..300, 0..14),
+        magnitude in 0.01f64..100.0,
+    ) {
+        use quamax_wireless::ConvolutionalCode;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let code = ConvolutionalCode;
+        let mut rng = StdRng::seed_from_u64(data_seed);
+        let data: Vec<u8> = (0..144).map(|_| rng.random_range(0..=1) as u8).collect();
+        let mut coded = code.encode(&data);
+        for &f in &flips {
+            let idx = f % coded.len();
+            coded[idx] ^= 1;
+        }
+        let llrs: Vec<f64> = coded
+            .iter()
+            .map(|&b| if b == 0 { -magnitude } else { magnitude })
+            .collect();
+        prop_assert_eq!(code.decode_soft(&llrs), code.decode(&coded));
+    }
+
+    /// The interleaver permutes LLRs exactly as it permutes the bits
+    /// they annotate: deinterleaving a bit stream and its LLR stream
+    /// keeps every (bit, reliability) pair together.
+    #[test]
+    fn interleaver_keeps_llrs_with_their_bits(
+        rows in 2usize..9,
+        cols in 2usize..9,
+        seed in 0u64..10_000,
+    ) {
+        use quamax_wireless::coding::BlockInterleaver;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let il = BlockInterleaver::new(rows, cols);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bits: Vec<u8> = (0..il.len()).map(|_| rng.random_range(0..=1) as u8).collect();
+        // Tag each bit with a unique reliability so pairs are traceable.
+        let llrs: Vec<f64> = bits
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (i as f64 + 1.0) * if b == 0 { -1.0 } else { 1.0 })
+            .collect();
+        let (tx_bits, tx_llrs) = (il.interleave(&bits), il.interleave(&llrs));
+        let (rx_bits, rx_llrs) = (il.deinterleave(&tx_bits), il.deinterleave(&tx_llrs));
+        prop_assert_eq!(&rx_bits, &bits);
+        for (i, (&b, &l)) in rx_bits.iter().zip(&rx_llrs).enumerate() {
+            prop_assert_eq!(l.abs() as usize, i + 1);
+            prop_assert_eq!(b == 1, l > 0.0);
+        }
+    }
 }

@@ -1,81 +1,96 @@
-//! Coded uplink: forward error correction above QuAMax detection.
+//! Coded uplink: forward error correction above *soft-output* QuAMax
+//! detection.
 //!
 //! The paper's §5.3.3 design point: set a decode deadline, accept a
 //! residual BER from the annealer, and let FEC drive it down. This
-//! example transmits a convolutionally-coded, block-interleaved frame
-//! (rate-1/2 K=7 — the 802.11 code) across many channel uses, decodes
-//! each use with a *deliberately small* anneal budget, and shows the
-//! Viterbi decoder mopping up the annealer's residual errors. The
-//! interleaver matters: detection failures are bursty (one bad channel
-//! use corrupts a whole symbol vector), and convolutional codes only
-//! correct scattered errors.
+//! example transmits convolutionally-coded, block-interleaved frames
+//! (rate-1/2 K=7 — the 802.11 code) and decodes each channel use with
+//! a *deliberately small* anneal budget through the soft detection
+//! pipeline: the ranked anneal ensemble is list-demapped into per-bit
+//! LLRs, the LLRs ride the deinterleaver, and the Viterbi decoder runs
+//! soft-input — with the hard-input path (same detections, reliability
+//! thrown away) alongside for comparison. The gap between the two
+//! columns is pure reliability information: the annealer tells the
+//! code *which* of its answers to distrust.
 //!
 //! Run: `cargo run --release --example coded_uplink`
 
 use quamax::prelude::*;
-use quamax_core::scenario::Instance;
-use quamax_wireless::coding::BlockInterleaver;
-use quamax_wireless::{count_bit_errors, rayleigh_channel, ConvolutionalCode};
-use rand::Rng as _;
 
 fn main() {
-    let mut rng = Rng::seed_from_u64(80211);
     let users = 16usize;
     let modulation = Modulation::Qpsk;
-    let snr = Snr::from_db(11.0); // noisy enough for residual errors
-    let code = ConvolutionalCode;
-    let per_use = users * modulation.bits_per_symbol(); // 32 bits/use
+    // 466-bit payloads → 944 coded bits → padded to 30 uses × 32 bits.
+    let frame = CodedFrame::new(users, modulation, 466);
+    let frames_per_point = 4usize;
 
-    // A 461-bit payload → 934 coded bits → pad to 960 = 32 uses × 30
-    // rows… choose geometry so the interleaver block is a whole number
-    // of channel uses: 30 uses × 32 bits = 960.
-    let payload: Vec<u8> = (0..466).map(|_| rng.random_range(0..=1) as u8).collect();
-    let mut coded = code.encode(&payload); // 944 bits
-    coded.resize(960, 0);
-    let interleaver = BlockInterleaver::new(per_use, coded.len() / per_use);
-    let tx_stream = interleaver.interleave(&coded);
-
-    // Small anneal budget = deliberately imperfect detection.
-    let machine = Annealer::dw2q(AnnealerConfig::default());
-    let decoder = QuamaxDecoder::new(machine, DecoderConfig::default());
-    let anneals = 5;
-
-    let mut rx_stream = Vec::with_capacity(tx_stream.len());
-    let mut raw_errors = 0usize;
-    for chunk in tx_stream.chunks(per_use) {
-        let h = rayleigh_channel(users, users, &mut rng);
-        let inst = Instance::transmit(h, chunk.to_vec(), modulation, Some(snr), &mut rng);
-        let run = decoder
-            .decode(&inst.detection_input(), anneals, &mut rng)
-            .unwrap();
-        let bits = run.best_bits();
-        raw_errors += count_bit_errors(&bits, chunk);
-        rx_stream.extend(bits);
-    }
-
-    let deinterleaved = interleaver.deinterleave(&rx_stream);
-    let decoded = code.decode(&deinterleaved[..code.coded_len(payload.len())]);
-    let residual = count_bit_errors(&decoded, &payload);
+    // Small anneal budget at a starved sweep density = a hard decode
+    // deadline: detection is deliberately imperfect, FEC's problem now.
+    let anneals = 4;
+    let kind = DetectorKind::quamax(
+        Annealer::dw2q(AnnealerConfig {
+            sweeps_per_us: 10.0,
+            ..Default::default()
+        }),
+        DecoderConfig::default(),
+        anneals,
+    );
 
     println!(
-        "{} channel uses of {users}x{users} {} at {snr}, {anneals} anneals each:",
-        tx_stream.len() / per_use,
+        "{} coded frames per SNR, {} uses of {users}x{users} {} each, {anneals} anneals per use:\n",
+        frames_per_point,
+        frame.uses(),
         modulation.name()
     );
     println!(
-        "  detector (uncoded) bit errors   : {raw_errors}/{} (BER {:.2e})",
-        tx_stream.len(),
-        raw_errors as f64 / tx_stream.len() as f64
+        "{:>6} {:>14} {:>16} {:>16}",
+        "SNR", "detector BER", "hard-input BER", "soft-input BER"
     );
+
+    let mut rng = Rng::seed_from_u64(80211);
+    let mut worst_hard = 0usize;
+    let mut worst_soft = 0usize;
+    let mut clean_soft_errors = usize::MAX;
+    for snr_db in [5.0, 8.0, 12.0] {
+        let snr = Snr::from_db(snr_db);
+        let spec = SoftSpec::noise_matched(snr, modulation);
+        let (mut raw, mut raw_bits, mut hard, mut soft) = (0usize, 0usize, 0usize, 0usize);
+        for k in 0..frames_per_point {
+            let payload = frame.random_payload(&mut rng);
+            let out = frame
+                .run(&kind, spec, snr, &payload, 80211 + k as u64)
+                .expect("16-user QPSK embeds on the chip");
+            raw += out.raw_errors;
+            raw_bits += out.raw_bits;
+            hard += out.hard_errors;
+            soft += out.soft_errors;
+        }
+        let payload_bits = frames_per_point * frame.payload_len();
+        println!(
+            "{snr_db:>4}dB {:>14.2e} {:>16.2e} {:>16.2e}",
+            raw as f64 / raw_bits as f64,
+            hard as f64 / payload_bits as f64,
+            soft as f64 / payload_bits as f64,
+        );
+        if snr_db == 5.0 {
+            worst_hard = hard;
+            worst_soft = soft;
+        }
+        clean_soft_errors = soft; // last (cleanest) SNR's soft errors
+    }
+
     println!(
-        "  after deinterleave + Viterbi    : {residual}/{} (BER {:.2e})",
-        payload.len(),
-        residual as f64 / payload.len() as f64
+        "\nSame detections feed both Viterbi columns — only the LLRs differ.\n\
+         The soft column is the layering §5.3.3 assumes, upgraded: the anneal\n\
+         ensemble prices each bit's reliability, so FEC spends its power where\n\
+         the annealer actually hesitated."
     );
-    println!(
-        "\nFEC + interleaving turn the annealer's bursty residual errors into\n\
-         clean frames — the layering the paper's deadline-then-discard design\n\
-         assumes (§5.3.3)."
+    assert!(
+        worst_soft <= worst_hard,
+        "soft-input decoding must not lose to hard-input: {worst_soft} vs {worst_hard}"
     );
-    assert_eq!(residual, 0, "the coded frame should decode cleanly");
+    assert_eq!(
+        clean_soft_errors, 0,
+        "the soft pipeline should deliver clean frames at the top SNR"
+    );
 }

@@ -48,6 +48,26 @@
 //! let detection = session.detect(&input.y, 42).unwrap(); // per received vector
 //! assert_eq!(detection.bits.len(), 8);
 //! ```
+//!
+//! For the coded uplink, every kind also compiles a *soft* session
+//! producing per-bit LLRs (positive ⇒ bit 1) that feed the soft-input
+//! Viterbi decoder and the [`CodedFrame`](prelude::CodedFrame)
+//! pipeline:
+//!
+//! ```
+//! use quamax::prelude::*;
+//!
+//! let mut rng = Rng::seed_from_u64(7);
+//! let snr = Snr::from_db(15.0);
+//! let inst = Scenario::new(4, 4, Modulation::Qpsk).with_snr(snr).sample(&mut rng);
+//! let input = inst.detection_input();
+//! let mut soft = DetectorKind::zf()
+//!     .compile_soft(&input, SoftSpec::noise_matched(snr, Modulation::Qpsk))
+//!     .unwrap();
+//! let det = soft.detect_soft(&input.y, 1).unwrap();
+//! assert_eq!(det.llrs.len(), 8);
+//! assert!(det.llrs.iter().zip(&det.bits).all(|(&l, &b)| (l > 0.0) == (b == 1) || l == 0.0));
+//! ```
 pub use quamax_anneal as anneal;
 pub use quamax_baselines as baselines;
 pub use quamax_chimera as chimera;
@@ -63,8 +83,9 @@ pub mod prelude {
     pub use quamax_baselines::{MmseDetector, SphereDecoder, ZeroForcingDetector};
     pub use quamax_core::metrics::{percentile, BitErrorProfile, RunStatistics};
     pub use quamax_core::{
-        DecodeSession, DecoderConfig, Detection, DetectionInput, Detector, DetectorKind,
-        DetectorSession, QuamaxDecoder, RoutePolicy, Scenario,
+        measured_fallback_fraction, CodedFrame, DecodeSession, DecoderConfig, Detection,
+        DetectionInput, Detector, DetectorKind, DetectorSession, QuamaxDecoder, RoutePolicy,
+        Scenario, SoftDetection, SoftDetectorSession, SoftSpec,
     };
     pub use quamax_linalg::{CMatrix, CVector, Complex};
     pub use quamax_wireless::{Modulation, Snr};
