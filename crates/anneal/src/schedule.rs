@@ -167,6 +167,28 @@ impl Schedule {
     pub fn is_reverse(&self) -> bool {
         self.reverse
     }
+
+    /// The reverse-anneal counterpart of this (forward) schedule: the
+    /// same ramp time `Ta`, reversal point `s_target`, holding for the
+    /// forward pause duration (or `Ta/2` when unpaused). This is the
+    /// warm-start schedule an iterative detector derives from its
+    /// forward operating point — the refinement anneal costs wall-clock
+    /// time of the same order as the forward cycle it follows, and the
+    /// deadline accounting reads the derived schedule's
+    /// [`Schedule::total_time_us`] directly.
+    ///
+    /// A schedule that is already reverse is returned unchanged (its
+    /// own reversal point wins).
+    ///
+    /// # Panics
+    /// Panics for `s_target` outside `(0, 1)`.
+    pub fn reverse_matched(&self, s_target: f64) -> Schedule {
+        if self.reverse {
+            return *self;
+        }
+        let hold = self.pause.map_or(self.anneal_time_us / 2.0, |(_, tp)| tp);
+        Schedule::reverse(self.anneal_time_us, s_target, hold)
+    }
 }
 
 #[cfg(test)]
@@ -278,6 +300,23 @@ mod tests {
         assert!((min - 0.3).abs() < 1e-9);
         assert!(plan[0] > 0.9, "must start near s=1");
         assert!(*plan.last().unwrap() > 0.9, "must end near s=1");
+    }
+
+    #[test]
+    fn reverse_matched_derives_a_reverse_schedule() {
+        // Paused forward point: the hold carries over.
+        let fwd = Schedule::with_pause(1.0, 0.35, 1.0);
+        let rev = fwd.reverse_matched(0.6);
+        assert!(rev.is_reverse());
+        assert_eq!(rev.anneal_time_us, 1.0);
+        assert_eq!(rev.pause, Some((0.6, 1.0)));
+        assert_eq!(rev.total_time_us(), fwd.total_time_us());
+        // Unpaused forward point: hold of Ta/2.
+        let plain = Schedule::standard(2.0).reverse_matched(0.5);
+        assert_eq!(plain.pause, Some((0.5, 1.0)));
+        // Already reverse: unchanged.
+        let already = Schedule::reverse(2.0, 0.4, 3.0);
+        assert_eq!(already.reverse_matched(0.9), already);
     }
 
     #[test]

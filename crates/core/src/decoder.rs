@@ -278,6 +278,18 @@ struct SessionInner {
     chain_len: f64,
 }
 
+/// How one decode run anneals: from scratch, or backwards from a
+/// candidate state (optionally under a schedule other than the
+/// session's compiled one — the IDD warm-start entry).
+#[derive(Clone, Copy)]
+enum RunMode<'a> {
+    Forward,
+    Reverse {
+        candidate_gray_bits: &'a [u8],
+        schedule: Option<&'a Schedule>,
+    },
+}
+
 impl SessionInner {
     /// Rebuilds the (small) logical problem for `y` and writes the
     /// programmed coefficients into `scratch`, reproducing exactly what
@@ -312,20 +324,25 @@ impl SessionInner {
         annealer: &Annealer,
         y: &CVector,
         num_anneals: usize,
-        candidate_gray_bits: Option<&[u8]>,
+        mode: RunMode<'_>,
         rng: &mut R,
     ) -> DecodeRun {
+        let schedule = match mode {
+            RunMode::Reverse {
+                schedule: Some(s), ..
+            } => *s,
+            _ => self.config.schedule,
+        };
         let (logical, offset) = self.program(y, scratch);
         let seed: u64 = rng.random();
-        let samples = match candidate_gray_bits {
-            None => annealer.run_compiled(
-                scratch,
-                &self.chains,
-                &self.config.schedule,
-                num_anneals,
-                seed,
-            ),
-            Some(gray) => {
+        let samples = match mode {
+            RunMode::Forward => {
+                annealer.run_compiled(scratch, &self.chains, &schedule, num_anneals, seed)
+            }
+            RunMode::Reverse {
+                candidate_gray_bits: gray,
+                ..
+            } => {
                 // Gray bits → QuAMax-transform bits → logical spins →
                 // expansion onto the physical chains.
                 let q = self.modulation.bits_per_symbol();
@@ -345,7 +362,7 @@ impl SessionInner {
                     scratch,
                     &self.chains,
                     &physical,
-                    &self.config.schedule,
+                    &schedule,
                     num_anneals,
                     seed,
                 )
@@ -368,7 +385,7 @@ impl SessionInner {
             logical,
             ml_offset: offset,
             modulation: self.modulation,
-            schedule: self.config.schedule,
+            schedule,
             parallel_factor: self.parallel_factor,
             chain_break_fraction: broken as f64 / total_chains as f64,
         }
@@ -425,7 +442,7 @@ impl DecodeSession {
             &self.inner.annealer,
             y,
             num_anneals,
-            None,
+            RunMode::Forward,
             rng,
         )
     }
@@ -457,8 +474,53 @@ impl DecodeSession {
             &self.inner.annealer,
             y,
             num_anneals,
-            Some(candidate_gray_bits),
+            RunMode::Reverse {
+                candidate_gray_bits,
+                schedule: None,
+            },
             rng,
+        )
+    }
+
+    /// Reverse-anneal decode from a *supplied* candidate state under a
+    /// *supplied* reverse schedule — the warm-start entry an iterative
+    /// detection–decoding loop uses: the session stays compiled for its
+    /// forward operating point (iteration 1), and later iterations
+    /// refine the channel decoder's current decision by annealing
+    /// backwards from it without recompiling anything. Deterministic in
+    /// `seed` exactly like [`DecodeSession::decode`].
+    ///
+    /// # Panics
+    /// Panics when the candidate bit count differs from the payload, or
+    /// `schedule` is not reverse.
+    pub fn decode_reverse_from(
+        &mut self,
+        y: &CVector,
+        num_anneals: usize,
+        candidate_gray_bits: &[u8],
+        schedule: &Schedule,
+        seed: u64,
+    ) -> DecodeRun {
+        assert!(
+            schedule.is_reverse(),
+            "decode_reverse_from needs a Schedule::reverse schedule"
+        );
+        assert_eq!(
+            candidate_gray_bits.len(),
+            self.num_bits(),
+            "candidate bit count mismatch"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.inner.run_with(
+            &mut self.scratch,
+            &self.inner.annealer,
+            y,
+            num_anneals,
+            RunMode::Reverse {
+                candidate_gray_bits,
+                schedule: Some(schedule),
+            },
+            &mut rng,
         )
     }
 
@@ -503,7 +565,7 @@ impl DecodeSession {
                             annealer,
                             y,
                             num_anneals,
-                            None,
+                            RunMode::Forward,
                             &mut rng,
                         ));
                     }
@@ -879,6 +941,65 @@ mod tests {
         let via = session.decode_reverse(&input.y, 50, &candidate, &mut s_rng);
         assert_eq!(one.best_bits(), via.best_bits());
         assert_eq!(one.distribution(), via.distribution());
+    }
+
+    #[test]
+    fn decode_reverse_from_matches_a_reverse_configured_session() {
+        // The warm-start entry: a session compiled at a *forward*
+        // operating point, handed a reverse schedule per call, must
+        // reproduce bit for bit what a session compiled with that
+        // reverse schedule produces under the same seed — the compile
+        // depends only on (H, embed params), never on the schedule.
+        let mut rng = StdRng::seed_from_u64(21);
+        let sc = Scenario::new(5, 5, Modulation::Qpsk);
+        let inst = sc.sample(&mut rng);
+        let input = inst.detection_input();
+        let mut candidate = inst.tx_bits().to_vec();
+        candidate[3] ^= 1;
+        let reverse = Schedule::reverse(2.0, 0.6, 2.0);
+
+        let forward_decoder = QuamaxDecoder::new(
+            quiet_annealer(),
+            DecoderConfig {
+                schedule: Schedule::standard(10.0),
+                ..Default::default()
+            },
+        );
+        let mut forward_session = forward_decoder.compile(&input).unwrap();
+        let via = forward_session.decode_reverse_from(&input.y, 40, &candidate, &reverse, 55);
+
+        let reverse_decoder = QuamaxDecoder::new(
+            quiet_annealer(),
+            DecoderConfig {
+                schedule: reverse,
+                ..Default::default()
+            },
+        );
+        let mut reverse_session = reverse_decoder.compile(&input).unwrap();
+        let mut r_rng = StdRng::seed_from_u64(55);
+        let direct = reverse_session.decode_reverse(&input.y, 40, &candidate, &mut r_rng);
+
+        assert_eq!(via.best_bits(), direct.best_bits());
+        assert_eq!(via.distribution(), direct.distribution());
+        // The run reports the schedule it actually annealed with.
+        assert!((via.anneal_cycle_us() - reverse.total_time_us()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "Schedule::reverse")]
+    fn decode_reverse_from_rejects_forward_schedules() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let inst = Scenario::new(4, 4, Modulation::Bpsk).sample(&mut rng);
+        let decoder = QuamaxDecoder::new(quiet_annealer(), DecoderConfig::default());
+        let mut session = decoder.compile(&inst.detection_input()).unwrap();
+        let candidate = vec![0u8; 4];
+        let _ = session.decode_reverse_from(
+            &inst.detection_input().y,
+            5,
+            &candidate,
+            &Schedule::standard(1.0),
+            1,
+        );
     }
 
     #[test]

@@ -467,8 +467,8 @@ impl QuamaxDetector {
 ///
 /// [`DecodeSession`]: crate::decoder::DecodeSession
 pub struct QuamaxSession {
-    session: crate::decoder::DecodeSession,
-    anneals: usize,
+    pub(crate) session: crate::decoder::DecodeSession,
+    pub(crate) anneals: usize,
 }
 
 impl Detector for QuamaxDetector {
@@ -831,6 +831,12 @@ impl Detector for DetectorKind {
 /// Non-hybrid kinds never route, so their measured fraction is 0.
 /// Deterministic: the batch is drawn from `StdRng::seed_from_u64(seed)`
 /// and each detection is seeded from the trial index.
+///
+/// The result is always a valid provisioning fraction: an *empty*
+/// decode log (`trials == 0` — e.g. a calibration window that saw no
+/// traffic) measures 0.0 rather than dividing by zero, and the ratio
+/// is clamped to `[0, 1]` so downstream consumers with strict range
+/// asserts (`HybridServer::new`) can take it verbatim.
 pub fn measured_fallback_fraction(
     kind: &DetectorKind,
     scenario: &crate::scenario::Scenario,
@@ -839,7 +845,9 @@ pub fn measured_fallback_fraction(
 ) -> Result<f64, DetectError> {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    assert!(trials > 0, "calibration needs at least one trial");
+    if trials == 0 {
+        return Ok(0.0);
+    }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut fallbacks = 0usize;
     for t in 0..trials {
@@ -854,7 +862,7 @@ pub fn measured_fallback_fraction(
             fallbacks += 1;
         }
     }
-    Ok(fallbacks as f64 / trials as f64)
+    Ok((fallbacks as f64 / trials as f64).clamp(0.0, 1.0))
 }
 
 #[cfg(test)]
@@ -1204,6 +1212,25 @@ mod tests {
             measured_fallback_fraction(&DetectorKind::zf(), &sc, 5, 1).unwrap(),
             0.0
         );
+    }
+
+    #[test]
+    fn measured_fallback_fraction_of_an_empty_log_is_zero() {
+        // A calibration window that saw no traffic must measure a
+        // provisionable 0.0, not divide by zero — and every measured
+        // value must be a legal `HybridServer` fraction.
+        let sc = Scenario::new(3, 3, Modulation::Qpsk).with_snr(Snr::from_db(9.0));
+        let kind = DetectorKind::hybrid(
+            DetectorKind::zf(),
+            DetectorKind::sphere(),
+            RoutePolicy::new(0.5),
+        );
+        let f = measured_fallback_fraction(&kind, &sc, 0, 1).unwrap();
+        assert_eq!(f, 0.0);
+        for trials in [1usize, 3, 10] {
+            let f = measured_fallback_fraction(&kind, &sc, trials, 1).unwrap();
+            assert!((0.0..=1.0).contains(&f), "trials={trials}: {f}");
+        }
     }
 
     #[test]

@@ -124,6 +124,64 @@
 //! is the saturated ±1 special case). The [`coded`] module assembles
 //! the full frame pipeline: encode → interleave → detect_soft per
 //! channel use → deinterleave LLRs → soft Viterbi.
+//!
+//! # DESIGN — iterative detection–decoding (IDD)
+//!
+//! The anneal ensemble is paid for per vector; the IDD engine makes
+//! each *extra* round buy coded BER instead of being thrown away, by
+//! closing the detector↔decoder loop (the hybrid classical–quantum
+//! iteration structure of the HotNets '20 follow-on, with the source
+//! paper's Fig. 15 reverse anneals as the warm start).
+//!
+//! **Extrinsic-exchange schedule** ([`coded::CodedFrame::run_idd`],
+//! governed by [`coded::IddSpec`]): per iteration, (1) every channel
+//! use is re-detected through its *compiled* soft session with
+//! [`soft::SoftDetectorSession::detect_soft_with_priors`]; (2) the
+//! sessions' detector-extrinsic LLRs (`SoftDetection::extrinsic`) are
+//! deinterleaved and fed to the SISO convolutional decoder
+//! (`quamax_wireless::ConvolutionalCode::decode_siso`, max-log
+//! forward/backward over the Viterbi trellis — `decode_soft` is its
+//! marginal-only special case); (3) the decoder's per-coded-bit
+//! extrinsic is damped (`IddSpec::damping`), clamped, interleaved
+//! back into detection order (pad bits pinned to known zeros), and
+//! becomes the next round's priors. The loop stops on a decoded-
+//! payload fixed point (`IddSpec::early_exit`, the CRC-free
+//! convergence test) or at `max_iters`; [`coded::IddOutcome`] carries
+//! the full per-iteration BER/objective trajectories.
+//!
+//! **Prior pricing per backend** — all max-log, prior mismatch cost
+//! `Σ_k 1[b_k ≠ sign(L_k)]·|L_k|` (σ²-scaled where metrics are in
+//! `‖·‖²` units):
+//!
+//! | backend  | posterior | extrinsic fed back |
+//! |----------|-----------|--------------------|
+//! | QuAMax   | MAP demap over the reverse-annealed ensemble ∪ {warm-start candidate}, deduplicated, metrics augmented with the prior cost | ML-only demap of that pool — new measurements each round |
+//! | ZF/MMSE  | per-dimension Gaussian MAP (prior cost added to each PAM level's metric) | `posterior − prior` computed before the clamp: a bit's own prior cancels exactly (its cost is constant per hypothesis side), leaving the channel LLR conditioned on the co-located bits' priors — the textbook per-bit extrinsic ( = the channel LLR outright for 1-bit dimensions) |
+//! | sphere   | prior cost re-ranks the kept leaf list (exact MAP over the list) | ML-only demap of the list (the tree walk itself is unchanged) |
+//! | exact ML | exact max-log MAP over the constellation power | the exact ML LLRs (channel evidence is prior-independent) |
+//! | hybrid   | routes prior-aware sub-sessions under the same residual gate | the accepted side's |
+//!
+//! Two rules keep the exchange stable: the extrinsic is never the
+//! clamped posterior minus the prior (saturation would erase channel
+//! evidence), and a list backend's extrinsic never includes the prior
+//! term (cross-bit prior penalties and the missing-hypothesis floor
+//! would otherwise echo the prior back as fake new evidence).
+//!
+//! **Reverse-anneal warm-start contract**: a soft QuAMax session
+//! derives, at compile time, the reverse counterpart of its forward
+//! schedule (`Schedule::reverse_matched` at
+//! [`soft::SoftSpec::reverse_s_target`]); under priors it re-encodes
+//! the priors' hard decision as the initial state of a
+//! [`decoder::DecodeSession::decode_reverse_from`] run — same
+//! compiled embedding/CSR state, no recompile, deterministic in the
+//! seed — and the candidate itself joins the hypothesis pool priced
+//! exactly (`E_ising + ml_offset`). Uninformative (all-zero) priors
+//! are bit-identical to `detect_soft` for *every* backend
+//! (property-tested), so iteration 1 of the loop is exactly the
+//! pre-IDD pipeline. `quamax_ran::CodedUplink::run_idd` charges each
+//! bought iteration's reverse-anneal wall-clock against the radio
+//! deadline and grants per-frame iteration budgets from the remaining
+//! slack.
 
 pub mod coded;
 pub mod decoder;
@@ -134,7 +192,7 @@ pub mod reduce;
 pub mod scenario;
 pub mod soft;
 
-pub use coded::{CodedFrame, CodedFrameOutcome};
+pub use coded::{CodedFrame, CodedFrameOutcome, IddIteration, IddOutcome, IddSpec};
 pub use decoder::{DecodeError, DecodeRun, DecodeSession, DecoderConfig, QuamaxDecoder};
 pub use detect::{
     measured_fallback_fraction, BackendStats, DetectError, Detection, Detector, DetectorKind,

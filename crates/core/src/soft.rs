@@ -28,7 +28,34 @@
 //! actually proves), clamping outright only when the pool is a single
 //! unanimous candidate.
 //!
+//! **Prior-aware detection** — the iterative detection–decoding (IDD)
+//! entry [`SoftDetectorSession::detect_soft_with_priors`] accepts
+//! per-bit *a-priori* LLRs (the channel decoder's extrinsic output,
+//! interleaved back into detection order) and returns *posterior*
+//! LLRs:
+//!
+//! * the **list backends** add the max-log prior mismatch cost
+//!   `σ²·Σ_k 1[b_k ≠ sign(L_k)]·|L_k|` to every hypothesis's ML metric
+//!   before demapping, turning the max-log ML demap into a max-log MAP
+//!   demap;
+//! * **QuAMax** additionally re-encodes the priors' hard decision as a
+//!   *reverse-anneal* initial state
+//!   ([`DecodeSession::decode_reverse_from`]): the refinement ensemble
+//!   explores around the decoder's current decision instead of
+//!   annealing from scratch, and the warm-start candidate itself joins
+//!   the (deduplicated) hypothesis pool;
+//! * **ZF/MMSE** fold the prior cost into the per-dimension Gaussian
+//!   max-log demap;
+//! * **hybrid** routes prior-aware sub-sessions under the same
+//!   residual gate.
+//!
+//! Uninformative (all-zero) priors are *bit-identical* to
+//! [`SoftDetectorSession::detect_soft`] — iteration 1 of an IDD loop
+//! is exactly the existing soft pipeline (property-tested per backend
+//! and modulation).
+//!
 //! [`DecodeRun`]: crate::decoder::DecodeRun
+//! [`DecodeSession::decode_reverse_from`]: crate::decoder::DecodeSession::decode_reverse_from
 
 use crate::detect::{
     ml_objective, BackendStats, DetectError, Detection, Detector, DetectorKind, DetectorSession,
@@ -46,6 +73,12 @@ use quamax_wireless::{Modulation, Snr};
 /// a single missing counter-hypothesis cannot outvote a constraint
 /// span of honest observations.
 pub const DEFAULT_MAX_LLR: f64 = 50.0;
+
+/// Default reversal point `s_target` for the QuAMax prior-aware
+/// refinement anneal (the Fig. 15-style reverse schedule derived from
+/// the forward operating point): deep enough that wrong bits can flip,
+/// shallow enough that the warm start is not erased.
+pub const DEFAULT_REVERSE_S_TARGET: f64 = 0.6;
 
 /// Parameters of a soft-output compile: what the LLR derivation needs
 /// beyond the [`DetectionInput`].
@@ -65,6 +98,11 @@ pub struct SoftSpec {
     /// the other backends; the annealed pool size is set by the anneal
     /// budget instead).
     pub list_size: usize,
+    /// Reversal point `s_target` of the reverse-anneal schedule the
+    /// QuAMax backend derives for prior-aware (warm-started) decodes —
+    /// see [`SoftDetectorSession::detect_soft_with_priors`]. Ignored by
+    /// the classical backends.
+    pub reverse_s_target: f64,
 }
 
 impl SoftSpec {
@@ -79,6 +117,7 @@ impl SoftSpec {
             noise_variance,
             max_llr: DEFAULT_MAX_LLR,
             list_size: 16,
+            reverse_s_target: DEFAULT_REVERSE_S_TARGET,
         }
     }
 
@@ -108,6 +147,19 @@ impl SoftSpec {
         self
     }
 
+    /// Overrides the QuAMax reverse-anneal reversal point.
+    ///
+    /// # Panics
+    /// Panics for `s_target` outside `(0, 1)`.
+    pub fn with_reverse_s_target(mut self, s_target: f64) -> Self {
+        assert!(
+            s_target > 0.0 && s_target < 1.0,
+            "reversal point must lie in (0,1)"
+        );
+        self.reverse_s_target = s_target;
+        self
+    }
+
     /// σ² floored away from zero so noiseless setups produce (clamped)
     /// finite LLRs instead of NaNs.
     fn sigma2(&self) -> f64 {
@@ -120,8 +172,16 @@ impl SoftSpec {
 #[derive(Clone, Debug)]
 pub struct SoftDetection {
     /// Per-bit LLRs, user 0 first (positive ⇒ bit 1), clamped to the
-    /// spec's `max_llr`. Same indexing as `bits`.
+    /// spec's `max_llr`. Same indexing as `bits`. Under priors these
+    /// are *posterior* LLRs.
     pub llrs: Vec<f64>,
+    /// Per-bit detector-**extrinsic** LLRs: the detection's own
+    /// evidence with the prior contribution removed (`posterior −
+    /// prior`, computed *before* the posterior clamp so a saturated
+    /// posterior cannot erase channel evidence), then clamped. Equal
+    /// to `llrs` when the detection ran without priors — this is the
+    /// stream an IDD loop deinterleaves into the SISO decoder.
+    pub extrinsic: Vec<f64>,
     /// Hard-decision bits — the sign pattern of `llrs` (each LLR's
     /// sign agrees with its bit; zero-LLR ties resolve to the
     /// backend's own hard decision).
@@ -153,17 +213,143 @@ impl SoftDetection {
     }
 }
 
-/// The soft-output extension of [`DetectorSession`]: one extra method,
-/// same compile-once lifecycle, same seeding contract.
+/// The soft-output extension of [`DetectorSession`]: the same
+/// compile-once lifecycle and seeding contract, with LLR output and an
+/// a-priori-aware entry for iterative detection–decoding.
 pub trait SoftDetectorSession: DetectorSession {
     /// Detects one received vector and derives per-bit LLRs.
     fn detect_soft(&mut self, y: &CVector, seed: u64) -> Result<SoftDetection, DetectError>;
+
+    /// Detects one received vector *given per-bit prior LLRs* (the
+    /// channel decoder's extrinsic output, one per payload bit in
+    /// detection order, positive ⇒ bit 1) and derives **posterior**
+    /// LLRs — the IDD entry point. The contract:
+    ///
+    /// * uninformative (all-zero) priors are bit-identical to
+    ///   [`SoftDetectorSession::detect_soft`];
+    /// * every backend folds the max-log prior cost into its hypothesis
+    ///   pricing (MAP instead of ML);
+    /// * the annealed backend additionally warm-starts a *reverse*
+    ///   anneal from the priors' hard decision, so the refinement
+    ///   ensemble explores around the decoder's current decision.
+    ///
+    /// The detector-extrinsic LLRs an IDD loop feeds onward are
+    /// `posterior − prior`, computed by the caller.
+    ///
+    /// # Panics
+    /// Panics when `priors.len()` differs from
+    /// [`DetectorSession::num_bits`].
+    fn detect_soft_with_priors(
+        &mut self,
+        y: &CVector,
+        priors: &[f64],
+        seed: u64,
+    ) -> Result<SoftDetection, DetectError>;
 }
 
 impl<S: SoftDetectorSession + ?Sized> SoftDetectorSession for Box<S> {
     fn detect_soft(&mut self, y: &CVector, seed: u64) -> Result<SoftDetection, DetectError> {
         (**self).detect_soft(y, seed)
     }
+    fn detect_soft_with_priors(
+        &mut self,
+        y: &CVector,
+        priors: &[f64],
+        seed: u64,
+    ) -> Result<SoftDetection, DetectError> {
+        (**self).detect_soft_with_priors(y, priors, seed)
+    }
+}
+
+/// `true` when a prior vector carries no information — the case that
+/// must reduce every backend's prior-aware path to plain
+/// `detect_soft`, bit for bit.
+fn uninformative(priors: &[f64]) -> bool {
+    priors.iter().all(|&l| l == 0.0)
+}
+
+/// Max-log prior mismatch cost of hypothesis `bits` under `priors`, in
+/// LLR units: every bit whose value disagrees with its prior's sign
+/// charges the prior's magnitude (`−log P` up to an additive constant
+/// shared by all hypotheses, which max-log differences cancel).
+fn prior_mismatch_cost(bits: &[u8], priors: &[f64]) -> f64 {
+    bits.iter()
+        .zip(priors)
+        .map(|(&b, &l)| {
+            let mismatch = if b == 1 { l < 0.0 } else { l > 0.0 };
+            if mismatch {
+                l.abs()
+            } else {
+                0.0
+            }
+        })
+        .sum()
+}
+
+/// Deduplicates a hypothesis pool in place: one entry per distinct bit
+/// pattern, priced at its *best* (minimum) observed metric, first-seen
+/// order preserved. Repeated anneal solutions (or a warm-start
+/// candidate re-discovered by the refinement ensemble) would otherwise
+/// re-price the same counter-hypothesis and skew the pool-worst
+/// missing-hypothesis pricing.
+fn dedupe_pool(pool: &mut Vec<(Vec<u8>, f64)>) {
+    use std::collections::HashMap;
+    let mut seen: HashMap<Vec<u8>, usize> = HashMap::with_capacity(pool.len());
+    let mut kept: Vec<(Vec<u8>, f64)> = Vec::with_capacity(pool.len());
+    for (bits, metric) in pool.drain(..) {
+        match seen.get(&bits) {
+            Some(&k) => {
+                if metric < kept[k].1 {
+                    kept[k].1 = metric;
+                }
+            }
+            None => {
+                seen.insert(bits.clone(), kept.len());
+                kept.push((bits, metric));
+            }
+        }
+    }
+    *pool = kept;
+}
+
+/// MAP list demap for a prior-aware list backend: returns `(clamped
+/// posterior LLRs, clamped extrinsic LLRs, MAP entry index)`.
+///
+/// The **posterior** demaps the pool under *augmented* metrics (each
+/// entry's ML metric plus its σ²-scaled prior mismatch cost), with the
+/// same missing-hypothesis policy as [`list_llrs`]; the MAP entry
+/// attains the global augmented minimum, so posterior signs always
+/// agree with its bits. The **extrinsic** is the *ML-only* demap of
+/// the same pool — the detection's own channel evidence: the prior's
+/// influence flows through *which* candidates the (warm-started)
+/// search found, never as an arithmetic echo. Subtracting the prior
+/// from the pool posterior instead would let the cross-bit prior
+/// penalties and the missing-hypothesis floor leak prior mass into
+/// the "new" evidence, the classic IDD positive-feedback failure.
+fn demap_with_priors(
+    pool: &[(Vec<u8>, f64)],
+    priors: &[f64],
+    num_bits: usize,
+    spec: &SoftSpec,
+) -> (Vec<f64>, Vec<f64>, usize) {
+    debug_assert!(!pool.is_empty(), "MAP demapping needs candidates");
+    let sigma2 = spec.sigma2();
+    let augmented: Vec<f64> = pool
+        .iter()
+        .map(|(bits, metric)| metric + sigma2 * prior_mismatch_cost(bits, priors))
+        .collect();
+    let llrs = list_llrs_raw_with(pool, &augmented, num_bits, spec)
+        .into_iter()
+        .map(|raw| raw.clamp(-spec.max_llr, spec.max_llr))
+        .collect();
+    let extrinsic = list_llrs(pool, num_bits, spec);
+    let best = augmented
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite metrics"))
+        .map(|(k, _)| k)
+        .expect("non-empty pool");
+    (llrs, extrinsic, best)
 }
 
 /// Max-log LLRs from a ranked candidate pool of `(bits, ml_metric)`
@@ -181,32 +367,53 @@ impl<S: SoftDetectorSession + ?Sized> SoftDetectorSession for Box<S> {
 /// pool has no spread to price with and degrades to `±max_llr` (every
 /// anneal of the batch agreed). All LLRs clamp to `±max_llr` last.
 fn list_llrs(pool: &[(Vec<u8>, f64)], num_bits: usize, spec: &SoftSpec) -> Vec<f64> {
+    list_llrs_raw(pool, num_bits, spec)
+        .into_iter()
+        .map(|raw| raw.clamp(-spec.max_llr, spec.max_llr))
+        .collect()
+}
+
+/// [`list_llrs`] before the final clamp. The lone-pool convention
+/// still saturates to `±max_llr` (there is no finite raw value to
+/// report).
+fn list_llrs_raw(pool: &[(Vec<u8>, f64)], num_bits: usize, spec: &SoftSpec) -> Vec<f64> {
+    let metrics: Vec<f64> = pool.iter().map(|e| e.1).collect();
+    list_llrs_raw_with(pool, &metrics, num_bits, spec)
+}
+
+/// The demap core, pricing `pool[i].0` at `metrics[i]` — so a
+/// prior-aware caller can demap the same hypothesis pool under
+/// augmented (MAP) metrics without duplicating the bit vectors.
+fn list_llrs_raw_with(
+    pool: &[(Vec<u8>, f64)],
+    metrics: &[f64],
+    num_bits: usize,
+    spec: &SoftSpec,
+) -> Vec<f64> {
     debug_assert!(!pool.is_empty(), "list demapping needs candidates");
+    debug_assert_eq!(pool.len(), metrics.len());
     let sigma2 = spec.sigma2();
-    let worst = pool.iter().map(|e| e.1).fold(f64::NEG_INFINITY, f64::max);
+    let worst = metrics.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     let lone = pool.len() == 1;
     let mut best0 = vec![f64::INFINITY; num_bits];
     let mut best1 = vec![f64::INFINITY; num_bits];
-    for (bits, metric) in pool {
+    for ((bits, _), &metric) in pool.iter().zip(metrics) {
         debug_assert_eq!(bits.len(), num_bits);
         for (k, &b) in bits.iter().enumerate() {
             let slot = if b == 0 { &mut best0[k] } else { &mut best1[k] };
-            if *metric < *slot {
-                *slot = *metric;
+            if metric < *slot {
+                *slot = metric;
             }
         }
     }
     (0..num_bits)
-        .map(|k| {
-            let raw = match (best0[k].is_finite(), best1[k].is_finite()) {
-                (true, true) => (best0[k] - best1[k]) / sigma2,
-                (false, true) if lone => spec.max_llr,
-                (true, false) if lone => -spec.max_llr,
-                (false, true) => (worst - best1[k]) / sigma2,
-                (true, false) => -(worst - best0[k]) / sigma2,
-                (false, false) => 0.0,
-            };
-            raw.clamp(-spec.max_llr, spec.max_llr)
+        .map(|k| match (best0[k].is_finite(), best1[k].is_finite()) {
+            (true, true) => (best0[k] - best1[k]) / sigma2,
+            (false, true) if lone => spec.max_llr,
+            (true, false) if lone => -spec.max_llr,
+            (false, true) => (worst - best1[k]) / sigma2,
+            (true, false) => -(worst - best0[k]) / sigma2,
+            (false, false) => 0.0,
         })
         .collect()
 }
@@ -295,15 +502,29 @@ impl<F: LinearFilter> SoftLinearSession<F> {
     }
 
     /// LLRs and hard bits of one real dimension's coordinate `x`.
-    fn demap_dimension(&self, x: f64, nu: f64, llrs: &mut Vec<f64>, bits: &mut Vec<u8>) {
+    /// `priors` (one LLR per dimension bit, or empty for none) folds
+    /// the max-log prior cost into every PAM level's metric — the
+    /// Gaussian demap becomes a per-dimension MAP demap; the channel
+    /// metric is already in LLR units (`d²/ν`), so prior magnitudes
+    /// add directly.
+    fn demap_dimension(
+        &self,
+        x: f64,
+        nu: f64,
+        priors: &[f64],
+        llrs: &mut Vec<f64>,
+        extrinsic: &mut Vec<f64>,
+        bits: &mut Vec<u8>,
+    ) {
         let per_dim = self.filter.modulation().bits_per_dimension();
+        debug_assert!(priors.is_empty() || priors.len() == per_dim);
         let mut best0 = vec![f64::INFINITY; per_dim];
         let mut best1 = vec![f64::INFINITY; per_dim];
         let mut best = f64::INFINITY;
         let mut best_bits: &[u8] = &self.dim_table[0].0;
         for (level_bits, level) in &self.dim_table {
             let d = x - level;
-            let metric = d * d / nu;
+            let metric = d * d / nu + prior_mismatch_cost(level_bits, priors);
             if metric < best {
                 best = metric;
                 best_bits = level_bits;
@@ -321,7 +542,10 @@ impl<F: LinearFilter> SoftLinearSession<F> {
         }
         for j in 0..per_dim {
             // Both hypotheses exist in a full PAM table.
-            llrs.push((best0[j] - best1[j]).clamp(-self.spec.max_llr, self.spec.max_llr));
+            let raw = best0[j] - best1[j];
+            let p = priors.get(j).copied().unwrap_or(0.0);
+            llrs.push(raw.clamp(-self.spec.max_llr, self.spec.max_llr));
+            extrinsic.push((raw - p).clamp(-self.spec.max_llr, self.spec.max_llr));
         }
         bits.extend_from_slice(best_bits);
     }
@@ -348,27 +572,58 @@ impl<F: LinearFilter> DetectorSession for SoftLinearSession<F> {
     }
 }
 
-impl<F: LinearFilter> SoftDetectorSession for SoftLinearSession<F> {
-    fn detect_soft(&mut self, y: &CVector, _seed: u64) -> Result<SoftDetection, DetectError> {
+impl<F: LinearFilter> SoftLinearSession<F> {
+    /// The shared demap loop: `priors` empty = the ML path, sliced
+    /// per-user/per-dimension otherwise.
+    fn demap(&mut self, y: &CVector, priors: &[f64]) -> Result<SoftDetection, DetectError> {
         let m = self.filter.modulation();
+        let q = m.bits_per_symbol();
+        let per_dim = m.bits_per_dimension();
         let z = self.filter.equalize(y);
         let mut llrs = Vec::with_capacity(self.num_bits());
+        let mut extrinsic = Vec::with_capacity(self.num_bits());
         let mut bits = Vec::with_capacity(self.num_bits());
         for u in 0..z.len() {
             let zt = z[u] / self.bias[u];
             let nu = self.nu[u];
-            self.demap_dimension(zt.re, nu, &mut llrs, &mut bits);
+            let (p_re, p_im): (&[f64], &[f64]) = if priors.is_empty() {
+                (&[], &[])
+            } else {
+                let user = &priors[u * q..(u + 1) * q];
+                (&user[..per_dim], &user[per_dim..])
+            };
+            self.demap_dimension(zt.re, nu, p_re, &mut llrs, &mut extrinsic, &mut bits);
             if m.dimensions() == 2 {
-                self.demap_dimension(zt.im, nu, &mut llrs, &mut bits);
+                self.demap_dimension(zt.im, nu, p_im, &mut llrs, &mut extrinsic, &mut bits);
             }
         }
         let objective = ml_objective(&self.h, y, &bits, m);
         Ok(SoftDetection {
             llrs,
+            extrinsic,
             bits,
             objective: Some(objective),
             stats: BackendStats::Linear,
         })
+    }
+}
+
+impl<F: LinearFilter> SoftDetectorSession for SoftLinearSession<F> {
+    fn detect_soft(&mut self, y: &CVector, _seed: u64) -> Result<SoftDetection, DetectError> {
+        self.demap(y, &[])
+    }
+
+    fn detect_soft_with_priors(
+        &mut self,
+        y: &CVector,
+        priors: &[f64],
+        seed: u64,
+    ) -> Result<SoftDetection, DetectError> {
+        assert_eq!(priors.len(), self.num_bits(), "one prior per payload bit");
+        if uninformative(priors) {
+            return self.detect_soft(y, seed);
+        }
+        self.demap(y, priors)
     }
 }
 
@@ -414,9 +669,43 @@ impl SoftDetectorSession for SoftSphereSession {
         let llrs = list_llrs(&pool, self.num_bits(), &self.spec);
         let best = &list.entries[0];
         Ok(SoftDetection {
+            extrinsic: llrs.clone(),
             llrs,
             bits: best.bits.clone(),
             objective: Some(best.metric),
+            stats: BackendStats::Sphere {
+                visited_nodes: list.visited_nodes,
+            },
+        })
+    }
+
+    /// The sphere leaf list stays ML-ranked (the tree walk prunes on
+    /// the channel metric alone); the prior cost re-ranks the kept
+    /// leaves at demap time — exact MAP over the list, approximate MAP
+    /// overall, converging to exact as `list_size` grows.
+    fn detect_soft_with_priors(
+        &mut self,
+        y: &CVector,
+        priors: &[f64],
+        seed: u64,
+    ) -> Result<SoftDetection, DetectError> {
+        assert_eq!(priors.len(), self.num_bits(), "one prior per payload bit");
+        if uninformative(priors) {
+            return self.detect_soft(y, seed);
+        }
+        let list = self.compiled.decode_list(y, self.spec.list_size)?;
+        let mut pool: Vec<(Vec<u8>, f64)> = list
+            .entries
+            .iter()
+            .map(|e| (e.bits.clone(), e.metric))
+            .collect();
+        let (llrs, extrinsic, best) = demap_with_priors(&pool, priors, self.num_bits(), &self.spec);
+        let (bits, objective) = pool.swap_remove(best);
+        Ok(SoftDetection {
+            llrs,
+            extrinsic,
+            bits,
+            objective: Some(objective),
             stats: BackendStats::Sphere {
                 visited_nodes: list.visited_nodes,
             },
@@ -430,12 +719,28 @@ impl SoftDetectorSession for SoftSphereSession {
 /// ranked [`DecodeRun`] solution distribution, and that ensemble *is*
 /// the hypothesis list — each distinct logical solution prices to
 /// `E_ising + ml_offset = ‖y − Hv‖²` exactly, so the run doubles as a
-/// max-log list demapper at zero extra anneals.
+/// max-log list demapper at zero extra anneals. The candidate pool is
+/// deduplicated by bit pattern (best metric wins) before demapping.
+///
+/// With priors ([`SoftDetectorSession::detect_soft_with_priors`]) the
+/// session switches to its *reverse-anneal* refinement mode: the
+/// priors' hard decision becomes the warm-start state of a
+/// [`DecodeSession::decode_reverse_from`] run under the `reverse`
+/// schedule derived at compile time
+/// ([`Schedule::reverse_matched`] of the forward operating point at
+/// [`SoftSpec::reverse_s_target`]), the warm-start candidate itself
+/// joins the hypothesis pool (priced exactly through the logical
+/// problem), and every entry's metric is augmented with the σ²-scaled
+/// prior mismatch cost before demapping.
 ///
 /// [`DecodeRun`]: crate::decoder::DecodeRun
+/// [`DecodeSession::decode_reverse_from`]: crate::decoder::DecodeSession::decode_reverse_from
+/// [`Schedule::reverse_matched`]: quamax_anneal::Schedule::reverse_matched
 pub struct SoftQuamaxSession {
     inner: QuamaxSession,
     spec: SoftSpec,
+    /// The warm-start refinement schedule (derived once at compile).
+    reverse: quamax_anneal::Schedule,
 }
 
 impl DetectorSession for SoftQuamaxSession {
@@ -453,27 +758,85 @@ impl DetectorSession for SoftQuamaxSession {
     }
 }
 
+/// The ranked ensemble of `run` as a `(bits, ML metric)` hypothesis
+/// pool, deduplicated by bit pattern (distinct logical spins map to
+/// distinct Gray bits, but a merged pool — e.g. ensemble + warm-start
+/// candidate — can repeat, and repeats would skew the pool-worst
+/// missing-hypothesis pricing).
+fn quamax_pool(run: &crate::decoder::DecodeRun) -> Vec<(Vec<u8>, f64)> {
+    let mut pool: Vec<(Vec<u8>, f64)> = (0..run.distribution().num_distinct())
+        .map(|rank| {
+            let bits = run
+                .bits_for_rank(rank)
+                .expect("rank within the distribution");
+            let metric = run.distribution().entries()[rank].energy + run.ml_offset();
+            (bits, metric)
+        })
+        .collect();
+    dedupe_pool(&mut pool);
+    pool
+}
+
 impl SoftDetectorSession for SoftQuamaxSession {
     fn detect_soft(&mut self, y: &CVector, seed: u64) -> Result<SoftDetection, DetectError> {
         let det = self.inner.detect(y, seed)?;
         let run = det
             .annealed_run()
             .expect("the annealed session always attaches its run");
-        let pool: Vec<(Vec<u8>, f64)> = (0..run.distribution().num_distinct())
-            .map(|rank| {
-                let bits = run
-                    .bits_for_rank(rank)
-                    .expect("rank within the distribution");
-                let metric = run.distribution().entries()[rank].energy + run.ml_offset();
-                (bits, metric)
-            })
-            .collect();
+        let pool = quamax_pool(run);
         let llrs = list_llrs(&pool, det.bits.len(), &self.spec);
         Ok(SoftDetection {
+            extrinsic: llrs.clone(),
             llrs,
             bits: det.bits,
             objective: det.metric,
             stats: det.stats,
+        })
+    }
+
+    fn detect_soft_with_priors(
+        &mut self,
+        y: &CVector,
+        priors: &[f64],
+        seed: u64,
+    ) -> Result<SoftDetection, DetectError> {
+        assert_eq!(priors.len(), self.num_bits(), "one prior per payload bit");
+        if uninformative(priors) {
+            return self.detect_soft(y, seed);
+        }
+        // The decoder's current decision (the priors' hard decision)
+        // becomes the reverse-anneal warm start.
+        let candidate: Vec<u8> = priors.iter().map(|&l| u8::from(l > 0.0)).collect();
+        let anneals = self.inner.anneals;
+        let run =
+            self.inner
+                .session
+                .decode_reverse_from(y, anneals, &candidate, &self.reverse, seed);
+        let mut pool = quamax_pool(&run);
+        // The warm-start candidate is itself a priced hypothesis: the
+        // refinement ensemble explores *around* it and may never
+        // re-land on it, but the IDD loop must still be able to keep
+        // it when nothing better turns up. `E_ising + ml_offset`
+        // prices it exactly like every ensemble entry.
+        let q = self.modulation().bits_per_symbol();
+        let candidate_quamax: Vec<u8> = candidate
+            .chunks(q)
+            .flat_map(quamax_wireless::gray::gray_bits_to_quamax)
+            .collect();
+        let candidate_metric = run
+            .logical_problem()
+            .energy(&quamax_ising::bits_to_spins(&candidate_quamax))
+            + run.ml_offset();
+        pool.push((candidate, candidate_metric));
+        dedupe_pool(&mut pool);
+        let (llrs, extrinsic, best) = demap_with_priors(&pool, priors, self.num_bits(), &self.spec);
+        let (bits, objective) = pool.swap_remove(best);
+        Ok(SoftDetection {
+            llrs,
+            extrinsic,
+            bits,
+            objective: Some(objective),
+            stats: BackendStats::Annealed(Box::new(run)),
         })
     }
 }
@@ -509,8 +872,9 @@ impl DetectorSession for SoftExactMlSession {
     }
 }
 
-impl SoftDetectorSession for SoftExactMlSession {
-    fn detect_soft(&mut self, y: &CVector, _seed: u64) -> Result<SoftDetection, DetectError> {
+impl SoftExactMlSession {
+    /// The full constellation power as a `(bits, ML metric)` pool.
+    fn full_pool(&self, y: &CVector) -> Vec<(Vec<u8>, f64)> {
         let m = self.modulation;
         let nt = self.h.cols();
         let constellation = m.constellation();
@@ -530,15 +894,47 @@ impl SoftDetectorSession for SoftExactMlSession {
             let metric = (y - &self.h.mul_vec(&v)).norm_sqr();
             pool.push((bits, metric));
         }
+        pool
+    }
+}
+
+impl SoftDetectorSession for SoftExactMlSession {
+    fn detect_soft(&mut self, y: &CVector, _seed: u64) -> Result<SoftDetection, DetectError> {
+        let pool = self.full_pool(y);
         let llrs = list_llrs(&pool, self.num_bits(), &self.spec);
         let (best_bits, best_metric) = pool
             .into_iter()
             .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite metrics"))
             .expect("non-empty constellation power");
         Ok(SoftDetection {
+            extrinsic: llrs.clone(),
             llrs,
             bits: best_bits,
             objective: Some(best_metric),
+            stats: BackendStats::Exact,
+        })
+    }
+
+    /// Exact max-log MAP over the whole constellation power — the
+    /// ground truth every prior-aware list demapper approximates.
+    fn detect_soft_with_priors(
+        &mut self,
+        y: &CVector,
+        priors: &[f64],
+        seed: u64,
+    ) -> Result<SoftDetection, DetectError> {
+        assert_eq!(priors.len(), self.num_bits(), "one prior per payload bit");
+        if uninformative(priors) {
+            return self.detect_soft(y, seed);
+        }
+        let mut pool = self.full_pool(y);
+        let (llrs, extrinsic, best) = demap_with_priors(&pool, priors, self.num_bits(), &self.spec);
+        let (bits, objective) = pool.swap_remove(best);
+        Ok(SoftDetection {
+            llrs,
+            extrinsic,
+            bits,
+            objective: Some(objective),
             stats: BackendStats::Exact,
         })
     }
@@ -564,6 +960,7 @@ impl SoftHybridSession {
     fn wrap(detection: SoftDetection, route: Route, primary_metric: f64) -> SoftDetection {
         SoftDetection {
             llrs: detection.llrs,
+            extrinsic: detection.extrinsic,
             bits: detection.bits,
             objective: detection.objective,
             stats: BackendStats::Hybrid {
@@ -597,10 +994,25 @@ impl DetectorSession for SoftHybridSession {
     }
 }
 
-impl SoftDetectorSession for SoftHybridSession {
-    fn detect_soft(&mut self, y: &CVector, seed: u64) -> Result<SoftDetection, DetectError> {
+impl SoftHybridSession {
+    /// The shared routing pass: `priors` empty = the plain soft path;
+    /// otherwise both sub-sessions run prior-aware and the accepted
+    /// side's posterior LLRs flow through.
+    fn route_soft(
+        &mut self,
+        y: &CVector,
+        priors: &[f64],
+        seed: u64,
+    ) -> Result<SoftDetection, DetectError> {
+        let ask = |session: &mut Box<dyn SoftDetectorSession>, y: &CVector, seed: u64| {
+            if priors.is_empty() {
+                session.detect_soft(y, seed)
+            } else {
+                session.detect_soft_with_priors(y, priors, seed)
+            }
+        };
         let first = match self.primary.as_mut() {
-            Some(session) => match session.detect_soft(y, seed) {
+            Some(session) => match ask(session, y, seed) {
                 Ok(det) => Some(det),
                 Err(e) if self.fallback.is_none() => return Err(e),
                 Err(_) => None,
@@ -612,7 +1024,7 @@ impl SoftDetectorSession for SoftHybridSession {
                 .fallback
                 .as_mut()
                 .expect("compile keeps at least one side");
-            let second = session.detect_soft(y, seed)?;
+            let second = ask(session, y, seed)?;
             return Ok(Self::wrap(second, Route::Fallback, f64::INFINITY));
         };
         let metric = first.objective.unwrap_or(f64::INFINITY);
@@ -623,10 +1035,29 @@ impl SoftDetectorSession for SoftHybridSession {
         if per_antenna <= self.policy.max_residual_per_antenna {
             return Ok(Self::wrap(first, Route::Primary, metric));
         }
-        match fallback.detect_soft(y, seed) {
+        match ask(fallback, y, seed) {
             Ok(second) => Ok(Self::wrap(second, Route::Fallback, metric)),
             Err(_) => Ok(Self::wrap(first, Route::Primary, metric)),
         }
+    }
+}
+
+impl SoftDetectorSession for SoftHybridSession {
+    fn detect_soft(&mut self, y: &CVector, seed: u64) -> Result<SoftDetection, DetectError> {
+        self.route_soft(y, &[], seed)
+    }
+
+    fn detect_soft_with_priors(
+        &mut self,
+        y: &CVector,
+        priors: &[f64],
+        seed: u64,
+    ) -> Result<SoftDetection, DetectError> {
+        assert_eq!(priors.len(), self.num_bits(), "one prior per payload bit");
+        if uninformative(priors) {
+            return self.detect_soft(y, seed);
+        }
+        self.route_soft(y, priors, seed)
     }
 }
 
@@ -679,6 +1110,7 @@ impl DetectorKind {
             } => Box::new(SoftQuamaxSession {
                 inner: QuamaxDetector::new(annealer.clone(), *config, *anneals).compile(input)?,
                 spec,
+                reverse: config.schedule.reverse_matched(spec.reverse_s_target),
             }),
             DetectorKind::Hybrid {
                 primary,
@@ -938,6 +1370,171 @@ mod tests {
             assert_eq!(det.bits, ml.bits);
             assert!((det.objective.unwrap() - ml.metric).abs() < 1e-9 * ml.metric.max(1.0));
         }
+    }
+
+    #[test]
+    fn dedupe_pool_keeps_best_metric_per_pattern() {
+        let mut pool = vec![
+            (vec![0, 1], 2.0),
+            (vec![1, 1], 5.0),
+            (vec![0, 1], 1.0), // duplicate, better metric
+            (vec![1, 0], 9.0),
+            (vec![1, 1], 7.0), // duplicate, worse metric
+        ];
+        dedupe_pool(&mut pool);
+        assert_eq!(
+            pool,
+            vec![(vec![0, 1], 1.0), (vec![1, 1], 5.0), (vec![1, 0], 9.0)]
+        );
+        // Duplicates must not skew pricing: the deduped pool demaps
+        // identically to one that never had them.
+        let spec = SoftSpec::new(1.0);
+        let clean = vec![(vec![0, 1], 1.0), (vec![1, 1], 5.0), (vec![1, 0], 9.0)];
+        assert_eq!(list_llrs(&pool, 2, &spec), list_llrs(&clean, 2, &spec));
+    }
+
+    #[test]
+    fn zero_priors_delegate_to_detect_soft_for_every_kind() {
+        // The IDD iteration-1 contract at unit-test scale (the full
+        // per-modulation sweep lives in tests/properties.rs).
+        let mut rng = StdRng::seed_from_u64(31);
+        let snr = Snr::from_db(9.0);
+        let sc = Scenario::new(3, 3, Modulation::Qpsk).with_snr(snr);
+        let inst = sc.sample(&mut rng);
+        let input = inst.detection_input();
+        let spec = SoftSpec::noise_matched(snr, Modulation::Qpsk);
+        let zeros = vec![0.0; input.num_bits()];
+        for kind in all_soft_kinds(spec.noise_variance) {
+            let name = kind.name();
+            let mut a = kind.compile_soft(&input, spec).expect(name);
+            let mut b = kind.compile_soft(&input, spec).expect(name);
+            let plain = a.detect_soft(&input.y, 7).expect(name);
+            let prior = b.detect_soft_with_priors(&input.y, &zeros, 7).expect(name);
+            assert_eq!(plain.bits, prior.bits, "{name}");
+            assert_eq!(plain.llrs, prior.llrs, "{name}");
+            assert_eq!(plain.objective, prior.objective, "{name}");
+        }
+    }
+
+    #[test]
+    fn single_stream_posterior_is_channel_llr_plus_prior() {
+        // On a 1×1 BPSK channel the max-log MAP decomposes exactly:
+        // L_post = L_channel + L_prior (two hypotheses, the prior
+        // mismatch cost charges |L| on exactly one side). Holds for
+        // both the exhaustive and the Gaussian (ZF) demappers.
+        let mut rng = StdRng::seed_from_u64(32);
+        let snr = Snr::from_db(5.0);
+        let sc = Scenario::new(1, 1, Modulation::Bpsk)
+            .with_rayleigh()
+            .with_snr(snr);
+        let spec = SoftSpec::noise_matched(snr, Modulation::Bpsk).with_max_llr(1e9);
+        for prior in [-3.0f64, -0.4, 0.7, 6.0] {
+            let inst = sc.sample(&mut rng);
+            let input = inst.detection_input();
+            for kind in [DetectorKind::exact_ml(), DetectorKind::zf()] {
+                let name = kind.name();
+                let mut s = kind.compile_soft(&input, spec).unwrap();
+                let plain = s.detect_soft(&input.y, 0).unwrap();
+                let post = s.detect_soft_with_priors(&input.y, &[prior], 0).unwrap();
+                assert!(
+                    (post.llrs[0] - (plain.llrs[0] + prior)).abs() < 1e-9,
+                    "{name}: {} vs {} + {prior}",
+                    post.llrs[0],
+                    plain.llrs[0]
+                );
+                // The MAP decision is the posterior's sign.
+                assert_eq!(post.bits[0], u8::from(post.llrs[0] > 0.0), "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn confident_priors_override_a_noisy_exact_ml_decision() {
+        // At low SNR the ML decision is sometimes wrong; saturated
+        // priors at the transmitted bits must pull the MAP decision
+        // back to the truth on every backend that prices them.
+        let mut rng = StdRng::seed_from_u64(33);
+        let snr = Snr::from_db(-2.0);
+        let sc = Scenario::new(2, 2, Modulation::Qpsk)
+            .with_rayleigh()
+            .with_snr(snr);
+        let spec = SoftSpec::noise_matched(snr, Modulation::Qpsk);
+        let mut ml_errors = 0usize;
+        let mut map_errors = 0usize;
+        for _ in 0..12 {
+            let inst = sc.sample(&mut rng);
+            let input = inst.detection_input();
+            let priors: Vec<f64> = inst
+                .tx_bits()
+                .iter()
+                .map(|&b| if b == 1 { spec.max_llr } else { -spec.max_llr })
+                .collect();
+            for kind in [DetectorKind::exact_ml(), DetectorKind::sphere()] {
+                let mut s = kind.compile_soft(&input, spec).unwrap();
+                let ml = s.detect_soft(&input.y, 1).unwrap();
+                let map = s.detect_soft_with_priors(&input.y, &priors, 1).unwrap();
+                ml_errors += quamax_wireless::count_bit_errors(&ml.bits, inst.tx_bits());
+                map_errors += quamax_wireless::count_bit_errors(&map.bits, inst.tx_bits());
+            }
+        }
+        assert!(ml_errors > 0, "the test needs genuine ML errors");
+        assert_eq!(map_errors, 0, "saturated truthful priors must win");
+    }
+
+    #[test]
+    fn quamax_priors_reverse_anneal_from_the_decoder_decision() {
+        // A starved forward anneal misses bits; a prior-aware decode
+        // warm-started from (mostly correct) decoder feedback must
+        // recover them — the Fig. 15 reverse-anneal structure inside
+        // the IDD loop.
+        let mut rng = StdRng::seed_from_u64(34);
+        let sc = Scenario::new(6, 6, Modulation::Qpsk).with_snr(Snr::from_db(16.0));
+        let spec = SoftSpec::noise_matched(Snr::from_db(16.0), Modulation::Qpsk);
+        // Starved: 2 anneals at a sparse sweep density.
+        let kind = DetectorKind::quamax(
+            Annealer::new(AnnealerConfig {
+                ice: IceModel::none(),
+                sweeps_per_us: 2.0,
+                ..Default::default()
+            }),
+            DecoderConfig {
+                schedule: Schedule::standard(1.0),
+                ..Default::default()
+            },
+            2,
+        );
+        let mut forward_errors = 0usize;
+        let mut refined_errors = 0usize;
+        for k in 0..10u64 {
+            let inst = sc.sample(&mut rng);
+            let input = inst.detection_input();
+            let mut s = kind.compile_soft(&input, spec).unwrap();
+            let fwd = s.detect_soft(&input.y, 100 + k).unwrap();
+            forward_errors += quamax_wireless::count_bit_errors(&fwd.bits, inst.tx_bits());
+            // Decoder feedback: confident and correct (the FEC fixed
+            // the frame), magnitude 8 — informative, not saturated.
+            let priors: Vec<f64> = inst
+                .tx_bits()
+                .iter()
+                .map(|&b| if b == 1 { 8.0 } else { -8.0 })
+                .collect();
+            let refined = s
+                .detect_soft_with_priors(&input.y, &priors, 200 + k)
+                .unwrap();
+            refined_errors += quamax_wireless::count_bit_errors(&refined.bits, inst.tx_bits());
+            // The refinement run really is a reverse anneal: its cycle
+            // time reports the derived reverse schedule.
+            let run = refined.stats.annealed_run().expect("annealed run");
+            assert!(run.anneal_cycle_us() > 0.0);
+        }
+        assert!(
+            forward_errors > 0,
+            "the starved forward anneal must leave errors"
+        );
+        assert!(
+            refined_errors < forward_errors,
+            "warm-started refinement should fix bits: {refined_errors} vs {forward_errors}"
+        );
     }
 
     #[test]

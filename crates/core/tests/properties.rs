@@ -414,6 +414,92 @@ proptest! {
         }
     }
 
+    /// The IDD iteration-1 contract, every backend × modulation:
+    /// `detect_soft_with_priors` under uninformative (all-zero) priors
+    /// is *bit-identical* to `detect_soft` — same bits, same LLRs,
+    /// same extrinsic, same objective — so iteration 1 of the feedback
+    /// loop is exactly the existing soft pipeline.
+    #[test]
+    fn zero_priors_are_bit_identical_to_detect_soft(
+        m in modulation(),
+        channel_seed in 0u64..10_000,
+        snr_db in 3.0f64..18.0,
+    ) {
+        use quamax_core::{DetectorKind, RoutePolicy, SoftSpec};
+
+        let mut rng = StdRng::seed_from_u64(channel_seed);
+        let snr = Snr::from_db(snr_db);
+        let sc = Scenario::new(2, 2, m).with_rayleigh().with_snr(snr);
+        let inst = sc.sample(&mut rng);
+        let input = inst.detection_input();
+        let spec = SoftSpec::noise_matched(snr, m);
+        let zeros = vec![0.0f64; input.num_bits()];
+        let kinds = [
+            DetectorKind::zf(),
+            DetectorKind::mmse(spec.noise_variance),
+            DetectorKind::sphere(),
+            DetectorKind::exact_ml(),
+            DetectorKind::quamax(session_annealer(), DecoderConfig::default(), 20),
+            DetectorKind::hybrid(
+                DetectorKind::zf(),
+                DetectorKind::sphere(),
+                RoutePolicy::noise_matched(snr, m, 2.0),
+            ),
+        ];
+        for kind in kinds {
+            let name = kind.name();
+            let mut plain_session = match kind.compile_soft(&input, spec) {
+                Ok(s) => s,
+                Err(_) => continue, // rank-deficient draw sinks linear kinds
+            };
+            let mut prior_session = kind.compile_soft(&input, spec).unwrap();
+            let plain = plain_session.detect_soft(&input.y, channel_seed).unwrap();
+            let with = prior_session
+                .detect_soft_with_priors(&input.y, &zeros, channel_seed)
+                .unwrap();
+            prop_assert_eq!(&plain.bits, &with.bits, "{}", name);
+            prop_assert_eq!(&plain.llrs, &with.llrs, "{}", name);
+            prop_assert_eq!(&plain.extrinsic, &with.extrinsic, "{}", name);
+            prop_assert_eq!(plain.objective, with.objective, "{}", name);
+            // Without priors the extrinsic IS the posterior.
+            prop_assert_eq!(&plain.extrinsic, &plain.llrs, "{}", name);
+        }
+    }
+
+    /// `run_idd` with `max_iters = 1` is the existing `CodedFrame`
+    /// pipeline: identical channels, detections, and decode under the
+    /// same seed, across modulations and backends.
+    #[test]
+    fn single_iteration_idd_equals_coded_frame_run(
+        m in modulation(),
+        seed in 0u64..10_000,
+        snr_db in 2.0f64..10.0,
+    ) {
+        use quamax_core::coded::IddSpec;
+        use quamax_core::{CodedFrame, DetectorKind, SoftSpec};
+
+        let frame = CodedFrame::new(2, m, 30);
+        let snr = Snr::from_db(snr_db);
+        let spec = SoftSpec::noise_matched(snr, m);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let payload = frame.random_payload(&mut rng);
+        for kind in [
+            DetectorKind::mmse(spec.noise_variance),
+            DetectorKind::sphere(),
+            DetectorKind::quamax(session_annealer(), DecoderConfig::default(), 10),
+        ] {
+            let name = kind.name();
+            let plain = frame.run(&kind, spec, snr, &payload, seed).unwrap();
+            let idd = frame
+                .run_idd(&kind, spec, IddSpec::single(), snr, &payload, seed)
+                .unwrap();
+            prop_assert_eq!(idd.iters_run(), 1, "{}", name);
+            prop_assert_eq!(idd.payload(), plain.soft_payload.as_slice(), "{}", name);
+            prop_assert_eq!(idd.last().payload_errors, plain.soft_errors, "{}", name);
+            prop_assert_eq!(idd.last().raw_errors, plain.raw_errors, "{}", name);
+        }
+    }
+
     /// Saturating a detection's LLRs (hard-bit signs, one common
     /// magnitude) and soft-Viterbi-decoding is bit-identical to
     /// hard-decision Viterbi over the hard bits — the coded pipeline's

@@ -42,7 +42,7 @@ pub mod qpu;
 pub mod sim;
 pub mod topology;
 
-pub use coded::{CodedUplink, CodedUplinkReport};
+pub use coded::{CodedIddReport, CodedUplink, CodedUplinkReport, IddBudget};
 pub use cpu::{CpuPolicy, CpuPool};
 pub use hybrid::HybridServer;
 pub use qpu::{channel_hash, QpuOverheads, QpuServer, SessionCache};

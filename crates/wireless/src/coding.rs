@@ -82,9 +82,42 @@ impl ConvolutionalCode {
     /// positive rescaling of the LLRs. Returns the minimum-cost data
     /// bits (tail stripped).
     ///
+    /// This is the *marginal-only* special case of
+    /// [`ConvolutionalCode::decode_siso`]: the same forward trellis
+    /// pass and traceback, with the backward pass (and the extrinsic
+    /// output it prices) skipped.
+    ///
     /// # Panics
     /// Panics on odd-length input or input shorter than the tail.
     pub fn decode_soft(&self, llrs: &[f64]) -> Vec<u8> {
+        self.siso_inner(llrs, false).data
+    }
+
+    /// Soft-in/soft-out (SISO) decode: the max-log forward/backward
+    /// (BCJR) pass over the same trellis as
+    /// [`ConvolutionalCode::decode_soft`]. Returns the maximum-
+    /// likelihood data bits *and* one **extrinsic** LLR per coded bit
+    /// (tail included, same indexing as the input): the trellis's new
+    /// evidence about each coded bit, `L_posterior − L_input` —
+    /// exactly what an iterative detection–decoding loop interleaves
+    /// back to the detector as priors. The decomposition is exact in
+    /// max-log arithmetic: every path through a step pays its own
+    /// coded bit's input cost as an additive constant, so it cancels
+    /// from the posterior difference.
+    ///
+    /// The data decisions are the forward pass's Viterbi traceback —
+    /// bit-identical to [`ConvolutionalCode::decode_soft`] by
+    /// construction (the max-log marginal's sign agrees with the ML
+    /// path wherever the marginal is nonzero; the traceback also
+    /// resolves its ties deterministically).
+    ///
+    /// # Panics
+    /// Panics on odd-length input or input shorter than the tail.
+    pub fn decode_siso(&self, llrs: &[f64]) -> SisoDecode {
+        self.siso_inner(llrs, true)
+    }
+
+    fn siso_inner(&self, llrs: &[f64], want_extrinsic: bool) -> SisoDecode {
         assert!(
             llrs.len().is_multiple_of(2),
             "rate-1/2 stream must have even length"
@@ -106,10 +139,18 @@ impl ConvolutionalCode {
             }
         };
 
-        // path_metric[s] = best accumulated cost into state s.
+        // Forward pass: alpha[t][s] = best accumulated cost into state
+        // s after t steps (alpha[0] = the zeroed encoder start). The
+        // per-step alpha table feeds the backward combine only — the
+        // marginal-only path skips storing it.
+        let mut alphas: Vec<Vec<f64>> =
+            Vec::with_capacity(if want_extrinsic { steps + 1 } else { 0 });
         let mut metric = vec![f64::INFINITY; STATES];
         metric[0] = 0.0; // encoder starts zeroed
-                         // survivors[t][s] = predecessor-state bit decision (input bit).
+        if want_extrinsic {
+            alphas.push(metric.clone());
+        }
+        // survivors[t][s] = predecessor-state bit decision (input bit).
         let mut survivors: Vec<Vec<u8>> = Vec::with_capacity(steps);
         let mut prev_state: Vec<Vec<u8>> = Vec::with_capacity(steps);
 
@@ -136,6 +177,9 @@ impl ConvolutionalCode {
                 }
             }
             metric = next;
+            if want_extrinsic {
+                alphas.push(metric.clone());
+            }
             survivors.push(dec);
             prev_state.push(pre);
         }
@@ -148,7 +192,63 @@ impl ConvolutionalCode {
             state = prev_state[t][state] as usize;
         }
         bits.truncate(steps - (CONSTRAINT - 1)); // strip the tail
-        bits
+
+        if !want_extrinsic {
+            return SisoDecode {
+                data: bits,
+                extrinsic: Vec::new(),
+            };
+        }
+
+        // Backward pass: beta[t][s] = best cost from state s at step t
+        // to the terminated end (state 0).
+        let mut beta = vec![f64::INFINITY; STATES];
+        beta[0] = 0.0;
+        let mut extrinsic = vec![0.0f64; llrs.len()];
+        let mut next_beta = vec![f64::INFINITY; STATES];
+        for t in (0..steps).rev() {
+            let (r0, r1) = (llrs[2 * t], llrs[2 * t + 1]);
+            let alpha = &alphas[t];
+            // Per coded bit of this step: best full-path cost with the
+            // bit emitted as 0 / as 1.
+            let mut best = [[f64::INFINITY; 2]; 2]; // [output j][emitted bit]
+            next_beta.fill(f64::INFINITY);
+            for (s, &a) in alpha.iter().enumerate() {
+                for b in 0u8..=1 {
+                    let reg = ((s as u8) << 1) | b;
+                    let (c0, c1) = (parity(reg & G0), parity(reg & G1));
+                    let ns = (reg & ((STATES as u8) - 1)) as usize;
+                    let after = beta[ns];
+                    let branch = cost(c0, r0) + cost(c1, r1);
+                    if branch + after < next_beta[s] {
+                        next_beta[s] = branch + after;
+                    }
+                    if a.is_infinite() || after.is_infinite() {
+                        continue;
+                    }
+                    let total = a + branch + after;
+                    for (j, c) in [(0usize, c0), (1usize, c1)] {
+                        if total < best[j][c as usize] {
+                            best[j][c as usize] = total;
+                        }
+                    }
+                }
+            }
+            for j in 0..2 {
+                // L_post = min-cost(bit 0) − min-cost(bit 1); subtract
+                // the input to leave the trellis's own evidence. A side
+                // no terminated path can emit stays at +∞ and
+                // saturates the difference — callers clamp.
+                let l_in = llrs[2 * t + j];
+                extrinsic[2 * t + j] = best[j][0] - best[j][1] - l_in;
+            }
+            std::mem::swap(&mut beta, &mut next_beta);
+        }
+
+        SisoDecode {
+            data: bits,
+            extrinsic,
+        }
     }
 
     /// Coded bits produced per data bit (including termination
@@ -156,6 +256,18 @@ impl ConvolutionalCode {
     pub fn coded_len(&self, data_len: usize) -> usize {
         2 * (data_len + CONSTRAINT - 1)
     }
+}
+
+/// The output of one SISO ([`ConvolutionalCode::decode_siso`]) pass.
+#[derive(Clone, Debug)]
+pub struct SisoDecode {
+    /// Maximum-likelihood data bits (tail stripped) — bit-identical to
+    /// [`ConvolutionalCode::decode_soft`] on the same input.
+    pub data: Vec<u8>,
+    /// Per-coded-bit extrinsic LLRs (`L_posterior − L_input`, positive
+    /// ⇒ bit 1), tail included, same indexing as the input stream.
+    /// Empty when produced by the marginal-only path.
+    pub extrinsic: Vec<f64>,
 }
 
 #[inline]
@@ -375,6 +487,95 @@ mod tests {
                 assert_eq!(code.decode_soft(&llrs), code.decode(&coded));
             }
         }
+    }
+
+    #[test]
+    fn siso_marginals_match_decode_soft() {
+        // The marginal-only contract: decode_siso's data bits equal
+        // decode_soft's on noisy, low-confidence, and saturated inputs.
+        let code = ConvolutionalCode;
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..10 {
+            let data = random_bits(120, &mut rng);
+            let coded = code.encode(&data);
+            let llrs: Vec<f64> = coded
+                .iter()
+                .map(|&b| {
+                    let mag = 0.2 + 8.0 * rng.random::<f64>();
+                    let flip = rng.random::<f64>() < 0.08;
+                    let sign = if (b == 1) ^ flip { 1.0 } else { -1.0 };
+                    sign * mag
+                })
+                .collect();
+            let siso = code.decode_siso(&llrs);
+            assert_eq!(siso.data, code.decode_soft(&llrs));
+            assert_eq!(siso.extrinsic.len(), llrs.len());
+        }
+    }
+
+    #[test]
+    fn siso_extrinsic_repairs_a_low_confidence_burst() {
+        // The coded constraints know more than any single bit: 12
+        // low-confidence wrong bits get *positive evidence toward the
+        // truth* from the rest of the codeword — the extrinsic output
+        // must point back at the transmitted bit for most of them.
+        let code = ConvolutionalCode;
+        let mut rng = StdRng::seed_from_u64(22);
+        let data = random_bits(120, &mut rng);
+        let coded = code.encode(&data);
+        let mut llrs: Vec<f64> = coded
+            .iter()
+            .map(|&b| if b == 0 { -8.0 } else { 8.0 })
+            .collect();
+        for l in llrs.iter_mut().skip(50).take(12) {
+            *l = -0.1 * l.signum(); // wrong sign, tiny reliability
+        }
+        let siso = code.decode_siso(&llrs);
+        assert_eq!(siso.data, data, "the code absorbs the burst");
+        let repaired = (50..62)
+            .filter(|&k| {
+                let toward_truth = if coded[k] == 1 {
+                    siso.extrinsic[k] > 0.0
+                } else {
+                    siso.extrinsic[k] < 0.0
+                };
+                toward_truth && siso.extrinsic[k].abs() > 1.0
+            })
+            .count();
+        assert!(
+            repaired >= 10,
+            "only {repaired}/12 burst bits got confident extrinsic evidence"
+        );
+    }
+
+    #[test]
+    fn siso_extrinsic_is_new_evidence_not_an_echo() {
+        // Feeding the posterior (input + extrinsic) back through the
+        // decoder must not change the decisions — and the extrinsic of
+        // a clean, saturated stream agrees in sign with the codeword
+        // everywhere (the trellis confirms what the channel said).
+        let code = ConvolutionalCode;
+        let mut rng = StdRng::seed_from_u64(23);
+        let data = random_bits(80, &mut rng);
+        let coded = code.encode(&data);
+        let llrs: Vec<f64> = coded
+            .iter()
+            .map(|&b| if b == 0 { -4.0 } else { 4.0 })
+            .collect();
+        let siso = code.decode_siso(&llrs);
+        for (k, &e) in siso.extrinsic.iter().enumerate() {
+            if coded[k] == 1 {
+                assert!(e >= 0.0, "bit {k}: extrinsic {e} contradicts a clean 1");
+            } else {
+                assert!(e <= 0.0, "bit {k}: extrinsic {e} contradicts a clean 0");
+            }
+        }
+        let posterior: Vec<f64> = llrs
+            .iter()
+            .zip(&siso.extrinsic)
+            .map(|(&l, &e)| l + e.clamp(-50.0, 50.0))
+            .collect();
+        assert_eq!(code.decode_siso(&posterior).data, data);
     }
 
     #[test]

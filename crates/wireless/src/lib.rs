@@ -33,7 +33,7 @@ pub mod snr;
 pub mod trace;
 
 pub use channel::{rayleigh_channel, unit_gain_random_phase_channel};
-pub use coding::ConvolutionalCode;
+pub use coding::{ConvolutionalCode, SisoDecode};
 pub use estimate::{dft_pilots, estimate_channel, ls_estimate};
 pub use frame::{count_bit_errors, fer_from_ber, Frame};
 pub use gray::{binary_to_gray, gray_to_binary};

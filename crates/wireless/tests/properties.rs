@@ -135,6 +135,39 @@ proptest! {
         prop_assert_eq!(code.decode_soft(&llrs), code.decode(&coded));
     }
 
+    /// SISO marginals ≡ Viterbi: `decode_siso`'s data decisions equal
+    /// `decode_soft`'s on arbitrary LLR streams (noisy magnitudes,
+    /// random flips), and its extrinsic output has one entry per coded
+    /// bit with no NaNs.
+    #[test]
+    fn siso_marginals_equal_decode_soft(
+        len in 10usize..200,
+        seed in 0u64..10_000,
+        flip_rate in 0.0f64..0.25,
+    ) {
+        use quamax_wireless::ConvolutionalCode;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let code = ConvolutionalCode;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<u8> = (0..len).map(|_| rng.random_range(0..=1) as u8).collect();
+        let coded = code.encode(&data);
+        let llrs: Vec<f64> = coded
+            .iter()
+            .map(|&b| {
+                let mag = 0.05 + 10.0 * rng.random::<f64>();
+                let flip = rng.random::<f64>() < flip_rate;
+                let sign = if (b == 1) ^ flip { 1.0 } else { -1.0 };
+                sign * mag
+            })
+            .collect();
+        let siso = code.decode_siso(&llrs);
+        prop_assert_eq!(&siso.data, &code.decode_soft(&llrs));
+        prop_assert_eq!(siso.extrinsic.len(), llrs.len());
+        prop_assert!(siso.extrinsic.iter().all(|e| !e.is_nan()));
+    }
+
     /// The interleaver permutes LLRs exactly as it permutes the bits
     /// they annotate: deinterleaving a bit stream and its LLR stream
     /// keeps every (bit, reliability) pair together.

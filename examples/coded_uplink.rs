@@ -1,17 +1,16 @@
-//! Coded uplink: forward error correction above *soft-output* QuAMax
-//! detection.
+//! Coded uplink: iterative detection–decoding above *soft-output*
+//! QuAMax detection.
 //!
-//! The paper's §5.3.3 design point: set a decode deadline, accept a
-//! residual BER from the annealer, and let FEC drive it down. This
-//! example transmits convolutionally-coded, block-interleaved frames
-//! (rate-1/2 K=7 — the 802.11 code) and decodes each channel use with
-//! a *deliberately small* anneal budget through the soft detection
-//! pipeline: the ranked anneal ensemble is list-demapped into per-bit
-//! LLRs, the LLRs ride the deinterleaver, and the Viterbi decoder runs
-//! soft-input — with the hard-input path (same detections, reliability
-//! thrown away) alongside for comparison. The gap between the two
-//! columns is pure reliability information: the annealer tells the
-//! code *which* of its answers to distrust.
+//! The paper's §5.3.3 design point — set a decode deadline, accept a
+//! residual BER from the annealer, let FEC drive it down — plus the
+//! loop the ROADMAP asked for: the SISO decoder's extrinsic output
+//! travels back to the detector as priors, and QuAMax *reverse-
+//! anneals* from the decoder's current decision (the Fig. 15
+//! warm-start structure). This example transmits convolutionally-coded,
+//! block-interleaved frames (rate-1/2 K=7 — the 802.11 code) with a
+//! *deliberately small* anneal budget and prints coded BER per IDD
+//! iteration: whatever separates the columns is what feeding the
+//! decoder back into the annealer buys.
 //!
 //! Run: `cargo run --release --example coded_uplink`
 
@@ -23,10 +22,11 @@ fn main() {
     // 466-bit payloads → 944 coded bits → padded to 30 uses × 32 bits.
     let frame = CodedFrame::new(users, modulation, 466);
     let frames_per_point = 4usize;
+    let max_iters = 3usize;
 
     // Small anneal budget at a starved sweep density = a hard decode
     // deadline: detection is deliberately imperfect, FEC's problem now.
-    let anneals = 4;
+    let anneals = 3;
     let kind = DetectorKind::quamax(
         Annealer::dw2q(AnnealerConfig {
             sweeps_per_us: 10.0,
@@ -35,62 +35,68 @@ fn main() {
         DecoderConfig::default(),
         anneals,
     );
+    let idd = IddSpec::new(max_iters);
 
     println!(
-        "{} coded frames per SNR, {} uses of {users}x{users} {} each, {anneals} anneals per use:\n",
+        "{} coded frames per SNR, {} uses of {users}x{users} {} each, {anneals} anneals per use, up to {max_iters} IDD iterations:\n",
         frames_per_point,
         frame.uses(),
         modulation.name()
     );
     println!(
-        "{:>6} {:>14} {:>16} {:>16}",
-        "SNR", "detector BER", "hard-input BER", "soft-input BER"
+        "{:>6} {:>14} {:>13} {:>13} {:>13} {:>11}",
+        "SNR", "detector BER", "iter 1 BER", "iter 2 BER", "iter 3 BER", "mean iters"
     );
 
     let mut rng = Rng::seed_from_u64(80211);
-    let mut worst_hard = 0usize;
-    let mut worst_soft = 0usize;
-    let mut clean_soft_errors = usize::MAX;
-    for snr_db in [5.0, 8.0, 12.0] {
+    let mut worst_first = 0usize;
+    let mut worst_final = 0usize;
+    let mut clean_final_errors = usize::MAX;
+    for snr_db in [2.0, 4.0, 8.0] {
         let snr = Snr::from_db(snr_db);
         let spec = SoftSpec::noise_matched(snr, modulation);
-        let (mut raw, mut raw_bits, mut hard, mut soft) = (0usize, 0usize, 0usize, 0usize);
+        let (mut raw, mut raw_bits, mut iters_run) = (0usize, 0usize, 0usize);
+        let mut errors_at = vec![0usize; max_iters];
         for k in 0..frames_per_point {
             let payload = frame.random_payload(&mut rng);
             let out = frame
-                .run(&kind, spec, snr, &payload, 80211 + k as u64)
+                .run_idd(&kind, spec, idd, snr, &payload, 80211 + k as u64)
                 .expect("16-user QPSK embeds on the chip");
-            raw += out.raw_errors;
+            raw += out.iterations[0].raw_errors;
             raw_bits += out.raw_bits;
-            hard += out.hard_errors;
-            soft += out.soft_errors;
+            iters_run += out.iters_run();
+            for (it, slot) in errors_at.iter_mut().enumerate() {
+                *slot += out.payload_errors_at(it);
+            }
         }
         let payload_bits = frames_per_point * frame.payload_len();
         println!(
-            "{snr_db:>4}dB {:>14.2e} {:>16.2e} {:>16.2e}",
+            "{snr_db:>4}dB {:>14.2e} {:>13.2e} {:>13.2e} {:>13.2e} {:>11.2}",
             raw as f64 / raw_bits as f64,
-            hard as f64 / payload_bits as f64,
-            soft as f64 / payload_bits as f64,
+            errors_at[0] as f64 / payload_bits as f64,
+            errors_at[1] as f64 / payload_bits as f64,
+            errors_at[2] as f64 / payload_bits as f64,
+            iters_run as f64 / frames_per_point as f64,
         );
-        if snr_db == 5.0 {
-            worst_hard = hard;
-            worst_soft = soft;
+        if snr_db == 2.0 {
+            worst_first = errors_at[0];
+            worst_final = errors_at[max_iters - 1];
         }
-        clean_soft_errors = soft; // last (cleanest) SNR's soft errors
+        clean_final_errors = errors_at[max_iters - 1]; // last (cleanest) SNR
     }
 
     println!(
-        "\nSame detections feed both Viterbi columns — only the LLRs differ.\n\
-         The soft column is the layering §5.3.3 assumes, upgraded: the anneal\n\
-         ensemble prices each bit's reliability, so FEC spends its power where\n\
-         the annealer actually hesitated."
+        "\nEach iteration beyond the first re-detects every channel use with the\n\
+         SISO decoder's extrinsic as priors — QuAMax reverse-anneals from the\n\
+         decoder's current decision instead of annealing from scratch, so the\n\
+         extra ensembles concentrate exactly where the code still hesitates."
     );
     assert!(
-        worst_soft <= worst_hard,
-        "soft-input decoding must not lose to hard-input: {worst_soft} vs {worst_hard}"
+        worst_final <= worst_first,
+        "iterating must not lose to the single pass: {worst_final} vs {worst_first}"
     );
     assert_eq!(
-        clean_soft_errors, 0,
-        "the soft pipeline should deliver clean frames at the top SNR"
+        clean_final_errors, 0,
+        "the iterated pipeline should deliver clean frames at the top SNR"
     );
 }

@@ -84,8 +84,8 @@ pub mod prelude {
     pub use quamax_core::metrics::{percentile, BitErrorProfile, RunStatistics};
     pub use quamax_core::{
         measured_fallback_fraction, CodedFrame, DecodeSession, DecoderConfig, Detection,
-        DetectionInput, Detector, DetectorKind, DetectorSession, QuamaxDecoder, RoutePolicy,
-        Scenario, SoftDetection, SoftDetectorSession, SoftSpec,
+        DetectionInput, Detector, DetectorKind, DetectorSession, IddOutcome, IddSpec,
+        QuamaxDecoder, RoutePolicy, Scenario, SoftDetection, SoftDetectorSession, SoftSpec,
     };
     pub use quamax_linalg::{CMatrix, CVector, Complex};
     pub use quamax_wireless::{Modulation, Snr};
