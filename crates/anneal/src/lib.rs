@@ -109,7 +109,7 @@ pub mod schedule;
 pub mod sqa;
 pub mod stats;
 
-pub use device::{Annealer, AnnealerConfig, Backend};
+pub use device::{AnnealDegradation, Annealer, AnnealerConfig, Backend};
 pub use ice::IceModel;
 pub use kernel::{CompiledChains, SqaState, SweepState};
 pub use schedule::Schedule;

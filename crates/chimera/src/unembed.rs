@@ -36,6 +36,15 @@ impl UnembedOutcome {
 /// Reads a physical configuration back into logical variables by
 /// majority vote over each chain.
 ///
+/// Exact vote ties (possible only on even-length chains) are broken
+/// randomly, as on the real machine — but *order-independently*: one
+/// base draw is taken from `rng` on the first tie of a readout, and
+/// chain `k`'s coin is then `splitmix(base, k)`. A given chain's
+/// tie-break therefore depends only on the RNG state at entry and its
+/// own chain index, never on how many *other* chains happened to tie
+/// in the same readout (the old one-draw-per-tie scheme shifted every
+/// later tie's coin when an earlier chain's break pattern changed).
+///
 /// # Panics
 /// Panics when `physical.len()` differs from the embedded problem's
 /// physical size.
@@ -52,7 +61,8 @@ pub fn unembed_majority_vote<R: Rng + ?Sized>(
     let mut logical = Vec::with_capacity(embedded.chains().len());
     let mut broken = 0;
     let mut ties = 0;
-    for chain in embedded.chains() {
+    let mut tie_base: Option<u64> = None;
+    for (k, chain) in embedded.chains().iter().enumerate() {
         let sum: i32 = chain.iter().map(|&d| physical[d] as i32).sum();
         let first = physical[chain[0]];
         let intact = chain.iter().all(|&d| physical[d] == first);
@@ -64,7 +74,8 @@ pub fn unembed_majority_vote<R: Rng + ?Sized>(
             std::cmp::Ordering::Less => -1,
             std::cmp::Ordering::Equal => {
                 ties += 1;
-                if rng.random_bool(0.5) {
+                let base = *tie_base.get_or_insert_with(|| rng.next_u64());
+                if splitmix(base, k as u64) & 1 == 0 {
                     1
                 } else {
                     -1
@@ -78,6 +89,14 @@ pub fn unembed_majority_vote<R: Rng + ?Sized>(
         broken_chains: broken,
         tie_breaks: ties,
     }
+}
+
+/// SplitMix64 of `(base, k)` — the per-chain tie-break stream.
+fn splitmix(base: u64, k: u64) -> u64 {
+    let mut z = base ^ k.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -158,6 +177,38 @@ mod tests {
             saw.insert(out.logical[0]);
         }
         assert_eq!(saw.len(), 2, "tie-break never explored both values");
+    }
+
+    #[test]
+    fn tie_break_is_independent_of_other_chains() {
+        // Regression: under the old one-draw-per-tie scheme, chain 5's
+        // coin came from a different stream position depending on
+        // whether chain 0 also tied — the same chain, same physical
+        // spins, read out differently because of an unrelated chain.
+        // n=12 → chain length 4: a 2–2 split ties.
+        let emb = setup(12);
+        let chain0 = emb.chains()[0].clone();
+        let chain5 = emb.chains()[5].clone();
+
+        // Readout A: only chain 5 ties.
+        let mut only5 = vec![1i8; emb.num_physical()];
+        only5[chain5[0]] = -1;
+        only5[chain5[1]] = -1;
+        // Readout B: chains 0 and 5 both tie.
+        let mut both = only5.clone();
+        both[chain0[0]] = -1;
+        both[chain0[1]] = -1;
+
+        for seed in 0..64 {
+            let a = unembed_majority_vote(&emb, &only5, &mut StdRng::seed_from_u64(seed));
+            let b = unembed_majority_vote(&emb, &both, &mut StdRng::seed_from_u64(seed));
+            assert_eq!(a.tie_breaks, 1);
+            assert_eq!(b.tie_breaks, 2);
+            assert_eq!(
+                a.logical[5], b.logical[5],
+                "seed {seed}: chain 5's tie-break flipped because chain 0 tied"
+            );
+        }
     }
 
     #[test]

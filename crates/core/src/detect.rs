@@ -63,6 +63,46 @@ impl std::fmt::Display for DetectError {
 
 impl std::error::Error for DetectError {}
 
+/// Whether a failed detect/compile is worth retrying.
+///
+/// The serving layer (`quamax_ran`) threads this classification through
+/// its retry and circuit-breaker machinery: a **transient** error can
+/// succeed on a fresh attempt (different seed, different worker, a
+/// bigger budget), a **permanent** one is a property of the job itself
+/// and will fail identically everywhere — retrying it only burns
+/// deadline slack.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// A retry (new seed / worker / budget) may succeed.
+    Transient,
+    /// Deterministic in the inputs: every retry fails the same way.
+    Permanent,
+}
+
+impl DetectError {
+    /// Classifies this error for retry decisions.
+    ///
+    /// * embedding failures are **permanent**: the problem does not fit
+    ///   the chip, and refuses to on every worker of the same topology;
+    /// * linear-algebra failures are **permanent**: a singular or
+    ///   mis-shaped channel factorizes identically on every attempt;
+    /// * sphere failures are **transient**: both the initial radius and
+    ///   the node budget are attempt-local policy choices a retry can
+    ///   relax.
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            DetectError::Decode(DecodeError::Embedding(_)) => ErrorClass::Permanent,
+            DetectError::Linalg(_) => ErrorClass::Permanent,
+            DetectError::Sphere(_) => ErrorClass::Transient,
+        }
+    }
+
+    /// `true` when a retry may succeed (see [`DetectError::class`]).
+    pub fn is_transient(&self) -> bool {
+        self.class() == ErrorClass::Transient
+    }
+}
+
 impl From<DecodeError> for DetectError {
     fn from(e: DecodeError) -> Self {
         DetectError::Decode(e)

@@ -196,7 +196,8 @@ pub use coded::{CodedFrame, CodedFrameOutcome, IddIteration, IddOutcome, IddSpec
 pub use decoder::{DecodeError, DecodeRun, DecodeSession, DecoderConfig, QuamaxDecoder};
 pub use detect::{
     measured_fallback_fraction, BackendStats, DetectError, Detection, Detector, DetectorKind,
-    DetectorSession, ExactMlDetector, HybridDetector, QuamaxDetector, Route, RoutePolicy,
+    DetectorSession, ErrorClass, ExactMlDetector, HybridDetector, QuamaxDetector, Route,
+    RoutePolicy,
 };
 pub use metrics::{percentile, BitErrorProfile, RunStatistics};
 pub use params::CandidateParams;

@@ -1,0 +1,165 @@
+//! Per-worker circuit breaker: closed → open after K consecutive
+//! failures → half-open probe after a cooldown.
+//!
+//! The breaker is what turns *per-job* fault handling into *per-worker*
+//! degradation handling: a worker that fails K jobs in a row (crashed,
+//! drifting, storming) stops receiving traffic instead of eating every
+//! job's retry budget, and is probed with a single job once its
+//! cooldown elapses — success closes the breaker, failure re-opens it
+//! for another cooldown.
+
+/// The breaker's state machine position.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: all traffic flows; consecutive failures are counted.
+    Closed,
+    /// Tripped: no traffic until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: exactly one probe job is allowed through.
+    HalfOpen,
+}
+
+/// A consecutive-failure circuit breaker over simulation time.
+#[derive(Clone, Debug)]
+pub struct CircuitBreaker {
+    /// Consecutive failures that trip the breaker.
+    failure_threshold: u32,
+    /// Time the breaker stays open before allowing a probe, µs.
+    cooldown_us: f64,
+    consecutive_failures: u32,
+    state: BreakerState,
+    /// When the breaker last opened (valid in `Open`/`HalfOpen`).
+    opened_at_us: f64,
+    /// Lifetime trip count (telemetry).
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// A breaker tripping after `failure_threshold` consecutive
+    /// failures, probing after `cooldown_us`.
+    ///
+    /// # Panics
+    /// Panics unless the threshold and cooldown are positive.
+    pub fn new(failure_threshold: u32, cooldown_us: f64) -> Self {
+        assert!(failure_threshold > 0, "need a positive failure threshold");
+        assert!(cooldown_us > 0.0, "need a positive cooldown");
+        CircuitBreaker {
+            failure_threshold,
+            cooldown_us,
+            consecutive_failures: 0,
+            state: BreakerState::Closed,
+            opened_at_us: 0.0,
+            trips: 0,
+        }
+    }
+
+    /// Current state, advancing `Open → HalfOpen` if the cooldown has
+    /// elapsed by `now_us`.
+    pub fn state(&mut self, now_us: f64) -> BreakerState {
+        if self.state == BreakerState::Open && now_us - self.opened_at_us >= self.cooldown_us {
+            self.state = BreakerState::HalfOpen;
+        }
+        self.state
+    }
+
+    /// `true` when a job may be routed to this worker at `now_us`
+    /// (closed, or half-open probe).
+    pub fn allows(&mut self, now_us: f64) -> bool {
+        self.state(now_us) != BreakerState::Open
+    }
+
+    /// Records a successful job: a half-open probe (or any success)
+    /// closes the breaker and clears the failure streak.
+    pub fn on_success(&mut self) {
+        self.state = BreakerState::Closed;
+        self.consecutive_failures = 0;
+    }
+
+    /// Records a failed job at `now_us`: a half-open probe failure
+    /// re-opens immediately; in closed state the K-th consecutive
+    /// failure trips the breaker.
+    pub fn on_failure(&mut self, now_us: f64) {
+        match self.state(now_us) {
+            BreakerState::HalfOpen => self.trip(now_us),
+            BreakerState::Open => {}
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.failure_threshold {
+                    self.trip(now_us);
+                }
+            }
+        }
+    }
+
+    fn trip(&mut self, now_us: f64) {
+        self.state = BreakerState::Open;
+        self.opened_at_us = now_us;
+        self.consecutive_failures = 0;
+        self.trips += 1;
+    }
+
+    /// Times the breaker has tripped.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Resets to closed with cleared counters (new simulation).
+    pub fn reset(&mut self) {
+        self.state = BreakerState::Closed;
+        self.consecutive_failures = 0;
+        self.opened_at_us = 0.0;
+        self.trips = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_after_k_consecutive_failures() {
+        let mut b = CircuitBreaker::new(3, 1_000.0);
+        b.on_failure(0.0);
+        b.on_failure(1.0);
+        assert!(b.allows(2.0), "two failures stay closed at K=3");
+        b.on_failure(2.0);
+        assert!(!b.allows(3.0), "third failure trips");
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn success_clears_the_streak() {
+        let mut b = CircuitBreaker::new(2, 1_000.0);
+        b.on_failure(0.0);
+        b.on_success();
+        b.on_failure(1.0);
+        assert!(b.allows(2.0), "streak was broken by the success");
+    }
+
+    #[test]
+    fn half_open_probe_closes_on_success_reopens_on_failure() {
+        let mut b = CircuitBreaker::new(1, 100.0);
+        b.on_failure(0.0);
+        assert_eq!(b.state(50.0), BreakerState::Open);
+        assert_eq!(b.state(100.0), BreakerState::HalfOpen);
+        assert!(b.allows(100.0), "the probe is allowed through");
+        // Probe fails: re-open for a fresh cooldown from the failure.
+        b.on_failure(100.0);
+        assert_eq!(b.state(150.0), BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+        // Next probe succeeds: closed again.
+        assert_eq!(b.state(200.0), BreakerState::HalfOpen);
+        b.on_success();
+        assert_eq!(b.state(200.0), BreakerState::Closed);
+    }
+
+    #[test]
+    fn reset_restores_closed() {
+        let mut b = CircuitBreaker::new(1, 1e6);
+        b.on_failure(0.0);
+        assert!(!b.allows(1.0));
+        b.reset();
+        assert!(b.allows(1.0));
+        assert_eq!(b.trips(), 0);
+    }
+}

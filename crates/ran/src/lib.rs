@@ -34,17 +34,68 @@
 //! ([`QpuServer::with_session_cache`] + [`qpu::channel_hash`]), which
 //! evicts on coherence expiry and reprograms exactly when an AP's
 //! channel actually changes.
+//!
+//! # DESIGN §Resilience
+//!
+//! A deployed annealer-backed BBU pool degrades in ways the fair-
+//! weather pipeline above never sees: chains decohere in storms, the
+//! analog control drifts off calibration (`IceModel::excursion`),
+//! programming cycles fail, hosts stall, workers crash.
+//! The resilience subsystem spans four modules, device layer to
+//! serving layer:
+//!
+//! * [`fault`] — a seeded, deterministic [`FaultPlan`]: one SplitMix64
+//!   draw per `(worker, job, attempt)` triple classified against per-
+//!   class rates, so degraded runs are bit-reproducible and the
+//!   guarded-vs-unguarded comparison is fair (first attempts see the
+//!   same faults either way). Each [`FaultClass`] maps onto a real
+//!   device hook via [`FaultPlan::degradation`] →
+//!   `quamax_anneal::AnnealDegradation` (chain-break storms flip chain
+//!   qubits post-readout; drift rides `IceModel::scaled`). The
+//!   [`ServeError`] taxonomy classifies every failure as transient or
+//!   permanent so callers decide instead of panicking.
+//! * [`retry`] — deadline-aware [`RetryPolicy`]: exponential backoff
+//!   with deterministic seeded jitter, *funded by deadline slack* (the
+//!   PR-5 `IddBudget` pattern — a retry that cannot land before the
+//!   frame's deadline is never scheduled). QuAMax retries after a
+//!   storm/drift are **warm**: the failed attempt's best candidate
+//!   seeds a `decode_reverse_from` reverse anneal at
+//!   [`RetryPolicy::warm_fraction`] of a cold job's anneal bill.
+//! * [`breaker`] — a per-worker [`CircuitBreaker`] (closed → open
+//!   after K consecutive failures → half-open probe), which turns
+//!   per-job fault handling into per-worker degradation handling.
+//! * [`serve`] — the [`ResilientServer`]: validation, recorded
+//!   priority-class load shedding ([`ShedPolicy`], never a silent
+//!   drop), least-loaded healthy-worker routing, the retry loop, and
+//!   the escalation ladder QPU → hybrid → classical. The [`Ledger`]
+//!   conserves `submitted == completed + shed + failed`, and with a
+//!   quiet plan the guarded path is *bit-identical* to plain
+//!   [`QpuServer`] dispatch — guardrails price zero in fair weather.
+//!
+//! [`sim::Server::Resilient`] drives it end to end; frame fates are
+//! recorded per frame as [`sim::FrameOutcome`] and the
+//! `bench_resilience` binary sweeps fault rate × guardrails.
 
+pub mod breaker;
 pub mod coded;
 pub mod cpu;
+pub mod fault;
 pub mod hybrid;
 pub mod qpu;
+pub mod retry;
+pub mod serve;
 pub mod sim;
 pub mod topology;
 
+pub use breaker::{BreakerState, CircuitBreaker};
 pub use coded::{CodedIddReport, CodedUplink, CodedUplinkReport, IddBudget};
 pub use cpu::{CpuPolicy, CpuPool};
+pub use fault::{FaultClass, FaultCounters, FaultPlan, FaultRates, ServeError};
 pub use hybrid::HybridServer;
-pub use qpu::{channel_hash, QpuOverheads, QpuServer, SessionCache};
-pub use sim::{FrameRecord, Server, SimReport, Simulation};
+pub use qpu::{channel_hash, CacheStats, QpuOverheads, QpuServer, SessionCache};
+pub use retry::RetryPolicy;
+pub use serve::{
+    Guardrails, Job, Ledger, Priority, ResilientServer, ServeRung, Served, ShedPolicy,
+};
+pub use sim::{FrameOutcome, FrameRecord, Server, SimReport, Simulation};
 pub use topology::{AccessPoint, Deadline, FronthaulConfig};

@@ -15,6 +15,7 @@
 //! [`QpuOverheads::integrated`] models the engineering-integrated
 //! device the paper envisions.
 
+use crate::fault::ServeError;
 use quamax_chimera::parallelization;
 use quamax_linalg::CMatrix;
 
@@ -45,8 +46,22 @@ pub fn channel_hash(h: &CMatrix) -> u64 {
     acc
 }
 
+/// Hit/miss/eviction counters of a [`SessionCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served without reprogramming.
+    pub hits: u64,
+    /// Lookups that (re)programmed the chip.
+    pub misses: u64,
+    /// Live entries evicted under *capacity pressure* (oldest first).
+    /// Coherence-expiry removals are not counted here — an expired
+    /// session is physically dead, not a victim of a small cache.
+    pub evictions: u64,
+}
+
 /// A per-source cache of compiled (programmed) decode sessions, keyed
-/// by channel hash, with eviction on coherence expiry.
+/// by channel hash, with eviction on coherence expiry — and a hard
+/// capacity cap with oldest-entry eviction.
 ///
 /// Models the data-center front of §7 under the PR-2 compile-once
 /// sessions: each access point's current channel owns at most one
@@ -54,19 +69,29 @@ pub fn channel_hash(h: &CMatrix) -> u64 {
 /// cached (and fresh) skips host preprocessing and chip programming.
 /// Entries are evicted once they outlive the coherence time — the
 /// channel has physically changed, so the programmed problem is stale
-/// even if an identical hash were to reappear.
+/// even if an identical hash were to reappear. The capacity cap bounds
+/// the cache under *short* coherence windows with *many* live sources:
+/// without it, every source seen within one window holds an entry,
+/// which on a metro-scale AP population grows without limit.
 #[derive(Clone, Debug)]
 pub struct SessionCache {
     /// Maximum age of a cached session, µs (the coherence time).
     coherence_us: f64,
+    /// Maximum live entries; exceeding it evicts the oldest entry.
+    capacity: usize,
     /// `(source key, channel hash, programmed-at clock)` per source.
     entries: Vec<(usize, u64, f64)>,
-    hits: u64,
-    misses: u64,
+    stats: CacheStats,
 }
 
+/// Default [`SessionCache`] capacity: roomy enough that a metro-scale
+/// AP pool per QPU never evicts in the workloads this crate models,
+/// but a hard bound nonetheless.
+pub const DEFAULT_SESSION_CAPACITY: usize = 1024;
+
 impl SessionCache {
-    /// A cache whose sessions live `coherence_us` before eviction.
+    /// A cache whose sessions live `coherence_us` before eviction,
+    /// holding at most [`DEFAULT_SESSION_CAPACITY`] entries.
     ///
     /// # Panics
     /// Panics when `coherence_us` is not positive.
@@ -74,32 +99,63 @@ impl SessionCache {
         assert!(coherence_us > 0.0, "coherence time must be positive");
         SessionCache {
             coherence_us,
+            capacity: DEFAULT_SESSION_CAPACITY,
             entries: Vec::new(),
-            hits: 0,
-            misses: 0,
+            stats: CacheStats::default(),
         }
+    }
+
+    /// Caps the cache at `capacity` live entries; inserting past the
+    /// cap evicts the oldest entry (earliest programmed-at time) and
+    /// counts it in [`CacheStats::evictions`].
+    ///
+    /// # Panics
+    /// Panics when `capacity` is zero.
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "a cache holds at least one session");
+        self.capacity = capacity;
+        self
+    }
+
+    /// The configured capacity cap.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Looks up `(key, hash)` at time `now_us`, inserting/refreshing on
     /// miss. Returns `true` on a hit (the frame skips programming).
     ///
     /// Expired entries — of *any* source — are evicted first, so the
-    /// cache never reports stale sessions and its size stays bounded by
-    /// the live source count.
+    /// cache never reports stale sessions; a miss that would grow the
+    /// cache past its capacity evicts the oldest live entry.
     pub fn lookup(&mut self, now_us: f64, key: usize, hash: u64) -> bool {
         let ttl = self.coherence_us;
         self.entries.retain(|&(_, _, at)| now_us - at <= ttl);
         match self.entries.iter().find(|&&(k, _, _)| k == key) {
             Some(&(_, cached_hash, _)) if cached_hash == hash => {
-                self.hits += 1;
+                self.stats.hits += 1;
                 true
             }
             _ => {
                 // New channel for this source: the old programmed
                 // problem (if any) is dead — replace it.
                 self.entries.retain(|&(k, _, _)| k != key);
+                while self.entries.len() >= self.capacity {
+                    // Oldest entry loses its slot. Entries are pushed
+                    // in programming order, so index 0 of the minimum
+                    // programmed-at is the deterministic victim.
+                    let victim = self
+                        .entries
+                        .iter()
+                        .enumerate()
+                        .min_by(|a, b| a.1 .2.partial_cmp(&b.1 .2).expect("finite clock"))
+                        .map(|(i, _)| i)
+                        .expect("capacity > 0 so a victim exists");
+                    self.entries.remove(victim);
+                    self.stats.evictions += 1;
+                }
                 self.entries.push((key, hash, now_us));
-                self.misses += 1;
+                self.stats.misses += 1;
                 false
             }
         }
@@ -110,11 +166,12 @@ impl SessionCache {
         self.coherence_us
     }
 
-    /// `(hits, misses)` since construction or the last [`reset`].
+    /// Hit/miss/eviction counters since construction or the last
+    /// [`reset`].
     ///
     /// [`reset`]: SessionCache::reset
-    pub fn stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
+    pub fn stats(&self) -> CacheStats {
+        self.stats
     }
 
     /// Live cached sessions.
@@ -130,8 +187,7 @@ impl SessionCache {
     /// Clears entries and counters.
     pub fn reset(&mut self) {
         self.entries.clear();
-        self.hits = 0;
-        self.misses = 0;
+        self.stats = CacheStats::default();
     }
 }
 
@@ -333,6 +389,117 @@ impl QpuServer {
         done
     }
 
+    /// Validates a job's shape for the fallible enqueue family: a
+    /// frame with zero subcarrier problems has nothing to decode, and
+    /// zero logical variables per problem has no chip image — both
+    /// would produce degenerate service times (overhead-only or
+    /// nonsense parallelization), so they are classified errors, not
+    /// silent numbers.
+    fn validate(problems: usize, logical_vars: usize) -> Result<(), ServeError> {
+        if problems == 0 {
+            return Err(ServeError::InvalidJob("zero problems in frame"));
+        }
+        if logical_vars == 0 {
+            return Err(ServeError::InvalidJob("zero logical variables"));
+        }
+        Ok(())
+    }
+
+    /// Fallible [`QpuServer::enqueue`]: classified error on a
+    /// malformed job instead of a degenerate service time.
+    pub fn try_enqueue(
+        &mut self,
+        now_us: f64,
+        problems: usize,
+        logical_vars: usize,
+    ) -> Result<f64, ServeError> {
+        Self::validate(problems, logical_vars)?;
+        Ok(self.enqueue(now_us, problems, logical_vars))
+    }
+
+    /// Fallible [`QpuServer::enqueue_keyed`].
+    pub fn try_enqueue_keyed(
+        &mut self,
+        now_us: f64,
+        key: usize,
+        problems: usize,
+        logical_vars: usize,
+    ) -> Result<f64, ServeError> {
+        Self::validate(problems, logical_vars)?;
+        Ok(self.enqueue_keyed(now_us, key, problems, logical_vars))
+    }
+
+    /// Fallible [`QpuServer::enqueue_channel`].
+    pub fn try_enqueue_channel(
+        &mut self,
+        now_us: f64,
+        key: usize,
+        channel_hash: u64,
+        problems: usize,
+        logical_vars: usize,
+    ) -> Result<f64, ServeError> {
+        Self::validate(problems, logical_vars)?;
+        Ok(self.enqueue_channel(now_us, key, channel_hash, problems, logical_vars))
+    }
+
+    /// Service time of a *warm retry*: the chip is still programmed
+    /// with the failed attempt's problem (no preprocessing, no
+    /// programming) and the retry reverse-anneals from that attempt's
+    /// best candidate (`DecodeSession::decode_reverse_from`), so the
+    /// anneal bill shrinks to `warm_fraction` of a cold batch's.
+    ///
+    /// # Panics
+    /// Panics unless `warm_fraction ∈ (0, 1]`.
+    pub fn warm_retry_time_us(
+        &self,
+        problems: usize,
+        logical_vars: usize,
+        warm_fraction: f64,
+    ) -> f64 {
+        assert!(
+            warm_fraction > 0.0 && warm_fraction <= 1.0,
+            "warm fraction must be in (0, 1]"
+        );
+        self.amortized_service_time_us(problems, logical_vars, false) * warm_fraction
+    }
+
+    /// Enqueues a warm retry (see [`QpuServer::warm_retry_time_us`]);
+    /// returns its completion time.
+    pub fn enqueue_warm_retry(
+        &mut self,
+        now_us: f64,
+        problems: usize,
+        logical_vars: usize,
+        warm_fraction: f64,
+    ) -> f64 {
+        let start = now_us.max(self.busy_until_us);
+        let done = start + self.warm_retry_time_us(problems, logical_vars, warm_fraction);
+        self.busy_until_us = done;
+        done
+    }
+
+    /// The time at which this server's FIFO queue drains, µs (0 when
+    /// idle) — what admission control projects queue waits from.
+    pub fn busy_until_us(&self) -> f64 {
+        self.busy_until_us
+    }
+
+    /// Charges `duration_us` of non-decode occupancy (a failed
+    /// programming cycle, a stall) starting no earlier than `now_us`;
+    /// returns the time the charge ends.
+    pub fn occupy_us(&mut self, now_us: f64, duration_us: f64) -> f64 {
+        assert!(duration_us >= 0.0, "occupancy cannot be negative");
+        let start = now_us.max(self.busy_until_us);
+        let done = start + duration_us;
+        self.busy_until_us = done;
+        done
+    }
+
+    /// This server's configured overheads.
+    pub fn overheads(&self) -> &QpuOverheads {
+        &self.overheads
+    }
+
     /// Resets the server clock and session state (new simulation).
     pub fn reset(&mut self) {
         self.busy_until_us = 0.0;
@@ -471,11 +638,108 @@ mod tests {
             (cost(&mut srv, 100_000.0, 0xBB) - full).abs() < 1e-9,
             "expired session reprograms"
         );
-        let (hits, misses) = srv.session_cache().unwrap().stats();
-        assert_eq!((hits, misses), (2, 3));
+        let stats = srv.session_cache().unwrap().stats();
+        assert_eq!(
+            stats,
+            CacheStats {
+                hits: 2,
+                misses: 3,
+                evictions: 0
+            }
+        );
         srv.reset();
-        assert_eq!(srv.session_cache().unwrap().stats(), (0, 0));
+        assert_eq!(srv.session_cache().unwrap().stats(), CacheStats::default());
         assert!(srv.session_cache().unwrap().is_empty());
+    }
+
+    #[test]
+    fn session_cache_evicts_oldest_past_capacity() {
+        let mut cache = SessionCache::new(1e9).with_capacity(3);
+        assert_eq!(cache.capacity(), 3);
+        // Fill past capacity: five distinct sources, one per µs.
+        for key in 0..5usize {
+            assert!(!cache.lookup(key as f64, key, 0xE0 + key as u64));
+        }
+        assert_eq!(cache.len(), 3, "capacity bounds the live set");
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 0,
+                misses: 5,
+                evictions: 2
+            }
+        );
+        // Sources 0 and 1 (the oldest) were evicted; 2–4 survive.
+        assert!(!cache.lookup(6.0, 0, 0xE0), "oldest entry was evicted");
+        for key in 3..5usize {
+            assert!(cache.lookup(6.0, key, 0xE0 + key as u64), "key {key} kept");
+        }
+        // That re-lookup of source 0 itself evicted the then-oldest.
+        assert_eq!(cache.stats().evictions, 3);
+        // A same-source channel change replaces in place: no eviction.
+        let mut replace = SessionCache::new(1e9).with_capacity(1);
+        assert!(!replace.lookup(0.0, 9, 0x1));
+        assert!(!replace.lookup(1.0, 9, 0x2));
+        assert_eq!(replace.stats().evictions, 0, "replacement is not eviction");
+        assert_eq!(replace.len(), 1);
+    }
+
+    #[test]
+    fn try_enqueue_rejects_degenerate_jobs() {
+        let mut srv = QpuServer::new(QpuOverheads::integrated(), 1.0, 10).with_session_cache(1e9);
+        assert_eq!(
+            srv.try_enqueue(0.0, 0, 16),
+            Err(ServeError::InvalidJob("zero problems in frame"))
+        );
+        assert_eq!(
+            srv.try_enqueue(0.0, 50, 0),
+            Err(ServeError::InvalidJob("zero logical variables"))
+        );
+        assert_eq!(
+            srv.try_enqueue_keyed(0.0, 3, 0, 16),
+            Err(ServeError::InvalidJob("zero problems in frame"))
+        );
+        assert_eq!(
+            srv.try_enqueue_channel(0.0, 3, 0xAB, 50, 0),
+            Err(ServeError::InvalidJob("zero logical variables"))
+        );
+        // Rejections leave the server untouched: clock, sessions, cache.
+        assert_eq!(srv.busy_until_us(), 0.0);
+        assert!(srv.session_cache().unwrap().is_empty());
+        // Valid jobs pass through to the infallible paths unchanged.
+        let t = srv.try_enqueue(0.0, 1, 16).unwrap();
+        assert!((t - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_retry_is_cheaper_than_cold() {
+        let mut srv = QpuServer::new(QpuOverheads::current_dw2q(), 2.0, 10);
+        let cold = srv.service_time_us(50, 16);
+        let amortized = srv.amortized_service_time_us(50, 16, false);
+        let warm = srv.warm_retry_time_us(50, 16, 0.5);
+        assert!((warm - amortized * 0.5).abs() < 1e-9);
+        assert!(warm < amortized, "reverse anneal beats a cold batch");
+        assert!(warm < cold, "and certainly beats programming + batch");
+        // Enqueue occupies the FIFO like any job.
+        let done = srv.enqueue_warm_retry(100.0, 50, 16, 0.5);
+        assert!((done - 100.0 - warm).abs() < 1e-9);
+        assert_eq!(srv.busy_until_us(), done);
+    }
+
+    #[test]
+    #[should_panic(expected = "warm fraction")]
+    fn warm_fraction_above_one_panics() {
+        QpuServer::new(QpuOverheads::integrated(), 1.0, 10).warm_retry_time_us(1, 16, 1.5);
+    }
+
+    #[test]
+    fn occupy_charges_non_decode_time() {
+        let mut srv = QpuServer::new(QpuOverheads::integrated(), 1.0, 10);
+        let t = srv.occupy_us(5.0, 100.0);
+        assert!((t - 105.0).abs() < 1e-9);
+        // FIFO: the next job starts after the occupancy.
+        let done = srv.enqueue(0.0, 1, 16);
+        assert!((done - 115.0).abs() < 1e-9);
     }
 
     #[test]

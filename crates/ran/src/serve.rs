@@ -1,0 +1,849 @@
+//! The fault-tolerant serving layer: a pool of QPU workers behind
+//! deadline-aware retry, per-worker circuit breakers, an escalation
+//! ladder, and recorded load shedding.
+//!
+//! [`ResilientServer`] is the guarded counterpart of dispatching
+//! frames straight at one [`QpuServer`]: jobs are validated, admission-
+//! controlled, routed to the least-loaded healthy worker, and — when a
+//! [`FaultPlan`] injects a device fault — retried under the frame's
+//! remaining deadline slack ([`RetryPolicy::fund_retry`]), escalated
+//! down the ladder (QPU → hybrid → classical), or failed *with a
+//! classified error*. Nothing is silently lost: the [`Ledger`]
+//! conserves `submitted == completed + shed + failed`.
+//!
+//! With a quiet plan, one worker, and [`Guardrails::on`], the guarded
+//! path is bit-identical to the unguarded [`QpuServer`] dispatch — the
+//! resilience machinery prices exactly zero when nothing goes wrong
+//! (tested in `tests/properties.rs`).
+
+use crate::breaker::CircuitBreaker;
+use crate::cpu::CpuPool;
+use crate::fault::{FaultClass, FaultPlan, ServeError};
+use crate::hybrid::HybridServer;
+use crate::qpu::QpuServer;
+use crate::retry::RetryPolicy;
+
+/// A job's admission-control class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Priority {
+    /// Never shed under the standard policy (control traffic, HARQ
+    /// retransmissions already on their last chance).
+    High,
+    /// Ordinary uplink frames.
+    Normal,
+    /// Background / delay-tolerant traffic: shed first.
+    Low,
+}
+
+/// Per-priority backpressure limits: a job is shed when every healthy
+/// worker's projected queue wait exceeds its priority's limit.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ShedPolicy {
+    /// Max projected wait for [`Priority::High`], µs (`None` = never).
+    pub high_max_wait_us: Option<f64>,
+    /// Max projected wait for [`Priority::Normal`], µs.
+    pub normal_max_wait_us: Option<f64>,
+    /// Max projected wait for [`Priority::Low`], µs.
+    pub low_max_wait_us: Option<f64>,
+}
+
+impl ShedPolicy {
+    /// Never sheds (the unguarded configuration — and also what keeps
+    /// the guarded fair-weather path bit-identical to plain dispatch).
+    pub fn disabled() -> Self {
+        ShedPolicy {
+            high_max_wait_us: None,
+            normal_max_wait_us: None,
+            low_max_wait_us: None,
+        }
+    }
+
+    /// The guarded default: high never sheds, normal sheds past 20 ms
+    /// of projected wait, low past 5 ms.
+    pub fn standard() -> Self {
+        ShedPolicy {
+            high_max_wait_us: None,
+            normal_max_wait_us: Some(20_000.0),
+            low_max_wait_us: Some(5_000.0),
+        }
+    }
+
+    /// The wait limit for `priority`, µs (`None` = never shed).
+    pub fn limit_us(&self, priority: Priority) -> Option<f64> {
+        match priority {
+            Priority::High => self.high_max_wait_us,
+            Priority::Normal => self.normal_max_wait_us,
+            Priority::Low => self.low_max_wait_us,
+        }
+    }
+}
+
+/// The full guardrail configuration: what the resilience subsystem is
+/// allowed to do about a failure.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Guardrails {
+    /// Retry funding policy.
+    pub retry: RetryPolicy,
+    /// Consecutive failures that open a worker's breaker.
+    pub breaker_threshold: u32,
+    /// Breaker cooldown before a half-open probe, µs.
+    pub breaker_cooldown_us: f64,
+    /// Backpressure limits.
+    pub shed: ShedPolicy,
+    /// Whether exhausted jobs escalate down the ladder (hybrid, then
+    /// classical) instead of failing.
+    pub escalate: bool,
+}
+
+impl Guardrails {
+    /// Everything on: standard retries, breakers tripping after 3
+    /// consecutive failures with a 10 ms cooldown, standard shedding,
+    /// escalation enabled.
+    pub fn on() -> Self {
+        Guardrails {
+            retry: RetryPolicy::standard(),
+            breaker_threshold: 3,
+            breaker_cooldown_us: 10_000.0,
+            shed: ShedPolicy::standard(),
+            escalate: true,
+        }
+    }
+
+    /// Everything off: one attempt, breakers that never trip, no
+    /// shedding, no escalation — a fault kills its job. The control
+    /// arm of the resilience bench.
+    pub fn off() -> Self {
+        Guardrails {
+            retry: RetryPolicy::disabled(),
+            breaker_threshold: u32::MAX,
+            breaker_cooldown_us: 1.0,
+            shed: ShedPolicy::disabled(),
+            escalate: false,
+        }
+    }
+}
+
+/// One decode job as the serving layer sees it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Job {
+    /// Source key (access-point id): scopes programming sessions.
+    pub source: usize,
+    /// Channel-estimate hash for the session cache (`None` = use the
+    /// frame-counted coherence model).
+    pub channel_hash: Option<u64>,
+    /// Subcarrier problems in this frame.
+    pub problems: usize,
+    /// Logical Ising variables per problem.
+    pub logical_vars: usize,
+    /// Concurrent users (sizes the classical rungs' service time).
+    pub users: usize,
+    /// Decode budget relative to submission time, µs — what funds
+    /// retries ([`RetryPolicy::fund_retry`]).
+    pub deadline_us: f64,
+    /// Admission-control class.
+    pub priority: Priority,
+}
+
+/// Which rung of the escalation ladder served a job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ServeRung {
+    /// A QPU worker (possibly after retries).
+    Qpu,
+    /// The classical-first hybrid server.
+    Hybrid,
+    /// The classical pool floor.
+    Classical,
+}
+
+/// A successfully served job.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Served {
+    /// Completion time at the data center, µs.
+    pub done_us: f64,
+    /// QPU attempts consumed (1 = first try; escalated jobs report the
+    /// attempts burned before escalating).
+    pub attempts: u32,
+    /// The rung that produced the answer.
+    pub rung: ServeRung,
+    /// The worker that served it (`None` for escalated jobs).
+    pub worker: Option<usize>,
+}
+
+/// The conservation ledger: every submitted job is accounted for.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Ledger {
+    /// Jobs submitted.
+    pub submitted: u64,
+    /// Jobs that produced an answer (any rung).
+    pub completed: u64,
+    /// Jobs shed by admission control (recorded, not lost).
+    pub shed: u64,
+    /// Jobs that failed with a classified error.
+    pub failed: u64,
+}
+
+impl Ledger {
+    /// The invariant: no job is silently dropped.
+    pub fn conserved(&self) -> bool {
+        self.submitted == self.completed + self.shed + self.failed
+    }
+}
+
+/// One QPU worker plus its health state.
+#[derive(Clone, Debug)]
+struct QpuWorker {
+    qpu: QpuServer,
+    breaker: CircuitBreaker,
+    /// Time until which this worker is down after a crash, µs.
+    crashed_until_us: f64,
+}
+
+/// A pool of QPU workers behind the full guardrail stack.
+pub struct ResilientServer {
+    workers: Vec<QpuWorker>,
+    /// The classical floor of the escalation ladder: always present,
+    /// always assumed reliable (it is a plain multicore pool).
+    classical: CpuPool,
+    /// Optional middle rung: classical-first with quantum fallback.
+    hybrid: Option<HybridServer>,
+    plan: FaultPlan,
+    guardrails: Guardrails,
+    ledger: Ledger,
+    /// Monotone job ids — the `job` axis of the fault plan's draws.
+    job_seq: u64,
+}
+
+impl ResilientServer {
+    /// A server over `workers` identical QPUs with `classical` as the
+    /// escalation floor, injecting faults from `plan` under
+    /// `guardrails`.
+    ///
+    /// # Panics
+    /// Panics when `workers` is empty.
+    pub fn new(
+        workers: Vec<QpuServer>,
+        classical: CpuPool,
+        plan: FaultPlan,
+        guardrails: Guardrails,
+    ) -> Self {
+        assert!(!workers.is_empty(), "need at least one QPU worker");
+        let breaker =
+            CircuitBreaker::new(guardrails.breaker_threshold, guardrails.breaker_cooldown_us);
+        ResilientServer {
+            workers: workers
+                .into_iter()
+                .map(|qpu| QpuWorker {
+                    qpu,
+                    breaker: breaker.clone(),
+                    crashed_until_us: 0.0,
+                })
+                .collect(),
+            classical,
+            hybrid: None,
+            plan,
+            guardrails,
+            ledger: Ledger::default(),
+            job_seq: 0,
+        }
+    }
+
+    /// Inserts the hybrid middle rung of the escalation ladder.
+    pub fn with_hybrid(mut self, hybrid: HybridServer) -> Self {
+        self.hybrid = Some(hybrid);
+        self
+    }
+
+    /// The conservation ledger so far.
+    pub fn ledger(&self) -> Ledger {
+        self.ledger
+    }
+
+    /// The fault plan (for its counters).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Lifetime breaker trips summed over workers.
+    pub fn breaker_trips(&self) -> u64 {
+        self.workers.iter().map(|w| w.breaker.trips()).sum()
+    }
+
+    /// Worker count.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The session-cache coherence time of worker 0, if its QPU has a
+    /// cache attached — the simulation uses it to synthesize channel
+    /// hashes exactly as it does for a plain [`QpuServer`].
+    pub fn coherence_us(&self) -> Option<f64> {
+        self.workers[0]
+            .qpu
+            .session_cache()
+            .map(|c| c.coherence_us())
+    }
+
+    /// Resets every worker, the ladder rungs, the plan counters, and
+    /// the ledger (new simulation; the fault *schedule* is unchanged).
+    pub fn reset(&mut self) {
+        for w in &mut self.workers {
+            w.qpu.reset();
+            w.breaker.reset();
+            w.crashed_until_us = 0.0;
+        }
+        self.classical.reset();
+        if let Some(h) = self.hybrid.as_mut() {
+            h.reset();
+        }
+        self.plan.reset();
+        self.ledger = Ledger::default();
+        self.job_seq = 0;
+    }
+
+    /// Workers currently allowed to take a job at `now_us` (repaired
+    /// and breaker-permitted), with their projected queue waits.
+    fn eligible(&mut self, now_us: f64) -> Vec<(usize, f64)> {
+        let mut out = Vec::new();
+        for (i, w) in self.workers.iter_mut().enumerate() {
+            if w.crashed_until_us <= now_us && w.breaker.allows(now_us) {
+                out.push((i, (w.qpu.busy_until_us() - now_us).max(0.0)));
+            }
+        }
+        out
+    }
+
+    /// Picks the worker for an attempt at `now_us`: the least-loaded
+    /// eligible worker (ties to the lowest index — deterministic).
+    /// Warm retries prefer the previous worker (its chip still holds
+    /// the programmed problem); cold retries prefer an *alternate*
+    /// when one is eligible (the previous worker just failed).
+    fn pick_worker(&mut self, now_us: f64, warm: bool, prev: Option<usize>) -> Option<usize> {
+        let eligible = self.eligible(now_us);
+        if eligible.is_empty() {
+            return None;
+        }
+        if warm {
+            if let Some(p) = prev {
+                if eligible.iter().any(|&(i, _)| i == p) {
+                    return Some(p);
+                }
+            }
+        }
+        let exclude_prev = match prev {
+            Some(p) if !warm => eligible.iter().any(|&(i, _)| i != p),
+            _ => false,
+        };
+        let mut best: Option<(usize, f64)> = None;
+        for &(i, wait) in &eligible {
+            if exclude_prev && Some(i) == prev {
+                continue;
+            }
+            // Strict `<` keeps ties on the lowest index: deterministic.
+            let better = match best {
+                None => true,
+                Some((_, bw)) => wait < bw,
+            };
+            if better {
+                best = Some((i, wait));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Submits one job at `now_us`; returns where and when it was
+    /// served, or a classified [`ServeError`]. Updates the ledger
+    /// either way.
+    pub fn submit(&mut self, now_us: f64, job: &Job) -> Result<Served, ServeError> {
+        self.ledger.submitted += 1;
+        let job_id = self.job_seq;
+        self.job_seq += 1;
+
+        if job.problems == 0 {
+            self.ledger.failed += 1;
+            return Err(ServeError::InvalidJob("zero problems in frame"));
+        }
+        if job.logical_vars == 0 {
+            self.ledger.failed += 1;
+            return Err(ServeError::InvalidJob("zero logical variables"));
+        }
+
+        // Backpressure: shed when every healthy worker's projected
+        // wait exceeds this priority's limit. Shedding is a final,
+        // recorded admission decision — never a silent drop.
+        if let Some(limit) = self.guardrails.shed.limit_us(job.priority) {
+            let eligible = self.eligible(now_us);
+            if !eligible.is_empty() {
+                let wait = eligible
+                    .iter()
+                    .map(|&(_, w)| w)
+                    .fold(f64::INFINITY, f64::min);
+                if wait > limit {
+                    self.ledger.shed += 1;
+                    return Err(ServeError::Shed {
+                        projected_wait_us: wait,
+                    });
+                }
+            }
+        }
+
+        let mut attempt: u32 = 1;
+        let mut t = now_us;
+        let mut warm = false;
+        let mut prev: Option<usize> = None;
+        let mut last_err = ServeError::WorkerUnavailable;
+        while let Some(w) = self.pick_worker(t, warm, prev) {
+            let fault = self.plan.draw(w, job_id, attempt);
+            let worker = &mut self.workers[w];
+            match fault {
+                None | Some(FaultClass::WorkerStall) => {
+                    // The job runs to completion — a stall just lands
+                    // it late (and holds the worker through the stall).
+                    let mut done = if warm {
+                        worker.qpu.enqueue_warm_retry(
+                            t,
+                            job.problems,
+                            job.logical_vars,
+                            self.guardrails.retry.warm_fraction,
+                        )
+                    } else if let Some(hash) = job.channel_hash {
+                        worker.qpu.enqueue_channel(
+                            t,
+                            job.source,
+                            hash,
+                            job.problems,
+                            job.logical_vars,
+                        )
+                    } else {
+                        worker
+                            .qpu
+                            .enqueue_keyed(t, job.source, job.problems, job.logical_vars)
+                    };
+                    if fault.is_some() {
+                        done = worker.qpu.occupy_us(done, self.plan.stall_us());
+                    }
+                    worker.breaker.on_success();
+                    self.ledger.completed += 1;
+                    return Ok(Served {
+                        done_us: done,
+                        attempts: attempt,
+                        rung: ServeRung::Qpu,
+                        worker: Some(w),
+                    });
+                }
+                Some(class @ FaultClass::WorkerCrash) => {
+                    // The dispatcher learns immediately; the worker is
+                    // down for the repair interval. The job never ran,
+                    // so a retry is cold and must use an alternate.
+                    worker.crashed_until_us = t + self.plan.repair_us();
+                    worker.breaker.on_failure(t);
+                    last_err = ServeError::Fault { class };
+                    warm = false;
+                }
+                Some(class @ FaultClass::ProgrammingFailure) => {
+                    // Fail fast: only the programming cycle is lost,
+                    // nothing was annealed — the retry is cold.
+                    let fail_at = worker
+                        .qpu
+                        .occupy_us(t, worker.qpu.overheads().programming_us);
+                    worker.breaker.on_failure(fail_at);
+                    last_err = ServeError::Fault { class };
+                    warm = false;
+                    t = fail_at;
+                }
+                Some(class) => {
+                    // Chain-break storm / ICE drift: the anneals ran
+                    // (full service charged) but their quality is
+                    // garbage. The best candidate survives, so the
+                    // retry is a warm reverse-anneal restart.
+                    debug_assert!(class.warm_restartable());
+                    let fail_at = if warm {
+                        worker.qpu.enqueue_warm_retry(
+                            t,
+                            job.problems,
+                            job.logical_vars,
+                            self.guardrails.retry.warm_fraction,
+                        )
+                    } else if let Some(hash) = job.channel_hash {
+                        worker.qpu.enqueue_channel(
+                            t,
+                            job.source,
+                            hash,
+                            job.problems,
+                            job.logical_vars,
+                        )
+                    } else {
+                        worker
+                            .qpu
+                            .enqueue_keyed(t, job.source, job.problems, job.logical_vars)
+                    };
+                    worker.breaker.on_failure(fail_at);
+                    last_err = ServeError::Fault { class };
+                    warm = true;
+                    t = fail_at;
+                }
+            }
+            // The attempt failed at time `t`. Fund a retry from the
+            // remaining deadline slack, or leave the loop.
+            prev = Some(w);
+            let retry_cost = if warm {
+                self.workers[w].qpu.warm_retry_time_us(
+                    job.problems,
+                    job.logical_vars,
+                    self.guardrails.retry.warm_fraction,
+                )
+            } else {
+                self.workers[w]
+                    .qpu
+                    .service_time_us(job.problems, job.logical_vars)
+            };
+            match self.guardrails.retry.fund_retry(
+                attempt + 1,
+                t - now_us,
+                job.deadline_us,
+                retry_cost,
+                self.plan.seed() ^ job_id,
+            ) {
+                Some(backoff) => {
+                    t += backoff;
+                    attempt += 1;
+                }
+                None => break,
+            }
+        }
+
+        // Retries exhausted (or no worker): walk down the ladder.
+        if self.guardrails.escalate {
+            let (done, rung) = match self.hybrid.as_mut() {
+                Some(h) => (
+                    h.enqueue_keyed(t, job.source, job.problems, job.users, job.logical_vars),
+                    ServeRung::Hybrid,
+                ),
+                None => (
+                    self.classical.enqueue(t, job.problems, job.users),
+                    ServeRung::Classical,
+                ),
+            };
+            self.ledger.completed += 1;
+            return Ok(Served {
+                done_us: done,
+                attempts: attempt,
+                rung,
+                worker: None,
+            });
+        }
+        self.ledger.failed += 1;
+        Err(last_err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::CpuPolicy;
+    use crate::fault::FaultRates;
+    use crate::qpu::QpuOverheads;
+
+    fn qpu() -> QpuServer {
+        QpuServer::new(QpuOverheads::integrated(), 1.0, 10)
+    }
+
+    fn classical() -> CpuPool {
+        CpuPool::new(
+            8,
+            CpuPolicy::ZeroForcing {
+                vectors_per_channel: 1,
+            },
+        )
+    }
+
+    fn job(deadline_us: f64) -> Job {
+        Job {
+            source: 0,
+            channel_hash: None,
+            problems: 1,
+            logical_vars: 16,
+            users: 16,
+            deadline_us,
+            priority: Priority::Normal,
+        }
+    }
+
+    #[test]
+    fn quiet_plan_serves_like_a_plain_qpu() {
+        let mut srv = ResilientServer::new(
+            vec![qpu()],
+            classical(),
+            FaultPlan::quiet(1),
+            Guardrails::on(),
+        );
+        let mut plain = qpu();
+        for k in 0..20 {
+            let at = 100.0 * k as f64;
+            let served = srv.submit(at, &job(1e6)).unwrap();
+            let expect = plain.enqueue_keyed(at, 0, 1, 16);
+            assert_eq!(served.done_us.to_bits(), expect.to_bits(), "job {k}");
+            assert_eq!(served.attempts, 1);
+            assert_eq!(served.rung, ServeRung::Qpu);
+            assert_eq!(served.worker, Some(0));
+        }
+        let ledger = srv.ledger();
+        assert_eq!(ledger.submitted, 20);
+        assert_eq!(ledger.completed, 20);
+        assert!(ledger.conserved());
+        assert_eq!(srv.breaker_trips(), 0);
+    }
+
+    #[test]
+    fn invalid_jobs_are_classified_and_ledgered() {
+        let mut srv = ResilientServer::new(
+            vec![qpu()],
+            classical(),
+            FaultPlan::quiet(1),
+            Guardrails::on(),
+        );
+        let mut bad = job(1e6);
+        bad.problems = 0;
+        assert_eq!(
+            srv.submit(0.0, &bad),
+            Err(ServeError::InvalidJob("zero problems in frame"))
+        );
+        bad.problems = 1;
+        bad.logical_vars = 0;
+        assert_eq!(
+            srv.submit(0.0, &bad),
+            Err(ServeError::InvalidJob("zero logical variables"))
+        );
+        let ledger = srv.ledger();
+        assert_eq!(ledger.failed, 2);
+        assert!(ledger.conserved());
+    }
+
+    /// A plan whose rates make *every* draw fire as `class`.
+    fn always(class: FaultClass) -> FaultPlan {
+        let mut r = FaultRates::none();
+        match class {
+            FaultClass::ChainBreakStorm => r.chain_break_storm = 1.0,
+            FaultClass::IceDrift => r.ice_drift = 1.0,
+            FaultClass::ProgrammingFailure => r.programming_failure = 1.0,
+            FaultClass::WorkerStall => r.worker_stall = 1.0,
+            FaultClass::WorkerCrash => r.worker_crash = 1.0,
+        }
+        FaultPlan::new(5, r)
+    }
+
+    #[test]
+    fn stalls_complete_late_but_complete() {
+        let mut srv = ResilientServer::new(
+            vec![qpu()],
+            classical(),
+            always(FaultClass::WorkerStall).with_stall_us(500.0),
+            Guardrails::off(),
+        );
+        let served = srv.submit(0.0, &job(1e6)).unwrap();
+        let plain = qpu().enqueue_keyed(0.0, 0, 1, 16);
+        assert!((served.done_us - plain - 500.0).abs() < 1e-9);
+        assert!(srv.ledger().conserved());
+        assert_eq!(srv.fault_plan().counters().worker_stalls, 1);
+    }
+
+    #[test]
+    fn unguarded_faults_kill_their_jobs() {
+        let mut srv = ResilientServer::new(
+            vec![qpu()],
+            classical(),
+            always(FaultClass::IceDrift),
+            Guardrails::off(),
+        );
+        assert_eq!(
+            srv.submit(0.0, &job(1e6)),
+            Err(ServeError::Fault {
+                class: FaultClass::IceDrift
+            })
+        );
+        let ledger = srv.ledger();
+        assert_eq!((ledger.failed, ledger.completed), (1, 0));
+        assert!(ledger.conserved());
+    }
+
+    #[test]
+    fn guarded_jobs_escalate_to_the_classical_floor() {
+        // Every QPU attempt drifts; guardrails exhaust the retries and
+        // the classical pool answers.
+        let mut srv = ResilientServer::new(
+            vec![qpu(), qpu()],
+            classical(),
+            always(FaultClass::IceDrift),
+            Guardrails::on(),
+        );
+        let served = srv.submit(0.0, &job(1e9)).unwrap();
+        assert_eq!(served.rung, ServeRung::Classical);
+        assert_eq!(served.worker, None);
+        assert_eq!(served.attempts, RetryPolicy::standard().max_attempts);
+        assert!(srv.ledger().conserved());
+        assert_eq!(srv.ledger().completed, 1);
+    }
+
+    #[test]
+    fn hybrid_rung_precedes_classical() {
+        let hybrid = HybridServer::new(classical(), qpu(), 0.1);
+        let mut srv = ResilientServer::new(
+            vec![qpu()],
+            classical(),
+            always(FaultClass::ProgrammingFailure),
+            Guardrails::on(),
+        )
+        .with_hybrid(hybrid);
+        let served = srv.submit(0.0, &job(1e9)).unwrap();
+        assert_eq!(served.rung, ServeRung::Hybrid);
+    }
+
+    #[test]
+    fn crash_downs_the_worker_and_retries_route_around_it() {
+        // Worker picked first crashes on its first draw; the retry must
+        // land on the other worker. Keyed draws: (w, job 0, attempt 1)
+        // crashes for every worker under `always`, so attempt 2 also
+        // crashes... instead use a plan where only attempt 1 fires.
+        let mut plan = always(FaultClass::WorkerCrash);
+        plan = plan.with_repair_us(1_000.0);
+        let mut srv = ResilientServer::new(
+            vec![qpu(), qpu()],
+            classical(),
+            plan,
+            Guardrails {
+                escalate: false,
+                ..Guardrails::on()
+            },
+        );
+        // Every attempt crashes its worker; after both workers are
+        // down, no worker is available and (escalation off) the job
+        // fails classified.
+        let err = srv.submit(0.0, &job(1e9)).unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::Fault {
+                class: FaultClass::WorkerCrash
+            } | ServeError::WorkerUnavailable
+        ));
+        // Both workers are down until repair.
+        assert!(srv.eligible(10.0).is_empty());
+        assert_eq!(srv.eligible(2_000.0).len(), 2, "repair restores both");
+        assert!(srv.ledger().conserved());
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_sheds_traffic_to_floor() {
+        let mut srv = ResilientServer::new(
+            vec![qpu()],
+            classical(),
+            always(FaultClass::ProgrammingFailure),
+            Guardrails {
+                retry: RetryPolicy::disabled(),
+                ..Guardrails::on()
+            },
+        );
+        // Threshold 3: three one-attempt failures trip the breaker.
+        for k in 0..3 {
+            let served = srv.submit(k as f64, &job(1e9)).unwrap();
+            assert_eq!(served.rung, ServeRung::Classical, "job {k} escalates");
+        }
+        assert_eq!(srv.breaker_trips(), 1);
+        // With the breaker open, the next job never touches the QPU:
+        // no new fault draw fires.
+        let before = srv.fault_plan().counters().total();
+        let served = srv.submit(3.0, &job(1e9)).unwrap();
+        assert_eq!(served.rung, ServeRung::Classical);
+        assert_eq!(srv.fault_plan().counters().total(), before);
+    }
+
+    #[test]
+    fn backpressure_sheds_low_priority_first_and_records_it() {
+        // Saturate the single worker, then submit one job per class.
+        let slow = QpuServer::new(QpuOverheads::current_dw2q(), 2.0, 50);
+        let mut srv = ResilientServer::new(
+            vec![slow],
+            classical(),
+            FaultPlan::quiet(1),
+            Guardrails::on(),
+        );
+        let mut high = job(1e9);
+        high.priority = Priority::High;
+        for k in 0..20 {
+            let _ = srv.submit(k as f64, &high).unwrap();
+        }
+        let mut low = job(1e9);
+        low.priority = Priority::Low;
+        let shed = srv.submit(20.0, &low).unwrap_err();
+        assert!(matches!(shed, ServeError::Shed { projected_wait_us } if projected_wait_us > 0.0));
+        let kept = srv.submit(21.0, &high).unwrap();
+        assert_eq!(kept.rung, ServeRung::Qpu, "high priority is never shed");
+        let ledger = srv.ledger();
+        assert_eq!(ledger.shed, 1);
+        assert!(ledger.conserved());
+    }
+
+    #[test]
+    fn warm_retry_is_cheaper_than_a_cold_second_attempt() {
+        // One storm, then success: the retry reverse-anneals warm. With
+        // jitter off the completion time is exactly first-failure +
+        // backoff + warm service.
+        let mut rates = FaultRates::none();
+        rates.chain_break_storm = 0.6;
+        let plan = FaultPlan::new(9, rates);
+        // Find a job id whose attempt 1 faults and attempt 2 does not.
+        let mut probe = None;
+        for j in 0..100 {
+            if plan.peek(0, j, 1).is_some() && plan.peek(0, j, 2).is_none() {
+                probe = Some(j);
+                break;
+            }
+        }
+        let probe = probe.expect("a storm-then-clear job exists");
+        let guard = Guardrails {
+            retry: RetryPolicy {
+                jitter_fraction: 0.0,
+                ..RetryPolicy::standard()
+            },
+            ..Guardrails::on()
+        };
+        let mut srv = ResilientServer::new(vec![qpu()], classical(), plan, guard);
+        // Burn job ids up to the probe (deadline 0 funds nothing, so
+        // each is a single attempt; escalation completes them).
+        for _ in 0..probe {
+            let _ = srv.submit(0.0, &job(0.0));
+        }
+        let t0 = srv.workers[0].qpu.busy_until_us();
+        let served = srv.submit(t0, &job(1e9)).unwrap();
+        assert_eq!(served.attempts, 2);
+        let cold = qpu().service_time_us(1, 16);
+        let warm = qpu().warm_retry_time_us(1, 16, guard.retry.warm_fraction);
+        let expect = t0 + cold + 20.0 + warm;
+        assert!(
+            (served.done_us - expect).abs() < 1e-9,
+            "done {} expect {expect}",
+            served.done_us
+        );
+    }
+
+    #[test]
+    fn reset_clears_state_but_not_the_schedule() {
+        let mut srv = ResilientServer::new(
+            vec![qpu()],
+            classical(),
+            FaultPlan::new(3, FaultRates::uniform(0.1)),
+            Guardrails::on(),
+        );
+        let mut first = Vec::new();
+        for k in 0..50 {
+            first.push(srv.submit(100.0 * k as f64, &job(1e9)).map(|s| s.done_us));
+        }
+        let ledger = srv.ledger();
+        srv.reset();
+        assert_eq!(srv.ledger(), Ledger::default());
+        let mut again = Vec::new();
+        for k in 0..50 {
+            again.push(srv.submit(100.0 * k as f64, &job(1e9)).map(|s| s.done_us));
+        }
+        assert_eq!(first, again, "same schedule after reset");
+        assert_eq!(ledger, srv.ledger());
+    }
+}

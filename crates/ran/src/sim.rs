@@ -9,8 +9,10 @@
 //! budgets for problems that parallelize on-chip.
 
 use crate::cpu::CpuPool;
+use crate::fault::ServeError;
 use crate::hybrid::HybridServer;
 use crate::qpu::QpuServer;
+use crate::serve::{Job, Priority, ResilientServer, ServeRung};
 use crate::topology::{AccessPoint, FronthaulConfig};
 
 /// Which server a simulation dispatches to.
@@ -23,6 +25,34 @@ pub enum Server {
     /// routing structure; decode-level counterpart:
     /// `quamax_core::detect::HybridDetector`).
     Hybrid(HybridServer),
+    /// The fault-tolerant serving layer: a QPU worker pool behind
+    /// retry/breaker/shedding guardrails with injected faults (boxed:
+    /// the pool + ledger dwarf the other variants).
+    Resilient(Box<ResilientServer>),
+}
+
+/// How a frame's decode ended.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FrameOutcome {
+    /// Decoded (possibly after retries or down the escalation ladder).
+    Served {
+        /// QPU attempts consumed.
+        attempts: u32,
+        /// The rung that produced the answer.
+        rung: ServeRung,
+    },
+    /// Shed by admission control — recorded, deadline scored as
+    /// missed.
+    Shed,
+    /// Failed with a classified error after the guardrails gave up.
+    Failed,
+}
+
+impl FrameOutcome {
+    /// `true` when the frame produced an answer.
+    pub fn is_served(&self) -> bool {
+        matches!(self, FrameOutcome::Served { .. })
+    }
 }
 
 /// One decoded frame's fate.
@@ -32,21 +62,29 @@ pub struct FrameRecord {
     pub ap_id: usize,
     /// Arrival time at the AP antenna, µs.
     pub arrival_us: f64,
-    /// Total latency from arrival to feedback availability at the AP.
+    /// Total latency from arrival to feedback availability at the AP
+    /// (infinite for shed/failed frames — no feedback ever arrives).
     pub latency_us: f64,
     /// Whether the radio deadline was met.
     pub met_deadline: bool,
+    /// How the decode ended.
+    pub outcome: FrameOutcome,
 }
 
 /// Aggregate results of one simulation run.
-#[derive(Clone, Debug, Default)]
+///
+/// Derives `PartialEq`: two runs are comparable frame for frame, which
+/// is what the fault-injection determinism and zero-fault bit-identity
+/// tests assert.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct SimReport {
     /// Per-frame records in completion order.
     pub frames: Vec<FrameRecord>,
 }
 
 impl SimReport {
-    /// Fraction of frames meeting their deadline.
+    /// Fraction of frames meeting their deadline (shed and failed
+    /// frames count as missed).
     pub fn deadline_rate(&self) -> f64 {
         if self.frames.is_empty() {
             return 0.0;
@@ -54,18 +92,65 @@ impl SimReport {
         self.frames.iter().filter(|f| f.met_deadline).count() as f64 / self.frames.len() as f64
     }
 
-    /// Worst-case frame latency, µs.
+    /// Worst-case *served* frame latency, µs.
     pub fn max_latency_us(&self) -> f64 {
-        self.frames.iter().map(|f| f.latency_us).fold(0.0, f64::max)
+        self.frames
+            .iter()
+            .filter(|f| f.outcome.is_served())
+            .map(|f| f.latency_us)
+            .fold(0.0, f64::max)
     }
 
-    /// Mean frame latency, µs.
+    /// Mean *served* frame latency, µs.
     pub fn mean_latency_us(&self) -> f64 {
-        if self.frames.is_empty() {
+        let served: Vec<f64> = self
+            .frames
+            .iter()
+            .filter(|f| f.outcome.is_served())
+            .map(|f| f.latency_us)
+            .collect();
+        if served.is_empty() {
             return 0.0;
         }
-        self.frames.iter().map(|f| f.latency_us).sum::<f64>() / self.frames.len() as f64
+        served.iter().sum::<f64>() / served.len() as f64
     }
+
+    /// Frames that produced an answer.
+    pub fn served_count(&self) -> usize {
+        self.frames.iter().filter(|f| f.outcome.is_served()).count()
+    }
+
+    /// Frames shed by admission control.
+    pub fn shed_count(&self) -> usize {
+        self.frames
+            .iter()
+            .filter(|f| f.outcome == FrameOutcome::Shed)
+            .count()
+    }
+
+    /// Frames that failed with a classified error.
+    pub fn failed_count(&self) -> usize {
+        self.frames
+            .iter()
+            .filter(|f| f.outcome == FrameOutcome::Failed)
+            .count()
+    }
+}
+
+/// The synthetic channel-hash schedule shared by the plain-QPU and
+/// resilient arms of [`Simulation::run`]: each AP's channel re-draws
+/// once per coherence interval.
+fn synthetic_channel_hash(ap_id: usize, at_dc: f64, coherence_us: f64) -> u64 {
+    let interval = (at_dc / coherence_us) as u64;
+    (ap_id as u64 ^ interval)
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(interval)
+}
+
+/// A single-attempt success on `rung` — what the plain (unguarded)
+/// servers emit for every frame.
+fn served_once(rung: ServeRung) -> FrameOutcome {
+    FrameOutcome::Served { attempts: 1, rung }
 }
 
 /// The uplink simulation.
@@ -85,6 +170,12 @@ impl Simulation {
             fronthaul,
             server,
         }
+    }
+
+    /// The server being driven (post-run inspection: ledgers, fault
+    /// counters, breaker trips).
+    pub fn server(&self) -> &Server {
+        &self.server
     }
 
     /// Runs for `horizon_us` of simulated time, generating each AP's
@@ -108,6 +199,7 @@ impl Simulation {
             Server::Qpu(q) => q.reset(),
             Server::Cpu(c) => c.reset(),
             Server::Hybrid(h) => h.reset(),
+            Server::Resilient(r) => r.reset(),
         }
 
         let mut report = SimReport::default();
@@ -115,50 +207,98 @@ impl Simulation {
         for (arrival, idx) in arrivals {
             let ap = &self.aps[idx];
             let at_dc = arrival + hop;
-            let done_dc = match &mut self.server {
+            let (done_dc, outcome) = match &mut self.server {
                 // Keyed by AP: each AP's channel has its own coherence
                 // intervals, so programming amortization (when the QPU
                 // is configured with `with_coherence`) never crosses
                 // sources.
-                Server::Qpu(q) => match q.session_cache().map(|c| c.coherence_us()) {
-                    // With a session cache attached, the sim models
-                    // each AP's channel re-drawing once per coherence
-                    // interval: the synthetic hash is constant within
-                    // an interval and changes at its boundary, so the
-                    // cache reprograms exactly when the channel moves.
-                    Some(coherence_us) => {
-                        let interval = (at_dc / coherence_us) as u64;
-                        let hash = (ap.id as u64 ^ interval)
-                            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-                            .wrapping_add(interval);
-                        q.enqueue_channel(
+                Server::Qpu(q) => {
+                    let done = match q.session_cache().map(|c| c.coherence_us()) {
+                        // With a session cache attached, the sim models
+                        // each AP's channel re-drawing once per
+                        // coherence interval: the synthetic hash is
+                        // constant within an interval and changes at
+                        // its boundary, so the cache reprograms exactly
+                        // when the channel moves.
+                        Some(coherence_us) => {
+                            let hash = synthetic_channel_hash(ap.id, at_dc, coherence_us);
+                            q.enqueue_channel(
+                                at_dc,
+                                ap.id,
+                                hash,
+                                ap.problems_per_frame(),
+                                ap.logical_vars(),
+                            )
+                        }
+                        None => q.enqueue_keyed(
                             at_dc,
                             ap.id,
-                            hash,
                             ap.problems_per_frame(),
                             ap.logical_vars(),
-                        )
-                    }
-                    None => {
-                        q.enqueue_keyed(at_dc, ap.id, ap.problems_per_frame(), ap.logical_vars())
-                    }
-                },
-                Server::Cpu(c) => c.enqueue(at_dc, ap.problems_per_frame(), ap.users),
-                Server::Hybrid(h) => h.enqueue_keyed(
-                    at_dc,
-                    ap.id,
-                    ap.problems_per_frame(),
-                    ap.users,
-                    ap.logical_vars(),
+                        ),
+                    };
+                    (Some(done), served_once(ServeRung::Qpu))
+                }
+                Server::Cpu(c) => (
+                    Some(c.enqueue(at_dc, ap.problems_per_frame(), ap.users)),
+                    served_once(ServeRung::Classical),
                 ),
+                Server::Hybrid(h) => (
+                    Some(h.enqueue_keyed(
+                        at_dc,
+                        ap.id,
+                        ap.problems_per_frame(),
+                        ap.users,
+                        ap.logical_vars(),
+                    )),
+                    served_once(ServeRung::Hybrid),
+                ),
+                Server::Resilient(r) => {
+                    // Same synthetic channel-hash scheme as the plain
+                    // QPU arm (part of the zero-fault bit-identity
+                    // contract), same per-AP session keying.
+                    let hash = r
+                        .coherence_us()
+                        .map(|c| synthetic_channel_hash(ap.id, at_dc, c));
+                    let job = Job {
+                        source: ap.id,
+                        channel_hash: hash,
+                        problems: ap.problems_per_frame(),
+                        logical_vars: ap.logical_vars(),
+                        users: ap.users,
+                        // The decode must finish `hop` before the
+                        // radio deadline (the feedback still has to
+                        // cross the fronthaul back), and one hop was
+                        // already spent getting here.
+                        deadline_us: ap.deadline.budget_us() - 2.0 * hop,
+                        priority: Priority::Normal,
+                    };
+                    match r.submit(at_dc, &job) {
+                        Ok(s) => (
+                            Some(s.done_us),
+                            FrameOutcome::Served {
+                                attempts: s.attempts,
+                                rung: s.rung,
+                            },
+                        ),
+                        Err(ServeError::Shed { .. }) => (None, FrameOutcome::Shed),
+                        Err(_) => (None, FrameOutcome::Failed),
+                    }
+                }
             };
-            let done_at_ap = done_dc + hop;
-            let latency = done_at_ap - arrival;
+            let (latency, met) = match done_dc {
+                Some(done) => {
+                    let latency = done + hop - arrival;
+                    (latency, latency <= ap.deadline.budget_us())
+                }
+                None => (f64::INFINITY, false),
+            };
             report.frames.push(FrameRecord {
                 ap_id: ap.id,
                 arrival_us: arrival,
                 latency_us: latency,
-                met_deadline: latency <= ap.deadline.budget_us(),
+                met_deadline: met,
+                outcome,
             });
         }
         report
@@ -420,6 +560,95 @@ mod tests {
         assert_eq!(ap0, 20);
         assert_eq!(ap1, 14);
         assert!(report.mean_latency_us() > 0.0);
+    }
+
+    #[test]
+    fn resilient_arm_matches_plain_qpu_when_quiet() {
+        use crate::fault::FaultPlan;
+        use crate::serve::{Guardrails, ResilientServer};
+        let overheads = QpuOverheads {
+            preprocessing_us: 0.0,
+            programming_us: 80.0,
+            readout_per_anneal_us: 0.0,
+        };
+        let qpu = || QpuServer::new(overheads, 2.0, 3).with_session_cache(30_000.0);
+        let classical = CpuPool::new(
+            8,
+            CpuPolicy::ZeroForcing {
+                vectors_per_channel: 1,
+            },
+        );
+        let fronthaul = FronthaulConfig {
+            one_way_latency_us: 2.0,
+        };
+        let plain =
+            Simulation::new(vec![wifi_ap(0, 1_000.0)], fronthaul, Server::Qpu(qpu())).run(60_000.0);
+        let guarded = Simulation::new(
+            vec![wifi_ap(0, 1_000.0)],
+            fronthaul,
+            Server::Resilient(Box::new(ResilientServer::new(
+                vec![qpu()],
+                classical,
+                FaultPlan::quiet(11),
+                Guardrails::on(),
+            ))),
+        )
+        .run(60_000.0);
+        assert_eq!(plain, guarded, "guardrails must price zero in fair weather");
+    }
+
+    #[test]
+    fn resilient_arm_records_outcomes_and_conserves_frames() {
+        use crate::fault::{FaultPlan, FaultRates};
+        use crate::serve::{Guardrails, ResilientServer};
+        let qpu = || QpuServer::new(QpuOverheads::integrated(), 2.0, 3);
+        let classical = || {
+            CpuPool::new(
+                8,
+                CpuPolicy::ZeroForcing {
+                    vectors_per_channel: 1,
+                },
+            )
+        };
+        // LTE budget (3 ms): a funded retry or an escalated decode
+        // still lands in time, so recovery shows up in the deadline
+        // rate (a 30 µs Wi-Fi ACK leaves no room to retry at all).
+        let ap = AccessPoint {
+            deadline: Deadline::Lte,
+            ..wifi_ap(0, 1_000.0)
+        };
+        let run = |guardrails: Guardrails| {
+            let server = ResilientServer::new(
+                vec![qpu(), qpu()],
+                classical(),
+                FaultPlan::new(17, FaultRates::uniform(0.05)),
+                guardrails,
+            );
+            Simulation::new(
+                vec![ap.clone()],
+                FronthaulConfig {
+                    one_way_latency_us: 2.0,
+                },
+                Server::Resilient(Box::new(server)),
+            )
+            .run(100_000.0)
+        };
+        let guarded = run(Guardrails::on());
+        let unguarded = run(Guardrails::off());
+        for report in [&guarded, &unguarded] {
+            assert_eq!(report.frames.len(), 100);
+            assert_eq!(
+                report.served_count() + report.shed_count() + report.failed_count(),
+                report.frames.len(),
+                "every frame has a recorded fate"
+            );
+        }
+        // 25% any-fault rate over 100 frames: some first attempts fail
+        // in both configs. Unguarded, those become Failed frames;
+        // guarded, they are retried or escalated.
+        assert!(unguarded.failed_count() > 0, "faults must fire unguarded");
+        assert_eq!(guarded.failed_count(), 0, "guardrails recover every frame");
+        assert!(guarded.deadline_rate() > unguarded.deadline_rate());
     }
 
     #[test]
