@@ -418,6 +418,29 @@ impl DecodeSession {
         self.inner.parallel_factor
     }
 
+    /// Problems one anneal wave decodes side by side: the batch size at
+    /// which [`DecodeSession::decode_batch`] fills the chip exactly
+    /// once. The couplings of every tile are identical (same `H`);
+    /// only the per-tile linear fields differ (each tile's `y`), which
+    /// is why a batch scheduler coalesces *same-channel* jobs — they
+    /// share this session and tile without reprogramming.
+    pub fn batch_capacity(&self) -> usize {
+        self.inner.parallel_factor
+    }
+
+    /// Projected on-chip anneal time, µs, of decoding `batch`
+    /// same-channel problems through this session:
+    /// `⌈batch / capacity⌉` waves of `num_anneals` cycles at the
+    /// compiled schedule's cycle time. This is the service-time model a
+    /// deadline-aware batch scheduler subtracts from the earliest
+    /// member's slack to decide when a filling batch must close
+    /// (`quamax_ran::sched`); host preprocessing, programming, and
+    /// readout ride on top (`quamax_ran::QpuServer`'s overhead stack).
+    pub fn projected_batch_us(&self, batch: usize, num_anneals: usize) -> f64 {
+        let waves = batch.div_ceil(self.batch_capacity()) as f64;
+        waves * num_anneals as f64 * self.inner.config.schedule.total_time_us()
+    }
+
     /// Decodes one received vector with a fixed seed — the streaming
     /// entry point (`seed` covers both the anneal batch and the
     /// unembedding tie-breaks). Equivalent to
@@ -915,6 +938,36 @@ mod tests {
             assert_eq!(run.best_bits(), single.best_bits());
             assert_eq!(run.distribution(), single.distribution());
         }
+    }
+
+    #[test]
+    fn projected_batch_time_counts_chip_waves() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let sc = Scenario::new(4, 4, Modulation::Bpsk);
+        let inst = sc.sample(&mut rng);
+        let decoder = QuamaxDecoder::new(
+            quiet_annealer(),
+            DecoderConfig {
+                schedule: Schedule::standard(10.0),
+                ..Default::default()
+            },
+        );
+        let session = decoder.compile(&inst.detection_input()).unwrap();
+        let cap = session.batch_capacity();
+        assert_eq!(cap, session.parallel_factor());
+        assert!(cap >= 1);
+        let cycle = 10.0;
+        // One wave up to capacity, two waves at capacity + 1; an empty
+        // batch costs nothing.
+        assert_eq!(session.projected_batch_us(0, 30), 0.0);
+        let one = session.projected_batch_us(1, 30);
+        assert!((one - 30.0 * cycle).abs() < 1e-9, "one wave: {one}");
+        assert_eq!(
+            session.projected_batch_us(cap, 30).to_bits(),
+            one.to_bits(),
+            "a full wave costs the same as one problem"
+        );
+        assert!((session.projected_batch_us(cap + 1, 30) - 2.0 * one).abs() < 1e-9);
     }
 
     #[test]

@@ -60,6 +60,12 @@ impl CpuPool {
         waves * self.per_problem_us(users)
     }
 
+    /// When the pool drains its current queue (0 when idle) — lets a
+    /// scheduler project classical completion before committing.
+    pub fn busy_until_us(&self) -> f64 {
+        self.busy_until_us
+    }
+
     /// Enqueues a frame arriving at `now_us`; returns completion time.
     pub fn enqueue(&mut self, now_us: f64, problems: usize, users: usize) -> f64 {
         let start = now_us.max(self.busy_until_us);

@@ -75,27 +75,82 @@
 //! [`sim::Server::Resilient`] drives it end to end; frame fates are
 //! recorded per frame as [`sim::FrameOutcome`] and the
 //! `bench_resilience` binary sweeps fault rate × guardrails.
+//!
+//! # DESIGN §Scheduling
+//!
+//! PR 6's serving layer still took jobs one frame at a time: no queue,
+//! no batching, no notion of what a decode costs. The scheduling
+//! subsystem adds the C-RAN brain in four modules, split so that
+//! *bookkeeping*, *policy*, *workload*, and *economics* never mix:
+//!
+//! * [`broker`] — the front door: per-cell FIFO queues and the job
+//!   lifecycle `Submitted → Queued → Batched → Running → {Completed,
+//!   Shed, Failed}` with a conserved per-state [`broker::Census`]. The
+//!   broker holds no policy — it guarantees only that every job is in
+//!   exactly one state and every transition is legal.
+//! * [`sched`] — the policy: [`BatchScheduler`] coalesces jobs sharing
+//!   `(cell, channel-hash, problem shape)` into batches that tile one
+//!   chip ([`quamax_chimera::parallelization`] ≈ 24 for 16-variable
+//!   problems), **closing a batch when it is full or when the earliest
+//!   member deadline's slack minus the projected service time (reserved-
+//!   worker queue wait + anneal waves) hits zero**. Projections are
+//!   conservative — measured wait only drains with time — so a rule-
+//!   closed batch never projects past its earliest deadline while
+//!   slack was available (tested property). Open batches *reserve*
+//!   their projected service on a preferred worker so shedding,
+//!   placement, and other batches see load that is about to exist
+//!   (the shared estimate of [`ResilientServer::queue_depth_us`]);
+//!   placement is session-cache-aware. Policies: `Fifo` (batch-of-1,
+//!   bit-identical to unbrokered [`ResilientServer::submit`] — tested),
+//!   `DeadlineBatch`, and `CostAware` (routes slack-rich batches to
+//!   the classical floor when cheaper under the deadline).
+//! * [`load`] — seeded deterministic synthetic traffic: per-cell
+//!   nonhomogeneous Poisson (diurnal sinusoid × Markov-modulated
+//!   bursts) over a heterogeneous [`load::MixClass`] user mix, with
+//!   counted SplitMix64 streams per cell so traces are bit-identical
+//!   across runs and cells are independent (both tested).
+//! * [`cost`] — the Kasi et al. (arXiv:2109.01465) NextG price book:
+//!   amortized capex + wall power per rung-microsecond, $/decode and
+//!   W/decode, and the annealers-per-datacenter sizing rule. The
+//!   parameter table lives in the [`cost`] module docs.
+//!
+//! [`sim::Server::Brokered`] drives the whole stack inside the uplink
+//! simulation; the `bench_serve` binary sweeps offered load × policy
+//! and writes `BENCH_serve.json`.
 
 pub mod breaker;
+pub mod broker;
 pub mod coded;
+pub mod cost;
 pub mod cpu;
 pub mod fault;
 pub mod hybrid;
+pub mod load;
 pub mod qpu;
 pub mod retry;
+pub mod sched;
 pub mod serve;
 pub mod sim;
 pub mod topology;
 
 pub use breaker::{BreakerState, CircuitBreaker};
+pub use broker::{Broker, Census, JobId, JobState, UserJob};
 pub use coded::{CodedIddReport, CodedUplink, CodedUplinkReport, IddBudget};
+pub use cost::{CostModel, DecodeCost};
 pub use cpu::{CpuPolicy, CpuPool};
 pub use fault::{FaultClass, FaultCounters, FaultPlan, FaultRates, ServeError};
 pub use hybrid::HybridServer;
+pub use load::{BurstModel, CellProfile, DiurnalCurve, LoadGen, MixClass};
 pub use qpu::{channel_hash, CacheStats, QpuOverheads, QpuServer, SessionCache};
 pub use retry::RetryPolicy;
+pub use sched::{
+    BatchScheduler, CloseTrigger, DispatchRecord, JobOutcome, Policy, SchedConfig, ScheduleReport,
+};
 pub use serve::{
     Guardrails, Job, Ledger, Priority, ResilientServer, ServeRung, Served, ShedPolicy,
 };
-pub use sim::{FrameOutcome, FrameRecord, Server, SimReport, Simulation};
+pub use sim::{
+    synthetic_channel_hash, BrokeredServer, FrameOutcome, FrameRecord, Server, SimReport,
+    Simulation,
+};
 pub use topology::{AccessPoint, Deadline, FronthaulConfig};

@@ -161,6 +161,17 @@ impl SessionCache {
         }
     }
 
+    /// Whether `(key, hash)` is cached and fresh at `now_us`, without
+    /// touching entries or statistics — the scheduler's placement
+    /// probe ([`lookup`] is the dispatch-time decision and mutates).
+    ///
+    /// [`lookup`]: SessionCache::lookup
+    pub fn contains(&self, now_us: f64, key: usize, hash: u64) -> bool {
+        self.entries
+            .iter()
+            .any(|&(k, h, at)| k == key && h == hash && now_us - at <= self.coherence_us)
+    }
+
     /// The configured coherence time, µs.
     pub fn coherence_us(&self) -> f64 {
         self.coherence_us
@@ -300,6 +311,16 @@ impl QpuServer {
     /// The attached session cache, if any (for hit/miss statistics).
     pub fn session_cache(&self) -> Option<&SessionCache> {
         self.cache.as_ref()
+    }
+
+    /// Whether this server's chip already holds a fresh programmed
+    /// session for `(key, hash)` at `now_us` — a read-only placement
+    /// probe (no entry refresh, no stats). `false` when no session
+    /// cache is attached.
+    pub fn has_cached_session(&self, now_us: f64, key: usize, hash: u64) -> bool {
+        self.cache
+            .as_ref()
+            .is_some_and(|c| c.contains(now_us, key, hash))
     }
 
     /// Service time for one frame: `problems` subcarrier decodes of

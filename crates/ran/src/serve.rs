@@ -180,12 +180,26 @@ pub struct Ledger {
     pub shed: u64,
     /// Jobs that failed with a classified error.
     pub failed: u64,
+    /// In-flight gauge (not a terminal counter): jobs admitted into
+    /// the brokered pipeline — sitting in a per-cell queue or an open
+    /// batch — whose fate is not yet resolved. The direct
+    /// [`ResilientServer::submit`] path resolves within the call, so
+    /// it never moves this gauge.
+    pub batched: u64,
 }
 
 impl Ledger {
-    /// The invariant: no job is silently dropped.
+    /// The invariant: no job is silently dropped. In-flight jobs are
+    /// tolerated at snapshot time — `submitted == completed + shed +
+    /// failed + in-flight` — and a drained pipeline has `batched == 0`,
+    /// collapsing this to the classic terminal identity.
     pub fn conserved(&self) -> bool {
-        self.submitted == self.completed + self.shed + self.failed
+        self.submitted == self.completed + self.shed + self.failed + self.batched
+    }
+
+    /// Jobs admitted but not yet resolved (the `batched` gauge).
+    pub fn in_flight(&self) -> u64 {
+        self.batched
     }
 }
 
@@ -196,6 +210,13 @@ struct QpuWorker {
     breaker: CircuitBreaker,
     /// Time until which this worker is down after a crash, µs.
     crashed_until_us: f64,
+    /// Service time of work the batch scheduler has *assigned* to this
+    /// worker but not yet dispatched (open batches filling toward
+    /// their close time), µs. Counted into the projected queue wait so
+    /// admission control and placement see the same load a dispatch
+    /// is about to add — without it, every open batch looks free and
+    /// shedding/placement systematically under-estimate.
+    reserved_us: f64,
 }
 
 /// A pool of QPU workers behind the full guardrail stack.
@@ -236,6 +257,7 @@ impl ResilientServer {
                     qpu,
                     breaker: breaker.clone(),
                     crashed_until_us: 0.0,
+                    reserved_us: 0.0,
                 })
                 .collect(),
             classical,
@@ -290,6 +312,7 @@ impl ResilientServer {
             w.qpu.reset();
             w.breaker.reset();
             w.crashed_until_us = 0.0;
+            w.reserved_us = 0.0;
         }
         self.classical.reset();
         if let Some(h) = self.hybrid.as_mut() {
@@ -301,15 +324,111 @@ impl ResilientServer {
     }
 
     /// Workers currently allowed to take a job at `now_us` (repaired
-    /// and breaker-permitted), with their projected queue waits.
+    /// and breaker-permitted), with their projected queue waits —
+    /// FIFO backlog *plus* reserved (batched-but-undispatched) work.
     fn eligible(&mut self, now_us: f64) -> Vec<(usize, f64)> {
         let mut out = Vec::new();
         for (i, w) in self.workers.iter_mut().enumerate() {
             if w.crashed_until_us <= now_us && w.breaker.allows(now_us) {
-                out.push((i, (w.qpu.busy_until_us() - now_us).max(0.0)));
+                out.push((i, (w.qpu.busy_until_us() - now_us).max(0.0) + w.reserved_us));
             }
         }
         out
+    }
+
+    /// Projected wait of one worker at `now_us`: its FIFO backlog plus
+    /// the service time of open batches the scheduler has assigned to
+    /// it. `None` when the worker is crashed or breaker-blocked.
+    ///
+    /// This is *the* load estimate: admission control
+    /// ([`ResilientServer::shed_wait_us`]), least-loaded placement, and
+    /// the batch scheduler's close-time projection all read it, so a
+    /// job a worker is batching is never invisible to any of them.
+    pub fn queue_depth_us(&mut self, worker: usize, now_us: f64) -> Option<f64> {
+        let w = &mut self.workers[worker];
+        if w.crashed_until_us <= now_us && w.breaker.allows(now_us) {
+            Some((w.qpu.busy_until_us() - now_us).max(0.0) + w.reserved_us)
+        } else {
+            None
+        }
+    }
+
+    /// The pool's projected wait at `now_us`: the minimum
+    /// [`ResilientServer::queue_depth_us`] over eligible workers, or
+    /// `None` when no worker can take a job right now.
+    pub fn projected_wait_us(&mut self, now_us: f64) -> Option<f64> {
+        let eligible = self.eligible(now_us);
+        if eligible.is_empty() {
+            return None;
+        }
+        Some(
+            eligible
+                .iter()
+                .map(|&(_, w)| w)
+                .fold(f64::INFINITY, f64::min),
+        )
+    }
+
+    /// The single shedding estimate shared by direct submission and
+    /// broker admission: `Some(projected wait)` when a job of
+    /// `priority` must be shed at `now_us` (every healthy worker's
+    /// projected wait — batching reservations included — exceeds the
+    /// priority's limit), `None` when it may proceed. A pool with no
+    /// eligible worker does not shed: the job proceeds into the retry/
+    /// escalation machinery, which knows what to do about an empty
+    /// pool.
+    pub fn shed_wait_us(&mut self, now_us: f64, priority: Priority) -> Option<f64> {
+        let limit = self.guardrails.shed.limit_us(priority)?;
+        let wait = self.projected_wait_us(now_us)?;
+        (wait > limit).then_some(wait)
+    }
+
+    /// Reserves `delta_us` of projected service on `worker` for an
+    /// open (not yet dispatched) batch. The reservation is visible to
+    /// every load estimate until released.
+    pub fn reserve_batch_us(&mut self, worker: usize, delta_us: f64) {
+        assert!(delta_us >= 0.0, "reservations only grow the backlog");
+        self.workers[worker].reserved_us += delta_us;
+    }
+
+    /// Releases `delta_us` of reservation on `worker` (the batch was
+    /// dispatched — its load now lives in the worker's real FIFO — or
+    /// abandoned). Saturates at zero.
+    pub fn release_batch_us(&mut self, worker: usize, delta_us: f64) {
+        assert!(delta_us >= 0.0, "releases cannot be negative");
+        let w = &mut self.workers[worker];
+        w.reserved_us = (w.reserved_us - delta_us).max(0.0);
+    }
+
+    /// The lowest-index worker whose session cache holds a fresh
+    /// `(key, hash)` entry at `now_us` — the cache-aware placement
+    /// preference: dispatching there skips preprocessing + programming
+    /// entirely. Placement preference only; dispatch still checks
+    /// breaker/crash eligibility.
+    pub fn cached_worker(&self, now_us: f64, key: usize, hash: u64) -> Option<usize> {
+        self.workers
+            .iter()
+            .position(|w| w.qpu.has_cached_session(now_us, key, hash))
+    }
+
+    /// Service time of one combined batch on a pool worker (the
+    /// workers are identical): `program` charges preprocessing +
+    /// programming (a cache miss on the target).
+    pub fn batch_service_us(&self, problems: usize, logical_vars: usize, program: bool) -> f64 {
+        self.workers[0]
+            .qpu
+            .amortized_service_time_us(problems, logical_vars, program)
+    }
+
+    /// Service time of one combined batch on the classical floor.
+    pub fn classical_service_us(&self, problems: usize, users: usize) -> f64 {
+        self.classical.service_time_us(problems, users)
+    }
+
+    /// When the classical floor's FIFO drains, µs — the cost-aware
+    /// policy projects classical completion times from it.
+    pub fn classical_busy_until_us(&self) -> f64 {
+        self.classical.busy_until_us()
     }
 
     /// Picks the worker for an attempt at `now_us`: the least-loaded
@@ -350,48 +469,192 @@ impl ResilientServer {
         best.map(|(i, _)| i)
     }
 
+    /// Shape validation shared by direct submission and broker
+    /// admission.
+    fn validate(job: &Job) -> Result<(), ServeError> {
+        if job.problems == 0 {
+            return Err(ServeError::InvalidJob("zero problems in frame"));
+        }
+        if job.logical_vars == 0 {
+            return Err(ServeError::InvalidJob("zero logical variables"));
+        }
+        Ok(())
+    }
+
     /// Submits one job at `now_us`; returns where and when it was
     /// served, or a classified [`ServeError`]. Updates the ledger
     /// either way.
     pub fn submit(&mut self, now_us: f64, job: &Job) -> Result<Served, ServeError> {
         self.ledger.submitted += 1;
-        let job_id = self.job_seq;
-        self.job_seq += 1;
-
-        if job.problems == 0 {
+        if let Err(e) = Self::validate(job) {
+            self.job_seq += 1;
             self.ledger.failed += 1;
-            return Err(ServeError::InvalidJob("zero problems in frame"));
-        }
-        if job.logical_vars == 0 {
-            self.ledger.failed += 1;
-            return Err(ServeError::InvalidJob("zero logical variables"));
+            return Err(e);
         }
 
         // Backpressure: shed when every healthy worker's projected
         // wait exceeds this priority's limit. Shedding is a final,
         // recorded admission decision — never a silent drop.
-        if let Some(limit) = self.guardrails.shed.limit_us(job.priority) {
-            let eligible = self.eligible(now_us);
-            if !eligible.is_empty() {
-                let wait = eligible
-                    .iter()
-                    .map(|&(_, w)| w)
-                    .fold(f64::INFINITY, f64::min);
-                if wait > limit {
-                    self.ledger.shed += 1;
-                    return Err(ServeError::Shed {
-                        projected_wait_us: wait,
-                    });
-                }
+        if let Some(wait) = self.shed_wait_us(now_us, job.priority) {
+            self.job_seq += 1;
+            self.ledger.shed += 1;
+            return Err(ServeError::Shed {
+                projected_wait_us: wait,
+            });
+        }
+
+        match self.serve_attempts(now_us, job, job.problems, None) {
+            Ok(served) => {
+                self.ledger.completed += 1;
+                Ok(served)
+            }
+            Err(e) => {
+                self.ledger.failed += 1;
+                Err(e)
             }
         }
+    }
+
+    /// Admits one job into the brokered pipeline at `now_us` without
+    /// serving it: validation and the shared shedding estimate run
+    /// now (an invalid or shed job is a terminal, ledgered decision),
+    /// an admitted job moves the ledger's `batched` in-flight gauge
+    /// and *must* later be resolved by exactly one of
+    /// [`ResilientServer::dispatch_batch`],
+    /// [`ResilientServer::dispatch_batch_classical`], or
+    /// [`ResilientServer::resolve_shed`].
+    ///
+    /// Admission and dispatch burn fault-plan job ids exactly like the
+    /// direct path — one id per terminal admission decision, one per
+    /// dispatched batch — so a broker that dispatches every job as a
+    /// batch of one replays [`ResilientServer::submit`]'s fault
+    /// schedule bit for bit.
+    pub fn admit(&mut self, now_us: f64, job: &Job) -> Result<(), ServeError> {
+        self.ledger.submitted += 1;
+        if let Err(e) = Self::validate(job) {
+            self.job_seq += 1;
+            self.ledger.failed += 1;
+            return Err(e);
+        }
+        if let Some(wait) = self.shed_wait_us(now_us, job.priority) {
+            self.job_seq += 1;
+            self.ledger.shed += 1;
+            return Err(ServeError::Shed {
+                projected_wait_us: wait,
+            });
+        }
+        self.ledger.batched += 1;
+        Ok(())
+    }
+
+    /// Resolves `count` previously admitted jobs as shed (a queue the
+    /// scheduler decided to cut under backpressure after admission).
+    pub fn resolve_shed(&mut self, count: u64) {
+        assert!(
+            self.ledger.batched >= count,
+            "cannot shed more jobs than are in flight"
+        );
+        self.ledger.batched -= count;
+        self.ledger.shed += count;
+    }
+
+    /// Dispatches a closed batch of `count` previously admitted jobs
+    /// sharing one compiled problem (same cell, same channel hash) as
+    /// a single combined frame of `problems` subcarrier problems:
+    /// one fault-plan draw per attempt, one programming decision, the
+    /// anneal waves tiled across the whole batch. `proto` carries the
+    /// batch's shared coordinates; its `deadline_us` must be the
+    /// *earliest member's* remaining slack, so deadline-funded retries
+    /// never overdraw any member. `preferred` is the scheduler's
+    /// cache-aware placement hint, honored on the first attempt when
+    /// that worker is eligible.
+    ///
+    /// Every member completes when the batch completes. The ledger
+    /// moves `count` jobs from the `batched` gauge to `completed` or
+    /// `failed`.
+    pub fn dispatch_batch(
+        &mut self,
+        now_us: f64,
+        proto: &Job,
+        problems: usize,
+        count: u64,
+        preferred: Option<usize>,
+    ) -> Result<Served, ServeError> {
+        assert!(count > 0, "a batch holds at least one job");
+        assert!(
+            self.ledger.batched >= count,
+            "dispatching jobs that were never admitted"
+        );
+        self.ledger.batched -= count;
+        match self.serve_attempts(now_us, proto, problems, preferred) {
+            Ok(served) => {
+                self.ledger.completed += count;
+                Ok(served)
+            }
+            Err(e) => {
+                self.ledger.failed += count;
+                Err(e)
+            }
+        }
+    }
+
+    /// Dispatches a closed batch of `count` admitted jobs straight to
+    /// the classical floor — the cost-aware policy's route for batches
+    /// whose slack can afford CPU service at CPU prices, keeping the
+    /// annealer pool for the tight tail.
+    pub fn dispatch_batch_classical(
+        &mut self,
+        now_us: f64,
+        proto: &Job,
+        problems: usize,
+        count: u64,
+    ) -> Served {
+        assert!(count > 0, "a batch holds at least one job");
+        assert!(
+            self.ledger.batched >= count,
+            "dispatching jobs that were never admitted"
+        );
+        self.ledger.batched -= count;
+        let done = self.classical.enqueue(now_us, problems, proto.users);
+        self.ledger.completed += count;
+        Served {
+            done_us: done,
+            attempts: 0,
+            rung: ServeRung::Classical,
+            worker: None,
+        }
+    }
+
+    /// The retry/escalation loop shared by [`ResilientServer::submit`]
+    /// (one job, its own problem count) and
+    /// [`ResilientServer::dispatch_batch`] (a coalesced batch serving
+    /// `problems` combined subcarrier problems). Burns one fault-plan
+    /// job id. Ledger accounting is the caller's.
+    fn serve_attempts(
+        &mut self,
+        now_us: f64,
+        job: &Job,
+        problems: usize,
+        preferred: Option<usize>,
+    ) -> Result<Served, ServeError> {
+        let job_id = self.job_seq;
+        self.job_seq += 1;
 
         let mut attempt: u32 = 1;
         let mut t = now_us;
         let mut warm = false;
         let mut prev: Option<usize> = None;
         let mut last_err = ServeError::WorkerUnavailable;
-        while let Some(w) = self.pick_worker(t, warm, prev) {
+        loop {
+            // Cache-aware placement: the scheduler's preferred worker
+            // (its chip already programmed with this batch's problem)
+            // wins the first attempt when eligible; retries fall back
+            // to the standard warm/alternate routing.
+            let picked = match preferred {
+                Some(p) if attempt == 1 && self.eligible(t).iter().any(|&(i, _)| i == p) => Some(p),
+                _ => self.pick_worker(t, warm, prev),
+            };
+            let Some(w) = picked else { break };
             let fault = self.plan.draw(w, job_id, attempt);
             let worker = &mut self.workers[w];
             match fault {
@@ -401,28 +664,23 @@ impl ResilientServer {
                     let mut done = if warm {
                         worker.qpu.enqueue_warm_retry(
                             t,
-                            job.problems,
+                            problems,
                             job.logical_vars,
                             self.guardrails.retry.warm_fraction,
                         )
                     } else if let Some(hash) = job.channel_hash {
-                        worker.qpu.enqueue_channel(
-                            t,
-                            job.source,
-                            hash,
-                            job.problems,
-                            job.logical_vars,
-                        )
+                        worker
+                            .qpu
+                            .enqueue_channel(t, job.source, hash, problems, job.logical_vars)
                     } else {
                         worker
                             .qpu
-                            .enqueue_keyed(t, job.source, job.problems, job.logical_vars)
+                            .enqueue_keyed(t, job.source, problems, job.logical_vars)
                     };
                     if fault.is_some() {
                         done = worker.qpu.occupy_us(done, self.plan.stall_us());
                     }
                     worker.breaker.on_success();
-                    self.ledger.completed += 1;
                     return Ok(Served {
                         done_us: done,
                         attempts: attempt,
@@ -459,22 +717,18 @@ impl ResilientServer {
                     let fail_at = if warm {
                         worker.qpu.enqueue_warm_retry(
                             t,
-                            job.problems,
+                            problems,
                             job.logical_vars,
                             self.guardrails.retry.warm_fraction,
                         )
                     } else if let Some(hash) = job.channel_hash {
-                        worker.qpu.enqueue_channel(
-                            t,
-                            job.source,
-                            hash,
-                            job.problems,
-                            job.logical_vars,
-                        )
+                        worker
+                            .qpu
+                            .enqueue_channel(t, job.source, hash, problems, job.logical_vars)
                     } else {
                         worker
                             .qpu
-                            .enqueue_keyed(t, job.source, job.problems, job.logical_vars)
+                            .enqueue_keyed(t, job.source, problems, job.logical_vars)
                     };
                     worker.breaker.on_failure(fail_at);
                     last_err = ServeError::Fault { class };
@@ -487,14 +741,14 @@ impl ResilientServer {
             prev = Some(w);
             let retry_cost = if warm {
                 self.workers[w].qpu.warm_retry_time_us(
-                    job.problems,
+                    problems,
                     job.logical_vars,
                     self.guardrails.retry.warm_fraction,
                 )
             } else {
                 self.workers[w]
                     .qpu
-                    .service_time_us(job.problems, job.logical_vars)
+                    .service_time_us(problems, job.logical_vars)
             };
             match self.guardrails.retry.fund_retry(
                 attempt + 1,
@@ -515,15 +769,14 @@ impl ResilientServer {
         if self.guardrails.escalate {
             let (done, rung) = match self.hybrid.as_mut() {
                 Some(h) => (
-                    h.enqueue_keyed(t, job.source, job.problems, job.users, job.logical_vars),
+                    h.enqueue_keyed(t, job.source, problems, job.users, job.logical_vars),
                     ServeRung::Hybrid,
                 ),
                 None => (
-                    self.classical.enqueue(t, job.problems, job.users),
+                    self.classical.enqueue(t, problems, job.users),
                     ServeRung::Classical,
                 ),
             };
-            self.ledger.completed += 1;
             return Ok(Served {
                 done_us: done,
                 attempts: attempt,
@@ -531,7 +784,6 @@ impl ResilientServer {
                 worker: None,
             });
         }
-        self.ledger.failed += 1;
         Err(last_err)
     }
 }

@@ -8,12 +8,23 @@
 //! deadline; with an integrated device, QA decoding fits even Wi-Fi
 //! budgets for problems that parallelize on-chip.
 
+use crate::broker::{Broker, JobState, UserJob};
 use crate::cpu::CpuPool;
 use crate::fault::ServeError;
 use crate::hybrid::HybridServer;
 use crate::qpu::QpuServer;
+use crate::sched::{BatchScheduler, SchedConfig};
 use crate::serve::{Job, Priority, ResilientServer, ServeRung};
 use crate::topology::{AccessPoint, FronthaulConfig};
+
+/// The brokered serving stack: a [`ResilientServer`] pool behind the
+/// [`Broker`] + [`BatchScheduler`] scheduling subsystem.
+pub struct BrokeredServer {
+    /// The worker pool.
+    pub server: ResilientServer,
+    /// The scheduling policy and price book.
+    pub config: SchedConfig,
+}
 
 /// Which server a simulation dispatches to.
 pub enum Server {
@@ -29,6 +40,9 @@ pub enum Server {
     /// retry/breaker/shedding guardrails with injected faults (boxed:
     /// the pool + ledger dwarf the other variants).
     Resilient(Box<ResilientServer>),
+    /// The scheduling subsystem over the resilient pool: broker
+    /// admission, deadline-aware batching, policy routing.
+    Brokered(Box<BrokeredServer>),
 }
 
 /// How a frame's decode ended.
@@ -137,10 +151,14 @@ impl SimReport {
     }
 }
 
-/// The synthetic channel-hash schedule shared by the plain-QPU and
-/// resilient arms of [`Simulation::run`]: each AP's channel re-draws
-/// once per coherence interval.
-fn synthetic_channel_hash(ap_id: usize, at_dc: f64, coherence_us: f64) -> u64 {
+/// The synthetic channel-hash schedule shared by the plain-QPU,
+/// resilient, and brokered arms of [`Simulation::run`] — and by the
+/// [`load`] generator: each cell's channel re-draws once per coherence
+/// interval, so the hash is constant within an interval and changes at
+/// its boundary.
+///
+/// [`load`]: crate::load
+pub fn synthetic_channel_hash(ap_id: usize, at_dc: f64, coherence_us: f64) -> u64 {
     let interval = (at_dc / coherence_us) as u64;
     (ap_id as u64 ^ interval)
         .wrapping_mul(0x9e37_79b9_7f4a_7c15)
@@ -200,6 +218,14 @@ impl Simulation {
             Server::Cpu(c) => c.reset(),
             Server::Hybrid(h) => h.reset(),
             Server::Resilient(r) => r.reset(),
+            Server::Brokered(b) => b.server.reset(),
+        }
+
+        // The brokered arm is event-driven (batch close times interleave
+        // with arrivals), so it hands the whole arrival schedule to the
+        // scheduler instead of walking it frame by frame.
+        if let Server::Brokered(_) = &self.server {
+            return self.run_brokered(&arrivals);
         }
 
         let mut report = SimReport::default();
@@ -285,6 +311,9 @@ impl Simulation {
                         Err(_) => (None, FrameOutcome::Failed),
                     }
                 }
+                Server::Brokered(_) => {
+                    unreachable!("the brokered arm returned from run_brokered above")
+                }
             };
             let (latency, met) = match done_dc {
                 Some(done) => {
@@ -295,6 +324,83 @@ impl Simulation {
             };
             report.frames.push(FrameRecord {
                 ap_id: ap.id,
+                arrival_us: arrival,
+                latency_us: latency,
+                met_deadline: met,
+                outcome,
+            });
+        }
+        report
+    }
+
+    /// The brokered arm: frames become per-cell [`UserJob`]s (same
+    /// synthetic channel-hash schedule and deadline accounting as the
+    /// resilient arm — part of the Fifo bit-identity contract), flow
+    /// through broker admission and the batch scheduler, and come back
+    /// as frame records in arrival order.
+    fn run_brokered(&mut self, arrivals: &[(f64, usize)]) -> SimReport {
+        let hop = self.fronthaul.one_way_latency_us;
+        let Server::Brokered(b) = &mut self.server else {
+            unreachable!("caller matched the brokered arm");
+        };
+        let coherence = b.server.coherence_us();
+        let jobs: Vec<UserJob> = arrivals
+            .iter()
+            .map(|&(arrival, idx)| {
+                let ap = &self.aps[idx];
+                let at_dc = arrival + hop;
+                let hash = match coherence {
+                    Some(c) => synthetic_channel_hash(ap.id, at_dc, c),
+                    // No session cache: the hash degenerates to a
+                    // per-AP constant (enqueue_channel falls back to
+                    // keyed dispatch, and batching still coalesces).
+                    None => synthetic_channel_hash(ap.id, 0.0, 1.0),
+                };
+                UserJob {
+                    arrival_us: at_dc,
+                    cell: ap.id,
+                    channel_hash: hash,
+                    problems: ap.problems_per_frame(),
+                    logical_vars: ap.logical_vars(),
+                    users: ap.users,
+                    deadline_us: ap.deadline.budget_us() - 2.0 * hop,
+                    priority: Priority::Normal,
+                }
+            })
+            .collect();
+        let mut broker = Broker::new();
+        let mut sched = BatchScheduler::new(b.config);
+        let schedule = sched.run(&mut b.server, &mut broker, jobs);
+        debug_assert!(broker.drained(), "the scheduler drains every job");
+        debug_assert_eq!(b.server.ledger().in_flight(), 0);
+
+        let mut report = SimReport::default();
+        for o in &schedule.outcomes {
+            let arrival = o.arrival_us - hop;
+            let budget = self
+                .aps
+                .iter()
+                .find(|ap| ap.id == o.cell)
+                .expect("outcome cells come from the AP list")
+                .deadline
+                .budget_us();
+            let (latency, met, outcome) = match o.state {
+                JobState::Completed => {
+                    let latency = o.done_us + hop - arrival;
+                    (
+                        latency,
+                        latency <= budget,
+                        FrameOutcome::Served {
+                            attempts: o.attempts,
+                            rung: o.rung.expect("completed jobs have a rung"),
+                        },
+                    )
+                }
+                JobState::Shed => (f64::INFINITY, false, FrameOutcome::Shed),
+                _ => (f64::INFINITY, false, FrameOutcome::Failed),
+            };
+            report.frames.push(FrameRecord {
+                ap_id: o.cell,
                 arrival_us: arrival,
                 latency_us: latency,
                 met_deadline: met,
@@ -649,6 +755,107 @@ mod tests {
         assert!(unguarded.failed_count() > 0, "faults must fire unguarded");
         assert_eq!(guarded.failed_count(), 0, "guardrails recover every frame");
         assert!(guarded.deadline_rate() > unguarded.deadline_rate());
+    }
+
+    #[test]
+    fn brokered_fifo_arm_matches_resilient_arm_bit_for_bit() {
+        use crate::fault::FaultPlan;
+        use crate::sched::{Policy, SchedConfig};
+        use crate::serve::{Guardrails, ResilientServer};
+        let qpu =
+            || QpuServer::new(QpuOverheads::integrated(), 2.0, 3).with_session_cache(30_000.0);
+        let classical = || {
+            CpuPool::new(
+                8,
+                CpuPolicy::ZeroForcing {
+                    vectors_per_channel: 1,
+                },
+            )
+        };
+        let pool = || {
+            ResilientServer::new(
+                vec![qpu(), qpu()],
+                classical(),
+                FaultPlan::quiet(23),
+                Guardrails::on(),
+            )
+        };
+        let fronthaul = FronthaulConfig {
+            one_way_latency_us: 2.0,
+        };
+        let aps = || vec![wifi_ap(0, 500.0), wifi_ap(1, 700.0)];
+        let resilient =
+            Simulation::new(aps(), fronthaul, Server::Resilient(Box::new(pool()))).run(30_000.0);
+        let brokered = Simulation::new(
+            aps(),
+            fronthaul,
+            Server::Brokered(Box::new(BrokeredServer {
+                server: pool(),
+                config: SchedConfig::new(Policy::Fifo, 24),
+            })),
+        )
+        .run(30_000.0);
+        assert_eq!(
+            resilient, brokered,
+            "Fifo brokering must replay unbrokered submission bit for bit"
+        );
+    }
+
+    #[test]
+    fn brokered_batching_serves_multi_cell_load_with_coalescing() {
+        use crate::fault::FaultPlan;
+        use crate::sched::{Policy, SchedConfig};
+        use crate::serve::{Guardrails, ResilientServer};
+        let qpu =
+            || QpuServer::new(QpuOverheads::integrated(), 2.0, 3).with_session_cache(30_000.0);
+        let server = ResilientServer::new(
+            vec![qpu(), qpu()],
+            CpuPool::new(
+                8,
+                CpuPolicy::ZeroForcing {
+                    vectors_per_channel: 1,
+                },
+            ),
+            FaultPlan::quiet(31),
+            Guardrails::on(),
+        );
+        let aps = vec![
+            AccessPoint {
+                deadline: Deadline::Lte,
+                ..wifi_ap(0, 400.0)
+            },
+            AccessPoint {
+                deadline: Deadline::Lte,
+                ..wifi_ap(1, 400.0)
+            },
+        ];
+        let mut sim = Simulation::new(
+            aps,
+            FronthaulConfig {
+                one_way_latency_us: 2.0,
+            },
+            Server::Brokered(Box::new(BrokeredServer {
+                server,
+                config: SchedConfig::new(Policy::DeadlineBatch, 8),
+            })),
+        );
+        let report = sim.run(20_000.0);
+        assert_eq!(report.frames.len(), 100);
+        assert_eq!(
+            report.served_count() + report.shed_count() + report.failed_count(),
+            report.frames.len(),
+            "every frame has a recorded fate"
+        );
+        assert!(
+            report.deadline_rate() > 0.9,
+            "LTE slack leaves room to batch: rate {}",
+            report.deadline_rate()
+        );
+        let Server::Brokered(b) = sim.server() else {
+            unreachable!();
+        };
+        assert!(b.server.ledger().conserved());
+        assert_eq!(b.server.ledger().in_flight(), 0);
     }
 
     #[test]

@@ -1,6 +1,7 @@
-//! Property and determinism tests for the resilience subsystem.
+//! Property and determinism tests for the resilience and scheduling
+//! subsystems.
 //!
-//! Three contracts are pinned here:
+//! Contracts pinned for the resilience layer (PR 6):
 //! 1. **Conservation** — across random fault-rate and priority mixes,
 //!    the ledger balances: `submitted == completed + shed + failed`.
 //!    No job is ever silently lost.
@@ -10,11 +11,26 @@
 //! 3. **Zero-fault bit-identity** — with a quiet plan, the guarded
 //!    serving path is bit-identical to today's plain `QpuServer`
 //!    dispatch: the guardrails price exactly zero in fair weather.
+//!
+//! Contracts pinned for the scheduling layer (PR 7):
+//! 4. **Batch-deadline safety** — the closing rule fires only once a
+//!    batch's projected slack is exhausted, and no rule- or full-closed
+//!    batch is ever dispatched after its earliest member deadline has
+//!    already passed.
+//! 5. **Load-generation determinism** — a fixed seed makes synthetic
+//!    traffic bit-identical; a different seed makes it different.
+//! 6. **Fifo bit-identity** — brokered batch-of-1 Fifo scheduling
+//!    replays unbrokered `ResilientServer::submit` exactly, *including
+//!    its fault schedule*, across random fault seeds and rates.
+//! 7. **In-flight conservation** — the ledger's `batched` gauge keeps
+//!    the conservation identity through admit → dispatch/shed, and a
+//!    drained pipeline collapses it to the terminal identity.
 
 use proptest::prelude::*;
 use quamax_ran::{
-    AccessPoint, CpuPolicy, CpuPool, Deadline, FaultPlan, FaultRates, FronthaulConfig, Guardrails,
-    Job, Priority, QpuOverheads, QpuServer, ResilientServer, Server, Simulation,
+    AccessPoint, BatchScheduler, Broker, CloseTrigger, CpuPolicy, CpuPool, Deadline, FaultPlan,
+    FaultRates, FronthaulConfig, Guardrails, Job, JobState, LoadGen, Policy, Priority,
+    QpuOverheads, QpuServer, ResilientServer, SchedConfig, ServeError, Server, Simulation, UserJob,
 };
 use quamax_wireless::Modulation;
 
@@ -183,4 +199,214 @@ fn zero_faults_guarded_is_bit_identical_to_plain_qpu() {
             "guarded ≠ plain at zero faults (cached = {cached})"
         );
     }
+}
+
+/// A cache-equipped pool worker for the scheduling tests (coherence
+/// matching the metro load generator's 10 ms channel blocks).
+fn qpu_cached() -> QpuServer {
+    QpuServer::new(QpuOverheads::integrated(), 2.0, 3).with_session_cache(10_000.0)
+}
+
+/// Float tolerance for close-rule record checks, µs.
+const TOL_US: f64 = 1e-6;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Batch-deadline safety, over random synthetic loads: a
+    /// `Slack`-triggered dispatch happens only once the batch's
+    /// projected completion has reached its earliest member deadline
+    /// (the rule never cuts batching short while slack remains), and
+    /// *no* rule- or full-closed batch is dispatched after that
+    /// deadline has already passed — when slack was available at
+    /// close, the projection met it. Drain-triggered dispatches are
+    /// end-of-run leftovers and exempt from the second clause.
+    #[test]
+    fn rule_closed_batches_never_project_past_a_meetable_deadline(
+        seed in 0u64..10_000,
+        rate in 0.0005f64..0.004,
+    ) {
+        let mut server = ResilientServer::new(
+            vec![qpu_cached(), qpu_cached()],
+            classical(),
+            FaultPlan::quiet(seed),
+            Guardrails::on(),
+        );
+        let mut broker = Broker::new();
+        let arrivals = LoadGen::metro(seed, 3, rate).generate(20_000.0);
+        let report = BatchScheduler::new(SchedConfig::new(Policy::DeadlineBatch, 24))
+            .run(&mut server, &mut broker, arrivals);
+
+        for d in &report.dispatches {
+            // The record is internally consistent.
+            prop_assert!(
+                (d.earliest_deadline_us - d.projected_done_us - d.slack_at_close_us).abs()
+                    < TOL_US,
+                "slack_at_close must equal deadline − projected_done: {d:?}"
+            );
+            if d.trigger == CloseTrigger::Slack {
+                prop_assert!(
+                    d.slack_at_close_us <= TOL_US,
+                    "the closing rule fired while slack remained: {d:?}"
+                );
+            }
+            if d.trigger != CloseTrigger::Drain {
+                prop_assert!(
+                    d.close_us <= d.earliest_deadline_us + TOL_US,
+                    "a batch was dispatched after its earliest deadline passed: {d:?}"
+                );
+            }
+        }
+        // The run drains completely: broker and ledger agree that
+        // nothing is left in flight.
+        prop_assert!(broker.drained());
+        prop_assert!(broker.census().conserved());
+        prop_assert_eq!(server.ledger().in_flight(), 0);
+        prop_assert!(server.ledger().conserved());
+    }
+
+    /// A fixed seed makes the synthetic load bit-identical across
+    /// runs; a different seed explores genuinely different traffic.
+    #[test]
+    fn fixed_seed_load_generation_is_bit_identical(
+        seed in 0u64..1_000_000,
+        cells in 1usize..4,
+        rate in 0.0005f64..0.01,
+    ) {
+        let a = LoadGen::metro(seed, cells, rate).generate(25_000.0);
+        let b = LoadGen::metro(seed, cells, rate).generate(25_000.0);
+        prop_assert_eq!(&a, &b, "same seed must replay the same trace");
+        let other = LoadGen::metro(seed ^ 0x5EED, cells, rate).generate(25_000.0);
+        if !a.is_empty() && !other.is_empty() {
+            prop_assert_ne!(&a, &other, "different seeds must differ");
+        }
+    }
+
+    /// Brokered batch-of-1 Fifo scheduling replays the unbrokered
+    /// `ResilientServer::submit` path bit for bit — same completion
+    /// times, same attempts, same rungs, same ledger — across random
+    /// fault seeds and rates. The broker prices zero when it is not
+    /// batching.
+    #[test]
+    fn brokered_fifo_replays_direct_submission_under_faults(
+        seed in 0u64..10_000,
+        rate in 0.0f64..0.12,
+        n in 10usize..60,
+    ) {
+        let make_server = || {
+            ResilientServer::new(
+                vec![qpu_cached(), qpu_cached()],
+                classical(),
+                FaultPlan::new(seed, FaultRates::uniform(rate)),
+                Guardrails::on(),
+            )
+        };
+        // Bursty arrivals (3 per instant) across 3 cells so shedding,
+        // retries, and escalation all engage.
+        let arrivals: Vec<UserJob> = (0..n)
+            .map(|k| UserJob {
+                arrival_us: 400.0 * (k / 3) as f64,
+                cell: k % 3,
+                channel_hash: 0xABCD ^ (k % 3) as u64,
+                problems: 1 + k % 8,
+                logical_vars: 16,
+                users: 16,
+                deadline_us: 3_000.0,
+                priority: match k % 3 {
+                    0 => Priority::High,
+                    1 => Priority::Normal,
+                    _ => Priority::Low,
+                },
+            })
+            .collect();
+
+        // Direct path: one `submit` per job, in arrival order.
+        let mut direct_server = make_server();
+        let direct: Vec<Result<_, _>> = arrivals
+            .iter()
+            .map(|j| {
+                let job = Job {
+                    source: j.cell,
+                    channel_hash: Some(j.channel_hash),
+                    problems: j.problems,
+                    logical_vars: j.logical_vars,
+                    users: j.users,
+                    deadline_us: j.deadline_us,
+                    priority: j.priority,
+                };
+                direct_server.submit(j.arrival_us, &job)
+            })
+            .collect();
+
+        // Brokered path: the same jobs through admission + Fifo
+        // dispatch.
+        let mut brokered_server = make_server();
+        let mut broker = Broker::new();
+        let report = BatchScheduler::new(SchedConfig::new(Policy::Fifo, 24))
+            .run(&mut brokered_server, &mut broker, arrivals);
+
+        prop_assert_eq!(
+            direct_server.ledger(),
+            brokered_server.ledger(),
+            "Fifo brokering must leave the identical ledger"
+        );
+        prop_assert_eq!(report.outcomes.len(), direct.len());
+        for (o, d) in report.outcomes.iter().zip(&direct) {
+            match d {
+                Ok(served) => {
+                    prop_assert_eq!(o.state, JobState::Completed);
+                    prop_assert_eq!(o.done_us, served.done_us);
+                    prop_assert_eq!(o.attempts, served.attempts);
+                    prop_assert_eq!(o.rung, Some(served.rung));
+                }
+                Err(ServeError::Shed { .. }) => {
+                    prop_assert_eq!(o.state, JobState::Shed);
+                }
+                Err(_) => {
+                    prop_assert_eq!(o.state, JobState::Failed);
+                }
+            }
+        }
+    }
+}
+
+/// The in-flight gauge: admitted-but-undispatched jobs keep the
+/// conservation identity (`submitted == completed + shed + failed +
+/// batched`), and draining the pipeline — every admit resolved by a
+/// dispatch or a shed — collapses it back to the terminal identity.
+#[test]
+fn ledger_conserves_through_admit_and_collapses_when_drained() {
+    let mut srv = ResilientServer::new(
+        vec![qpu_cached()],
+        classical(),
+        FaultPlan::quiet(41),
+        Guardrails::on(),
+    );
+    let job = Job {
+        source: 0,
+        channel_hash: Some(0xFEED),
+        problems: 2,
+        logical_vars: 16,
+        users: 16,
+        deadline_us: 3_000.0,
+        priority: Priority::Normal,
+    };
+    for _ in 0..3 {
+        srv.admit(0.0, &job).expect("an idle pool admits");
+    }
+    let mid = srv.ledger();
+    assert_eq!(mid.in_flight(), 3, "three jobs admitted, none resolved");
+    assert!(mid.conserved(), "in-flight jobs keep the identity: {mid:?}");
+
+    // Resolve all three: one cut under (hypothetical) backpressure,
+    // two dispatched as a coalesced batch.
+    srv.resolve_shed(1);
+    srv.dispatch_batch(0.0, &job, 2 * job.problems, 2, None)
+        .expect("a quiet pool serves the batch");
+    let done = srv.ledger();
+    assert_eq!(done.in_flight(), 0, "drained: {done:?}");
+    assert!(done.conserved());
+    assert_eq!(done.submitted, 3);
+    assert_eq!(done.completed, 2);
+    assert_eq!(done.shed, 1);
 }

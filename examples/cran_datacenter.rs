@@ -10,8 +10,9 @@
 
 use quamax::prelude::*;
 use quamax::ran::{
-    AccessPoint, CpuPolicy, CpuPool, Deadline, FronthaulConfig, HybridServer, QpuOverheads,
-    QpuServer, Server, Simulation,
+    AccessPoint, BatchScheduler, Broker, CpuPolicy, CpuPool, Deadline, FaultPlan, FronthaulConfig,
+    Guardrails, HybridServer, LoadGen, Policy, QpuOverheads, QpuServer, ResilientServer,
+    SchedConfig, Server, Simulation,
 };
 use quamax::wireless::Modulation;
 
@@ -169,6 +170,59 @@ fn main() {
             report.max_latency_us(),
         );
     }
+    // Scheduling-policy comparison: the same two-worker brokered pool
+    // under overloaded metro traffic (diurnal × bursts, 4 cells),
+    // FIFO vs deadline-aware batching vs cost-aware routing. Batching
+    // coalesces same-channel jobs into one anneal wave; the price book
+    // bills every decode.
+    let brokered_pool = || {
+        let worker = || {
+            QpuServer::new(
+                QpuOverheads {
+                    preprocessing_us: 0.0,
+                    programming_us: 200.0,
+                    readout_per_anneal_us: 25.0,
+                },
+                2.0,
+                5,
+            )
+            .with_session_cache(10_000.0)
+        };
+        ResilientServer::new(
+            vec![worker(), worker()],
+            CpuPool::new(
+                8,
+                CpuPolicy::ZeroForcing {
+                    vectors_per_channel: 1,
+                },
+            ),
+            FaultPlan::quiet(2_019),
+            Guardrails::on(),
+        )
+    };
+    println!(
+        "\nbrokered pool under overloaded metro traffic (0.012 jobs/µs, 4 cells):\n\
+         {:<42} {:>9} {:>10} {:>7} {:>11}",
+        "scheduling policy", "deadline%", "p99 lat.", "occ.", "$/decode"
+    );
+    for (label, policy) in [
+        ("FIFO (batch of 1, arrival order)", Policy::Fifo),
+        ("deadline-aware batching", Policy::DeadlineBatch),
+        ("cost-aware (CPU floor when cheaper)", Policy::CostAware),
+    ] {
+        let mut pool = brokered_pool();
+        let mut broker = Broker::new();
+        let arrivals = LoadGen::metro(2_019, 4, 0.003).generate(50_000.0);
+        let report =
+            BatchScheduler::new(SchedConfig::new(policy, 24)).run(&mut pool, &mut broker, arrivals);
+        println!(
+            "{label:<42} {:>8.1}% {:>8.1}µs {:>7.2} {:>11.6}",
+            100.0 * report.deadline_rate(),
+            report.latency_quantile_us(0.99),
+            report.mean_occupancy(),
+            report.usd_per_decode(),
+        );
+    }
     println!(
         "\nToday's QPU overhead stack (≈47 ms/job) busts every radio deadline —\n\
          the paper's own §7 conclusion. Compile-once sessions amortize the\n\
@@ -179,6 +233,11 @@ fn main() {
          routing answer: classical-first keeps the QPU off the easy bulk of\n\
          subcarriers — provisioned with the fallback rate the decode-level\n\
          router *measured*, not a guessed constant — so even a partly-\n\
-         integrated device contributes."
+         integrated device contributes. The policy table shows the\n\
+         serving-layer lever: at ~1.6× FIFO capacity, per-job dispatch\n\
+         collapses while deadline-aware batching rides channel-coherence\n\
+         coalescing to near-perfect deadline compliance at a fraction of\n\
+         the cost — and cost-aware routing sends slack-rich batches to\n\
+         the CPU floor for pennies."
     );
 }
