@@ -22,7 +22,7 @@
 use quamax_bench::Args;
 use quamax_ran::{
     AccessPoint, CpuPolicy, CpuPool, Deadline, FaultPlan, FaultRates, FronthaulConfig, Guardrails,
-    QpuOverheads, QpuServer, ResilientServer, Server, SimReport, Simulation,
+    JobDirection, QpuOverheads, QpuServer, ResilientServer, Server, SimReport, Simulation,
 };
 use quamax_wireless::Modulation;
 
@@ -33,6 +33,7 @@ fn ap(id: usize) -> AccessPoint {
         id,
         users: 16,
         modulation: Modulation::Bpsk,
+        direction: JobDirection::Uplink,
         subcarriers: 50,
         frame_interval_us: 1_000.0,
         deadline: Deadline::Lte,

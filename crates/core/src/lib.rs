@@ -182,12 +182,64 @@
 //! bought iteration's reverse-anneal wall-clock against the radio
 //! deadline and grants per-frame iteration budgets from the remaining
 //! slack.
+//!
+//! # DESIGN — downlink precoding (VPP) as the mirror workload
+//!
+//! The uplink reduction asks the annealer "which symbols explain `y`?";
+//! the [`precode`] module asks the mirror question — "which integer
+//! perturbation makes the downlink transmit signal cheapest?" — and
+//! reuses the *entire* session machinery to answer it. Vector
+//! perturbation precoding (VPP) transmits `x = P(u + τv)` with
+//! `P = H*(HH*)⁻¹` and `v ∈ ℤ[i]^{Nu}` chosen to minimize
+//! `E(v) = ‖P(u + τv)‖²`; each receiver independently folds its sample
+//! modulo τ (`τ = 2·levels_per_dimension`, the smallest modulus whose
+//! fold is the identity on the constellation) and demaps as usual.
+//!
+//! **Realification without a real matrix.** With `W = P*P` (complex
+//! Gram) and `Φ(A) = [[Re A, −Im A], [Im A, Re A]]`, the real form's
+//! Gram is `G = FᵀF = Φ(W)` — every entry of `G` is read directly off
+//! `W`, and the linear vector `Gφ(u)` is just `φ(Wu)`; no explicit
+//! `2Nb × 2Nu` real channel is ever built.
+//!
+//! **The `C` encoding.** Each of the `2Nu` real perturbation
+//! dimensions expands in two's complement: `t` magnitude bits of
+//! weight `2^k` plus a sign bit of weight `−2^t`, covering
+//! `[−2^t, 2^t − 1]` bijectively. The QUBO is
+//! `Q = τ²CᵀGC + 2τCᵀGφ(u)` with scalar offset `‖Pu‖²`, so
+//! `qubo.energy(bits) + offset = ‖P(u + τ·decode(bits))‖²` exactly
+//! (property-tested across encoding widths and τ).
+//!
+//! **Role of τ in the coupling structure.** τ multiplies the entire
+//! quadratic block (`τ²CᵀGC`) and only *scales* the per-`u` linear
+//! terms (`2τ·…`): the coupling *pattern* is a function of `(H, t)`
+//! alone. That is exactly the uplink's H-only/y-dependent split, so a
+//! [`precode::VppSession`] compiles the embedding + CSR freeze once
+//! per coherence interval and refreshes only fields and the hardware
+//! scale per symbol vector — `precode_batch` shards an interval across
+//! cores bit-identically to the streaming path, like `decode_batch`.
+//! A `v = 0` floor guarantees the session never transmits more power
+//! than plain ZF on any instance.
+//!
+//! **Warm-start contract.** `precode_reverse_from` re-encodes a
+//! classical candidate perturbation (e.g. THP's greedy `v`, clamped
+//! into the encoding's range) as the reverse anneal's initial state on
+//! the *same* compiled session — no recompile, deterministic in the
+//! seed — mirroring `DecodeSession::decode_reverse_from`.
+//!
+//! Classical zero-forcing (`τ → ∞`, `v = 0`) and Tomlinson–Harashima
+//! (greedy successive-modulo) slot in behind the same
+//! [`precode::Precoder`]/[`precode::PrecoderSession`] traits via the
+//! [`precode::PrecoderKind`] registry, and
+//! [`precode::HybridPrecoder`] routes on the primary's realized
+//! transmit power per antenna — the downlink analogue of the
+//! residual-gated detection router.
 
 pub mod coded;
 pub mod decoder;
 pub mod detect;
 pub mod metrics;
 pub mod params;
+pub mod precode;
 pub mod reduce;
 pub mod scenario;
 pub mod soft;
@@ -201,6 +253,11 @@ pub use detect::{
 };
 pub use metrics::{percentile, BitErrorProfile, RunStatistics};
 pub use params::CandidateParams;
+pub use precode::{
+    fold_mod_tau, mod_tau, tau_for, HybridPrecoder, PerturbEncoding, PrecodeError, PrecodeInput,
+    PrecodePolicy, PrecodeStats, Precoder, PrecoderKind, PrecoderSession, Precoding, ThpPrecoder,
+    VppModel, VppPrecoder, VppSession, ZfPrecoder,
+};
 pub use reduce::{ising_from_ml, qubo_from_ml};
 pub use scenario::{DetectionInput, Instance, Scenario};
 pub use soft::{SoftDetection, SoftDetectorSession, SoftSpec};

@@ -1,5 +1,6 @@
-//! Property-based tests for the ML reductions, Eq. 9 metrics, and the
-//! compile-once decode-session equivalence contract.
+//! Property-based tests for the ML reductions, Eq. 9 metrics, the
+//! compile-once decode-session equivalence contract, and the downlink
+//! VPP precoding reduction.
 
 use proptest::prelude::*;
 use quamax_anneal::{Annealer, AnnealerConfig, IceModel, Schedule};
@@ -531,5 +532,73 @@ proptest! {
             frame.decode_hard(&out.detected_bits)
         );
         prop_assert_eq!(&frame.decode_hard(&out.detected_bits), &out.hard_payload);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The VPP QUBO reduction satisfies the exact energy identity
+    /// `E(q) + offset = ‖P(u + τv)‖²` at random channels, symbol
+    /// vectors, modulo bases, encoding widths, and bit assignments —
+    /// the downlink mirror of `qubo_energy_identity`.
+    #[test]
+    fn vpp_qubo_energy_identity(
+        h in channel(2, 3),
+        u in received(2),
+        m in modulation(),
+        t in 1usize..=3,
+        tau in 0.5f64..12.0,
+        k in 0u32..65_536,
+    ) {
+        use quamax_core::VppModel;
+        // Random draws can be rank-deficient; the reduction rejects
+        // them identically to any ZF precoder, which is not what this
+        // property quantifies.
+        let Ok(model) = VppModel::with_tau(&h, m, t, tau) else {
+            return Ok(());
+        };
+        let n = model.num_vars();
+        let bits: Vec<u8> = (0..n).map(|b| ((k >> (b % 32)) & 1) as u8).collect();
+        let v = model.decode_perturbation(&bits);
+        let direct = model.direct_energy(&u, &v);
+        let (qubo, offset) = model.qubo_for(&u);
+        let e = qubo.energy(&bits) + offset;
+        prop_assert!(
+            (e - direct).abs() < 1e-8 * direct.max(1.0),
+            "t={t} τ={tau}: QUBO {e} vs direct {direct}"
+        );
+    }
+
+    /// Zero-perturbation precoding through the VPP model is
+    /// bit-identical to the ZF registry backend: `x = Pu` exactly, the
+    /// τ → ∞ limit where no perturbation ever helps.
+    #[test]
+    fn vpp_zero_perturbation_is_bit_identical_to_zf(
+        m in modulation(),
+        channel_seed in 0u64..10_000,
+        users in 2usize..4,
+        extra in 0usize..3,
+    ) {
+        use quamax_core::{PrecodeInput, Precoder, PrecoderKind, VppModel};
+        use quamax_wireless::rayleigh_channel;
+
+        let mut rng = StdRng::seed_from_u64(channel_seed);
+        let input = PrecodeInput {
+            h: rayleigh_channel(users, users + extra, &mut rng),
+            modulation: m,
+        };
+        let Ok(mut zf) = PrecoderKind::zf().compile(&input) else {
+            return Ok(());
+        };
+        let bits: Vec<u8> = (0..input.num_bits()).map(|b| (channel_seed >> (b % 32) & 1) as u8).collect();
+        let u = m.map_gray_vector(&bits);
+        let zf_out = zf.precode(&u, 7).unwrap();
+        let model = VppModel::new(&input.h, m, 1).unwrap();
+        let zero = CVector::zeros(users);
+        let x = model.transmit(&u, &zero);
+        prop_assert_eq!(zf_out.x.as_slice(), x.as_slice(), "ZF ≠ zero-perturbation VPP");
+        prop_assert_eq!(zf_out.perturbation.as_slice(), zero.as_slice());
+        prop_assert_eq!(zf_out.power, model.direct_energy(&u, &zero));
     }
 }

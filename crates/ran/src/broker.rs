@@ -24,6 +24,7 @@
 //! [`sched::BatchScheduler`]: crate::sched::BatchScheduler
 //! [`Ledger`]: crate::serve::Ledger
 
+use crate::qpu::JobDirection;
 use crate::serve::Priority;
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
@@ -94,9 +95,15 @@ pub struct UserJob {
     pub arrival_us: f64,
     /// Originating cell / access point id.
     pub cell: usize,
-    /// Channel-estimate hash: jobs sharing `(cell, channel_hash)` were
-    /// detected against the same channel and compile into one QPU
-    /// problem — the coalescing key.
+    /// Uplink detection or downlink precoding — the two compile
+    /// different programmed problems from the same channel, so the
+    /// direction is part of every coalescing decision.
+    pub direction: JobDirection,
+    /// Channel-estimate hash **with the direction folded in**
+    /// ([`crate::channel_hash_directed`]): jobs sharing
+    /// `(cell, channel_hash)` were compiled against the same channel
+    /// *in the same direction* and share one QPU problem — the
+    /// coalescing key.
     pub channel_hash: u64,
     /// Subcarrier problems this job contributes to a batch.
     pub problems: usize,
@@ -257,6 +264,7 @@ mod tests {
         UserJob {
             arrival_us,
             cell,
+            direction: JobDirection::Uplink,
             channel_hash: 0xC0FFEE,
             problems: 1,
             logical_vars: 16,

@@ -334,6 +334,7 @@ impl CodedIddReport {
 mod tests {
     use super::*;
     use crate::cpu::{CpuPolicy, CpuPool};
+    use crate::qpu::JobDirection;
     use crate::sim::Server;
     use crate::topology::{AccessPoint, Deadline, FronthaulConfig};
     use quamax_wireless::Modulation;
@@ -356,6 +357,7 @@ mod tests {
                 id: 0,
                 users: 4,
                 modulation: Modulation::Qpsk,
+                direction: JobDirection::Uplink,
                 subcarriers: 17,
                 frame_interval_us: 2_000.0,
                 deadline: Deadline::Lte,
@@ -447,6 +449,7 @@ mod tests {
                 id: 0,
                 users: 8,
                 modulation: Modulation::Qpsk,
+                direction: JobDirection::Uplink,
                 subcarriers: 15,
                 frame_interval_us: 4_000.0,
                 deadline: Deadline::Lte,

@@ -117,6 +117,34 @@
 //! [`sim::Server::Brokered`] drives the whole stack inside the uplink
 //! simulation; the `bench_serve` binary sweeps offered load × policy
 //! and writes `BENCH_serve.json`.
+//!
+//! # DESIGN §Full duplex
+//!
+//! One QPU pool serves *both* air-interface directions: uplink frames
+//! need ML detection (`quamax_core::detect`), downlink frames need VPP
+//! precoding (`quamax_core::precode`) — different programmed problems
+//! compiled from the *same* per-cell channel. The
+//! [`qpu::JobDirection`] dimension threads through every layer:
+//!
+//! * **Session keying** — [`qpu::channel_hash_directed`] folds the
+//!   direction into the channel hash ([`qpu::JobDirection::rekey`]:
+//!   uplink is the identity, downlink XORs a fixed tag), so an uplink
+//!   `DetectorSession` and a downlink `PrecoderSession` compiled from
+//!   the same channel estimate never alias in a [`SessionCache`].
+//! * **Batching** — [`UserJob`]/[`Job`] carry their direction and the
+//!   [`BatchScheduler`] refuses to coalesce across it: a batch tiles
+//!   one programmed problem, and detection and precoding are never the
+//!   same problem (tested: `batches_never_mix_directions`).
+//! * **Shape** — a downlink [`AccessPoint`]/[`MixClass`] sizes its
+//!   problems as `4·Nu` logical variables (2·Nu real perturbation
+//!   dimensions × 1 magnitude + 1 sign bit), vs `Nu·log₂|O|` uplink.
+//! * **Workload** — [`LoadGen::full_duplex`] splits each metro class
+//!   into an uplink and a downlink stream by a per-cell ratio (bit-
+//!   identical to `metro` at ratio 0), and a full-duplex cell in
+//!   [`sim`] is two `AccessPoint`s sharing an id with opposite
+//!   directions. The `bench_vpp` binary closes the loop: BER-vs-SNR
+//!   for annealed VPP vs ZF/THP, and scheduler deadline rates under
+//!   the mixed load, written to `BENCH_vpp.json`.
 
 pub mod breaker;
 pub mod broker;
@@ -141,7 +169,10 @@ pub use cpu::{CpuPolicy, CpuPool};
 pub use fault::{FaultClass, FaultCounters, FaultPlan, FaultRates, ServeError};
 pub use hybrid::HybridServer;
 pub use load::{BurstModel, CellProfile, DiurnalCurve, LoadGen, MixClass};
-pub use qpu::{channel_hash, CacheStats, QpuOverheads, QpuServer, SessionCache};
+pub use qpu::{
+    channel_hash, channel_hash_directed, CacheStats, JobDirection, QpuOverheads, QpuServer,
+    SessionCache,
+};
 pub use retry::RetryPolicy;
 pub use sched::{
     BatchScheduler, CloseTrigger, DispatchRecord, JobOutcome, Policy, SchedConfig, ScheduleReport,

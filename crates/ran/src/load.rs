@@ -42,6 +42,7 @@
 //! [`sched::BatchScheduler`]: crate::sched::BatchScheduler
 
 use crate::broker::UserJob;
+use crate::qpu::JobDirection;
 use crate::serve::Priority;
 use crate::sim::synthetic_channel_hash;
 use crate::topology::Deadline;
@@ -52,10 +53,14 @@ use quamax_wireless::Modulation;
 pub struct MixClass {
     /// Relative weight (need not be normalized).
     pub weight: f64,
-    /// Concurrent users in the detection problem (Nt).
+    /// Concurrent users in the problem (Nt).
     pub users: usize,
     /// Modulation (sets bits/symbol, hence Ising variables).
     pub modulation: Modulation,
+    /// Uplink detection or downlink precoding. The direction rides the
+    /// class — no extra random draw — so adding downlink classes never
+    /// perturbs the uplink stream positions.
+    pub direction: JobDirection,
     /// Admission-control class.
     pub priority: Priority,
     /// Radio deadline the job decodes against.
@@ -63,9 +68,14 @@ pub struct MixClass {
 }
 
 impl MixClass {
-    /// Logical Ising variables per problem: `users × bits/symbol`.
+    /// Logical Ising variables per problem: `users × bits/symbol` for
+    /// uplink detection, `4 × users` for downlink VPP (the `t = 1`
+    /// two's-complement encoding over `2·users` real dimensions).
     pub fn logical_vars(&self) -> usize {
-        self.users * self.modulation.bits_per_symbol()
+        match self.direction {
+            JobDirection::Uplink => self.users * self.modulation.bits_per_symbol(),
+            JobDirection::Downlink => 4 * self.users,
+        }
     }
 }
 
@@ -222,6 +232,7 @@ impl LoadGen {
                     weight: 0.7,
                     users: 16,
                     modulation: Modulation::Bpsk,
+                    direction: JobDirection::Uplink,
                     priority: Priority::Normal,
                     deadline: Deadline::Lte,
                 },
@@ -229,10 +240,81 @@ impl LoadGen {
                     weight: 0.3,
                     users: 8,
                     modulation: Modulation::Qpsk,
+                    direction: JobDirection::Uplink,
                     priority: Priority::Low,
                     deadline: Deadline::Wcdma,
                 },
             ],
+        }
+    }
+
+    /// The full-duplex variant of [`LoadGen::metro`]: each cell emits
+    /// both uplink detection jobs and downlink VPP precoding jobs,
+    /// with `downlink_fraction` of the arrival mass re-weighted onto
+    /// downlink twins of the metro classes. The direction rides the
+    /// class draw (no extra randomness), and every downlink job's
+    /// channel hash is direction-rekeyed ([`JobDirection::rekey`]), so
+    /// the two directions of one cell never coalesce even inside the
+    /// same coherence block. `downlink_fraction = 0` is bit-identical
+    /// to `metro` (tested).
+    ///
+    /// # Panics
+    /// Panics unless `downlink_fraction ∈ [0, 1]`.
+    pub fn full_duplex(
+        seed: u64,
+        num_cells: usize,
+        base_rate_per_us: f64,
+        downlink_fraction: f64,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&downlink_fraction),
+            "downlink fraction must be in [0, 1]"
+        );
+        let mut gen = Self::metro(seed, num_cells, base_rate_per_us);
+        let uplink = gen.classes.clone();
+        for class in &mut gen.classes {
+            class.weight *= 1.0 - downlink_fraction;
+        }
+        // Zero-weight classes are kept (weights enter the cumulative
+        // class draw, so dropping them would shift every class index
+        // and re-key unrelated streams).
+        gen.classes.extend(uplink.into_iter().map(|c| MixClass {
+            weight: c.weight * downlink_fraction,
+            direction: JobDirection::Downlink,
+            ..c
+        }));
+        gen
+    }
+
+    /// A flash-crowd preset: a flat baseline (no diurnal sweep)
+    /// punctuated by rare, violent bursts — a stadium letting out, 8×
+    /// the rate for ~8 ms at a time — over a single high-priority LTE
+    /// class. The stress test for shedding and deadline-aware closing.
+    pub fn flash_crowd(seed: u64, num_cells: usize, base_rate_per_us: f64) -> Self {
+        assert!(num_cells > 0, "need at least one cell");
+        LoadGen {
+            seed,
+            cells: (0..num_cells)
+                .map(|cell| CellProfile {
+                    cell,
+                    base_rate_per_us,
+                    coherence_us: 10_000.0,
+                })
+                .collect(),
+            diurnal: DiurnalCurve::flat(),
+            burst: BurstModel {
+                on_multiplier: 8.0,
+                mean_off_us: 40_000.0,
+                mean_on_us: 8_000.0,
+            },
+            classes: vec![MixClass {
+                weight: 1.0,
+                users: 16,
+                modulation: Modulation::Bpsk,
+                direction: JobDirection::Uplink,
+                priority: Priority::High,
+                deadline: Deadline::Lte,
+            }],
         }
     }
 
@@ -319,13 +401,18 @@ impl LoadGen {
                 .map(|(i, c)| (i, *c))
                 .unwrap_or((self.classes.len() - 1, self.classes[self.classes.len() - 1]));
             let (class_idx, class) = class;
-            // Re-key the hash per class: different problem shapes are
-            // different compiled problems and must not coalesce.
-            let hash = synthetic_channel_hash(profile.cell, t, profile.coherence_us)
-                ^ (class_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            // Re-key the hash per class and per direction: different
+            // problem shapes — and different directions over the same
+            // channel — are different compiled problems and must not
+            // coalesce.
+            let hash = class.direction.rekey(
+                synthetic_channel_hash(profile.cell, t, profile.coherence_us)
+                    ^ (class_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
             out.push(UserJob {
                 arrival_us: t,
                 cell: profile.cell,
+                direction: class.direction,
                 channel_hash: hash,
                 problems: 1,
                 logical_vars: class.logical_vars(),
@@ -411,6 +498,7 @@ mod tests {
                 weight: 1.0,
                 users: 16,
                 modulation: Modulation::Bpsk,
+                direction: JobDirection::Uplink,
                 priority: Priority::Normal,
                 deadline: Deadline::Lte,
             }],
@@ -419,5 +507,72 @@ mod tests {
         assert!(jobs.len() > 10);
         let first = jobs[0].channel_hash;
         assert!(jobs.iter().all(|j| j.channel_hash == first));
+    }
+
+    #[test]
+    fn full_duplex_is_bit_identical_per_seed() {
+        let gen = LoadGen::full_duplex(21, 3, 0.003, 0.4);
+        let a = gen.generate(200_000.0);
+        let b = gen.generate(200_000.0);
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "same seed, same full-duplex trace");
+    }
+
+    #[test]
+    fn full_duplex_zero_fraction_matches_metro() {
+        // The downlink classes are present but weightless, and weights
+        // enter only the cumulative threshold — so the trace is the
+        // metro trace, job for job.
+        let metro = LoadGen::metro(33, 3, 0.003).generate(200_000.0);
+        let duplex = LoadGen::full_duplex(33, 3, 0.003, 0.0).generate(200_000.0);
+        assert_eq!(metro, duplex);
+    }
+
+    #[test]
+    fn full_duplex_emits_both_directions_with_distinct_hashes() {
+        let jobs = LoadGen::full_duplex(5, 2, 0.004, 0.5).generate(300_000.0);
+        let up: Vec<_> = jobs
+            .iter()
+            .filter(|j| j.direction == JobDirection::Uplink)
+            .collect();
+        let down: Vec<_> = jobs
+            .iter()
+            .filter(|j| j.direction == JobDirection::Downlink)
+            .collect();
+        assert!(!up.is_empty() && !down.is_empty(), "both directions flow");
+        // A 50/50 split lands near half-and-half.
+        let f = down.len() as f64 / jobs.len() as f64;
+        assert!((0.35..=0.65).contains(&f), "downlink fraction {f}");
+        // No downlink hash ever equals an uplink hash — the session
+        // cache cannot alias directions.
+        let up_hashes: std::collections::BTreeSet<u64> =
+            up.iter().map(|j| j.channel_hash).collect();
+        assert!(down.iter().all(|j| !up_hashes.contains(&j.channel_hash)));
+        // Downlink problems carry the VPP shape.
+        assert!(down.iter().all(|j| j.logical_vars == 4 * j.users));
+    }
+
+    #[test]
+    fn flash_crowd_is_bit_identical_and_bursty() {
+        let gen = LoadGen::flash_crowd(17, 2, 0.002);
+        let a = gen.generate(400_000.0);
+        let b = gen.generate(400_000.0);
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "same seed, same flash-crowd trace");
+        assert!(a.iter().all(|j| j.priority == Priority::High));
+        // Burstiness: the busiest 10 ms window must far exceed the
+        // mean window's load (flat diurnal, so only bursts do this).
+        let window = 10_000.0;
+        let windows = (400_000.0 / window) as usize;
+        let mut counts = vec![0usize; windows];
+        for j in &a {
+            counts[((j.arrival_us / window) as usize).min(windows - 1)] += 1;
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        let mean = a.len() as f64 / windows as f64;
+        assert!(
+            max > 2.0 * mean,
+            "flash crowds must spike: max {max} vs mean {mean}"
+        );
     }
 }

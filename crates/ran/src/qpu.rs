@@ -46,6 +46,51 @@ pub fn channel_hash(h: &CMatrix) -> u64 {
     acc
 }
 
+/// Which way a job flows through the C-RAN: uplink frames are
+/// *detected* (`quamax_core::detect`), downlink frames are *precoded*
+/// (`quamax_core::precode`). The two workloads compile **different**
+/// programmed problems from the **same** channel estimate `H` — an
+/// uplink `DetectorSession` and a downlink `PrecoderSession` must
+/// never alias in a [`SessionCache`] or coalesce into one anneal
+/// batch, so the direction participates in every session/batch key
+/// via [`JobDirection::rekey`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum JobDirection {
+    /// Uplink detection (the original workload).
+    #[default]
+    Uplink,
+    /// Downlink vector-perturbation precoding.
+    Downlink,
+}
+
+impl JobDirection {
+    /// Folds this direction into a channel hash. Uplink is the
+    /// identity — every pre-existing uplink-only key, cache entry, and
+    /// bit-identity contract is unchanged — while downlink XORs a
+    /// fixed tag (the ASCII bytes of `"DOWNLINK"`), so the same `H`
+    /// yields two distinct, deterministic session keys.
+    pub fn rekey(self, hash: u64) -> u64 {
+        match self {
+            JobDirection::Uplink => hash,
+            JobDirection::Downlink => hash ^ 0x444F_574E_4C49_4E4B,
+        }
+    }
+
+    /// A short lowercase label for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobDirection::Uplink => "uplink",
+            JobDirection::Downlink => "downlink",
+        }
+    }
+}
+
+/// [`channel_hash`] with the job direction folded in — the key a
+/// direction-aware serving layer caches compiled sessions under.
+pub fn channel_hash_directed(h: &CMatrix, direction: JobDirection) -> u64 {
+    direction.rekey(channel_hash(h))
+}
+
 /// Hit/miss/eviction counters of a [`SessionCache`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -795,6 +840,37 @@ mod tests {
         // Shape participates: a 2×3 of the same data is a different key.
         let wide = CMatrix::from_fn(2, 3, |r, c| Complex::new(r as f64, c as f64));
         assert_ne!(channel_hash(&h), channel_hash(&wide));
+    }
+
+    #[test]
+    fn directions_never_alias_in_the_session_cache() {
+        use quamax_linalg::Complex;
+        // Regression: an uplink DetectorSession and a downlink
+        // PrecoderSession compiled from the *same* channel estimate
+        // must key differently, or a cache hit would hand the decoder
+        // a precoding program (and vice versa).
+        let h = CMatrix::from_fn(4, 4, |r, c| Complex::new(r as f64 + 1.0, c as f64));
+        let up = channel_hash_directed(&h, JobDirection::Uplink);
+        let down = channel_hash_directed(&h, JobDirection::Downlink);
+        assert_ne!(up, down, "directions must not alias");
+        assert_eq!(
+            up,
+            channel_hash(&h),
+            "uplink rekey is the identity (legacy keys unchanged)"
+        );
+        assert_eq!(down, JobDirection::Downlink.rekey(channel_hash(&h)));
+        // Through a real cache: the downlink lookup after an uplink
+        // program is a miss, never a hit.
+        let mut cache = SessionCache::new(1e9);
+        assert!(!cache.lookup(0.0, 7, up), "first sight programs");
+        assert!(cache.lookup(0.0, 7, up), "same direction hits");
+        assert!(
+            !cache.lookup(0.0, 7, down),
+            "opposite direction on the same H must reprogram"
+        );
+        assert_eq!(JobDirection::default(), JobDirection::Uplink);
+        assert_eq!(JobDirection::Uplink.name(), "uplink");
+        assert_eq!(JobDirection::Downlink.name(), "downlink");
     }
 
     #[test]

@@ -47,6 +47,7 @@
 use crate::broker::{Broker, JobId, JobState, UserJob};
 use crate::cost::{CostModel, DecodeCost};
 use crate::fault::ServeError;
+use crate::qpu::JobDirection;
 use crate::serve::{Job, Priority, ResilientServer, ServeRung};
 
 /// Close-rule comparisons tolerate this much float noise, µs.
@@ -250,6 +251,10 @@ impl ScheduleReport {
 #[derive(Clone, Debug)]
 struct OpenBatch {
     cell: usize,
+    /// Uplink or downlink — batches never mix directions: a detection
+    /// batch and a precoding batch program different problems even
+    /// from the same channel.
+    direction: JobDirection,
     hash: u64,
     members: Vec<JobId>,
     /// Combined subcarrier problems.
@@ -286,6 +291,7 @@ fn stricter(a: Priority, b: Priority) -> Priority {
 fn admission_job(j: &UserJob) -> Job {
     Job {
         source: j.cell,
+        direction: j.direction,
         channel_hash: Some(j.channel_hash),
         problems: j.problems,
         logical_vars: j.logical_vars,
@@ -444,11 +450,13 @@ impl BatchScheduler {
             self.dispatch(server, broker, t, batch, CloseTrigger::Full, report);
             return;
         }
-        // Coalescing key: same cell, same channel hash, and the same
-        // problem shape — jobs of a different user count/modulation
-        // compile to a different Ising problem and never share a batch.
+        // Coalescing key: same cell, same direction, same channel
+        // hash, and the same problem shape — jobs of a different
+        // direction or user count/modulation compile to a different
+        // Ising problem and never share a batch.
         match self.open.iter().position(|b| {
             b.cell == job.cell
+                && b.direction == job.direction
                 && b.hash == job.channel_hash
                 && b.logical_vars == job.logical_vars
                 && b.users == job.users
@@ -494,6 +502,7 @@ impl BatchScheduler {
         }
         let mut b = OpenBatch {
             cell: job.cell,
+            direction: job.direction,
             hash: job.channel_hash,
             members: vec![id],
             problems: job.problems,
@@ -595,6 +604,7 @@ impl BatchScheduler {
 
         let proto = Job {
             source: batch.cell,
+            direction: batch.direction,
             channel_hash: Some(batch.hash),
             problems: batch.problems,
             logical_vars: batch.logical_vars,
@@ -707,6 +717,7 @@ mod tests {
         UserJob {
             arrival_us,
             cell,
+            direction: JobDirection::Uplink,
             channel_hash: hash,
             problems: 1,
             logical_vars: 16,
@@ -805,6 +816,35 @@ mod tests {
             costed.usd_per_decode(),
             batched.usd_per_decode()
         );
+    }
+
+    #[test]
+    fn batches_never_mix_directions() {
+        // A full-duplex cell: uplink detections and downlink precodes
+        // against the same channel. Even with direction-distinct
+        // hashes equal (forced here), the direction field alone must
+        // keep the batches apart.
+        let mut server = pool(2);
+        let mut broker = Broker::new();
+        let arrivals: Vec<UserJob> = (0..8)
+            .map(|k| {
+                let mut j = user_job(10.0 + k as f64, 0, 0x1234, 5_000.0);
+                if k % 2 == 1 {
+                    j.direction = JobDirection::Downlink;
+                }
+                j
+            })
+            .collect();
+        let mut sched = BatchScheduler::new(SchedConfig::new(Policy::DeadlineBatch, 24));
+        let report = sched.run(&mut server, &mut broker, arrivals);
+        assert_eq!(report.completed(), 8);
+        assert!(broker.drained());
+        assert_eq!(
+            report.dispatches.len(),
+            2,
+            "one uplink batch + one downlink batch, never merged"
+        );
+        assert!(report.dispatches.iter().all(|d| d.occupancy == 4));
     }
 
     #[test]

@@ -20,7 +20,7 @@ use crate::breaker::CircuitBreaker;
 use crate::cpu::CpuPool;
 use crate::fault::{FaultClass, FaultPlan, ServeError};
 use crate::hybrid::HybridServer;
-use crate::qpu::QpuServer;
+use crate::qpu::{JobDirection, QpuServer};
 use crate::retry::RetryPolicy;
 
 /// A job's admission-control class.
@@ -128,8 +128,15 @@ impl Guardrails {
 pub struct Job {
     /// Source key (access-point id): scopes programming sessions.
     pub source: usize,
-    /// Channel-estimate hash for the session cache (`None` = use the
-    /// frame-counted coherence model).
+    /// Uplink detection or downlink precoding. The serving layer's
+    /// queueing treats both identically (anneals are anneals); the
+    /// direction matters because it is folded into `channel_hash`
+    /// upstream ([`crate::channel_hash_directed`]), so a detection
+    /// session and a precoding session from the same `H` never share
+    /// a cache entry or a batch.
+    pub direction: JobDirection,
+    /// Channel-estimate hash for the session cache, direction already
+    /// folded in (`None` = use the frame-counted coherence model).
     pub channel_hash: Option<u64>,
     /// Subcarrier problems in this frame.
     pub problems: usize,
@@ -811,6 +818,7 @@ mod tests {
     fn job(deadline_us: f64) -> Job {
         Job {
             source: 0,
+            direction: JobDirection::Uplink,
             channel_hash: None,
             problems: 1,
             logical_vars: 16,

@@ -1,12 +1,19 @@
-//! Deterministic discrete-event simulation of the C-RAN uplink.
+//! Deterministic discrete-event simulation of the C-RAN air interface
+//! — uplink detection and downlink precoding frames over one shared
+//! serving pool.
 //!
 //! Frames arrive periodically at each AP, cross the fronthaul, queue at
 //! the chosen data-center server (QPU or CPU pool), and are scored
 //! against their radio deadline on completion (including the return
-//! fronthaul hop for the ACK/feedback). The simulation answers §7's
-//! deployment question: with today's QPU overheads nothing meets a
-//! deadline; with an integrated device, QA decoding fits even Wi-Fi
-//! budgets for problems that parallelize on-chip.
+//! fronthaul hop for the ACK/feedback — or, for a downlink stream, the
+//! precoded samples heading back to the radio head). The simulation
+//! answers §7's deployment question: with today's QPU overheads nothing
+//! meets a deadline; with an integrated device, QA decoding fits even
+//! Wi-Fi budgets for problems that parallelize on-chip. A full-duplex
+//! cell is two [`AccessPoint`]s sharing an `id` with opposite
+//! [`JobDirection`](crate::qpu::JobDirection)s; their session keys
+//! never alias because every arm rekeys the synthetic channel hash by
+//! direction.
 
 use crate::broker::{Broker, JobState, UserJob};
 use crate::cpu::CpuPool;
@@ -165,6 +172,16 @@ pub fn synthetic_channel_hash(ap_id: usize, at_dc: f64, coherence_us: f64) -> u6
         .wrapping_add(interval)
 }
 
+/// [`synthetic_channel_hash`] with the AP's direction folded in
+/// ([`crate::qpu::JobDirection::rekey`]): a full-duplex cell's uplink and downlink
+/// streams observe the *same* physical channel per coherence interval,
+/// but compile different programmed problems from it, so their session
+/// keys must never alias.
+fn directed_synthetic_hash(ap: &AccessPoint, at_dc: f64, coherence_us: f64) -> u64 {
+    ap.direction
+        .rekey(synthetic_channel_hash(ap.id, at_dc, coherence_us))
+}
+
 /// A single-attempt success on `rung` — what the plain (unguarded)
 /// servers emit for every frame.
 fn served_once(rung: ServeRung) -> FrameOutcome {
@@ -247,7 +264,7 @@ impl Simulation {
                         // its boundary, so the cache reprograms exactly
                         // when the channel moves.
                         Some(coherence_us) => {
-                            let hash = synthetic_channel_hash(ap.id, at_dc, coherence_us);
+                            let hash = directed_synthetic_hash(ap, at_dc, coherence_us);
                             q.enqueue_channel(
                                 at_dc,
                                 ap.id,
@@ -285,9 +302,10 @@ impl Simulation {
                     // contract), same per-AP session keying.
                     let hash = r
                         .coherence_us()
-                        .map(|c| synthetic_channel_hash(ap.id, at_dc, c));
+                        .map(|c| directed_synthetic_hash(ap, at_dc, c));
                     let job = Job {
                         source: ap.id,
+                        direction: ap.direction,
                         channel_hash: hash,
                         problems: ap.problems_per_frame(),
                         logical_vars: ap.logical_vars(),
@@ -350,15 +368,16 @@ impl Simulation {
                 let ap = &self.aps[idx];
                 let at_dc = arrival + hop;
                 let hash = match coherence {
-                    Some(c) => synthetic_channel_hash(ap.id, at_dc, c),
+                    Some(c) => directed_synthetic_hash(ap, at_dc, c),
                     // No session cache: the hash degenerates to a
                     // per-AP constant (enqueue_channel falls back to
                     // keyed dispatch, and batching still coalesces).
-                    None => synthetic_channel_hash(ap.id, 0.0, 1.0),
+                    None => directed_synthetic_hash(ap, 0.0, 1.0),
                 };
                 UserJob {
                     arrival_us: at_dc,
                     cell: ap.id,
+                    direction: ap.direction,
                     channel_hash: hash,
                     problems: ap.problems_per_frame(),
                     logical_vars: ap.logical_vars(),
@@ -415,7 +434,7 @@ impl Simulation {
 mod tests {
     use super::*;
     use crate::cpu::CpuPolicy;
-    use crate::qpu::QpuOverheads;
+    use crate::qpu::{JobDirection, QpuOverheads};
     use crate::topology::Deadline;
     use quamax_wireless::Modulation;
 
@@ -424,6 +443,7 @@ mod tests {
             id,
             users: 16,
             modulation: Modulation::Bpsk,
+            direction: JobDirection::Uplink,
             subcarriers: 50,
             frame_interval_us: interval_us,
             deadline: Deadline::WifiAck,
@@ -519,6 +539,7 @@ mod tests {
             id: 0,
             users: 48,
             modulation: Modulation::Bpsk,
+            direction: JobDirection::Uplink,
             subcarriers: 50,
             frame_interval_us: 2_000.0,
             deadline: Deadline::Lte,
@@ -593,6 +614,7 @@ mod tests {
             id: 0,
             users: 30,
             modulation: Modulation::Bpsk,
+            direction: JobDirection::Uplink,
             subcarriers: 50,
             frame_interval_us: 4_000.0,
             deadline: Deadline::Lte,
@@ -849,6 +871,68 @@ mod tests {
         assert!(
             report.deadline_rate() > 0.9,
             "LTE slack leaves room to batch: rate {}",
+            report.deadline_rate()
+        );
+        let Server::Brokered(b) = sim.server() else {
+            unreachable!();
+        };
+        assert!(b.server.ledger().conserved());
+        assert_eq!(b.server.ledger().in_flight(), 0);
+    }
+
+    #[test]
+    fn full_duplex_cell_serves_both_directions_from_one_pool() {
+        use crate::fault::FaultPlan;
+        use crate::sched::{Policy, SchedConfig};
+        use crate::serve::{Guardrails, ResilientServer};
+        // One cell, both directions: an uplink detection stream and a
+        // downlink VPP stream share the cell id (and hence the same
+        // physical channel schedule) but carry opposite directions, so
+        // the scheduler may never coalesce them into one batch and the
+        // session cache must hold two distinct compiled sessions per
+        // coherence interval.
+        let qpu =
+            || QpuServer::new(QpuOverheads::integrated(), 2.0, 3).with_session_cache(30_000.0);
+        let server = ResilientServer::new(
+            vec![qpu(), qpu()],
+            CpuPool::new(
+                8,
+                CpuPolicy::ZeroForcing {
+                    vectors_per_channel: 1,
+                },
+            ),
+            FaultPlan::quiet(41),
+            Guardrails::on(),
+        );
+        let uplink = AccessPoint {
+            deadline: Deadline::Lte,
+            ..wifi_ap(0, 400.0)
+        };
+        let downlink = AccessPoint {
+            direction: JobDirection::Downlink,
+            ..uplink.clone()
+        };
+        assert_ne!(uplink.logical_vars(), downlink.logical_vars());
+        let mut sim = Simulation::new(
+            vec![uplink, downlink],
+            FronthaulConfig {
+                one_way_latency_us: 2.0,
+            },
+            Server::Brokered(Box::new(BrokeredServer {
+                server,
+                config: SchedConfig::new(Policy::DeadlineBatch, 8),
+            })),
+        );
+        let report = sim.run(20_000.0);
+        // Both streams emit 50 frames and every frame has a fate.
+        assert_eq!(report.frames.len(), 100);
+        assert_eq!(
+            report.served_count() + report.shed_count() + report.failed_count(),
+            report.frames.len(),
+        );
+        assert!(
+            report.deadline_rate() >= 0.85,
+            "full-duplex LTE load should still fit: rate {}",
             report.deadline_rate()
         );
         let Server::Brokered(b) = sim.server() else {

@@ -1,5 +1,6 @@
 //! C-RAN topology: access points, fronthaul, radio deadlines.
 
+use crate::qpu::JobDirection;
 use quamax_wireless::Modulation;
 
 /// Physical-layer feedback deadlines by radio technology (§1):
@@ -27,30 +28,45 @@ impl Deadline {
     }
 }
 
-/// One access point's uplink load.
+/// One access point's frame stream in one direction: uplink frames
+/// need detection, downlink frames need precoding. A full-duplex cell
+/// is modeled as two `AccessPoint`s sharing an `id` with opposite
+/// `direction`s.
 #[derive(Clone, Debug)]
 pub struct AccessPoint {
-    /// Identifier (unique within a simulation).
+    /// Identifier (unique per cell within a simulation; an uplink and
+    /// a downlink stream of the same cell share it).
     pub id: usize,
     /// Concurrent single-antenna users (= AP antennas, `Nr = Nt`).
     pub users: usize,
     /// Modulation in use.
     pub modulation: Modulation,
-    /// OFDM subcarriers per frame — each needs its own ML decode (§3.2).
+    /// Uplink detection (the default) or downlink precoding.
+    pub direction: JobDirection,
+    /// OFDM subcarriers per frame — each needs its own ML decode (§3.2)
+    /// or VPP precode.
     pub subcarriers: usize,
-    /// Uplink frame inter-arrival time at this AP, µs.
+    /// Frame inter-arrival time at this AP, µs.
     pub frame_interval_us: f64,
-    /// The radio technology's decode deadline.
+    /// The radio technology's processing deadline.
     pub deadline: Deadline,
 }
 
 impl AccessPoint {
-    /// Logical Ising variables per subcarrier problem: `Nt·log₂|O|`.
+    /// Logical Ising variables per subcarrier problem.
+    ///
+    /// Uplink detection reduces to `Nt·log₂|O|` variables; downlink
+    /// VPP expands each of the `2·Nu` real perturbation dimensions
+    /// into 1 magnitude bit + 1 sign bit (the `t = 1` encoding the
+    /// serving benches use), i.e. `4·Nu` variables.
     pub fn logical_vars(&self) -> usize {
-        self.users * self.modulation.bits_per_symbol()
+        match self.direction {
+            JobDirection::Uplink => self.users * self.modulation.bits_per_symbol(),
+            JobDirection::Downlink => 4 * self.users,
+        }
     }
 
-    /// Decode problems per frame (one per subcarrier).
+    /// Problems per frame (one per subcarrier), either direction.
     pub fn problems_per_frame(&self) -> usize {
         self.subcarriers
     }
@@ -89,12 +105,20 @@ mod tests {
             id: 0,
             users: 14,
             modulation: Modulation::Qpsk,
+            direction: JobDirection::Uplink,
             subcarriers: 50,
             frame_interval_us: 1_000.0,
             deadline: Deadline::Lte,
         };
         assert_eq!(ap.logical_vars(), 28);
         assert_eq!(ap.problems_per_frame(), 50);
+        // The downlink twin precodes 2·14 real dims × 2 bits each.
+        let down = AccessPoint {
+            direction: JobDirection::Downlink,
+            ..ap
+        };
+        assert_eq!(down.logical_vars(), 56);
+        assert_eq!(down.problems_per_frame(), 50);
     }
 
     #[test]

@@ -29,8 +29,9 @@
 use proptest::prelude::*;
 use quamax_ran::{
     AccessPoint, BatchScheduler, Broker, CloseTrigger, CpuPolicy, CpuPool, Deadline, FaultPlan,
-    FaultRates, FronthaulConfig, Guardrails, Job, JobState, LoadGen, Policy, Priority,
-    QpuOverheads, QpuServer, ResilientServer, SchedConfig, ServeError, Server, Simulation, UserJob,
+    FaultRates, FronthaulConfig, Guardrails, Job, JobDirection, JobState, LoadGen, Policy,
+    Priority, QpuOverheads, QpuServer, ResilientServer, SchedConfig, ServeError, Server,
+    Simulation, UserJob,
 };
 use quamax_wireless::Modulation;
 
@@ -52,6 +53,7 @@ fn lte_ap(id: usize) -> AccessPoint {
         id,
         users: 16,
         modulation: Modulation::Bpsk,
+        direction: JobDirection::Uplink,
         subcarriers: 50,
         frame_interval_us: 1_000.0,
         deadline: Deadline::Lte,
@@ -92,6 +94,7 @@ proptest! {
         for (k, &p) in priorities.iter().enumerate() {
             let job = Job {
                 source: k % 3,
+                direction: JobDirection::Uplink,
                 channel_hash: None,
                 problems: 1 + k % 50,
                 logical_vars: 16,
@@ -282,6 +285,62 @@ proptest! {
         }
     }
 
+    /// The full-duplex mix holds the same determinism contract as
+    /// `metro` — bit-identical per seed, different across seeds — for
+    /// any downlink ratio, and degenerates to `metro` exactly at
+    /// ratio 0. Every emitted downlink job carries a session key that
+    /// no uplink job of the trace shares (the direction rekey), and
+    /// sizes its problems as the VPP `4·Nu` encoding.
+    #[test]
+    fn full_duplex_load_is_deterministic_and_never_aliases_directions(
+        seed in 0u64..1_000_000,
+        cells in 1usize..4,
+        rate in 0.0005f64..0.01,
+        fraction in 0.0f64..1.0,
+    ) {
+        let a = LoadGen::full_duplex(seed, cells, rate, fraction).generate(25_000.0);
+        let b = LoadGen::full_duplex(seed, cells, rate, fraction).generate(25_000.0);
+        prop_assert_eq!(&a, &b, "same seed must replay the same trace");
+        let other = LoadGen::full_duplex(seed ^ 0x5EED, cells, rate, fraction).generate(25_000.0);
+        if !a.is_empty() && !other.is_empty() {
+            prop_assert_ne!(&a, &other, "different seeds must differ");
+        }
+        let metro = LoadGen::metro(seed, cells, rate).generate(25_000.0);
+        if fraction == 0.0 {
+            prop_assert_eq!(&a, &metro, "ratio 0 must be metro bit for bit");
+        }
+        let up: std::collections::HashSet<u64> = a
+            .iter()
+            .filter(|j| j.direction == JobDirection::Uplink)
+            .map(|j| j.channel_hash)
+            .collect();
+        for j in a.iter().filter(|j| j.direction == JobDirection::Downlink) {
+            prop_assert!(
+                !up.contains(&j.channel_hash),
+                "a downlink session key aliased an uplink one: {:#x}",
+                j.channel_hash
+            );
+            prop_assert_eq!(j.logical_vars, 4 * j.users);
+        }
+    }
+
+    /// The flash-crowd preset is bit-identical per seed and different
+    /// across seeds, like every other generator.
+    #[test]
+    fn flash_crowd_load_is_deterministic(
+        seed in 0u64..1_000_000,
+        cells in 1usize..4,
+        rate in 0.0005f64..0.01,
+    ) {
+        let a = LoadGen::flash_crowd(seed, cells, rate).generate(25_000.0);
+        let b = LoadGen::flash_crowd(seed, cells, rate).generate(25_000.0);
+        prop_assert_eq!(&a, &b, "same seed must replay the same trace");
+        let other = LoadGen::flash_crowd(seed ^ 0x5EED, cells, rate).generate(25_000.0);
+        if !a.is_empty() && !other.is_empty() {
+            prop_assert_ne!(&a, &other, "different seeds must differ");
+        }
+    }
+
     /// Brokered batch-of-1 Fifo scheduling replays the unbrokered
     /// `ResilientServer::submit` path bit for bit — same completion
     /// times, same attempts, same rungs, same ledger — across random
@@ -307,6 +366,7 @@ proptest! {
             .map(|k| UserJob {
                 arrival_us: 400.0 * (k / 3) as f64,
                 cell: k % 3,
+                direction: JobDirection::Uplink,
                 channel_hash: 0xABCD ^ (k % 3) as u64,
                 problems: 1 + k % 8,
                 logical_vars: 16,
@@ -327,6 +387,7 @@ proptest! {
             .map(|j| {
                 let job = Job {
                     source: j.cell,
+                    direction: j.direction,
                     channel_hash: Some(j.channel_hash),
                     problems: j.problems,
                     logical_vars: j.logical_vars,
@@ -384,6 +445,7 @@ fn ledger_conserves_through_admit_and_collapses_when_drained() {
     );
     let job = Job {
         source: 0,
+        direction: JobDirection::Uplink,
         channel_hash: Some(0xFEED),
         problems: 2,
         logical_vars: 16,

@@ -83,9 +83,11 @@ pub mod prelude {
     pub use quamax_baselines::{MmseDetector, SphereDecoder, ZeroForcingDetector};
     pub use quamax_core::metrics::{percentile, BitErrorProfile, RunStatistics};
     pub use quamax_core::{
-        measured_fallback_fraction, CodedFrame, DecodeSession, DecoderConfig, Detection,
-        DetectionInput, Detector, DetectorKind, DetectorSession, IddOutcome, IddSpec,
-        QuamaxDecoder, RoutePolicy, Scenario, SoftDetection, SoftDetectorSession, SoftSpec,
+        fold_mod_tau, measured_fallback_fraction, tau_for, CodedFrame, DecodeSession,
+        DecoderConfig, Detection, DetectionInput, Detector, DetectorKind, DetectorSession,
+        IddOutcome, IddSpec, PrecodeInput, PrecodePolicy, Precoder, PrecoderKind, PrecoderSession,
+        Precoding, QuamaxDecoder, RoutePolicy, Scenario, SoftDetection, SoftDetectorSession,
+        SoftSpec,
     };
     pub use quamax_linalg::{CMatrix, CVector, Complex};
     pub use quamax_wireless::{Modulation, Snr};

@@ -4,7 +4,8 @@
 
 use quamax::prelude::*;
 use quamax::ran::{
-    AccessPoint, Deadline, FronthaulConfig, QpuOverheads, QpuServer, Server, Simulation,
+    AccessPoint, Deadline, FronthaulConfig, JobDirection, QpuOverheads, QpuServer, Server,
+    Simulation,
 };
 use quamax::wireless::fer_from_ber;
 
@@ -37,6 +38,7 @@ fn measured_anneal_budget_feeds_the_deadline_model() {
         id: 0,
         users: 16,
         modulation: Modulation::Bpsk,
+        direction: JobDirection::Uplink,
         subcarriers: 50,
         frame_interval_us: 1_000.0,
         deadline: Deadline::WifiAck,
