@@ -24,9 +24,23 @@ use quamax_ran::{
     AccessPoint, CpuPolicy, CpuPool, Deadline, FaultPlan, FaultRates, FronthaulConfig, Guardrails,
     JobDirection, QpuOverheads, QpuServer, ResilientServer, Server, SimReport, Simulation,
 };
+use quamax_telemetry::Histogram;
 use quamax_wireless::Modulation;
 
 const SWEEP: [f64; 5] = [0.0, 0.01, 0.02, 0.04, 0.08];
+
+/// Served-frame latency quantiles through the shared telemetry
+/// [`Histogram`] (exact nearest-rank, same rule as
+/// `ScheduleReport::latency_quantile_us`).
+fn latency_histogram(report: &SimReport) -> Histogram {
+    let mut h = Histogram::new();
+    for f in &report.frames {
+        if f.outcome.is_served() {
+            h.observe(f.latency_us);
+        }
+    }
+    h
+}
 
 fn ap(id: usize) -> AccessPoint {
     AccessPoint {
@@ -141,9 +155,10 @@ fn main() {
                 srv.breaker_trips(),
                 report.shed_count(),
                 report.failed_count(),
+                latency_histogram(&report),
             ));
         }
-        let (g, u) = (stats[0], stats[1]);
+        let (g, u) = (&stats[0], &stats[1]);
         println!(
             "{rate:<10} {:>14.4} {:>16.1} {:>14.4} {:>16.1} {:>8} {:>7} {:>7}",
             g.0, g.1, u.0, u.1, g.2, g.3, g.4
@@ -151,7 +166,7 @@ fn main() {
         if rate == SWEEP[SWEEP.len() - 1] {
             stress = Some((g.0, u.0));
         }
-        let arm = |s: (f64, f64, u64, u64, usize, usize)| {
+        let arm = |s: &(f64, f64, u64, u64, usize, usize, Histogram)| {
             serde_json::json!({
                 "deadline_rate": s.0,
                 "goodput_bits_per_ms": s.1,
@@ -159,6 +174,9 @@ fn main() {
                 "breaker_trips": s.3,
                 "shed_frames": s.4,
                 "failed_frames": s.5,
+                "latency_p50_us": s.6.quantile(0.5),
+                "latency_p99_us": s.6.quantile(0.99),
+                "latency_p999_us": s.6.quantile(0.999),
             })
         };
         rows.push(serde_json::json!({

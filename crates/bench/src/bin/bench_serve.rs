@@ -26,9 +26,10 @@
 
 use quamax_bench::Args;
 use quamax_ran::{
-    BatchScheduler, Broker, CostModel, CpuPolicy, CpuPool, FaultPlan, Guardrails, LoadGen, Policy,
-    QpuOverheads, QpuServer, ResilientServer, SchedConfig, ScheduleReport,
+    BatchScheduler, Broker, CostModel, CpuPolicy, CpuPool, FaultPlan, Guardrails, JobState,
+    LoadGen, Policy, QpuOverheads, QpuServer, ResilientServer, SchedConfig, ScheduleReport,
 };
+use quamax_telemetry::Histogram;
 
 /// Offered aggregate load, jobs/µs across all cells (FIFO capacity of
 /// the two-worker pool is ≈ 0.015 jobs/µs, so the sweep runs from
@@ -64,6 +65,28 @@ fn server(seed: u64) -> ResilientServer {
         FaultPlan::quiet(seed),
         Guardrails::on(),
     )
+}
+
+/// Served-job latency quantiles through the shared telemetry
+/// [`Histogram`] — and a proof obligation: the histogram's exact
+/// nearest-rank extraction must reproduce the report's historical
+/// `latency_quantile_us` path bit for bit at every quantile we emit.
+fn latency_histogram(report: &ScheduleReport) -> Histogram {
+    let mut h = Histogram::new();
+    for o in &report.outcomes {
+        if o.state == JobState::Completed {
+            h.observe(o.latency_us);
+        }
+    }
+    for q in [0.5, 0.99, 0.999] {
+        assert_eq!(
+            h.quantile(q).to_bits(),
+            report.latency_quantile_us(q).to_bits(),
+            "telemetry histogram p{} diverged from ScheduleReport",
+            q * 1000.0
+        );
+    }
+    h
 }
 
 fn policy_name(policy: Policy) -> &'static str {
@@ -129,14 +152,15 @@ fn main() {
             let report = run_one(seed, rate, horizon_us, policy);
             let ddl = report.deadline_rate();
             let occ = report.mean_occupancy();
+            let latency = latency_histogram(&report);
             println!(
                 "{rate:<10} {:<16} {:>6} {:>9.4} {:>8.1} {:>8.1} {:>9.1} {:>7.2} {:>11.6} {:>10.4}",
                 policy_name(policy),
                 report.outcomes.len(),
                 ddl,
-                report.latency_quantile_us(0.5),
-                report.latency_quantile_us(0.99),
-                report.latency_quantile_us(0.999),
+                latency.quantile(0.5),
+                latency.quantile(0.99),
+                latency.quantile(0.999),
                 occ,
                 report.usd_per_decode(),
                 report.joules_per_decode(),
@@ -156,9 +180,9 @@ fn main() {
                 "shed": report.shed(),
                 "failed": report.failed(),
                 "deadline_rate": ddl,
-                "latency_p50_us": report.latency_quantile_us(0.5),
-                "latency_p99_us": report.latency_quantile_us(0.99),
-                "latency_p999_us": report.latency_quantile_us(0.999),
+                "latency_p50_us": latency.quantile(0.5),
+                "latency_p99_us": latency.quantile(0.99),
+                "latency_p999_us": latency.quantile(0.999),
                 "mean_batch_occupancy": occ,
                 "dispatches": report.dispatches.len(),
                 "usd_per_decode": report.usd_per_decode(),

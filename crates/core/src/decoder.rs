@@ -25,6 +25,7 @@ use quamax_chimera::{
 };
 use quamax_ising::{spins_to_bits, CompiledProblem, IsingProblem};
 use quamax_linalg::{CMatrix, CVector};
+use quamax_telemetry::Telemetry;
 use quamax_wireless::gray::quamax_bits_to_gray;
 use quamax_wireless::Modulation;
 use rand::rngs::StdRng;
@@ -78,6 +79,11 @@ pub struct QuamaxDecoder {
     annealer: Annealer,
     graph: ChimeraGraph,
     config: DecoderConfig,
+    /// Pipeline-stage metrics sink, threaded into every compiled
+    /// session. Recording counts stages and models anneal time from
+    /// the schedule — it reads no wall clock and draws no randomness,
+    /// so decodes are bit-identical with telemetry on or off.
+    telemetry: Telemetry,
 }
 
 impl QuamaxDecoder {
@@ -87,6 +93,7 @@ impl QuamaxDecoder {
             annealer,
             graph: ChimeraGraph::dw2q_ideal(),
             config,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -96,7 +103,21 @@ impl QuamaxDecoder {
             annealer,
             graph,
             config,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle; sessions compiled afterwards
+    /// inherit it.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The attached telemetry handle.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Current configuration.
@@ -188,7 +209,12 @@ impl QuamaxDecoder {
             let h_y = h_herm.mul_vec(&input.y);
             ising_from_ml_amortized(&input.h, &gram, &h_y, &input.y, input.modulation)
         };
+        self.telemetry.counter_inc(
+            "quamax_core_reduce_total",
+            &[("modulation", input.modulation.name())],
+        );
         let embedding = CliqueEmbedding::new(&self.graph, logical.num_spins())?;
+        self.telemetry.counter_inc("quamax_core_embed_total", &[]);
         let embedded =
             EmbeddedProblem::compile(&self.graph, &embedding, &logical, self.config.embed);
         // Freeze the programmed problem into the annealer's CSR kernel
@@ -215,8 +241,11 @@ impl QuamaxDecoder {
         }
         let chain_len = embedded.chains().first().map_or(1, Vec::len) as f64;
         let scratch = base.clone();
+        self.telemetry
+            .counter_inc("quamax_core_csr_freeze_total", &[]);
         Ok(DecodeSession {
             inner: SessionInner {
+                telemetry: self.telemetry.clone(),
                 annealer: self.annealer.clone(),
                 config: self.config,
                 modulation: input.modulation,
@@ -254,6 +283,9 @@ pub struct DecodeSession {
 
 /// The shared, read-only part of a session (what batch workers borrow).
 struct SessionInner {
+    /// Inherited from the compiling decoder ([`Telemetry`] is a cheap
+    /// shared handle, safe to record through from batch workers).
+    telemetry: Telemetry,
     annealer: Annealer,
     config: DecoderConfig,
     modulation: Modulation,
@@ -315,6 +347,8 @@ impl SessionInner {
         for &(k, i, j) in &self.slots {
             scratch.set_entry_weight(k as usize, logical.coupling(i as usize, j as usize) * scale);
         }
+        self.telemetry
+            .counter_inc("quamax_core_field_refresh_total", &[]);
         (logical, offset)
     }
 
@@ -369,6 +403,14 @@ impl SessionInner {
             }
         };
 
+        self.telemetry
+            .counter_add("quamax_core_anneals_total", &[], num_anneals as u64);
+        self.telemetry.observe(
+            "quamax_core_anneal_modeled_us",
+            &[],
+            num_anneals as f64 * schedule.total_time_us(),
+        );
+
         // Unembed each physical sample; track chain-break statistics.
         let mut logical_samples = Vec::with_capacity(samples.len());
         let mut broken = 0usize;
@@ -377,6 +419,8 @@ impl SessionInner {
             broken += out.broken_chains;
             logical_samples.push(out.logical);
         }
+        self.telemetry
+            .counter_add("quamax_core_unembed_total", &[], samples.len() as u64);
         let distribution = SolutionDistribution::from_samples(&logical, &logical_samples);
         let total_chains = logical.num_spins().max(1) * samples.len().max(1);
 

@@ -248,6 +248,30 @@ impl Broker {
         self.census
     }
 
+    /// Publishes the census through `telemetry`:
+    /// `quamax_broker_census_total{state=…}` absolute counters plus an
+    /// in-flight gauge. Snapshot-time publication — [`Broker::census`]
+    /// stays the plain accessor; this is a view over it, never a
+    /// replacement, and a disabled handle makes it a no-op.
+    pub fn publish_telemetry(&self, telemetry: &quamax_telemetry::Telemetry) {
+        if !telemetry.is_enabled() {
+            return;
+        }
+        let c = self.census;
+        for (state, value) in [
+            ("submitted", c.submitted),
+            ("queued", c.queued),
+            ("batched", c.batched),
+            ("running", c.running),
+            ("completed", c.completed),
+            ("shed", c.shed),
+            ("failed", c.failed),
+        ] {
+            telemetry.counter_store("quamax_broker_census_total", &[("state", state)], value);
+        }
+        telemetry.gauge_set("quamax_broker_in_flight", &[], c.in_flight() as f64);
+    }
+
     /// Whether every job has reached a terminal state (queues empty,
     /// nothing batched or running) — what a drained pipeline looks
     /// like.

@@ -145,6 +145,59 @@
 //!   directions. The `bench_vpp` binary closes the loop: BER-vs-SNR
 //!   for annealed VPP vs ZF/THP, and scheduler deadline rates under
 //!   the mixed load, written to `BENCH_vpp.json`.
+//!
+//! # DESIGN §Observability
+//!
+//! Every layer above records into the `quamax_telemetry` registry —
+//! a [`Telemetry`] handle that is a one-branch no-op when disabled
+//! and, crucially, **keyed on simulated time only**: recording reads
+//! no wall clock and draws no randomness, so every bit-identity
+//! contract in this crate (Fifo replay, zero-fault identity, seeded
+//! determinism) holds with telemetry on (tested: contract 8 in
+//! `tests/properties.rs`). The naming scheme, label-cardinality
+//! rules, histogram mechanics, and exporter formats are documented in
+//! the `quamax_telemetry` crate; attach a handle with
+//! [`Simulation::with_telemetry`] (it fans out through the serving
+//! stack) or per component via `with_telemetry`/`set_telemetry`.
+//!
+//! Metrics emitted by this crate:
+//!
+//! | series | type | labels | recorded |
+//! |---|---|---|---|
+//! | `quamax_qpu_program_us` | histogram | `cell` | per enqueue ([`qpu::StageBreakdown`]) |
+//! | `quamax_qpu_anneal_us` | histogram | `cell` | per enqueue |
+//! | `quamax_qpu_readout_us` | histogram | `cell` | per enqueue |
+//! | `quamax_qpu_unembed_us` | histogram | `cell` | per enqueue (reported-only, never charged) |
+//! | `quamax_qpu_queue_wait_us` | histogram | `cell` | span: arrival → service start |
+//! | `quamax_qpu_warm_retry_us` | histogram | — | warm reverse-anneal restarts |
+//! | `quamax_qpu_occupancy_us` | histogram | — | stall/occupancy charges |
+//! | `quamax_qpu_jobs_total` | counter | `cell` | per enqueue |
+//! | `quamax_qpu_programs_total` | counter | `cell`, `kind`=`cold`\|`cached` | session-cache outcome |
+//! | `quamax_cache_{hits,misses,evictions}_total`, `quamax_cache_entries` | counter/gauge | caller labels | snapshot: [`SessionCache::publish_telemetry`] |
+//! | `quamax_serve_submitted_total` | counter | `direction`, `priority` | per submit/admit |
+//! | `quamax_serve_shed_total` | counter | `priority` | per shed decision |
+//! | `quamax_serve_served_total` | counter | `rung` | per completed serve |
+//! | `quamax_serve_retries_total` | counter | `outcome`=`funded`\|`denied` | per retry-funding decision |
+//! | `quamax_serve_restarts_total` | counter | `kind`=`warm`\|`cold` | per funded retry |
+//! | `quamax_serve_attempts` | histogram | — | per completed serve |
+//! | `quamax_serve_ledger_total`, `quamax_serve_in_flight` | counter/gauge | `state` | snapshot: [`ResilientServer::publish_telemetry`] |
+//! | `quamax_serve_faults_total` | counter | `class` | snapshot (fault-plan census) |
+//! | `quamax_breaker_transitions_total` | counter | `to`=`open` | closed→open trips, event-time |
+//! | `quamax_breaker_trips_total` | counter | `worker` | snapshot, per worker |
+//! | `quamax_sched_batches_total` | counter | `trigger`=`full`\|`slack`\|`drain` | per dispatch |
+//! | `quamax_sched_batch_occupancy` | histogram | — | per dispatch |
+//! | `quamax_sched_slack_at_close_us` | histogram | — | per dispatch |
+//! | `quamax_sched_reservation_us` | histogram | — | per reservation grow |
+//! | `quamax_sched_open_batches` | histogram | — | per ingest |
+//! | `quamax_broker_census_total`, `quamax_broker_in_flight` | counter/gauge | `state` | snapshot: [`Broker::publish_telemetry`] |
+//! | `quamax_sim_frames_total` | counter | `outcome` | end of run |
+//! | `quamax_sim_frame_latency_us` | histogram | `cell` | end of run, served frames |
+//! | `quamax_sim_deadline_rate` | gauge | — | end of run |
+//!
+//! (`quamax_core_*` pipeline counters — reduce, embed, CSR freeze,
+//! field refresh, anneals, unembed — live in `quamax_core::decoder`.)
+//!
+//! [`Telemetry`]: quamax_telemetry::Telemetry
 
 pub mod breaker;
 pub mod broker;

@@ -18,6 +18,7 @@
 use crate::fault::ServeError;
 use quamax_chimera::parallelization;
 use quamax_linalg::CMatrix;
+use quamax_telemetry::Telemetry;
 
 /// A stable 64-bit fingerprint of a channel estimate — the key a
 /// compiled decode session is cached under. Two frames whose estimated
@@ -230,6 +231,18 @@ impl SessionCache {
         self.stats
     }
 
+    /// Publishes the cache counters into a metrics registry under the
+    /// given labels (snapshot-time collection; [`stats`] stays the
+    /// programmatic accessor).
+    ///
+    /// [`stats`]: SessionCache::stats
+    pub fn publish_telemetry(&self, t: &Telemetry, labels: &[(&str, &str)]) {
+        t.counter_store("quamax_cache_hits_total", labels, self.stats.hits);
+        t.counter_store("quamax_cache_misses_total", labels, self.stats.misses);
+        t.counter_store("quamax_cache_evictions_total", labels, self.stats.evictions);
+        t.gauge_set("quamax_cache_entries", labels, self.entries.len() as f64);
+    }
+
     /// Live cached sessions.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -278,6 +291,35 @@ impl QpuOverheads {
     }
 }
 
+/// Nominal host-side unembedding cost per subcarrier problem, µs —
+/// *reported only*. Majority-vote unembedding is pipelined on the host
+/// while the chip anneals the next wave, so the paper's service-time
+/// model (and [`QpuServer::amortized_service_time_us`]) never charges
+/// it; the telemetry breakdown still reports it so the stage table is
+/// complete.
+pub const NOMINAL_UNEMBED_US_PER_PROBLEM: f64 = 0.05;
+
+/// The per-stage decomposition of one frame's modeled service time —
+/// what the telemetry spans record per enqueue.
+///
+/// `program_us + anneal_us + readout_us` reproduces
+/// [`QpuServer::amortized_service_time_us`] up to floating-point
+/// association (the service-time formula itself is unchanged and stays
+/// the single source of truth for the simulation clock); `unembed_us`
+/// is reported only and never enters any latency (see
+/// [`NOMINAL_UNEMBED_US_PER_PROBLEM`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StageBreakdown {
+    /// Host preprocessing + chip programming (zero on a cached frame).
+    pub program_us: f64,
+    /// On-chip anneal cycles across all batches.
+    pub anneal_us: f64,
+    /// Per-anneal readout across all batches.
+    pub readout_us: f64,
+    /// Pipelined host unembedding (reported only, never charged).
+    pub unembed_us: f64,
+}
+
 /// A QPU serving decode jobs FIFO.
 ///
 /// With [`QpuServer::with_coherence`], the server models the
@@ -306,6 +348,9 @@ pub struct QpuServer {
     cache: Option<SessionCache>,
     /// Time at which the server frees up (simulation clock, µs).
     busy_until_us: f64,
+    /// Metrics handle (disabled by default; recording never feeds back
+    /// into service times, so enabling it cannot perturb the clock).
+    telemetry: Telemetry,
 }
 
 impl QpuServer {
@@ -324,7 +369,26 @@ impl QpuServer {
             frames_served: Vec::new(),
             cache: None,
             busy_until_us: 0.0,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a metrics handle; enqueues record per-stage spans
+    /// (queue wait, program, anneal, readout, unembed) into it.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Replaces the metrics handle in place (how a serving pool
+    /// propagates one registry across its workers).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The attached metrics handle (disabled unless configured).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Amortizes preprocessing + programming over `frames` consecutive
@@ -396,6 +460,62 @@ impl QpuServer {
         overhead + batches * per_batch
     }
 
+    /// Decomposes one frame's modeled service into telemetry stages
+    /// (see [`StageBreakdown`] for the relationship to
+    /// [`QpuServer::amortized_service_time_us`]).
+    pub fn stage_breakdown(
+        &self,
+        problems: usize,
+        logical_vars: usize,
+        program: bool,
+    ) -> StageBreakdown {
+        let pf = parallelization(logical_vars).max(1);
+        let batches = problems.div_ceil(pf) as f64;
+        StageBreakdown {
+            program_us: if program {
+                self.overheads.preprocessing_us + self.overheads.programming_us
+            } else {
+                0.0
+            },
+            anneal_us: batches * self.anneals as f64 * self.cycle_us,
+            readout_us: batches * self.anneals as f64 * self.overheads.readout_per_anneal_us,
+            unembed_us: problems as f64 * NOMINAL_UNEMBED_US_PER_PROBLEM,
+        }
+    }
+
+    /// Records one enqueue's queue wait and stage spans. Purely
+    /// observational: called after the clock already advanced.
+    fn record_enqueue(
+        &self,
+        now_us: f64,
+        start_us: f64,
+        key: usize,
+        problems: usize,
+        logical_vars: usize,
+        program: bool,
+    ) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let t = &self.telemetry;
+        let cell = key.to_string();
+        let labels = [("cell", cell.as_str())];
+        t.span_us("quamax_qpu_queue_wait_us", &labels, now_us, start_us);
+        let b = self.stage_breakdown(problems, logical_vars, program);
+        t.observe("quamax_qpu_program_us", &labels, b.program_us);
+        t.observe("quamax_qpu_anneal_us", &labels, b.anneal_us);
+        t.observe("quamax_qpu_readout_us", &labels, b.readout_us);
+        t.observe("quamax_qpu_unembed_us", &labels, b.unembed_us);
+        t.counter_inc("quamax_qpu_jobs_total", &labels);
+        t.counter_inc(
+            "quamax_qpu_programs_total",
+            &[
+                ("cell", cell.as_str()),
+                ("kind", if program { "cold" } else { "cached" }),
+            ],
+        );
+    }
+
     /// Enqueues a frame arriving at `now_us`; returns its completion
     /// time. FIFO: the job starts when the server frees up.
     pub fn enqueue(&mut self, now_us: f64, problems: usize, logical_vars: usize) -> f64 {
@@ -427,6 +547,7 @@ impl QpuServer {
         let start = now_us.max(self.busy_until_us);
         let done = start + self.amortized_service_time_us(problems, logical_vars, program);
         self.busy_until_us = done;
+        self.record_enqueue(now_us, start, key, problems, logical_vars, program);
         done
     }
 
@@ -452,6 +573,7 @@ impl QpuServer {
         let start = now_us.max(self.busy_until_us);
         let done = start + self.amortized_service_time_us(problems, logical_vars, program);
         self.busy_until_us = done;
+        self.record_enqueue(now_us, start, key, problems, logical_vars, program);
         done
     }
 
@@ -541,6 +663,12 @@ impl QpuServer {
         let start = now_us.max(self.busy_until_us);
         let done = start + self.warm_retry_time_us(problems, logical_vars, warm_fraction);
         self.busy_until_us = done;
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .span_us("quamax_qpu_queue_wait_us", &[], now_us, start);
+            self.telemetry
+                .observe("quamax_qpu_warm_retry_us", &[], done - start);
+        }
         done
     }
 
@@ -558,6 +686,8 @@ impl QpuServer {
         let start = now_us.max(self.busy_until_us);
         let done = start + duration_us;
         self.busy_until_us = done;
+        self.telemetry
+            .observe("quamax_qpu_occupancy_us", &[], duration_us);
         done
     }
 
@@ -880,6 +1010,54 @@ mod tests {
         let a = cached.enqueue_channel(0.0, 3, 0xDD, 50, 16);
         let b = plain.enqueue_keyed(0.0, 3, 50, 16);
         assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stage_breakdown_sums_to_service_time_and_never_charges_unembed() {
+        let srv = QpuServer::new(QpuOverheads::current_dw2q(), 2.0, 10);
+        for (problems, vars, program) in [(50, 16, true), (50, 16, false), (1, 60, true)] {
+            let b = srv.stage_breakdown(problems, vars, program);
+            let service = srv.amortized_service_time_us(problems, vars, program);
+            assert!(
+                (b.program_us + b.anneal_us + b.readout_us - service).abs() < 1e-6,
+                "charged stages must reproduce the service model"
+            );
+            assert!(b.unembed_us > 0.0, "unembed is reported");
+        }
+        assert_eq!(srv.stage_breakdown(50, 16, false).program_us, 0.0);
+    }
+
+    #[test]
+    fn telemetry_records_stages_without_touching_the_clock() {
+        let t = Telemetry::enabled();
+        let mut plain = QpuServer::new(QpuOverheads::current_dw2q(), 2.0, 10).with_coherence(4);
+        let mut observed = plain.clone().with_telemetry(t.clone());
+        for at in [0.0, 10.0, 20.0] {
+            let a = plain.enqueue_keyed(at, 3, 50, 16);
+            let b = observed.enqueue_keyed(at, 3, 50, 16);
+            assert_eq!(a, b, "recording must not perturb completion times");
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.counter_total("quamax_qpu_jobs_total"), 3);
+        assert_eq!(
+            snap.counter(
+                "quamax_qpu_programs_total",
+                &[("cell", "3"), ("kind", "cold")]
+            ),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter(
+                "quamax_qpu_programs_total",
+                &[("cell", "3"), ("kind", "cached")]
+            ),
+            Some(2)
+        );
+        let queue = snap
+            .histogram("quamax_qpu_queue_wait_us", &[("cell", "3")])
+            .unwrap();
+        assert_eq!(queue.count, 3);
+        assert!(queue.max > 0.0, "later frames queue behind the first");
     }
 
     #[test]

@@ -49,6 +49,7 @@ use crate::cost::{CostModel, DecodeCost};
 use crate::fault::ServeError;
 use crate::qpu::JobDirection;
 use crate::serve::{Job, Priority, ResilientServer, ServeRung};
+use quamax_telemetry::Telemetry;
 
 /// Close-rule comparisons tolerate this much float noise, µs.
 const EPS: f64 = 1e-9;
@@ -105,6 +106,17 @@ pub enum CloseTrigger {
     Slack,
     /// End-of-run drain.
     Drain,
+}
+
+impl CloseTrigger {
+    /// The metric-label spelling of this trigger.
+    pub fn name(self) -> &'static str {
+        match self {
+            CloseTrigger::Full => "full",
+            CloseTrigger::Slack => "slack",
+            CloseTrigger::Drain => "drain",
+        }
+    }
 }
 
 /// One dispatched batch, as recorded for the dispatch log.
@@ -305,6 +317,10 @@ fn admission_job(j: &UserJob) -> Job {
 pub struct BatchScheduler {
     config: SchedConfig,
     open: Vec<OpenBatch>,
+    /// Batch/queue metrics sink. Recording observes scheduling
+    /// decisions but never feeds back into them — close times,
+    /// placement, and routing are identical with telemetry on or off.
+    telemetry: Telemetry,
 }
 
 impl BatchScheduler {
@@ -314,7 +330,21 @@ impl BatchScheduler {
         BatchScheduler {
             config,
             open: Vec::new(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle ([`SchedConfig`] is `Copy`, so the
+    /// handle rides the scheduler itself, builder-style).
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The attached telemetry handle.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Runs `arrivals` (any order; sorted by arrival time internally)
@@ -353,6 +383,11 @@ impl BatchScheduler {
                     let job = arrivals[i];
                     i += 1;
                     self.ingest(server, broker, job, &mut report);
+                    self.telemetry.observe(
+                        "quamax_sched_open_batches",
+                        &[],
+                        self.open.len() as f64,
+                    );
                 }
                 (None, None) => break,
             }
@@ -499,6 +534,8 @@ impl BatchScheduler {
             });
         if let Some(w) = worker {
             server.reserve_batch_us(w, service);
+            self.telemetry
+                .observe("quamax_sched_reservation_us", &[], service);
         }
         let mut b = OpenBatch {
             cell: job.cell,
@@ -532,6 +569,8 @@ impl BatchScheduler {
             let delta = (service - own).max(0.0);
             server.reserve_batch_us(w, delta);
             b.reserve = Some((w, own + delta));
+            self.telemetry
+                .observe("quamax_sched_reservation_us", &[], delta);
         }
     }
 
@@ -568,6 +607,15 @@ impl BatchScheduler {
         // it must still be reserved here or the wait is undercounted.
         let count = batch.members.len() as u64;
         let projected_done_us = now + Self::projected_service_us(server, now, &batch);
+        self.telemetry
+            .counter_inc("quamax_sched_batches_total", &[("trigger", trigger.name())]);
+        self.telemetry
+            .observe("quamax_sched_batch_occupancy", &[], count as f64);
+        self.telemetry.observe(
+            "quamax_sched_slack_at_close_us",
+            &[],
+            batch.earliest_deadline_us - projected_done_us,
+        );
         if let Some((w, own)) = batch.reserve {
             server.release_batch_us(w, own);
         }

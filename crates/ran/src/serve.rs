@@ -22,6 +22,7 @@ use crate::fault::{FaultClass, FaultPlan, ServeError};
 use crate::hybrid::HybridServer;
 use crate::qpu::{JobDirection, QpuServer};
 use crate::retry::RetryPolicy;
+use quamax_telemetry::Telemetry;
 
 /// A job's admission-control class.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -33,6 +34,17 @@ pub enum Priority {
     Normal,
     /// Background / delay-tolerant traffic: shed first.
     Low,
+}
+
+impl Priority {
+    /// A short lowercase label for reports and metric labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Low => "low",
+        }
+    }
 }
 
 /// Per-priority backpressure limits: a job is shed when every healthy
@@ -162,6 +174,17 @@ pub enum ServeRung {
     Classical,
 }
 
+impl ServeRung {
+    /// A short lowercase label for reports and metric labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServeRung::Qpu => "qpu",
+            ServeRung::Hybrid => "hybrid",
+            ServeRung::Classical => "classical",
+        }
+    }
+}
+
 /// A successfully served job.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Served {
@@ -239,6 +262,10 @@ pub struct ResilientServer {
     ledger: Ledger,
     /// Monotone job ids — the `job` axis of the fault plan's draws.
     job_seq: u64,
+    /// Metrics handle (disabled by default). Recording never feeds
+    /// back into routing, retry funding, or the fault schedule, so
+    /// enabling it cannot perturb any completion time.
+    telemetry: Telemetry,
 }
 
 impl ResilientServer {
@@ -273,6 +300,7 @@ impl ResilientServer {
             guardrails,
             ledger: Ledger::default(),
             job_seq: 0,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -280,6 +308,66 @@ impl ResilientServer {
     pub fn with_hybrid(mut self, hybrid: HybridServer) -> Self {
         self.hybrid = Some(hybrid);
         self
+    }
+
+    /// Attaches a metrics handle, propagating it to every worker QPU
+    /// (their enqueues record the per-stage spans into the same
+    /// registry).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.set_telemetry(telemetry);
+        self
+    }
+
+    /// In-place [`ResilientServer::with_telemetry`].
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        for w in &mut self.workers {
+            w.qpu.set_telemetry(telemetry.clone());
+        }
+        self.telemetry = telemetry;
+    }
+
+    /// The attached metrics handle (disabled unless configured).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Publishes the snapshot-time views — conservation ledger,
+    /// per-worker breaker trips and session-cache counters, per-class
+    /// fault census — into the registry. The programmatic accessors
+    /// ([`ResilientServer::ledger`], [`ResilientServer::breaker_trips`],
+    /// [`ResilientServer::fault_plan`]) are unchanged; this is the
+    /// collect-callback view of the same numbers.
+    pub fn publish_telemetry(&self) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let t = &self.telemetry;
+        let ledger = self.ledger;
+        for (state, v) in [
+            ("submitted", ledger.submitted),
+            ("completed", ledger.completed),
+            ("shed", ledger.shed),
+            ("failed", ledger.failed),
+        ] {
+            t.counter_store("quamax_serve_ledger_total", &[("state", state)], v);
+        }
+        t.gauge_set("quamax_serve_in_flight", &[], ledger.batched as f64);
+        let counters = self.plan.counters();
+        for class in FaultClass::ALL {
+            t.counter_store(
+                "quamax_serve_faults_total",
+                &[("class", class.name())],
+                counters.count(class),
+            );
+        }
+        for (i, w) in self.workers.iter().enumerate() {
+            let worker = i.to_string();
+            let labels = [("worker", worker.as_str())];
+            t.counter_store("quamax_breaker_trips_total", &labels, w.breaker.trips());
+            if let Some(cache) = w.qpu.session_cache() {
+                cache.publish_telemetry(t, &labels);
+            }
+        }
     }
 
     /// The conservation ledger so far.
@@ -493,6 +581,13 @@ impl ResilientServer {
     /// either way.
     pub fn submit(&mut self, now_us: f64, job: &Job) -> Result<Served, ServeError> {
         self.ledger.submitted += 1;
+        self.telemetry.counter_inc(
+            "quamax_serve_submitted_total",
+            &[
+                ("direction", job.direction.name()),
+                ("priority", job.priority.name()),
+            ],
+        );
         if let Err(e) = Self::validate(job) {
             self.job_seq += 1;
             self.ledger.failed += 1;
@@ -505,6 +600,10 @@ impl ResilientServer {
         if let Some(wait) = self.shed_wait_us(now_us, job.priority) {
             self.job_seq += 1;
             self.ledger.shed += 1;
+            self.telemetry.counter_inc(
+                "quamax_serve_shed_total",
+                &[("priority", job.priority.name())],
+            );
             return Err(ServeError::Shed {
                 projected_wait_us: wait,
             });
@@ -538,6 +637,13 @@ impl ResilientServer {
     /// schedule bit for bit.
     pub fn admit(&mut self, now_us: f64, job: &Job) -> Result<(), ServeError> {
         self.ledger.submitted += 1;
+        self.telemetry.counter_inc(
+            "quamax_serve_submitted_total",
+            &[
+                ("direction", job.direction.name()),
+                ("priority", job.priority.name()),
+            ],
+        );
         if let Err(e) = Self::validate(job) {
             self.job_seq += 1;
             self.ledger.failed += 1;
@@ -546,6 +652,10 @@ impl ResilientServer {
         if let Some(wait) = self.shed_wait_us(now_us, job.priority) {
             self.job_seq += 1;
             self.ledger.shed += 1;
+            self.telemetry.counter_inc(
+                "quamax_serve_shed_total",
+                &[("priority", job.priority.name())],
+            );
             return Err(ServeError::Shed {
                 projected_wait_us: wait,
             });
@@ -624,6 +734,11 @@ impl ResilientServer {
         self.ledger.batched -= count;
         let done = self.classical.enqueue(now_us, problems, proto.users);
         self.ledger.completed += count;
+        self.telemetry.counter_add(
+            "quamax_serve_served_total",
+            &[("rung", ServeRung::Classical.name())],
+            count,
+        );
         Served {
             done_us: done,
             attempts: 0,
@@ -688,6 +803,12 @@ impl ResilientServer {
                         done = worker.qpu.occupy_us(done, self.plan.stall_us());
                     }
                     worker.breaker.on_success();
+                    self.telemetry.counter_inc(
+                        "quamax_serve_served_total",
+                        &[("rung", ServeRung::Qpu.name())],
+                    );
+                    self.telemetry
+                        .observe("quamax_serve_attempts", &[], f64::from(attempt));
                     return Ok(Served {
                         done_us: done,
                         attempts: attempt,
@@ -700,7 +821,7 @@ impl ResilientServer {
                     // down for the repair interval. The job never ran,
                     // so a retry is cold and must use an alternate.
                     worker.crashed_until_us = t + self.plan.repair_us();
-                    worker.breaker.on_failure(t);
+                    note_breaker_failure(&self.telemetry, &mut worker.breaker, t);
                     last_err = ServeError::Fault { class };
                     warm = false;
                 }
@@ -710,7 +831,7 @@ impl ResilientServer {
                     let fail_at = worker
                         .qpu
                         .occupy_us(t, worker.qpu.overheads().programming_us);
-                    worker.breaker.on_failure(fail_at);
+                    note_breaker_failure(&self.telemetry, &mut worker.breaker, fail_at);
                     last_err = ServeError::Fault { class };
                     warm = false;
                     t = fail_at;
@@ -737,7 +858,7 @@ impl ResilientServer {
                             .qpu
                             .enqueue_keyed(t, job.source, problems, job.logical_vars)
                     };
-                    worker.breaker.on_failure(fail_at);
+                    note_breaker_failure(&self.telemetry, &mut worker.breaker, fail_at);
                     last_err = ServeError::Fault { class };
                     warm = true;
                     t = fail_at;
@@ -765,10 +886,20 @@ impl ResilientServer {
                 self.plan.seed() ^ job_id,
             ) {
                 Some(backoff) => {
+                    self.telemetry
+                        .counter_inc("quamax_serve_retries_total", &[("outcome", "funded")]);
+                    self.telemetry.counter_inc(
+                        "quamax_serve_restarts_total",
+                        &[("kind", if warm { "warm" } else { "cold" })],
+                    );
                     t += backoff;
                     attempt += 1;
                 }
-                None => break,
+                None => {
+                    self.telemetry
+                        .counter_inc("quamax_serve_retries_total", &[("outcome", "denied")]);
+                    break;
+                }
             }
         }
 
@@ -784,6 +915,10 @@ impl ResilientServer {
                     ServeRung::Classical,
                 ),
             };
+            self.telemetry
+                .counter_inc("quamax_serve_served_total", &[("rung", rung.name())]);
+            self.telemetry
+                .observe("quamax_serve_attempts", &[], f64::from(attempt));
             return Ok(Served {
                 done_us: done,
                 attempts: attempt,
@@ -792,6 +927,19 @@ impl ResilientServer {
             });
         }
         Err(last_err)
+    }
+}
+
+/// Records the breaker failure and, when it tripped the breaker from
+/// closed to open, bumps the transition counter. Uses the pure-read
+/// [`CircuitBreaker::trips`] delta — never an extra
+/// [`CircuitBreaker::state`] call, which would advance open → half-open
+/// and perturb routing when telemetry is on.
+fn note_breaker_failure(telemetry: &Telemetry, breaker: &mut CircuitBreaker, at_us: f64) {
+    let before = breaker.trips();
+    breaker.on_failure(at_us);
+    if breaker.trips() > before {
+        telemetry.counter_inc("quamax_breaker_transitions_total", &[("to", "open")]);
     }
 }
 
@@ -1105,5 +1253,71 @@ mod tests {
         }
         assert_eq!(first, again, "same schedule after reset");
         assert_eq!(ledger, srv.ledger());
+    }
+
+    #[test]
+    fn telemetry_never_perturbs_serving_and_counts_the_right_events() {
+        // Same faulty workload with telemetry off and on: every outcome
+        // (including completion-time bits and the fault schedule) must
+        // match, because recording may observe the serve path but never
+        // feed back into it.
+        let plan = || FaultPlan::new(3, FaultRates::uniform(0.1));
+        let run = |telemetry: Telemetry| {
+            let mut srv =
+                ResilientServer::new(vec![qpu(), qpu()], classical(), plan(), Guardrails::on())
+                    .with_telemetry(telemetry);
+            let mut outcomes = Vec::new();
+            for k in 0..200 {
+                outcomes.push(
+                    srv.submit(40.0 * k as f64, &job(1e4))
+                        .map(|s| (s.done_us.to_bits(), s.attempts, s.rung, s.worker)),
+                );
+            }
+            srv.publish_telemetry();
+            (outcomes, srv.ledger(), srv.breaker_trips())
+        };
+
+        let t = Telemetry::enabled();
+        let (plain, plain_ledger, plain_trips) = run(Telemetry::disabled());
+        let (observed, ledger, trips) = run(t.clone());
+        assert_eq!(plain, observed, "telemetry changed a serve outcome");
+        assert_eq!(plain_ledger, ledger);
+        assert_eq!(plain_trips, trips);
+
+        let snap = t.snapshot();
+        assert_eq!(
+            snap.counter_total("quamax_serve_submitted_total"),
+            ledger.submitted
+        );
+        assert_eq!(
+            snap.counter("quamax_serve_ledger_total", &[("state", "submitted")]),
+            Some(ledger.submitted)
+        );
+        let served = snap.counter_total("quamax_serve_served_total");
+        assert_eq!(served, ledger.completed);
+        assert_eq!(snap.counter_total("quamax_serve_shed_total"), ledger.shed);
+        assert_eq!(
+            snap.counter_total("quamax_breaker_transitions_total"),
+            trips
+        );
+        // Every completed job recorded its attempt count.
+        let attempts = snap
+            .histogram("quamax_serve_attempts", &[])
+            .expect("attempts histogram");
+        assert_eq!(attempts.count, ledger.completed);
+        // Funded retries and the serve outcomes agree: each attempt
+        // beyond the first on a completed job was funded.
+        let funded = snap
+            .counter("quamax_serve_retries_total", &[("outcome", "funded")])
+            .unwrap_or(0);
+        let extra_attempts: u64 = observed
+            .iter()
+            .filter_map(|o| o.as_ref().ok())
+            .map(|&(_, attempts, _, _)| u64::from(attempts - 1))
+            .sum();
+        assert!(
+            funded >= extra_attempts,
+            "funded {funded} < extra attempts {extra_attempts}"
+        );
     }
 }

@@ -23,6 +23,7 @@ use crate::qpu::QpuServer;
 use crate::sched::{BatchScheduler, SchedConfig};
 use crate::serve::{Job, Priority, ResilientServer, ServeRung};
 use crate::topology::{AccessPoint, FronthaulConfig};
+use quamax_telemetry::Telemetry;
 
 /// The brokered serving stack: a [`ResilientServer`] pool behind the
 /// [`Broker`] + [`BatchScheduler`] scheduling subsystem.
@@ -193,6 +194,12 @@ pub struct Simulation {
     aps: Vec<AccessPoint>,
     fronthaul: FronthaulConfig,
     server: Server,
+    /// Frame-level metrics sink, propagated into the serving stack by
+    /// [`Simulation::with_telemetry`]. Recording observes the run but
+    /// never feeds back into it: a telemetry-enabled run's
+    /// [`SimReport`] is bit-identical to a disabled one (a tested
+    /// contract).
+    telemetry: Telemetry,
 }
 
 impl Simulation {
@@ -204,7 +211,28 @@ impl Simulation {
             aps,
             fronthaul,
             server,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle, propagating it into the serving
+    /// stack (the QPU arm's server directly; the resilient and
+    /// brokered arms fan it out to every pool worker).
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        match &mut self.server {
+            Server::Qpu(q) => q.set_telemetry(telemetry.clone()),
+            Server::Resilient(r) => r.set_telemetry(telemetry.clone()),
+            Server::Brokered(b) => b.server.set_telemetry(telemetry.clone()),
+            Server::Cpu(_) | Server::Hybrid(_) => {}
+        }
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The attached telemetry handle.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The server being driven (post-run inspection: ledgers, fault
@@ -242,7 +270,9 @@ impl Simulation {
         // with arrivals), so it hands the whole arrival schedule to the
         // scheduler instead of walking it frame by frame.
         if let Server::Brokered(_) = &self.server {
-            return self.run_brokered(&arrivals);
+            let report = self.run_brokered(&arrivals);
+            self.finish(&report);
+            return report;
         }
 
         let mut report = SimReport::default();
@@ -348,7 +378,47 @@ impl Simulation {
                 outcome,
             });
         }
+        self.finish(&report);
         report
+    }
+
+    /// End-of-run telemetry: per-frame latency/outcome series plus the
+    /// serving stack's snapshot-time publication. A no-op with a
+    /// disabled handle, and purely observational otherwise — called
+    /// after the report is final, so it cannot perturb it.
+    fn finish(&self, report: &SimReport) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        for f in &report.frames {
+            let outcome = match f.outcome {
+                FrameOutcome::Served { .. } => "served",
+                FrameOutcome::Shed => "shed",
+                FrameOutcome::Failed => "failed",
+            };
+            self.telemetry
+                .counter_inc("quamax_sim_frames_total", &[("outcome", outcome)]);
+            if f.outcome.is_served() {
+                let cell = f.ap_id.to_string();
+                self.telemetry.observe(
+                    "quamax_sim_frame_latency_us",
+                    &[("cell", &cell)],
+                    f.latency_us,
+                );
+            }
+        }
+        self.telemetry
+            .gauge_set("quamax_sim_deadline_rate", &[], report.deadline_rate());
+        match &self.server {
+            Server::Resilient(r) => r.publish_telemetry(),
+            Server::Brokered(b) => b.server.publish_telemetry(),
+            Server::Qpu(q) => {
+                if let Some(cache) = q.session_cache() {
+                    cache.publish_telemetry(&self.telemetry, &[]);
+                }
+            }
+            Server::Cpu(_) | Server::Hybrid(_) => {}
+        }
     }
 
     /// The brokered arm: frames become per-cell [`UserJob`]s (same
@@ -388,8 +458,9 @@ impl Simulation {
             })
             .collect();
         let mut broker = Broker::new();
-        let mut sched = BatchScheduler::new(b.config);
+        let mut sched = BatchScheduler::new(b.config).with_telemetry(self.telemetry.clone());
         let schedule = sched.run(&mut b.server, &mut broker, jobs);
+        broker.publish_telemetry(&self.telemetry);
         debug_assert!(broker.drained(), "the scheduler drains every job");
         debug_assert_eq!(b.server.ledger().in_flight(), 0);
 

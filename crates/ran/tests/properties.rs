@@ -25,6 +25,14 @@
 //! 7. **In-flight conservation** — the ledger's `batched` gauge keeps
 //!    the conservation identity through admit → dispatch/shed, and a
 //!    drained pipeline collapses it to the terminal identity.
+//!
+//! Contract pinned for the observability layer (PR 9):
+//! 8. **Telemetry transparency** — a telemetry-enabled simulation is
+//!    bit-identical (`SimReport` equality) to a disabled one at
+//!    matched seeds, across random fault seeds, both job directions,
+//!    and both the resilient and brokered serving arms: recording
+//!    reads no wall clock, draws no randomness, and never feeds back
+//!    into serving.
 
 use proptest::prelude::*;
 use quamax_ran::{
@@ -471,4 +479,71 @@ fn ledger_conserves_through_admit_and_collapses_when_drained() {
     assert_eq!(done.submitted, 3);
     assert_eq!(done.completed, 2);
     assert_eq!(done.shed, 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Telemetry transparency: enabling the metrics registry changes
+    /// nothing about a run — the `SimReport` is equal frame for frame
+    /// (latency bits included via `PartialEq` on `f64`) whatever the
+    /// fault seed, fault rate, direction mix, or serving arm.
+    #[test]
+    fn telemetry_never_perturbs_a_simulation(
+        seed in 0u64..1_000,
+        rate in 0.0f64..0.1,
+        downlink in proptest::bool::ANY,
+        brokered in proptest::bool::ANY,
+    ) {
+        use quamax_ran::BrokeredServer;
+        use quamax_telemetry::Telemetry;
+
+        let direction = if downlink {
+            JobDirection::Downlink
+        } else {
+            JobDirection::Uplink
+        };
+        let ap = AccessPoint {
+            direction,
+            ..lte_ap(0)
+        };
+        let pool = || ResilientServer::new(
+            vec![
+                qpu().with_session_cache(30_000.0),
+                qpu().with_session_cache(30_000.0),
+            ],
+            classical(),
+            FaultPlan::new(seed, FaultRates::uniform(rate)),
+            Guardrails::on(),
+        );
+        let server = || if brokered {
+            Server::Brokered(Box::new(BrokeredServer {
+                server: pool(),
+                config: SchedConfig::new(Policy::DeadlineBatch, 8),
+            }))
+        } else {
+            Server::Resilient(Box::new(pool()))
+        };
+        let fronthaul = FronthaulConfig {
+            one_way_latency_us: 2.0,
+        };
+        let run = |telemetry: Telemetry| {
+            Simulation::new(vec![ap.clone()], fronthaul, server())
+                .with_telemetry(telemetry)
+                .run(40_000.0)
+        };
+
+        let telemetry = Telemetry::enabled();
+        let plain = run(Telemetry::disabled());
+        let observed = run(telemetry.clone());
+        prop_assert_eq!(&plain, &observed, "telemetry perturbed the run");
+
+        // The observed run actually recorded: every frame fate shows
+        // up in the outcome counters.
+        let snap = telemetry.snapshot();
+        prop_assert_eq!(
+            snap.counter_total("quamax_sim_frames_total"),
+            observed.frames.len() as u64
+        );
+    }
 }

@@ -10,10 +10,11 @@
 
 use quamax::prelude::*;
 use quamax::ran::{
-    AccessPoint, BatchScheduler, Broker, CpuPolicy, CpuPool, Deadline, FaultPlan, FronthaulConfig,
-    Guardrails, HybridServer, JobDirection, JobState, LoadGen, Policy, QpuOverheads, QpuServer,
-    ResilientServer, SchedConfig, Server, Simulation,
+    AccessPoint, BatchScheduler, Broker, BrokeredServer, CpuPolicy, CpuPool, Deadline, FaultPlan,
+    FronthaulConfig, Guardrails, HybridServer, JobDirection, JobState, LoadGen, Policy,
+    QpuOverheads, QpuServer, ResilientServer, SchedConfig, Server, Simulation,
 };
+use quamax::telemetry::{Histogram, Telemetry};
 use quamax::wireless::Modulation;
 
 fn main() {
@@ -256,16 +257,13 @@ fn main() {
                 continue;
             }
             let met = outcomes.iter().filter(|o| o.met_deadline).count();
-            let mut served: Vec<f64> = outcomes
-                .iter()
-                .filter(|o| o.state == JobState::Completed)
-                .map(|o| o.latency_us)
-                .collect();
-            served.sort_by(f64::total_cmp);
-            let p99 = served
-                .get(((served.len().max(1) - 1) as f64 * 0.99).round() as usize)
-                .copied()
-                .unwrap_or(0.0);
+            let mut latency = Histogram::new();
+            for o in &outcomes {
+                if o.state == JobState::Completed {
+                    latency.observe(o.latency_us);
+                }
+            }
+            let p99 = latency.quantile(0.99);
             let usd: f64 = outcomes.iter().map(|o| o.cost.usd).sum();
             let label = match direction {
                 JobDirection::Uplink => "uplink (detection)",
@@ -275,10 +273,10 @@ fn main() {
                 "{label:<42} {:>8.1}% {:>8.1}µs {:>11.6}",
                 100.0 * met as f64 / outcomes.len() as f64,
                 p99,
-                if served.is_empty() {
+                if latency.is_empty() {
                     0.0
                 } else {
-                    usd / served.len() as f64
+                    usd / latency.count() as f64
                 },
             );
         }
@@ -300,4 +298,53 @@ fn main() {
          the cost — and cost-aware routing sends slack-rich batches to\n\
          the CPU floor for pennies."
     );
+
+    // `--metrics`: re-run the deployment mix through a fully
+    // instrumented brokered pool and emit the telemetry snapshot in
+    // both exporter formats. The assertions double as the CI smoke
+    // check: the JSON round-trips through the parser and the pipeline's
+    // key series are present.
+    if std::env::args().any(|a| a == "--metrics") {
+        let telemetry = Telemetry::enabled();
+        let mut sim = Simulation::new(
+            aps.clone(),
+            fronthaul,
+            Server::Brokered(Box::new(BrokeredServer {
+                server: brokered_pool(),
+                config: SchedConfig::new(Policy::DeadlineBatch, 24),
+            })),
+        )
+        .with_telemetry(telemetry.clone());
+        sim.run(horizon_us);
+
+        let snap = telemetry.snapshot();
+        let json = serde_json::to_string_pretty(&snap.to_json()).expect("serializable");
+        let parsed = serde_json::from_str(&json).expect("snapshot JSON parses");
+        assert!(
+            parsed.get("series").and_then(|s| s.as_array()).is_some(),
+            "snapshot JSON carries a series array"
+        );
+        for series in [
+            "quamax_qpu_program_us",
+            "quamax_qpu_anneal_us",
+            "quamax_qpu_readout_us",
+            "quamax_qpu_unembed_us",
+            "quamax_qpu_queue_wait_us",
+            "quamax_sched_batches_total",
+            "quamax_sched_batch_occupancy",
+            "quamax_serve_served_total",
+            "quamax_serve_ledger_total",
+            "quamax_broker_census_total",
+            "quamax_cache_hits_total",
+            "quamax_sim_frames_total",
+        ] {
+            assert!(snap.has_series(series), "missing series {series}");
+        }
+        println!("\n--- telemetry snapshot (Prometheus exposition) ---");
+        print!("{}", snap.to_prometheus());
+        println!(
+            "--- {} series; JSON parses; required series present ---",
+            snap.series.len()
+        );
+    }
 }

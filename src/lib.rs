@@ -75,6 +75,7 @@ pub use quamax_core as core;
 pub use quamax_ising as ising;
 pub use quamax_linalg as linalg;
 pub use quamax_ran as ran;
+pub use quamax_telemetry as telemetry;
 pub use quamax_wireless as wireless;
 
 /// The common decode workflow in one `use`.

@@ -2,10 +2,12 @@
 //!
 //! The experiment harness emits result files through three entry
 //! points — [`Value`], the [`json!`] macro, and [`to_string_pretty`] —
-//! so only those are implemented, without the serde trait machinery.
-//! Numbers are stored as `f64` (every quantity the harness writes fits
-//! exactly or is a measured float); non-finite floats serialize as
-//! `null`, matching the harness's `nullable()` convention.
+//! and re-reads its own artifacts through [`from_str`] plus the
+//! [`Value`] accessors (`get`/`as_*`), so only those are implemented,
+//! without the serde trait machinery. Numbers are stored as `f64`
+//! (every quantity the harness writes fits exactly or is a measured
+//! float); non-finite floats serialize as `null`, matching the
+//! harness's `nullable()` convention.
 
 /// A JSON document tree.
 #[derive(Clone, Debug, PartialEq)]
@@ -25,6 +27,67 @@ pub enum Value {
 }
 
 impl Value {
+    /// Object field lookup (first match; `None` on non-objects).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, if this is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(x) if *x >= 0.0 && *x == x.trunc() && *x < 1.9e19 => Some(*x as u64),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element vector, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The field vector, if this is an object.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// True for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Value::Null => out.push_str("null"),
@@ -110,6 +173,203 @@ pub fn to_string_pretty(value: &Value) -> Result<String, std::convert::Infallibl
     let mut out = String::new();
     value.write(&mut out, 0);
     Ok(out)
+}
+
+/// A parse failure: what went wrong and the byte offset it happened at.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+    offset: usize,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.msg, self.offset)
+    }
+}
+
+impl std::error::Error for Error {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, msg: &str) -> Result<T, Error> {
+        Err(Error {
+            msg: msg.to_string(),
+            offset: self.pos,
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, tok: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(tok.as_bytes()) {
+            self.pos += tok.len();
+            Ok(())
+        } else {
+            self.err(&format!("expected `{tok}`"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.eat("null").map(|()| Value::Null),
+            Some(b't') => self.eat("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.eat("false").map(|()| Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => self.err("expected a JSON value"),
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map_or_else(|| self.err("malformed number"), |x| Ok(Value::Number(x)))
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat("\"")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            match hex.and_then(char::from_u32) {
+                                Some(c) => {
+                                    out.push(c);
+                                    self.pos += 4;
+                                }
+                                None => return self.err("malformed \\u escape"),
+                            }
+                        }
+                        _ => return self.err("unknown escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one full UTF-8 scalar, not one byte.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error {
+                            msg: "invalid UTF-8 in string".to_string(),
+                            offset: self.pos,
+                        })?
+                        .chars()
+                        .next()
+                        .expect("peeked non-empty");
+                    out.push(rest);
+                    self.pos += rest.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.eat("[")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return self.err("expected `,` or `]`"),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.eat("{")?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(":")?;
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return self.err("expected `,` or `}`"),
+            }
+        }
+    }
+}
+
+/// Parses a JSON document. Everything [`to_string_pretty`] emits
+/// round-trips; standard JSON from other writers parses too (numbers
+/// land as `f64`).
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing characters after document");
+    }
+    Ok(v)
 }
 
 impl From<bool> for Value {
@@ -242,5 +502,50 @@ mod tests {
     fn integers_have_no_decimal_point() {
         assert_eq!(to_string_pretty(&json!(20.0f64)).unwrap(), "20");
         assert_eq!(to_string_pretty(&json!(7usize)).unwrap(), "7");
+    }
+
+    #[test]
+    fn parse_round_trips_pretty_output() {
+        let v = json!({
+            "name": "BENCH_observe",
+            "ratio": 2.5,
+            "count": 3usize,
+            "rows": vec![1.0, 2.0, 3.5],
+            "nested": Value::Object(vec![("k".to_string(), Value::from("v\n\"x\""))]),
+            "flag": true,
+            "missing": Value::Null,
+        });
+        let parsed = from_str(&to_string_pretty(&v).unwrap()).unwrap();
+        assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn accessors_walk_a_document() {
+        let doc = from_str(r#"{"a": {"b": [1, 2.5, "x", true, null]}, "n": -3e2}"#).unwrap();
+        let b = doc.get("a").and_then(|a| a.get("b")).unwrap();
+        let items = b.as_array().unwrap();
+        assert_eq!(items[0].as_f64(), Some(1.0));
+        assert_eq!(items[0].as_u64(), Some(1));
+        assert_eq!(items[1].as_f64(), Some(2.5));
+        assert_eq!(items[1].as_u64(), None);
+        assert_eq!(items[2].as_str(), Some("x"));
+        assert_eq!(items[3].as_bool(), Some(true));
+        assert!(items[4].is_null());
+        assert_eq!(doc.get("n").unwrap().as_f64(), Some(-300.0));
+        assert_eq!(doc.get("absent"), None);
+        assert_eq!(doc.as_object().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in ["", "{", "[1,", "{\"a\" 1}", "tru", "1 2", "\"\\q\""] {
+            assert!(from_str(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn parse_handles_escapes_and_unicode() {
+        let v = from_str(r#""a\u0041\t\\\" é""#).unwrap();
+        assert_eq!(v.as_str(), Some("aA\t\\\" é"));
     }
 }
