@@ -10,12 +10,19 @@
 //! bit-identical regardless of thread count.
 
 use crate::ice::IceModel;
-use crate::kernel::{CompiledChains, SqaState, SweepState};
+use crate::kernel::{CompiledChains, ReplicaBatch, SqaReplicaBatch};
 use crate::schedule::{curves, Schedule};
 use crate::{sa, sqa};
 use quamax_ising::{CompiledProblem, IsingProblem, Spin};
+use quamax_telemetry::Telemetry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Default replica-batch width when `AnnealerConfig::replica_width` is
+/// left at 0: wide enough that the shared CSR walk amortizes across a
+/// full vector register of accept strips, narrow enough that a batch's
+/// spin/field working set stays cache-resident on full-chip problems.
+pub const DEFAULT_REPLICA_WIDTH: usize = 8;
 
 /// Dynamics backend choice (DESIGN.md §2.1 and §4 ablations).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -45,6 +52,11 @@ pub struct AnnealerConfig {
     pub ice: IceModel,
     /// Worker threads for batching (0 = all available cores).
     pub threads: usize,
+    /// Replica-batch width: how many anneals each worker sweeps
+    /// simultaneously through the batched kernel
+    /// (0 = [`DEFAULT_REPLICA_WIDTH`]). Width never changes results —
+    /// every replica follows its own RNG stream — only throughput.
+    pub replica_width: usize,
 }
 
 impl Default for AnnealerConfig {
@@ -54,6 +66,7 @@ impl Default for AnnealerConfig {
             sweeps_per_us: 20.0,
             ice: IceModel::calibrated(),
             threads: 0,
+            replica_width: 0,
         }
     }
 }
@@ -138,6 +151,7 @@ impl AnnealDegradation {
 #[derive(Clone, Debug)]
 pub struct Annealer {
     config: AnnealerConfig,
+    telemetry: Telemetry,
 }
 
 impl Annealer {
@@ -147,7 +161,18 @@ impl Annealer {
         if let Backend::Sqa { slices } = config.backend {
             assert!(slices >= 2, "SQA needs at least 2 Trotter slices");
         }
-        Annealer { config }
+        Annealer {
+            config,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// The same device reporting batching metrics
+    /// (`quamax_anneal_replica_batch_width`,
+    /// `quamax_anneal_batched_sweeps_total`) to `telemetry`.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Annealer {
+        self.telemetry = telemetry;
+        self
     }
 
     /// A DW2Q-like device: SA dynamics, paper ICE moments, default
@@ -165,7 +190,7 @@ impl Annealer {
     /// injector uses to run one job under a drift excursion
     /// ([`IceModel::excursion`]) without touching the shared device.
     pub fn with_ice(&self, ice: IceModel) -> Annealer {
-        Annealer::new(AnnealerConfig { ice, ..self.config })
+        Annealer::new(AnnealerConfig { ice, ..self.config }).with_telemetry(self.telemetry.clone())
     }
 
     /// Like [`Annealer::run_chained`], under a transient
@@ -342,6 +367,63 @@ impl Annealer {
         num_anneals: usize,
         seed: u64,
     ) -> Vec<Vec<Spin>> {
+        let job = AnnealJob {
+            problem,
+            init,
+            num_anneals,
+            seed,
+        };
+        self.run_jobs(problem, chains, schedule, &[job])
+            .pop()
+            .expect("one job in, one sample batch out")
+    }
+
+    /// Runs a set of independent anneal jobs through the batched
+    /// replica kernel, returning one `Vec<Vec<Spin>>` per job (sample
+    /// `k` of job `j` is bit-identical to the corresponding scalar
+    /// `run_*` call — stream `splitmix(jobs[j].seed, k)` — regardless
+    /// of batch width, thread count, or how jobs are packed together).
+    ///
+    /// Every job's problem must share `structure`'s CSR layout (the
+    /// decode/precode sessions pass per-item reprogrammed clones of one
+    /// compiled base); `chains` likewise compile against that shared
+    /// structure. Slots are sharded contiguously across worker threads
+    /// and each worker sweeps greedy windows of up to
+    /// `replica_width` replicas at a time: a window entirely inside one
+    /// zero-ICE job shares that job's coefficients, any other window
+    /// binds per-replica coefficient strips (per-item `y` vectors,
+    /// per-anneal ICE refreezes).
+    ///
+    /// # Panics
+    /// Panics when a job's problem or candidate shape disagrees with
+    /// `structure`.
+    pub fn run_jobs(
+        &self,
+        structure: &CompiledProblem,
+        chains: &CompiledChains,
+        schedule: &Schedule,
+        jobs: &[AnnealJob],
+    ) -> Vec<Vec<Vec<Spin>>> {
+        for job in jobs {
+            assert_eq!(
+                job.problem.num_spins(),
+                structure.num_spins(),
+                "job problem does not share the batch structure"
+            );
+            assert_eq!(
+                job.problem.num_entries(),
+                structure.num_entries(),
+                "job problem does not share the batch structure"
+            );
+            if let Some(init) = job.init {
+                assert_eq!(init.len(), structure.num_spins(), "candidate length mismatch");
+            }
+        }
+        let total: usize = jobs.iter().map(|j| j.num_anneals).sum();
+        if total == 0 {
+            return jobs.iter().map(|_| Vec::new()).collect();
+        }
+
         let fractions = schedule.sweep_fractions(self.config.sweeps_per_us);
         // Pre-compute the SA temperature ladder once per run.
         let betas: Vec<f64> = fractions
@@ -349,113 +431,266 @@ impl Annealer {
             .map(|&s| curves::beta(s).max(1e-3))
             .collect();
 
+        // Flatten to (job, anneal-index) slots; slot order defines the
+        // output order and is what gets sharded and windowed.
+        let mut slots: Vec<(u32, u32)> = Vec::with_capacity(total);
+        for (j, job) in jobs.iter().enumerate() {
+            for k in 0..job.num_anneals {
+                slots.push((j as u32, k as u32));
+            }
+        }
+
         let threads = if self.config.threads == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
         } else {
             self.config.threads
         };
-        let threads = threads.min(num_anneals.max(1));
+        let threads = threads.min(total);
+        let width = if self.config.replica_width == 0 {
+            DEFAULT_REPLICA_WIDTH
+        } else {
+            self.config.replica_width
+        };
 
-        let mut samples: Vec<Vec<Spin>> = vec![Vec::new(); num_anneals];
-        if num_anneals == 0 {
-            return samples;
-        }
-
+        let mut samples: Vec<Vec<Spin>> = vec![Vec::new(); total];
         let config = self.config;
+        let telemetry = &self.telemetry;
         if threads == 1 {
-            // Batch front-ends (e.g. a decode session sharding a
-            // coherence interval across cores) run many single-threaded
-            // anneal batches concurrently; skipping the scoped spawn
-            // keeps each of those batches free of thread overhead.
+            // Batch front-ends running many single-threaded device
+            // calls concurrently skip the scoped spawn entirely.
             // Identical output by the determinism contract.
-            let mut worker = Worker::new();
-            for (k, slot) in samples.iter_mut().enumerate() {
-                let mut rng = StdRng::seed_from_u64(splitmix(seed, k as u64));
-                *slot = worker.anneal(problem, chains, init, &betas, &fractions, &config, &mut rng);
-            }
-            return samples;
+            let mut worker = BatchWorker::new();
+            worker.run_range(
+                structure,
+                chains,
+                jobs,
+                &slots,
+                &mut samples,
+                &betas,
+                &fractions,
+                &config,
+                width,
+                telemetry,
+            );
+        } else {
+            let chunk = total.div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (slot_chunk, out_chunk) in slots.chunks(chunk).zip(samples.chunks_mut(chunk)) {
+                    let betas = &betas;
+                    let fractions = &fractions;
+                    let config = &config;
+                    scope.spawn(move || {
+                        // Per-thread scratch, allocated once: the ICE
+                        // refreeze coefficient copy, the replica batch
+                        // buffers, and the per-replica RNG streams.
+                        let mut worker = BatchWorker::new();
+                        worker.run_range(
+                            structure, chains, jobs, slot_chunk, out_chunk, betas, fractions,
+                            config, width, telemetry,
+                        );
+                    });
+                }
+            });
         }
-        let chunk = num_anneals.div_ceil(threads);
-        std::thread::scope(|scope| {
-            for (t, out_chunk) in samples.chunks_mut(chunk).enumerate() {
-                let betas = &betas;
-                let fractions = &fractions;
-                scope.spawn(move || {
-                    // Per-thread scratch, allocated once and reused by
-                    // every anneal in the chunk: the ICE-refrozen
-                    // coefficient copy and the sweep state buffers.
-                    let mut worker = Worker::new();
-                    let base = t * chunk;
-                    for (off, slot) in out_chunk.iter_mut().enumerate() {
-                        let k = (base + off) as u64;
-                        let mut rng = StdRng::seed_from_u64(splitmix(seed, k));
-                        *slot = worker
-                            .anneal(problem, chains, init, betas, fractions, &config, &mut rng);
-                    }
-                });
-            }
-        });
-        samples
+
+        // Unflatten back into per-job sample batches.
+        let mut out = Vec::with_capacity(jobs.len());
+        let mut rest = samples.into_iter();
+        for job in jobs {
+            out.push(rest.by_ref().take(job.num_anneals).collect());
+        }
+        out
     }
+}
+
+/// One independent anneal request inside an [`Annealer::run_jobs`]
+/// batch: a programmed problem (sharing the batch's CSR structure), an
+/// optional reverse-anneal candidate, a sample count, and the job's own
+/// RNG seed (sample `k` uses stream `splitmix(seed, k)`, exactly as the
+/// scalar entry points).
+#[derive(Clone, Copy, Debug)]
+pub struct AnnealJob<'a> {
+    /// The programmed (embedded, normalized) problem.
+    pub problem: &'a CompiledProblem,
+    /// Reverse-anneal candidate; `None` starts uniformly random.
+    pub init: Option<&'a [Spin]>,
+    /// Anneal cycles to run.
+    pub num_anneals: usize,
+    /// The job's RNG seed.
+    pub seed: u64,
 }
 
 /// One worker thread's reusable buffers: scratch coefficients for the
-/// per-anneal ICE refreeze plus the backend sweep states.
-struct Worker {
+/// per-anneal ICE refreeze, the SoA replica batches, and the
+/// per-replica RNG streams of the current window.
+struct BatchWorker {
     /// Built lazily on the first refreeze — a zero-ICE run never pays
     /// for the coefficient copy.
     scratch: Option<CompiledProblem>,
-    sa_state: SweepState,
-    sqa_state: SqaState,
+    sa_batch: ReplicaBatch,
+    sqa_batch: SqaReplicaBatch,
+    rngs: Vec<StdRng>,
 }
 
-impl Worker {
+impl BatchWorker {
     fn new() -> Self {
-        Worker {
+        BatchWorker {
             scratch: None,
-            sa_state: SweepState::new(),
-            sqa_state: SqaState::new(),
+            sa_batch: ReplicaBatch::new(),
+            sqa_batch: SqaReplicaBatch::new(),
+            rngs: Vec::new(),
         }
     }
 
+    /// Anneals `slots` (one output slot each) in greedy windows of up
+    /// to `width` replicas.
     #[allow(clippy::too_many_arguments)]
-    fn anneal(
+    fn run_range(
         &mut self,
-        problem: &CompiledProblem,
+        structure: &CompiledProblem,
         chains: &CompiledChains,
-        init: Option<&[Spin]>,
+        jobs: &[AnnealJob],
+        slots: &[(u32, u32)],
+        out: &mut [Vec<Spin>],
         betas: &[f64],
         fractions: &[f64],
         config: &AnnealerConfig,
-        rng: &mut StdRng,
-    ) -> Vec<Spin> {
-        // Cheap per-anneal refreeze: coefficients copy into the scratch
-        // view in two memcpy-like passes; the CSR structure is shared.
-        let effective: &CompiledProblem = if config.ice.is_zero() {
-            problem
-        } else {
-            let scratch = self.scratch.get_or_insert_with(|| problem.clone());
-            config.ice.refreeze(problem, scratch, rng);
-            scratch
-        };
+        width: usize,
+        telemetry: &Telemetry,
+    ) {
+        debug_assert_eq!(slots.len(), out.len());
+        let mut at = 0;
+        while at < slots.len() {
+            let w = width.min(slots.len() - at);
+            self.run_window(
+                structure,
+                chains,
+                jobs,
+                &slots[at..at + w],
+                &mut out[at..at + w],
+                betas,
+                fractions,
+                config,
+            );
+            telemetry.observe("quamax_anneal_replica_batch_width", &[], w as f64);
+            let sweeps = match config.backend {
+                Backend::Sa => betas.len(),
+                Backend::Sqa { .. } => fractions.len(),
+            };
+            telemetry.counter_add(
+                "quamax_anneal_batched_sweeps_total",
+                &[],
+                (w * sweeps) as u64,
+            );
+            at += w;
+        }
+    }
+
+    /// Anneals one replica window. Per replica, the RNG stream's draw
+    /// order is refreeze → init → sweep proposals — identical to the
+    /// scalar path, so every sample is bit-identical to its scalar
+    /// counterpart no matter how slots are windowed.
+    #[allow(clippy::too_many_arguments)]
+    fn run_window(
+        &mut self,
+        structure: &CompiledProblem,
+        chains: &CompiledChains,
+        jobs: &[AnnealJob],
+        slots: &[(u32, u32)],
+        out: &mut [Vec<Spin>],
+        betas: &[f64],
+        fractions: &[f64],
+        config: &AnnealerConfig,
+    ) {
+        let w = slots.len();
+        let BatchWorker {
+            scratch,
+            sa_batch,
+            sqa_batch,
+            rngs,
+        } = self;
+        rngs.clear();
+        for &(j, k) in slots {
+            rngs.push(StdRng::seed_from_u64(splitmix(
+                jobs[j as usize].seed,
+                k as u64,
+            )));
+        }
+        // A window entirely inside one zero-ICE job can read that job's
+        // coefficients directly; anything else (ICE refreezes, windows
+        // packing several jobs) binds per-replica coefficient strips.
+        let single_job = slots.iter().all(|&(j, _)| j == slots[0].0);
+        let shared = single_job && config.ice.is_zero();
         match config.backend {
             Backend::Sa => {
-                sa::anneal_once_compiled(effective, chains, betas, init, &mut self.sa_state, rng);
-                // Copy out instead of take: the state keeps its buffers
-                // warm for the next anneal in the chunk.
-                self.sa_state.spins().to_vec()
+                let problem = if shared {
+                    let problem = jobs[slots[0].0 as usize].problem;
+                    sa_batch.reset_shared(problem, w);
+                    for (r, &(j, _)) in slots.iter().enumerate() {
+                        match jobs[j as usize].init {
+                            Some(s) => sa_batch.init_replica(problem, r, s),
+                            None => sa_batch.init_replica_random(problem, r, &mut rngs[r]),
+                        }
+                    }
+                    problem
+                } else {
+                    sa_batch.reset_per_replica(structure, w);
+                    for (r, &(j, _)) in slots.iter().enumerate() {
+                        let job = &jobs[j as usize];
+                        let effective: &CompiledProblem = if config.ice.is_zero() {
+                            job.problem
+                        } else {
+                            let scratch = scratch.get_or_insert_with(|| job.problem.clone());
+                            config.ice.refreeze(job.problem, scratch, &mut rngs[r]);
+                            scratch
+                        };
+                        sa_batch.bind_replica(r, effective);
+                        match job.init {
+                            Some(s) => sa_batch.init_replica(structure, r, s),
+                            None => sa_batch.init_replica_random(structure, r, &mut rngs[r]),
+                        }
+                    }
+                    structure
+                };
+                sa::anneal_batch_compiled(problem, chains, betas, sa_batch, rngs);
+                for (r, slot) in out.iter_mut().enumerate() {
+                    *slot = sa_batch.replica_spins(r);
+                }
             }
             Backend::Sqa { slices } => {
-                sqa::anneal_once_compiled(
-                    effective,
-                    chains,
-                    fractions,
-                    slices,
-                    init,
-                    &mut self.sqa_state,
-                    rng,
-                );
-                sqa::best_slice(effective, &self.sqa_state)
+                let problem = if shared {
+                    let problem = jobs[slots[0].0 as usize].problem;
+                    sqa_batch.reset_shared(problem, slices, w);
+                    for (r, &(j, _)) in slots.iter().enumerate() {
+                        match jobs[j as usize].init {
+                            Some(s) => sqa_batch.init_replica(problem, r, |_, i| s[i]),
+                            None => sqa_batch.init_replica_random(problem, r, &mut rngs[r]),
+                        }
+                    }
+                    problem
+                } else {
+                    sqa_batch.reset_per_replica(structure, slices, w);
+                    for (r, &(j, _)) in slots.iter().enumerate() {
+                        let job = &jobs[j as usize];
+                        let effective: &CompiledProblem = if config.ice.is_zero() {
+                            job.problem
+                        } else {
+                            let scratch = scratch.get_or_insert_with(|| job.problem.clone());
+                            config.ice.refreeze(job.problem, scratch, &mut rngs[r]);
+                            scratch
+                        };
+                        sqa_batch.bind_replica(r, effective);
+                        match job.init {
+                            Some(s) => sqa_batch.init_replica(structure, r, |_, i| s[i]),
+                            None => sqa_batch.init_replica_random(structure, r, &mut rngs[r]),
+                        }
+                    }
+                    structure
+                };
+                sqa::anneal_batch_compiled(problem, chains, fractions, sqa_batch, rngs);
+                for (r, slot) in out.iter_mut().enumerate() {
+                    *slot = sqa::best_slice_batch(sqa_batch, r);
+                }
             }
         }
     }
@@ -661,6 +896,93 @@ mod tests {
             excursion < nominal - 0.1,
             "a 25× drift excursion should hurt: {nominal} → {excursion}"
         );
+    }
+
+    #[test]
+    fn run_jobs_matches_per_job_runs() {
+        // Packing heterogeneous jobs into one batched call must be
+        // unobservable: every sample equals its standalone run_compiled
+        // counterpart, with ICE active (per-replica windows) and with a
+        // second problem whose coefficients differ over one structure.
+        let p = toy_problem();
+        let base = CompiledProblem::new(&p);
+        let mut other = base.clone();
+        other.perturb_linear(|f| f + 0.2);
+        other.perturb_couplings(|g| g * 0.9);
+        let chains = CompiledChains::compile(&base, &[vec![0, 1], vec![2, 3]]);
+        let sched = Schedule::standard(1.0);
+        for backend in [Backend::Sa, Backend::Sqa { slices: 4 }] {
+            let annealer = Annealer::new(AnnealerConfig {
+                backend,
+                ..Default::default()
+            });
+            let jobs = [
+                AnnealJob {
+                    problem: &base,
+                    init: None,
+                    num_anneals: 5,
+                    seed: 41,
+                },
+                AnnealJob {
+                    problem: &other,
+                    init: None,
+                    num_anneals: 9,
+                    seed: 42,
+                },
+            ];
+            let packed = annealer.run_jobs(&base, &chains, &sched, &jobs);
+            let alone: Vec<_> = jobs
+                .iter()
+                .map(|j| annealer.run_compiled(j.problem, &chains, &sched, j.num_anneals, j.seed))
+                .collect();
+            assert_eq!(packed, alone, "backend {backend:?}");
+        }
+    }
+
+    #[test]
+    fn replica_width_never_changes_samples() {
+        let p = toy_problem();
+        let sched = Schedule::standard(1.0);
+        let run_with = |width: usize| {
+            Annealer::new(AnnealerConfig {
+                replica_width: width,
+                ..Default::default()
+            })
+            .run_chained(&p, &[vec![0, 1], vec![4, 5, 6]], &sched, 13, 7)
+        };
+        let reference = run_with(1);
+        for width in [2, 3, 8, 16] {
+            assert_eq!(run_with(width), reference, "width {width}");
+        }
+    }
+
+    #[test]
+    fn batched_sweep_counter_is_thread_and_width_invariant() {
+        let p = toy_problem();
+        let sched = Schedule::standard(1.0);
+        let num_anneals = 13;
+        let sweeps = sched.sweep_fractions(AnnealerConfig::default().sweeps_per_us).len();
+        let mut totals = Vec::new();
+        for (threads, width) in [(1, 1), (1, 8), (4, 5), (3, 16)] {
+            let telemetry = Telemetry::enabled();
+            Annealer::new(AnnealerConfig {
+                threads,
+                replica_width: width,
+                ..Default::default()
+            })
+            .with_telemetry(telemetry.clone())
+            .run(&p, &sched, num_anneals, 7);
+            let snap = telemetry.snapshot();
+            totals.push(snap.counter_total("quamax_anneal_batched_sweeps_total"));
+            // Every window observation is accounted for: widths sum to
+            // the anneal count.
+            let widths = snap
+                .histogram("quamax_anneal_replica_batch_width", &[])
+                .expect("width histogram recorded");
+            assert_eq!(widths.sum as usize, num_anneals);
+        }
+        // Σ width·sweeps = total replica sweeps, however sharded.
+        assert!(totals.iter().all(|&t| t == (num_anneals * sweeps) as u64));
     }
 
     #[test]

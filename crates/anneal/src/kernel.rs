@@ -25,6 +25,25 @@
 use quamax_ising::{CompiledProblem, Spin};
 use rand::Rng;
 
+/// Adds `step·g` into `fields[j]` for each `(j, g)` of a CSR row,
+/// walking the fields slice by successive splits instead of indexing
+/// `fields[j as usize]` per entry — row indices are sorted strictly
+/// ascending (a [`CompiledProblem`] invariant), so each split advances
+/// monotonically and the compiler sees no per-element bounds check on
+/// the hot add.
+#[inline]
+fn scatter_row(fields: &mut [f64], idx: &[u32], w: &[f64], step: f64) {
+    let mut rest = fields;
+    let mut base = 0usize;
+    for (&j, &g) in idx.iter().zip(w) {
+        let tail = &mut rest[(j as usize - base)..];
+        let (cell, tail) = tail.split_first_mut().expect("neighbor index in range");
+        *cell += step * g;
+        rest = tail;
+        base = j as usize + 1;
+    }
+}
+
 /// Precompiled chain-collective move tables for one problem: member
 /// lists and internal-edge lists in flat CSR-style storage.
 #[derive(Clone, Debug)]
@@ -191,9 +210,7 @@ impl SweepState {
         self.spins[i] = s_new;
         let step = 2.0 * s_new as f64;
         let (idx, w) = problem.row(i);
-        for (&j, &g) in idx.iter().zip(w) {
-            self.fields[j as usize] += step * g;
-        }
+        scatter_row(&mut self.fields, idx, w, step);
     }
 
     /// O(chain + internal) proposal: the energy change from flipping
@@ -335,6 +352,8 @@ impl SqaState {
     }
 
     /// Accepts a flip of `(k, i)`, updating slice `k`'s field cache.
+    /// The slice-`k` field window is split off once per row, so the
+    /// scatter never re-addresses `base + j` against the full buffer.
     #[inline]
     pub fn flip(&mut self, problem: &CompiledProblem, k: usize, i: usize) {
         let base = k * self.n;
@@ -342,9 +361,7 @@ impl SqaState {
         self.spins[base + i] = s_new;
         let step = 2.0 * s_new as f64;
         let (idx, w) = problem.row(i);
-        for (&j, &g) in idx.iter().zip(w) {
-            self.fields[base + j as usize] += step * g;
-        }
+        scatter_row(&mut self.fields[base..base + self.n], idx, w, step);
     }
 
     /// Chain-flip proposal within slice `k` (problem term only).
@@ -386,6 +403,845 @@ impl SqaState {
                 self.spins[base + i] as f64 * (self.fields[base + i] + problem.linear(i)) / 2.0
             })
             .sum()
+    }
+}
+
+/// `R` independent SA configurations in structure-of-arrays layout:
+/// `spins[i*R + r]` / `fields[i*R + r]`, so the per-spin loop over
+/// replicas is a contiguous strip and one CSR row walk pays for all
+/// `R` replicas' field updates.
+///
+/// Two coefficient modes:
+///
+/// * **shared** ([`ReplicaBatch::reset_shared`]) — every replica runs
+///   the exact problem passed to each sweep call (same `y`, zero ICE);
+///   the scatter broadcasts one `g` per row entry across the strip;
+/// * **per-replica** ([`ReplicaBatch::reset_per_replica`] +
+///   [`ReplicaBatch::bind_replica`]) — each replica carries its own
+///   `linear[i*R + r]` / `weights[e*R + r]` strips (different `y`
+///   vectors, or per-anneal ICE-refrozen coefficients); only the CSR
+///   *structure* of the problem argument is read.
+///
+/// Each replica is bit-identical to a serial [`SweepState`] driven by
+/// the same RNG stream (the stream-splitting contract in the crate's
+/// DESIGN docs), because per-replica draw order and floating-point
+/// accumulation order are preserved exactly; grouping replicas into a
+/// batch is unobservable per stream.
+#[derive(Clone, Debug, Default)]
+pub struct ReplicaBatch {
+    width: usize,
+    n: usize,
+    /// `spins[i*width + r]` = spin `i` of replica `r`.
+    spins: Vec<Spin>,
+    /// Cached local fields, parallel to `spins`.
+    fields: Vec<f64>,
+    /// Per-replica linear terms `linear[i*width + r]` (broadcast from
+    /// the shared problem in shared mode).
+    linear: Vec<f64>,
+    /// Per-replica coupling strips `weights[e*width + r]`; empty in
+    /// shared mode (weights read from the problem argument instead).
+    weights: Vec<f64>,
+    /// Scratch: per-replica field step of the current move (0 = hold).
+    steps: Vec<f64>,
+    /// Scratch: per-replica move deltas (chain proposals).
+    deltas: Vec<f64>,
+    /// Scratch: per-replica accept mask (chain moves).
+    mask: Vec<bool>,
+}
+
+impl ReplicaBatch {
+    /// An empty batch; call a `reset_*` method before sweeping.
+    pub fn new() -> Self {
+        ReplicaBatch::default()
+    }
+
+    /// Replicas per batch.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Spins per replica.
+    #[inline]
+    pub fn num_spins(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn shared(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    fn reset_common(&mut self, problem: &CompiledProblem, width: usize) {
+        assert!(width > 0, "batch width must be positive");
+        let n = problem.num_spins();
+        self.width = width;
+        self.n = n;
+        self.spins.clear();
+        self.spins.resize(n * width, 1);
+        self.fields.clear();
+        self.fields.resize(n * width, 0.0);
+        self.linear.clear();
+        self.linear.resize(n * width, 0.0);
+        self.steps.clear();
+        self.steps.resize(width, 0.0);
+        self.deltas.clear();
+        self.deltas.resize(width, 0.0);
+        self.mask.clear();
+        self.mask.resize(width, false);
+    }
+
+    /// (Re)shapes the batch to `width` replicas of `problem` in
+    /// *shared* coefficient mode: every replica reads the problem's own
+    /// coefficients. Replicas still need [`ReplicaBatch::init_replica`]
+    /// (or the random variant) before sweeping.
+    pub fn reset_shared(&mut self, problem: &CompiledProblem, width: usize) {
+        self.reset_common(problem, width);
+        self.weights.clear();
+        for i in 0..self.n {
+            let f = problem.linear(i);
+            self.linear[i * width..(i + 1) * width].fill(f);
+        }
+    }
+
+    /// (Re)shapes the batch to `width` replicas sharing `structure`'s
+    /// CSR layout in *per-replica* coefficient mode; every replica must
+    /// be given its coefficients via [`ReplicaBatch::bind_replica`]
+    /// before it is initialized.
+    pub fn reset_per_replica(&mut self, structure: &CompiledProblem, width: usize) {
+        self.reset_common(structure, width);
+        self.weights.clear();
+        self.weights.resize(structure.num_entries() * width, 0.0);
+    }
+
+    /// Copies `problem`'s coefficients into replica `r`'s strips
+    /// (per-replica mode only). `problem` must share the batch
+    /// structure's CSR layout.
+    ///
+    /// # Panics
+    /// Panics in shared mode or when shapes disagree.
+    pub fn bind_replica(&mut self, r: usize, problem: &CompiledProblem) {
+        assert!(
+            !self.shared(),
+            "bind_replica needs a per-replica batch (reset_per_replica)"
+        );
+        assert_eq!(problem.num_spins(), self.n, "structure mismatch");
+        assert_eq!(
+            problem.num_entries() * self.width,
+            self.weights.len(),
+            "structure mismatch"
+        );
+        let w = self.width;
+        for (i, &f) in problem.linear_terms().iter().enumerate() {
+            self.linear[i * w + r] = f;
+        }
+        for (e, &g) in problem.weights_flat().iter().enumerate() {
+            self.weights[e * w + r] = g;
+        }
+    }
+
+    /// Initializes replica `r` to `spins` and rebuilds its cached
+    /// fields from its bound coefficients. `problem` supplies the CSR
+    /// structure (and, in shared mode, the coefficients).
+    pub fn init_replica(&mut self, problem: &CompiledProblem, r: usize, spins: &[Spin]) {
+        assert_eq!(spins.len(), self.n, "initial state length mismatch");
+        let w = self.width;
+        for (i, &s) in spins.iter().enumerate() {
+            self.spins[i * w + r] = s;
+        }
+        self.rebuild_fields(problem, r);
+    }
+
+    /// Initializes replica `r` uniformly at random (one
+    /// `random_bool(0.5)` per spin, in index order — the same draw
+    /// order as [`SweepState::reset_random`]).
+    pub fn init_replica_random<R: Rng + ?Sized>(
+        &mut self,
+        problem: &CompiledProblem,
+        r: usize,
+        rng: &mut R,
+    ) {
+        let w = self.width;
+        for i in 0..self.n {
+            self.spins[i * w + r] = if rng.random_bool(0.5) { 1 } else { -1 };
+        }
+        self.rebuild_fields(problem, r);
+    }
+
+    fn rebuild_fields(&mut self, problem: &CompiledProblem, r: usize) {
+        let w = self.width;
+        for i in 0..self.n {
+            let (lo, hi) = problem.row_bounds(i);
+            let idx = &problem.neighbors_flat()[lo..hi];
+            let mut h = self.linear[i * w + r];
+            if self.shared() {
+                let gs = &problem.weights_flat()[lo..hi];
+                for (&j, &g) in idx.iter().zip(gs) {
+                    h += g * self.spins[j as usize * w + r] as f64;
+                }
+            } else {
+                for (pos, &j) in idx.iter().enumerate() {
+                    let g = self.weights[(lo + pos) * w + r];
+                    h += g * self.spins[j as usize * w + r] as f64;
+                }
+            }
+            self.fields[i * w + r] = h;
+        }
+    }
+
+    /// The spin at `(i, replica r)`.
+    #[inline]
+    pub fn spin(&self, i: usize, r: usize) -> Spin {
+        self.spins[i * self.width + r]
+    }
+
+    /// The cached local field at `(i, replica r)`.
+    #[inline]
+    pub fn field(&self, i: usize, r: usize) -> f64 {
+        self.fields[i * self.width + r]
+    }
+
+    /// Replica `r`'s configuration, gathered out of the strided layout.
+    pub fn replica_spins(&self, r: usize) -> Vec<Spin> {
+        (0..self.n).map(|i| self.spins[i * self.width + r]).collect()
+    }
+
+    /// Replica `r`'s energy, in the same accumulation order as
+    /// [`SweepState::energy`] (`Σ_i s_i·(h_i + f_i)/2`, `i` ascending).
+    pub fn energy(&self, r: usize) -> f64 {
+        let w = self.width;
+        (0..self.n)
+            .map(|i| self.spins[i * w + r] as f64 * (self.fields[i * w + r] + self.linear[i * w + r]) / 2.0)
+            .sum()
+    }
+
+    /// Proposes flipping spin `i` in every replica: `accept(r, ΔE_r)`
+    /// decides per replica (computing ΔE from the contiguous strip),
+    /// then one CSR row walk scatters all accepted replicas' field
+    /// updates at once. Per-replica ΔE and draw order match a serial
+    /// [`SweepState`] exactly.
+    #[inline]
+    pub fn sweep_spin(
+        &mut self,
+        problem: &CompiledProblem,
+        i: usize,
+        mut accept: impl FnMut(usize, f64) -> bool,
+    ) {
+        let w = self.width;
+        let base = i * w;
+        let mut any = false;
+        {
+            let spins = &mut self.spins[base..base + w];
+            let fields = &self.fields[base..base + w];
+            let steps = &mut self.steps[..w];
+            for r in 0..w {
+                let s = spins[r];
+                let delta = -2.0 * s as f64 * fields[r];
+                if accept(r, delta) {
+                    spins[r] = -s;
+                    steps[r] = -2.0 * s as f64;
+                    any = true;
+                } else {
+                    steps[r] = 0.0;
+                }
+            }
+        }
+        if any {
+            self.scatter(problem, i);
+        }
+    }
+
+    /// One full spin sweep: proposes every spin in index order,
+    /// `accept(i, r, ΔE_ir)` deciding per replica. Dispatches to a
+    /// width-monomorphized hot loop for the common batch widths (strips
+    /// become fixed-size arrays — bounds checks vanish and the strip
+    /// arithmetic unrolls/vectorizes); any other width takes the
+    /// dynamic [`ReplicaBatch::sweep_spin`] path. Both paths evaluate
+    /// identical ΔE values in identical order, so samples never depend
+    /// on which one ran.
+    pub fn sweep_spins(
+        &mut self,
+        problem: &CompiledProblem,
+        mut accept: impl FnMut(usize, usize, f64) -> bool,
+    ) {
+        match self.width {
+            1 => self.sweep_spins_w::<1>(problem, &mut accept),
+            2 => self.sweep_spins_w::<2>(problem, &mut accept),
+            4 => self.sweep_spins_w::<4>(problem, &mut accept),
+            8 => self.sweep_spins_w::<8>(problem, &mut accept),
+            16 => self.sweep_spins_w::<16>(problem, &mut accept),
+            _ => {
+                for i in 0..self.n {
+                    self.sweep_spin(problem, i, |r, delta| accept(i, r, delta));
+                }
+            }
+        }
+    }
+
+    fn sweep_spins_w<const W: usize>(
+        &mut self,
+        problem: &CompiledProblem,
+        accept: &mut impl FnMut(usize, usize, f64) -> bool,
+    ) {
+        debug_assert_eq!(self.width, W);
+        for i in 0..self.n {
+            let base = i * W;
+            let mut steps = [0.0f64; W];
+            let mut any = false;
+            {
+                let spins: &mut [Spin; W] =
+                    (&mut self.spins[base..base + W]).try_into().expect("strip");
+                let fields: &[f64; W] =
+                    (&self.fields[base..base + W]).try_into().expect("strip");
+                for r in 0..W {
+                    let s = spins[r];
+                    let delta = -2.0 * s as f64 * fields[r];
+                    if accept(i, r, delta) {
+                        spins[r] = -s;
+                        steps[r] = -2.0 * s as f64;
+                        any = true;
+                    }
+                }
+            }
+            if any {
+                self.scatter_w::<W>(problem, i, &steps);
+            }
+        }
+    }
+
+    /// Width-monomorphized scatter: same row walk as
+    /// [`ReplicaBatch::scatter`], but the per-entry strip update is a
+    /// fixed-`W` array operation the compiler fully unrolls.
+    fn scatter_w<const W: usize>(
+        &mut self,
+        problem: &CompiledProblem,
+        i: usize,
+        steps: &[f64; W],
+    ) {
+        let (lo, hi) = problem.row_bounds(i);
+        let idx = &problem.neighbors_flat()[lo..hi];
+        if self.shared() {
+            let gs = &problem.weights_flat()[lo..hi];
+            for (&j, &g) in idx.iter().zip(gs) {
+                let at = j as usize * W;
+                let strip: &mut [f64; W] =
+                    (&mut self.fields[at..at + W]).try_into().expect("strip");
+                for r in 0..W {
+                    strip[r] += steps[r] * g;
+                }
+            }
+        } else {
+            for (pos, &j) in idx.iter().enumerate() {
+                let e = (lo + pos) * W;
+                let gs: &[f64; W] = (&self.weights[e..e + W]).try_into().expect("strip");
+                let at = j as usize * W;
+                let strip: &mut [f64; W] =
+                    (&mut self.fields[at..at + W]).try_into().expect("strip");
+                for r in 0..W {
+                    strip[r] += steps[r] * gs[r];
+                }
+            }
+        }
+    }
+
+    /// Proposes flipping chain `c` collectively in every replica.
+    /// Internal-edge weights come from `chains` (baked at chain-compile
+    /// time from the base problem — exactly what the serial kernel
+    /// reads, ICE or not); accepted replicas flip member by member in
+    /// member order, preserving serial field-accumulation order.
+    pub fn sweep_chain(
+        &mut self,
+        problem: &CompiledProblem,
+        chains: &CompiledChains,
+        c: usize,
+        mut accept: impl FnMut(usize, f64) -> bool,
+    ) {
+        let w = self.width;
+        self.deltas[..w].fill(0.0);
+        for &i in chains.members(c) {
+            let base = i as usize * w;
+            for r in 0..w {
+                self.deltas[r] +=
+                    -2.0 * self.spins[base + r] as f64 * self.fields[base + r];
+            }
+        }
+        for &(a, b, g) in chains.internal_edges(c) {
+            let ab = a as usize * w;
+            let bb = b as usize * w;
+            for r in 0..w {
+                self.deltas[r] +=
+                    4.0 * g * self.spins[ab + r] as f64 * self.spins[bb + r] as f64;
+            }
+        }
+        let mut any = false;
+        for r in 0..w {
+            self.mask[r] = accept(r, self.deltas[r]);
+            any |= self.mask[r];
+        }
+        if !any {
+            return;
+        }
+        for &i in chains.members(c) {
+            let base = i as usize * w;
+            for r in 0..w {
+                if self.mask[r] {
+                    let s = self.spins[base + r];
+                    self.spins[base + r] = -s;
+                    self.steps[r] = -2.0 * s as f64;
+                } else {
+                    self.steps[r] = 0.0;
+                }
+            }
+            self.scatter(problem, i as usize);
+        }
+    }
+
+    /// One CSR row walk updating all replicas: for each row entry
+    /// `(j, g)`, `fields[j*R..][..R] += steps * g` — a contiguous,
+    /// autovectorizable strip (rejected replicas carry step 0, which
+    /// only ever normalizes a zero's sign).
+    fn scatter(&mut self, problem: &CompiledProblem, i: usize) {
+        let w = self.width;
+        let (lo, hi) = problem.row_bounds(i);
+        let idx = &problem.neighbors_flat()[lo..hi];
+        let steps = &self.steps[..w];
+        if self.shared() {
+            let gs = &problem.weights_flat()[lo..hi];
+            for (&j, &g) in idx.iter().zip(gs) {
+                let at = j as usize * w;
+                let strip = &mut self.fields[at..at + w];
+                for (f, &s) in strip.iter_mut().zip(steps) {
+                    *f += s * g;
+                }
+            }
+        } else {
+            for (pos, &j) in idx.iter().enumerate() {
+                let e = (lo + pos) * w;
+                let gs = &self.weights[e..e + w];
+                let at = j as usize * w;
+                let strip = &mut self.fields[at..at + w];
+                for ((f, &s), &g) in strip.iter_mut().zip(steps).zip(gs) {
+                    *f += s * g;
+                }
+            }
+        }
+    }
+}
+
+/// The SQA analogue of [`ReplicaBatch`]: `R` independent `n×P`
+/// Trotter-replica states in one strided buffer, `spins[(k*n+i)*R + r]`
+/// (slice-major per replica, replica-minor strips), with the same
+/// shared/per-replica coefficient modes and the same bit-identity
+/// contract against a serial [`SqaState`].
+#[derive(Clone, Debug, Default)]
+pub struct SqaReplicaBatch {
+    width: usize,
+    n: usize,
+    slices: usize,
+    /// `spins[(k*n + i)*width + r]`.
+    spins: Vec<Spin>,
+    /// Cached per-slice problem-term fields, parallel to `spins`.
+    fields: Vec<f64>,
+    /// Per-replica linear terms `linear[i*width + r]` (slices share).
+    linear: Vec<f64>,
+    /// Per-replica coupling strips `weights[e*width + r]`; empty in
+    /// shared mode.
+    weights: Vec<f64>,
+    steps: Vec<f64>,
+    deltas: Vec<f64>,
+    mask: Vec<bool>,
+}
+
+impl SqaReplicaBatch {
+    /// An empty batch; call a `reset_*` method before sweeping.
+    pub fn new() -> Self {
+        SqaReplicaBatch::default()
+    }
+
+    /// Replicas per batch.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Trotter slices per replica.
+    #[inline]
+    pub fn num_slices(&self) -> usize {
+        self.slices
+    }
+
+    #[inline]
+    fn shared(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    fn reset_common(&mut self, problem: &CompiledProblem, slices: usize, width: usize) {
+        assert!(width > 0, "batch width must be positive");
+        assert!(slices >= 2, "need at least 2 Trotter slices");
+        let n = problem.num_spins();
+        self.width = width;
+        self.n = n;
+        self.slices = slices;
+        self.spins.clear();
+        self.spins.resize(slices * n * width, 1);
+        self.fields.clear();
+        self.fields.resize(slices * n * width, 0.0);
+        self.linear.clear();
+        self.linear.resize(n * width, 0.0);
+        self.steps.clear();
+        self.steps.resize(width, 0.0);
+        self.deltas.clear();
+        self.deltas.resize(width, 0.0);
+        self.mask.clear();
+        self.mask.resize(width, false);
+    }
+
+    /// Shared-coefficient reset (see [`ReplicaBatch::reset_shared`]).
+    pub fn reset_shared(&mut self, problem: &CompiledProblem, slices: usize, width: usize) {
+        self.reset_common(problem, slices, width);
+        self.weights.clear();
+        for i in 0..self.n {
+            let f = problem.linear(i);
+            self.linear[i * width..(i + 1) * width].fill(f);
+        }
+    }
+
+    /// Per-replica-coefficient reset (see
+    /// [`ReplicaBatch::reset_per_replica`]).
+    pub fn reset_per_replica(&mut self, structure: &CompiledProblem, slices: usize, width: usize) {
+        self.reset_common(structure, slices, width);
+        self.weights.clear();
+        self.weights.resize(structure.num_entries() * width, 0.0);
+    }
+
+    /// Binds replica `r`'s coefficients (see
+    /// [`ReplicaBatch::bind_replica`]).
+    pub fn bind_replica(&mut self, r: usize, problem: &CompiledProblem) {
+        assert!(
+            !self.shared(),
+            "bind_replica needs a per-replica batch (reset_per_replica)"
+        );
+        assert_eq!(problem.num_spins(), self.n, "structure mismatch");
+        assert_eq!(
+            problem.num_entries() * self.width,
+            self.weights.len(),
+            "structure mismatch"
+        );
+        let w = self.width;
+        for (i, &f) in problem.linear_terms().iter().enumerate() {
+            self.linear[i * w + r] = f;
+        }
+        for (e, &g) in problem.weights_flat().iter().enumerate() {
+            self.weights[e * w + r] = g;
+        }
+    }
+
+    /// Initializes replica `r`'s slices from `init(k, i)` and rebuilds
+    /// its field cache.
+    pub fn init_replica(
+        &mut self,
+        problem: &CompiledProblem,
+        r: usize,
+        mut init: impl FnMut(usize, usize) -> Spin,
+    ) {
+        let w = self.width;
+        for k in 0..self.slices {
+            for i in 0..self.n {
+                self.spins[(k * self.n + i) * w + r] = init(k, i);
+            }
+        }
+        self.rebuild_fields(problem, r);
+    }
+
+    /// Initializes replica `r` uniformly at random, drawing slice-major
+    /// like [`SqaState::reset_random`].
+    pub fn init_replica_random<R: Rng + ?Sized>(
+        &mut self,
+        problem: &CompiledProblem,
+        r: usize,
+        rng: &mut R,
+    ) {
+        let w = self.width;
+        for at in 0..self.slices * self.n {
+            self.spins[at * w + r] = if rng.random_bool(0.5) { 1 } else { -1 };
+        }
+        self.rebuild_fields(problem, r);
+    }
+
+    fn rebuild_fields(&mut self, problem: &CompiledProblem, r: usize) {
+        let w = self.width;
+        for k in 0..self.slices {
+            let base = k * self.n;
+            for i in 0..self.n {
+                let (lo, hi) = problem.row_bounds(i);
+                let idx = &problem.neighbors_flat()[lo..hi];
+                let mut h = self.linear[i * w + r];
+                if self.shared() {
+                    let gs = &problem.weights_flat()[lo..hi];
+                    for (&j, &g) in idx.iter().zip(gs) {
+                        h += g * self.spins[(base + j as usize) * w + r] as f64;
+                    }
+                } else {
+                    for (pos, &j) in idx.iter().enumerate() {
+                        let g = self.weights[(lo + pos) * w + r];
+                        h += g * self.spins[(base + j as usize) * w + r] as f64;
+                    }
+                }
+                self.fields[(base + i) * w + r] = h;
+            }
+        }
+    }
+
+    /// The spin at `(slice k, spin i, replica r)`.
+    #[inline]
+    pub fn spin(&self, k: usize, i: usize, r: usize) -> Spin {
+        self.spins[(k * self.n + i) * self.width + r]
+    }
+
+    /// Replica `r`'s slice `k`, gathered out of the strided layout.
+    pub fn replica_slice(&self, r: usize, k: usize) -> Vec<Spin> {
+        let base = k * self.n;
+        (0..self.n)
+            .map(|i| self.spins[(base + i) * self.width + r])
+            .collect()
+    }
+
+    /// Replica `r`'s programmed energy of slice `k` (same accumulation
+    /// order as [`SqaState::slice_energy`]).
+    pub fn slice_energy(&self, r: usize, k: usize) -> f64 {
+        let w = self.width;
+        let base = k * self.n;
+        (0..self.n)
+            .map(|i| {
+                let at = (base + i) * w + r;
+                self.spins[at] as f64 * (self.fields[at] + self.linear[i * w + r]) / 2.0
+            })
+            .sum()
+    }
+
+    /// A local `(slice k, spin i)` proposal over all replicas:
+    /// `accept(r, ΔE_problem, s_i·(s_up + s_down))` decides per replica
+    /// (the caller folds in `w_problem`/γ), accepted replicas flip and
+    /// share one CSR row walk.
+    #[inline]
+    pub fn sweep_spin_slice(
+        &mut self,
+        problem: &CompiledProblem,
+        k: usize,
+        up: usize,
+        down: usize,
+        i: usize,
+        mut accept: impl FnMut(usize, f64, f64) -> bool,
+    ) {
+        let w = self.width;
+        let at = (k * self.n + i) * w;
+        let up_at = (up * self.n + i) * w;
+        let down_at = (down * self.n + i) * w;
+        let mut any = false;
+        for r in 0..w {
+            let s = self.spins[at + r];
+            let d_problem = -2.0 * s as f64 * self.fields[at + r];
+            let pair = s as f64 * (self.spins[up_at + r] + self.spins[down_at + r]) as f64;
+            if accept(r, d_problem, pair) {
+                self.spins[at + r] = -s;
+                self.steps[r] = -2.0 * s as f64;
+                any = true;
+            } else {
+                self.steps[r] = 0.0;
+            }
+        }
+        if any {
+            self.scatter(problem, k, i);
+        }
+    }
+
+    /// A global per-spin proposal (flip `i` in all slices): `accept(r,
+    /// ΣΔE_problem)` decides per replica; accepted replicas flip slice
+    /// by slice in `k` order, each slice sharing one row walk.
+    pub fn sweep_spin_global(
+        &mut self,
+        problem: &CompiledProblem,
+        i: usize,
+        mut accept: impl FnMut(usize, f64) -> bool,
+    ) {
+        let w = self.width;
+        self.deltas[..w].fill(0.0);
+        for k in 0..self.slices {
+            let at = (k * self.n + i) * w;
+            for r in 0..w {
+                self.deltas[r] += -2.0 * self.spins[at + r] as f64 * self.fields[at + r];
+            }
+        }
+        let mut any = false;
+        for r in 0..w {
+            self.mask[r] = accept(r, self.deltas[r]);
+            any |= self.mask[r];
+        }
+        if !any {
+            return;
+        }
+        for k in 0..self.slices {
+            let at = (k * self.n + i) * w;
+            for r in 0..w {
+                if self.mask[r] {
+                    let s = self.spins[at + r];
+                    self.spins[at + r] = -s;
+                    self.steps[r] = -2.0 * s as f64;
+                } else {
+                    self.steps[r] = 0.0;
+                }
+            }
+            self.scatter(problem, k, i);
+        }
+    }
+
+    /// A per-slice chain proposal: `accept(r, ΔE_problem, Σ_members
+    /// s·(s_up + s_down))` decides per replica; accepted replicas flip
+    /// member by member in member order within slice `k`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sweep_chain_slice(
+        &mut self,
+        problem: &CompiledProblem,
+        chains: &CompiledChains,
+        k: usize,
+        up: usize,
+        down: usize,
+        c: usize,
+        mut accept: impl FnMut(usize, f64, f64) -> bool,
+    ) {
+        let w = self.width;
+        self.deltas[..w].fill(0.0);
+        self.chain_delta_into(chains, k, c);
+        // Slice-coupling pair terms, accumulated per replica in member
+        // order (exact small-integer sums, so grouping is exact).
+        let mut any = false;
+        {
+            let mut pairs = std::mem::take(&mut self.steps);
+            pairs[..w].fill(0.0);
+            for &i in chains.members(c) {
+                let at = (k * self.n + i as usize) * w;
+                let up_at = (up * self.n + i as usize) * w;
+                let down_at = (down * self.n + i as usize) * w;
+                for r in 0..w {
+                    pairs[r] += self.spins[at + r] as f64
+                        * (self.spins[up_at + r] + self.spins[down_at + r]) as f64;
+                }
+            }
+            for r in 0..w {
+                self.mask[r] = accept(r, self.deltas[r], pairs[r]);
+                any |= self.mask[r];
+            }
+            self.steps = pairs;
+        }
+        if !any {
+            return;
+        }
+        self.flip_chain_masked(problem, chains, k, c);
+    }
+
+    /// A global chain proposal (flip chain `c` in all slices):
+    /// `accept(r, ΣΔE_problem)`; accepted replicas flip slice by slice
+    /// in `k` order, members in member order.
+    pub fn sweep_chain_global(
+        &mut self,
+        problem: &CompiledProblem,
+        chains: &CompiledChains,
+        c: usize,
+        mut accept: impl FnMut(usize, f64) -> bool,
+    ) {
+        let w = self.width;
+        self.deltas[..w].fill(0.0);
+        for k in 0..self.slices {
+            self.chain_delta_into(chains, k, c);
+        }
+        let mut any = false;
+        for r in 0..w {
+            self.mask[r] = accept(r, self.deltas[r]);
+            any |= self.mask[r];
+        }
+        if !any {
+            return;
+        }
+        for k in 0..self.slices {
+            self.flip_chain_masked(problem, chains, k, c);
+        }
+    }
+
+    /// Accumulates slice `k`'s chain-`c` problem-term delta into
+    /// `deltas`, in the serial order: member flip-deltas, then internal
+    /// edges (weights baked into `chains`, shared by all replicas).
+    fn chain_delta_into(&mut self, chains: &CompiledChains, k: usize, c: usize) {
+        let w = self.width;
+        let base = k * self.n;
+        for &i in chains.members(c) {
+            let at = (base + i as usize) * w;
+            for r in 0..w {
+                self.deltas[r] += -2.0 * self.spins[at + r] as f64 * self.fields[at + r];
+            }
+        }
+        for &(a, b, g) in chains.internal_edges(c) {
+            let ab = (base + a as usize) * w;
+            let bb = (base + b as usize) * w;
+            for r in 0..w {
+                self.deltas[r] +=
+                    4.0 * g * self.spins[ab + r] as f64 * self.spins[bb + r] as f64;
+            }
+        }
+    }
+
+    /// Flips chain `c` in slice `k` for every masked replica, member by
+    /// member (serial accumulation order).
+    fn flip_chain_masked(
+        &mut self,
+        problem: &CompiledProblem,
+        chains: &CompiledChains,
+        k: usize,
+        c: usize,
+    ) {
+        let w = self.width;
+        for &i in chains.members(c) {
+            let at = (k * self.n + i as usize) * w;
+            for r in 0..w {
+                if self.mask[r] {
+                    let s = self.spins[at + r];
+                    self.spins[at + r] = -s;
+                    self.steps[r] = -2.0 * s as f64;
+                } else {
+                    self.steps[r] = 0.0;
+                }
+            }
+            self.scatter(problem, k, i as usize);
+        }
+    }
+
+    /// One CSR row walk scattering all replicas' slice-`k` field
+    /// updates for a flip of spin `i`.
+    fn scatter(&mut self, problem: &CompiledProblem, k: usize, i: usize) {
+        let w = self.width;
+        let base = k * self.n;
+        let (lo, hi) = problem.row_bounds(i);
+        let idx = &problem.neighbors_flat()[lo..hi];
+        let steps = &self.steps[..w];
+        if self.shared() {
+            let gs = &problem.weights_flat()[lo..hi];
+            for (&j, &g) in idx.iter().zip(gs) {
+                let at = (base + j as usize) * w;
+                let strip = &mut self.fields[at..at + w];
+                for (f, &s) in strip.iter_mut().zip(steps) {
+                    *f += s * g;
+                }
+            }
+        } else {
+            for (pos, &j) in idx.iter().enumerate() {
+                let e = (lo + pos) * w;
+                let gs = &self.weights[e..e + w];
+                let at = (base + j as usize) * w;
+                let strip = &mut self.fields[at..at + w];
+                for ((f, &s), &g) in strip.iter_mut().zip(steps).zip(gs) {
+                    *f += s * g;
+                }
+            }
+        }
     }
 }
 

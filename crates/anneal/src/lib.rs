@@ -100,6 +100,63 @@
 //! reference implementations; property tests cross-check the compiled
 //! kernel against them, and `quamax-bench`'s microbenches measure the
 //! gap (recorded in `BENCH_kernel.json` at the repo root).
+//!
+//! # DESIGN — batched replica sweeps
+//!
+//! One anneal's sweep is memory-bound: every proposal touches one CSR
+//! row, and accepted flips stream the row again to scatter field
+//! updates. The batched kernel ([`kernel::ReplicaBatch`] /
+//! [`kernel::SqaReplicaBatch`]) amortizes that traversal over `R`
+//! *independent* replicas by interleaving their state
+//! structure-of-arrays:
+//!
+//! ```text
+//!            spin 0                spin 1                spin i
+//!   spins  [ r0 r1 r2 … r(R-1) | r0 r1 r2 … r(R-1) | … ]   i*R + r
+//!   fields [ r0 r1 r2 … r(R-1) | r0 r1 r2 … r(R-1) | … ]   i*R + r
+//! ```
+//!
+//! Proposing spin `i` reads the contiguous strips `spins[i*R..][..R]` /
+//! `fields[i*R..][..R]` — a bounds-check-elided, autovectorizable
+//! accept loop — and the winners share **one** CSR row walk: for each
+//! row entry `(j, g)`, the strip `fields[j*R..][..R] += steps·g`, where
+//! `steps[r]` is `−2·s_i` for accepting replicas and `0.0` for the
+//! rest (a branchless broadcast; adding `0.0·g` can at most normalize a
+//! zero's sign, which no Metropolis comparison can observe). Two
+//! coefficient modes cover the front-ends: *shared* (all replicas run
+//! one zero-ICE problem — couplings broadcast from the problem's own
+//! CSR arrays) and *per-replica* (strided `linear[i*R+r]` /
+//! `weights[e*R+r]` strips — per-anneal ICE refreezes, or a decode
+//! batch packing different received vectors over one structure).
+//!
+//! ## RNG stream-splitting contract
+//!
+//! Batching is *unobservable* in the outputs. Replica `r` of a batch
+//! consumes its own `StdRng` stream — the same `splitmix(seed, k)`
+//! stream its scalar anneal would use — and only through the per-stream
+//! draw order of the determinism contract above (refreeze → init →
+//! proposals in sweep order). The batched kernel evaluates the same
+//! ΔE values in the same float accumulation order (chain flips go
+//! member-by-member; SQA global moves slice-by-slice), so every replica
+//! is **bit-identical** to its serial [`kernel::SweepState`] /
+//! [`kernel::SqaState`] counterpart — property-tested in
+//! `tests/properties.rs`, and relied on by [`Annealer::run_jobs`] to
+//! pack arbitrary job mixes into windows without changing any sample.
+//!
+//! ## Batch width vs. thread parallelism
+//!
+//! The two axes compose: [`Annealer::run_jobs`] shards flattened
+//! (job, anneal) slots across threads, then each worker sweeps its
+//! shard in windows of [`AnnealerConfig::replica_width`] replicas.
+//! Width exploits *data-level* parallelism (one core's vector lanes and
+//! cache lines carry R replicas through one row walk); threads exploit
+//! *core-level* parallelism. Prefer widening until the batch working
+//! set (~`R·n` spins + `R·n` fields, plus `R·nnz` weights in
+//! per-replica mode) outgrows L2 — width 8 is the default sweet spot on
+//! full-chip problems — and spend the remaining parallelism on threads.
+//! A front-end that already shards sessions across cores (the decode
+//! path) should keep `threads: 1` per device call and let width do the
+//! intra-core work.
 
 pub mod device;
 pub mod ice;
@@ -109,8 +166,10 @@ pub mod schedule;
 pub mod sqa;
 pub mod stats;
 
-pub use device::{AnnealDegradation, Annealer, AnnealerConfig, Backend};
+pub use device::{
+    AnnealDegradation, AnnealJob, Annealer, AnnealerConfig, Backend, DEFAULT_REPLICA_WIDTH,
+};
 pub use ice::IceModel;
-pub use kernel::{CompiledChains, SqaState, SweepState};
+pub use kernel::{CompiledChains, ReplicaBatch, SqaReplicaBatch, SqaState, SweepState};
 pub use schedule::Schedule;
 pub use stats::{SolutionDistribution, SolutionEntry};

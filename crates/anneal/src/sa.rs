@@ -8,7 +8,7 @@
 //! for quantum annealers; per DESIGN.md §2.1 it is this simulator's
 //! default backend.
 
-use crate::kernel::{CompiledChains, SweepState};
+use crate::kernel::{CompiledChains, ReplicaBatch, SweepState};
 use quamax_ising::{CompiledProblem, IsingProblem, Spin};
 use rand::Rng;
 
@@ -94,16 +94,67 @@ pub fn anneal_once_compiled<R: Rng + ?Sized>(
         sweep_compiled(problem, state, beta, rng);
         for c in 0..chains.len() {
             let delta = state.chain_flip_delta(chains, c);
-            if delta <= 0.0 {
+            if metropolis(beta, delta, rng) {
                 state.chain_flip(problem, chains, c);
-            } else {
-                let exponent = beta * delta;
-                if exponent < CERTAIN_REJECT_EXPONENT && rng.random::<f64>() < (-exponent).exp() {
-                    state.chain_flip(problem, chains, c);
-                }
             }
         }
     }
+}
+
+/// The batched trajectory: every replica of `batch` runs the same sweep
+/// plan, each consuming its own RNG stream (`rngs[r]`), so replica `r`
+/// is bit-identical to [`anneal_once_compiled`] driven by `rngs[r]`
+/// alone. The caller initializes the batch first — bind/init draw
+/// order per stream is refreeze → init → sweeps, exactly as the serial
+/// device path.
+///
+/// # Panics
+/// Panics when `betas` is empty or `rngs.len() != batch.width()`.
+pub fn anneal_batch_compiled<R: Rng>(
+    problem: &CompiledProblem,
+    chains: &CompiledChains,
+    betas: &[f64],
+    batch: &mut ReplicaBatch,
+    rngs: &mut [R],
+) {
+    assert!(!betas.is_empty(), "empty sweep plan");
+    assert_eq!(rngs.len(), batch.width(), "one RNG stream per replica");
+    for &beta in betas {
+        sweep_batch(problem, batch, beta, rngs);
+        for c in 0..chains.len() {
+            batch.sweep_chain(problem, chains, c, |r, delta| {
+                metropolis(beta, delta, &mut rngs[r])
+            });
+        }
+    }
+}
+
+/// One batched Metropolis sweep: per spin, one strip of per-replica
+/// accept decisions and one shared CSR row walk (see
+/// [`ReplicaBatch::sweep_spin`]). Proposal order matches
+/// [`sweep_compiled`] per replica.
+pub fn sweep_batch<R: Rng>(
+    problem: &CompiledProblem,
+    batch: &mut ReplicaBatch,
+    beta: f64,
+    rngs: &mut [R],
+) {
+    let rngs = &mut rngs[..batch.width()];
+    batch.sweep_spins(problem, |_, r, delta| metropolis(beta, delta, &mut rngs[r]));
+}
+
+/// The Metropolis decision shared by the scalar and batched SA kernels:
+/// downhill moves accept without drawing, deep-cold uphill moves reject
+/// without drawing (see [`CERTAIN_REJECT_EXPONENT`]), everything in
+/// between draws one uniform — so whether a stream advances depends
+/// only on `(beta, delta)`.
+#[inline]
+pub(crate) fn metropolis<R: Rng + ?Sized>(beta: f64, delta: f64, rng: &mut R) -> bool {
+    if delta <= 0.0 {
+        return true;
+    }
+    let exponent = beta * delta;
+    exponent < CERTAIN_REJECT_EXPONENT && rng.random::<f64>() < (-exponent).exp()
 }
 
 /// Energy change from flipping every spin of `chain` simultaneously:
@@ -167,13 +218,8 @@ pub fn sweep_compiled<R: Rng + ?Sized>(
 ) {
     for i in 0..problem.num_spins() {
         let delta = state.flip_delta(i);
-        if delta <= 0.0 {
+        if metropolis(beta, delta, rng) {
             state.flip(problem, i);
-        } else {
-            let exponent = beta * delta;
-            if exponent < CERTAIN_REJECT_EXPONENT && rng.random::<f64>() < (-exponent).exp() {
-                state.flip(problem, i);
-            }
         }
     }
 }

@@ -17,7 +17,7 @@
 //! per spin (flipping all its replicas at once), which is essential for
 //! efficient sampling near the end of the schedule.
 
-use crate::kernel::{CompiledChains, SqaState};
+use crate::kernel::{CompiledChains, SqaReplicaBatch, SqaState};
 use crate::schedule::curves;
 use quamax_ising::{CompiledProblem, IsingProblem, Spin};
 use rand::Rng;
@@ -213,6 +213,101 @@ pub fn sweep_compiled<R: Rng + ?Sized>(
             }
         }
     }
+}
+
+/// The batched SQA trajectory: every replica of `batch` runs the same
+/// fraction plan, each consuming its own RNG stream, so replica `r` is
+/// bit-identical to [`anneal_once_compiled`] driven by `rngs[r]` alone
+/// (see `sa::anneal_batch_compiled` for the stream-splitting contract).
+/// The caller initializes the batch first; [`best_slice_batch`] reads
+/// out one replica's answer.
+///
+/// # Panics
+/// Panics when `fractions` is empty or `rngs.len() != batch.width()`.
+pub fn anneal_batch_compiled<R: Rng>(
+    problem: &CompiledProblem,
+    chains: &CompiledChains,
+    fractions: &[f64],
+    batch: &mut SqaReplicaBatch,
+    rngs: &mut [R],
+) {
+    assert!(!fractions.is_empty(), "empty sweep plan");
+    assert_eq!(rngs.len(), batch.width(), "one RNG stream per replica");
+    let p = batch.num_slices();
+    for &s in fractions {
+        let (w_problem, gamma) = couplings_at(s, p);
+        sweep_batch(problem, chains, batch, w_problem, gamma, rngs);
+    }
+}
+
+/// One batched SQA sweep: the four phases of [`sweep_compiled`] (local,
+/// global per-spin, per-slice chain, global chain), each proposal
+/// deciding all replicas off one contiguous strip and sharing one CSR
+/// row walk per accepted-spin scatter.
+pub fn sweep_batch<R: Rng>(
+    problem: &CompiledProblem,
+    chains: &CompiledChains,
+    batch: &mut SqaReplicaBatch,
+    w_problem: f64,
+    gamma: f64,
+    rngs: &mut [R],
+) {
+    let p = batch.num_slices();
+    let n = problem.num_spins();
+    // Local moves: every (slice, spin).
+    for k in 0..p {
+        let (up, down) = (
+            if k + 1 == p { 0 } else { k + 1 },
+            if k == 0 { p - 1 } else { k - 1 },
+        );
+        for i in 0..n {
+            batch.sweep_spin_slice(problem, k, up, down, i, |r, d_problem, pair| {
+                let d_f = -w_problem * d_problem - 2.0 * gamma * pair;
+                accept(d_f, &mut rngs[r])
+            });
+        }
+    }
+    // Global moves: flip spin i in all slices.
+    for i in 0..n {
+        batch.sweep_spin_global(problem, i, |r, d_total| {
+            accept(-w_problem * d_total, &mut rngs[r])
+        });
+    }
+    // Chain-collective moves, per slice.
+    for c in 0..chains.len() {
+        for k in 0..p {
+            let (up, down) = (
+                if k + 1 == p { 0 } else { k + 1 },
+                if k == 0 { p - 1 } else { k - 1 },
+            );
+            batch.sweep_chain_slice(problem, chains, k, up, down, c, |r, d_problem, pair| {
+                let d_f = -w_problem * d_problem - 2.0 * gamma * pair;
+                accept(d_f, &mut rngs[r])
+            });
+        }
+    }
+    // Global chain moves.
+    for c in 0..chains.len() {
+        batch.sweep_chain_global(problem, chains, c, |r, d_total| {
+            accept(-w_problem * d_total, &mut rngs[r])
+        });
+    }
+}
+
+/// Per-replica analogue of [`best_slice`]: reads out replica `r`'s
+/// lowest-programmed-energy Trotter slice. Ties resolve to the first
+/// minimal slice, matching `min_by`'s first-minimum semantics.
+pub fn best_slice_batch(batch: &SqaReplicaBatch, r: usize) -> Vec<Spin> {
+    let mut best = 0usize;
+    let mut best_energy = batch.slice_energy(r, 0);
+    for k in 1..batch.num_slices() {
+        let e = batch.slice_energy(r, k);
+        if e < best_energy {
+            best = k;
+            best_energy = e;
+        }
+    }
+    batch.replica_slice(r, best)
 }
 
 /// Reads out the lowest-programmed-energy Trotter slice (each slice's

@@ -1,11 +1,15 @@
 //! Property-based tests for the annealer device.
 
 use proptest::prelude::*;
-use quamax_anneal::sa::chain_flip_delta;
+use quamax_anneal::sa::{self, chain_flip_delta};
+use quamax_anneal::sqa;
 use quamax_anneal::{
-    Annealer, AnnealerConfig, Backend, CompiledChains, IceModel, Schedule, SweepState,
+    Annealer, AnnealerConfig, Backend, CompiledChains, IceModel, ReplicaBatch, Schedule,
+    SqaReplicaBatch, SqaState, SweepState,
 };
 use quamax_ising::{CompiledProblem, IsingProblem};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 const N: usize = 8;
 
@@ -111,6 +115,127 @@ proptest! {
             state.chain_flip(&compiled, &cc, c);
         }
         prop_assert!((state.energy(&compiled) - p.energy(state.spins())).abs() < 1e-9);
+    }
+
+    /// The batched SA kernel's stream-splitting contract: replica `r`
+    /// of a [`ReplicaBatch`] is bit-identical (spins, fields, energy)
+    /// to a serial [`SweepState`] anneal driven by the same RNG stream
+    /// — at R = 1 and at R = 4, in shared mode and in per-replica mode
+    /// with every replica bound to differently-perturbed coefficients,
+    /// chains included.
+    #[test]
+    fn sa_replica_batch_matches_serial(p in problem(), seed in 0u64..1000) {
+        let compiled = CompiledProblem::new(&p);
+        let chain_sets = vec![vec![0usize, 1, 2], vec![4, 5]];
+        let cc = CompiledChains::compile(&compiled, &chain_sets);
+        let betas: Vec<f64> = (0..10).map(|k| 0.2 * 1.3f64.powi(k)).collect();
+        for width in [1usize, 4] {
+            // Per-replica coefficient variants sharing the structure.
+            let variants: Vec<CompiledProblem> = (0..width)
+                .map(|r| {
+                    let mut q = compiled.clone();
+                    q.perturb_linear(|f| f + 0.1 * (r as f64));
+                    q.perturb_couplings(|g| g * (1.0 + 0.05 * r as f64));
+                    q
+                })
+                .collect();
+            for shared in [true, false] {
+                // Serial references, one stream per replica.
+                let serial: Vec<SweepState> = (0..width)
+                    .map(|r| {
+                        let q = if shared { &compiled } else { &variants[r] };
+                        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(r as u64));
+                        let mut st = SweepState::new();
+                        sa::anneal_once_compiled(q, &cc, &betas, None, &mut st, &mut rng);
+                        st
+                    })
+                    .collect();
+                // Batched run over the same streams.
+                let mut rngs: Vec<StdRng> = (0..width)
+                    .map(|r| StdRng::seed_from_u64(seed.wrapping_add(r as u64)))
+                    .collect();
+                let mut batch = ReplicaBatch::new();
+                if shared {
+                    batch.reset_shared(&compiled, width);
+                } else {
+                    batch.reset_per_replica(&compiled, width);
+                    for (r, q) in variants.iter().enumerate() {
+                        batch.bind_replica(r, q);
+                    }
+                }
+                for r in 0..width {
+                    batch.init_replica_random(&compiled, r, &mut rngs[r]);
+                }
+                sa::anneal_batch_compiled(&compiled, &cc, &betas, &mut batch, &mut rngs);
+                for (r, st) in serial.iter().enumerate() {
+                    prop_assert_eq!(batch.replica_spins(r), st.spins().to_vec());
+                    for i in 0..N {
+                        prop_assert_eq!(batch.field(i, r), st.field(i));
+                    }
+                    let q = if shared { &compiled } else { &variants[r] };
+                    prop_assert_eq!(batch.energy(r), st.energy(q));
+                }
+            }
+        }
+    }
+
+    /// The SQA analogue of `sa_replica_batch_matches_serial`: every
+    /// replica of a [`SqaReplicaBatch`] is bit-identical to its serial
+    /// [`SqaState`] counterpart — all Trotter slices, slice energies,
+    /// and the best-slice readout — at R = 1 and R = 4, shared and
+    /// per-replica, chains included.
+    #[test]
+    fn sqa_replica_batch_matches_serial(p in problem(), seed in 0u64..1000) {
+        let compiled = CompiledProblem::new(&p);
+        let chain_sets = vec![vec![0usize, 1, 2], vec![4, 5]];
+        let cc = CompiledChains::compile(&compiled, &chain_sets);
+        let fractions: Vec<f64> = (0..8).map(|k| (k as f64 + 0.5) / 8.0).collect();
+        let slices = 4;
+        for width in [1usize, 4] {
+            let variants: Vec<CompiledProblem> = (0..width)
+                .map(|r| {
+                    let mut q = compiled.clone();
+                    q.perturb_linear(|f| f - 0.07 * (r as f64));
+                    q.perturb_couplings(|g| g * (1.0 - 0.04 * r as f64));
+                    q
+                })
+                .collect();
+            for shared in [true, false] {
+                let serial: Vec<SqaState> = (0..width)
+                    .map(|r| {
+                        let q = if shared { &compiled } else { &variants[r] };
+                        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(r as u64));
+                        let mut st = SqaState::new();
+                        sqa::anneal_once_compiled(q, &cc, &fractions, slices, None, &mut st, &mut rng);
+                        st
+                    })
+                    .collect();
+                let mut rngs: Vec<StdRng> = (0..width)
+                    .map(|r| StdRng::seed_from_u64(seed.wrapping_add(r as u64)))
+                    .collect();
+                let mut batch = SqaReplicaBatch::new();
+                if shared {
+                    batch.reset_shared(&compiled, slices, width);
+                } else {
+                    batch.reset_per_replica(&compiled, slices, width);
+                    for (r, q) in variants.iter().enumerate() {
+                        batch.bind_replica(r, q);
+                    }
+                }
+                for r in 0..width {
+                    batch.init_replica_random(&compiled, r, &mut rngs[r]);
+                }
+                sqa::anneal_batch_compiled(&compiled, &cc, &fractions, &mut batch, &mut rngs);
+                for (r, st) in serial.iter().enumerate() {
+                    let q = if shared { &compiled } else { &variants[r] };
+                    for k in 0..slices {
+                        prop_assert_eq!(batch.replica_slice(r, k), st.slice(k).to_vec());
+                        prop_assert_eq!(batch.slice_energy(r, k), st.slice_energy(q, k));
+                    }
+                    prop_assert_eq!(sqa::best_slice_batch(&batch, r), sqa::best_slice(q, st));
+                }
+            }
+        }
     }
 
     /// ICE perturbation preserves problem structure and moves every

@@ -1,6 +1,8 @@
 //! Records the sweep-kernel before/after comparison to
 //! `BENCH_kernel.json` (run from the repo root:
-//! `cargo run --release -p quamax-bench --bin bench_kernel`).
+//! `cargo run --release -p quamax-bench --bin bench_kernel`; pass
+//! `--quick` for a CI smoke run — fewer samples, no JSON write, same
+//! assertions).
 //!
 //! Measures the Monte-Carlo hot loop — the cost driver of every figure
 //! in the reproduction — under the naive adjacency-list kernel the
@@ -13,10 +15,16 @@
 //!   the paper's 2,031 working qubits;
 //! * `sqa_embedded_960q_8slice` — 8-slice SQA sweeps (local + global
 //!   moves) over the embedded problem, laddered across the schedule
-//!   like a real anneal.
+//!   like a real anneal;
+//! * `sa_glass_batched_r{1,4,8,16}` — the multi-replica batched kernel
+//!   against R back-to-back scalar compiled ladders on the glass (the
+//!   accept-dominated regime where the scalar kernel's win is
+//!   smallest): one CSR row walk amortized over R replicas. The run
+//!   asserts the batched kernel beats the scalar compiled kernel on
+//!   replica throughput at R ≥ 8.
 
 use criterion::{measure_each, Summary};
-use quamax_anneal::kernel::{SqaState, SweepState};
+use quamax_anneal::kernel::{ReplicaBatch, SqaState, SweepState};
 use quamax_bench::kernelbench as kb;
 use quamax_ising::CompiledProblem;
 use rand::rngs::StdRng;
@@ -29,14 +37,22 @@ struct Comparison {
     compiled: Summary,
 }
 
-/// Interleaves the two kernels' measurements in `ROUNDS` alternating
+/// One batched-vs-scalar row: R replicas through the batched kernel
+/// against the same R replicas through back-to-back scalar ladders.
+struct BatchedRow {
+    name: String,
+    width: usize,
+    scalar: Summary,
+    batched: Summary,
+}
+
+/// Interleaves the two kernels' measurements in `rounds` alternating
 /// windows and keeps the component-wise best summaries: a background
 /// load spike then inflates both sides or neither, instead of silently
 /// skewing whichever kernel it happened to overlap.
-const ROUNDS: usize = 6;
-
 fn interleave(
     samples: usize,
+    rounds: usize,
     mut naive: impl FnMut(usize) -> Summary,
     mut compiled: impl FnMut(usize) -> Summary,
 ) -> (Summary, Summary) {
@@ -46,7 +62,7 @@ fn interleave(
         max_ns: a.max_ns.min(b.max_ns),
     };
     let (mut n, mut c) = (naive(samples), compiled(samples));
-    for _ in 1..ROUNDS {
+    for _ in 1..rounds {
         n = best(n, naive(samples));
         c = best(c, compiled(samples));
     }
@@ -62,8 +78,23 @@ impl Comparison {
     }
 }
 
+impl BatchedRow {
+    fn speedup(&self) -> f64 {
+        self.scalar.min_ns / self.batched.min_ns
+    }
+
+    /// Replica ladder passes per second through the batched kernel
+    /// (the `replicas_per_second` row family: R replicas advance one
+    /// full β ladder per measured op).
+    fn replicas_per_second(&self) -> f64 {
+        self.width as f64 / (self.batched.min_ns * 1e-9)
+    }
+}
+
 fn main() {
-    let samples = 40;
+    let quick = std::env::args().any(|a| a == "--quick");
+    let samples = if quick { 8 } else { 40 };
+    let rounds = if quick { 2 } else { 6 };
     let betas = kb::schedule_betas();
     let mut results = Vec::new();
 
@@ -86,6 +117,7 @@ fn main() {
         let mut rng_c = StdRng::seed_from_u64(4);
         let (naive, fast) = interleave(
             samples,
+            rounds,
             |k| {
                 measure_each(k, || {
                     kb::naive_sa_ladder(problem, &mut spins, &betas, &mut rng_n);
@@ -122,6 +154,7 @@ fn main() {
         let mut rng_c = StdRng::seed_from_u64(6);
         let (naive, fast) = interleave(
             samples,
+            rounds,
             |k| {
                 measure_each(k, || {
                     kb::naive_sqa_ladder(&embedded, &mut replicas, slices, &mut rng_n);
@@ -143,7 +176,101 @@ fn main() {
         });
     }
 
-    let rows: Vec<serde_json::Value> = results
+    // Batched replica rows: R replicas of the full-chip glass through
+    // the SoA batched kernel vs. R back-to-back scalar compiled
+    // ladders. Both sides do identical work per measured op (R replica
+    // ladder passes), so min-time ratio is replica-throughput speedup.
+    let mut batched_rows = Vec::new();
+    {
+        let compiled = CompiledProblem::new(&glass);
+        let n = glass.num_spins();
+        for width in [1usize, 4, 8, 16] {
+            let mut states: Vec<SweepState> = (0..width)
+                .map(|r| {
+                    let mut st = SweepState::new();
+                    st.reset(
+                        &compiled,
+                        &kb::random_spins(n, &mut StdRng::seed_from_u64(30 + r as u64)),
+                    );
+                    st
+                })
+                .collect();
+            let mut scalar_rngs: Vec<StdRng> = (0..width)
+                .map(|r| StdRng::seed_from_u64(50 + r as u64))
+                .collect();
+
+            let mut batch = ReplicaBatch::new();
+            batch.reset_shared(&compiled, width);
+            for r in 0..width {
+                batch.init_replica(
+                    &compiled,
+                    r,
+                    &kb::random_spins(n, &mut StdRng::seed_from_u64(30 + r as u64)),
+                );
+            }
+            let mut batch_rngs: Vec<StdRng> = (0..width)
+                .map(|r| StdRng::seed_from_u64(50 + r as u64))
+                .collect();
+
+            let (scalar, batched) = interleave(
+                samples,
+                rounds,
+                |k| {
+                    measure_each(k, || {
+                        for (st, rng) in states.iter_mut().zip(scalar_rngs.iter_mut()) {
+                            kb::compiled_sa_ladder(&compiled, st, &betas, rng);
+                        }
+                        black_box(states[0].spins()[0])
+                    })
+                },
+                |k| {
+                    measure_each(k, || {
+                        kb::batched_sa_ladder(&compiled, &mut batch, &betas, &mut batch_rngs);
+                        black_box(batch.spin(0, 0))
+                    })
+                },
+            );
+            batched_rows.push(BatchedRow {
+                name: format!("sa_glass_batched_r{width}"),
+                width,
+                scalar,
+                batched,
+            });
+        }
+    }
+
+    for r in &results {
+        println!(
+            "{:<28} naive {:>12.0} ns   compiled {:>12.0} ns   speedup {:>5.2}x",
+            r.name,
+            r.naive.min_ns,
+            r.compiled.min_ns,
+            r.speedup()
+        );
+    }
+    for r in &batched_rows {
+        println!(
+            "{:<28} scalar {:>11.0} ns   batched  {:>12.0} ns   speedup {:>5.2}x   ({:.0} replicas/s)",
+            r.name,
+            r.scalar.min_ns,
+            r.batched.min_ns,
+            r.speedup(),
+            r.replicas_per_second()
+        );
+    }
+
+    for r in &batched_rows {
+        if r.width >= 8 {
+            assert!(
+                r.speedup() > 1.0,
+                "batched R={} must beat the scalar compiled kernel in the glass regime: {:.2}x",
+                r.width,
+                r.speedup()
+            );
+        }
+    }
+
+    let mut rows: Vec<serde_json::Value> = results
         .iter()
         .map(|r| {
             serde_json::json!({
@@ -156,26 +283,35 @@ fn main() {
             })
         })
         .collect();
+    rows.extend(batched_rows.iter().map(|r| {
+        serde_json::json!({
+            "bench": r.name.clone(),
+            "replicas": r.width,
+            "scalar_min_ns": r.scalar.min_ns.round(),
+            "scalar_median_ns": r.scalar.median_ns.round(),
+            "batched_min_ns": r.batched.min_ns.round(),
+            "batched_median_ns": r.batched.median_ns.round(),
+            "replicas_per_second": r.replicas_per_second().round(),
+            "speedup": (r.speedup() * 100.0).round() / 100.0,
+        })
+    }));
     let doc = serde_json::json!({
         "name": "BENCH_kernel",
         "unit": "ns per sweep pass",
-        "note": "naive = adjacency-list flip_delta per proposal; compiled = CSR + incremental local fields (see quamax_anneal DESIGN docs); speedup computed from per-block minima, the statistic least contaminated by neighbors on a shared machine",
+        "note": "naive = adjacency-list flip_delta per proposal; compiled = CSR + incremental local fields; sa_glass_batched_rN = N replicas through the SoA ReplicaBatch kernel (one CSR row walk per proposed spin, amortized across replicas) vs N back-to-back scalar compiled ladders — replicas_per_second counts full beta-ladder passes; speedups computed from per-block minima, the statistic least contaminated by neighbors on a shared machine",
         "rows": rows,
     });
-    std::fs::write(
-        "BENCH_kernel.json",
-        serde_json::to_string_pretty(&doc).expect("serializable"),
-    )
-    .expect("write BENCH_kernel.json");
-
-    for r in &results {
-        println!(
-            "{:<28} naive {:>12.0} ns   compiled {:>12.0} ns   speedup {:>5.2}x",
-            r.name,
-            r.naive.min_ns,
-            r.compiled.min_ns,
-            r.speedup()
-        );
+    if !quick {
+        std::fs::write(
+            "BENCH_kernel.json",
+            serde_json::to_string_pretty(&doc).expect("serializable"),
+        )
+        .expect("write BENCH_kernel.json");
     }
-    println!("\nwrote BENCH_kernel.json");
+
+    if quick {
+        println!("\n--quick: skipped BENCH_kernel.json write");
+    } else {
+        println!("\nwrote BENCH_kernel.json");
+    }
 }

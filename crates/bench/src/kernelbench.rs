@@ -16,7 +16,7 @@
 //! list `flip_delta` recomputed per proposal); the "compiled" drivers
 //! run the same proposal sequence through the CSR/local-field kernel.
 
-use quamax_anneal::kernel::{CompiledChains, SqaState, SweepState};
+use quamax_anneal::kernel::{CompiledChains, ReplicaBatch, SqaState, SweepState};
 use quamax_anneal::sa;
 use quamax_chimera::{ChimeraGraph, CliqueEmbedding, EmbedParams, EmbeddedProblem};
 use quamax_core::reduce::ising_from_ml;
@@ -96,6 +96,21 @@ pub fn compiled_sa_ladder(
 ) {
     for &beta in betas {
         sa::sweep_compiled(problem, state, beta, rng);
+    }
+}
+
+/// One pass of the β ladder through the batched replica kernel: all
+/// `batch.width()` replicas advance together, sharing one CSR row walk
+/// per proposed spin (each replica bit-identical to a serial
+/// [`compiled_sa_ladder`] over its own RNG stream).
+pub fn batched_sa_ladder(
+    problem: &CompiledProblem,
+    batch: &mut ReplicaBatch,
+    betas: &[f64],
+    rngs: &mut [StdRng],
+) {
+    for &beta in betas {
+        sa::sweep_batch(problem, batch, beta, rngs);
     }
 }
 

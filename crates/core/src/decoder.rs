@@ -18,7 +18,7 @@
 
 use crate::reduce::{ising_from_ml, ising_from_ml_amortized};
 use crate::scenario::DetectionInput;
-use quamax_anneal::{Annealer, CompiledChains, Schedule, SolutionDistribution};
+use quamax_anneal::{AnnealJob, Annealer, CompiledChains, Schedule, SolutionDistribution};
 use quamax_chimera::{
     parallelization, unembed_majority_vote, ChimeraGraph, CliqueEmbedding, EmbedParams,
     EmbeddedProblem, EmbeddingError,
@@ -246,7 +246,10 @@ impl QuamaxDecoder {
         Ok(DecodeSession {
             inner: SessionInner {
                 telemetry: self.telemetry.clone(),
-                annealer: self.annealer.clone(),
+                annealer: self
+                    .annealer
+                    .clone()
+                    .with_telemetry(self.telemetry.clone()),
                 config: self.config,
                 modulation: input.modulation,
                 h: input.h.clone(),
@@ -403,18 +406,33 @@ impl SessionInner {
             }
         };
 
+        self.finish(logical, offset, schedule, &samples, rng)
+    }
+
+    /// The post-anneal half of a decode: accounting, per-sample
+    /// majority-vote unembedding (tie-breaks drawn from `rng`, which
+    /// must be positioned right after the anneal-seed draw), and the
+    /// ranked solution distribution.
+    fn finish<R: Rng + ?Sized>(
+        &self,
+        logical: IsingProblem,
+        ml_offset: f64,
+        schedule: Schedule,
+        samples: &[Vec<quamax_ising::Spin>],
+        rng: &mut R,
+    ) -> DecodeRun {
         self.telemetry
-            .counter_add("quamax_core_anneals_total", &[], num_anneals as u64);
+            .counter_add("quamax_core_anneals_total", &[], samples.len() as u64);
         self.telemetry.observe(
             "quamax_core_anneal_modeled_us",
             &[],
-            num_anneals as f64 * schedule.total_time_us(),
+            samples.len() as f64 * schedule.total_time_us(),
         );
 
         // Unembed each physical sample; track chain-break statistics.
         let mut logical_samples = Vec::with_capacity(samples.len());
         let mut broken = 0usize;
-        for s in &samples {
+        for s in samples {
             let out = unembed_majority_vote(&self.embedded, s, rng);
             broken += out.broken_chains;
             logical_samples.push(out.logical);
@@ -427,7 +445,7 @@ impl SessionInner {
         DecodeRun {
             distribution,
             logical,
-            ml_offset: offset,
+            ml_offset,
             modulation: self.modulation,
             schedule,
             parallel_factor: self.parallel_factor,
@@ -592,55 +610,55 @@ impl DecodeSession {
     }
 
     /// Decodes a batch of `(y, seed)` pairs — one coherence interval's
-    /// worth of subcarrier/symbol problems — sharded across CPU cores
-    /// with one scratch problem view per worker.
+    /// worth of subcarrier/symbol problems — through one device-level
+    /// [`Annealer::run_jobs`] call: every item's anneals flatten into
+    /// replica batches, so one CSR row walk drives up to
+    /// `replica_width` anneals (often of *different* items — each
+    /// replica carries its own programmed fields over the shared
+    /// session structure) while threads shard the flattened batch.
     ///
     /// Each item is decoded under its own `StdRng::seed_from_u64(seed)`
     /// stream, so results are bit-identical to calling
     /// [`DecodeSession::decode`] item by item (and to one-shot
     /// [`QuamaxDecoder::decode`] under the same seeds), regardless of
-    /// worker count. The batch dimension is the primary parallelism;
-    /// leftover cores (batches smaller than the machine) are split
-    /// across the workers' inner anneal batches.
+    /// batch width or worker count.
     pub fn decode_batch(&self, items: &[(CVector, u64)], num_anneals: usize) -> Vec<DecodeRun> {
         if items.is_empty() {
             return Vec::new();
         }
-        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-        let threads = cores.min(items.len());
-        // Distribute cores over the workers: determinism is
-        // thread-count independent, so this only allocates parallelism
-        // — no nested oversubscription, no idle cores on small
-        // batches. An explicit thread setting on the annealer wins.
-        let mut config = *self.inner.annealer.config();
-        if config.threads == 0 {
-            config.threads = (cores / threads).max(1);
+        let inner = &self.inner;
+        // Program every item's coefficients into its own view of the
+        // session's frozen structure, splitting each item's RNG stream
+        // exactly like the serial path: anneal seed first, unembedding
+        // tie-breaks after.
+        let mut programmed = Vec::with_capacity(items.len());
+        for (y, seed) in items {
+            let mut scratch = inner.base.clone();
+            let mut rng = StdRng::seed_from_u64(*seed);
+            let (logical, offset) = inner.program(y, &mut scratch);
+            let anneal_seed: u64 = rng.random();
+            programmed.push((scratch, logical, offset, anneal_seed, rng));
         }
-        let worker_annealer = Annealer::new(config);
-        let chunk = items.len().div_ceil(threads);
-        let mut out: Vec<Option<DecodeRun>> = (0..items.len()).map(|_| None).collect();
-        std::thread::scope(|scope| {
-            for (in_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
-                let inner = &self.inner;
-                let annealer = &worker_annealer;
-                scope.spawn(move || {
-                    let mut scratch = inner.base.clone();
-                    for ((y, seed), slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
-                        let mut rng = StdRng::seed_from_u64(*seed);
-                        *slot = Some(inner.run_with(
-                            &mut scratch,
-                            annealer,
-                            y,
-                            num_anneals,
-                            RunMode::Forward,
-                            &mut rng,
-                        ));
-                    }
-                });
-            }
-        });
-        out.into_iter()
-            .map(|r| r.expect("every batch slot decoded"))
+        let schedule = inner.config.schedule;
+        let jobs: Vec<AnnealJob> = programmed
+            .iter()
+            .map(|(scratch, _, _, anneal_seed, _)| AnnealJob {
+                problem: scratch,
+                init: None,
+                num_anneals,
+                seed: *anneal_seed,
+            })
+            .collect();
+        let sample_sets = inner
+            .annealer
+            .run_jobs(&inner.base, &inner.chains, &schedule, &jobs);
+        drop(jobs);
+        programmed
+            .into_iter()
+            .zip(sample_sets)
+            .map(|((_, logical, offset, _, mut rng), samples)| {
+                inner.finish(logical, offset, schedule, &samples, &mut rng)
+            })
             .collect()
     }
 }

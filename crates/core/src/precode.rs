@@ -35,7 +35,7 @@
 
 use crate::decoder::{DecodeError, DecoderConfig};
 use crate::detect::{ErrorClass, Route};
-use quamax_anneal::{Annealer, CompiledChains, Schedule, SolutionDistribution};
+use quamax_anneal::{AnnealJob, Annealer, CompiledChains, Schedule, SolutionDistribution};
 use quamax_chimera::{
     parallelization, unembed_majority_vote, ChimeraGraph, CliqueEmbedding, EmbeddedProblem,
     EmbeddingError,
@@ -739,9 +739,24 @@ impl VppInner {
             }
         };
 
+        self.finish(u, logical, offset, &samples, rng)
+    }
+
+    /// The post-anneal half of a precode: per-sample majority-vote
+    /// unembedding (tie-breaks drawn from `rng`, positioned right after
+    /// the anneal-seed draw), distribution ranking, and the `v = 0`
+    /// power floor.
+    fn finish<R: Rng + ?Sized>(
+        &self,
+        u: &CVector,
+        logical: IsingProblem,
+        offset: f64,
+        samples: &[Vec<quamax_ising::Spin>],
+        rng: &mut R,
+    ) -> Precoding {
         let mut logical_samples = Vec::with_capacity(samples.len());
         let mut broken = 0usize;
-        for s in &samples {
+        for s in samples {
             let out = unembed_majority_vote(&self.embedded, s, rng);
             broken += out.broken_chains;
             logical_samples.push(out.logical);
@@ -893,44 +908,47 @@ impl VppSession {
     }
 
     /// Precodes a batch of `(u, seed)` pairs — one coherence
-    /// interval's worth of downlink symbol vectors — sharded across
-    /// CPU cores with one scratch problem view per worker. Results are
-    /// bit-identical to calling [`VppSession::precode`] item by item,
-    /// regardless of worker count (same per-item seeded RNG streams).
+    /// interval's worth of downlink symbol vectors — through one
+    /// device-level [`Annealer::run_jobs`] call: all items' anneals
+    /// flatten into replica batches (each replica binding its item's
+    /// programmed fields over the shared session structure) while
+    /// threads shard the flattened batch. Results are bit-identical to
+    /// calling [`VppSession::precode`] item by item, regardless of
+    /// batch width or worker count (same per-item seeded RNG streams).
     pub fn precode_batch(&self, items: &[(CVector, u64)]) -> Vec<Precoding> {
         if items.is_empty() {
             return Vec::new();
         }
-        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-        let threads = cores.min(items.len());
-        let mut config = *self.inner.annealer.config();
-        if config.threads == 0 {
-            config.threads = (cores / threads).max(1);
+        let inner = &self.inner;
+        let mut programmed = Vec::with_capacity(items.len());
+        for (u, seed) in items {
+            let mut scratch = inner.base.clone();
+            let mut rng = StdRng::seed_from_u64(*seed);
+            let (logical, offset) = inner.program(u, &mut scratch);
+            let anneal_seed: u64 = rng.random();
+            programmed.push((scratch, logical, offset, anneal_seed, rng));
         }
-        let worker_annealer = Annealer::new(config);
-        let chunk = items.len().div_ceil(threads);
-        let mut out: Vec<Option<Precoding>> = (0..items.len()).map(|_| None).collect();
-        std::thread::scope(|scope| {
-            for (in_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
-                let inner = &self.inner;
-                let annealer = &worker_annealer;
-                scope.spawn(move || {
-                    let mut scratch = inner.base.clone();
-                    for ((u, seed), slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
-                        let mut rng = StdRng::seed_from_u64(*seed);
-                        *slot = Some(inner.run_with(
-                            &mut scratch,
-                            annealer,
-                            u,
-                            PrecodeMode::Forward,
-                            &mut rng,
-                        ));
-                    }
-                });
-            }
-        });
-        out.into_iter()
-            .map(|r| r.expect("every batch slot precoded"))
+        let schedule = inner.config.schedule;
+        let jobs: Vec<AnnealJob> = programmed
+            .iter()
+            .map(|(scratch, _, _, anneal_seed, _)| AnnealJob {
+                problem: scratch,
+                init: None,
+                num_anneals: inner.anneals,
+                seed: *anneal_seed,
+            })
+            .collect();
+        let sample_sets = inner
+            .annealer
+            .run_jobs(&inner.base, &inner.chains, &schedule, &jobs);
+        drop(jobs);
+        items
+            .iter()
+            .zip(programmed)
+            .zip(sample_sets)
+            .map(|(((u, _), (_, logical, offset, _, mut rng)), samples)| {
+                inner.finish(u, logical, offset, &samples, &mut rng)
+            })
             .collect()
     }
 }

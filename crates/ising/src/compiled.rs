@@ -147,6 +147,37 @@ impl CompiledProblem {
         (self.offsets[i + 1] - self.offsets[i]) as usize
     }
 
+    /// Spin `i`'s row as a half-open range of flat CSR entry indices —
+    /// the strided-accessor form of [`CompiledProblem::row`] used by
+    /// kernels that keep per-entry side arrays (e.g. a replica batch's
+    /// `weights[e·R + r]` strips) parallel to the CSR layout.
+    #[inline]
+    pub fn row_bounds(&self, i: usize) -> (usize, usize) {
+        (self.offsets[i] as usize, self.offsets[i + 1] as usize)
+    }
+
+    /// Total directed CSR entries (`2 × num_couplings`): the length of
+    /// the flat [`CompiledProblem::neighbors_flat`] /
+    /// [`CompiledProblem::weights_flat`] arrays.
+    #[inline]
+    pub fn num_entries(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// The flat neighbor-index array (all rows concatenated, delimited
+    /// by [`CompiledProblem::row_bounds`]).
+    #[inline]
+    pub fn neighbors_flat(&self) -> &[u32] {
+        &self.neighbors
+    }
+
+    /// The flat coefficient array parallel to
+    /// [`CompiledProblem::neighbors_flat`].
+    #[inline]
+    pub fn weights_flat(&self) -> &[f64] {
+        &self.weights
+    }
+
     /// The local field `h_i = f_i + Σ_j g_ij·s_j` around spin `i`.
     #[inline]
     pub fn local_field(&self, spins: &[Spin], i: usize) -> f64 {
@@ -426,6 +457,19 @@ mod tests {
         }
         assert_eq!(c, CompiledProblem::new(&p2));
         assert_eq!(c.coupler_entry(0, 0), None);
+    }
+
+    #[test]
+    fn flat_accessors_mirror_rows() {
+        let p = triangle();
+        let c = CompiledProblem::new(&p);
+        assert_eq!(c.num_entries(), 2 * c.num_couplings());
+        for i in 0..3 {
+            let (lo, hi) = c.row_bounds(i);
+            let (idx, w) = c.row(i);
+            assert_eq!(&c.neighbors_flat()[lo..hi], idx);
+            assert_eq!(&c.weights_flat()[lo..hi], w);
+        }
     }
 
     #[test]
